@@ -1,0 +1,67 @@
+// Command bughunt runs the executable bug catalog (paper §6.3, Tables 5
+// and 6): every synthetic, known and new bug is injected into its
+// workload, run under full PMTest instrumentation, and checked for
+// detection.
+//
+// Usage:
+//
+//	go run ./cmd/bughunt            # whole catalog
+//	go run ./cmd/bughunt -real      # only Table 6 (known + new)
+//	go run ./cmd/bughunt -v         # print each finding
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pmtest/internal/bugdb"
+)
+
+var (
+	flagReal = flag.Bool("real", false, "run only the Table 6 known/new bugs")
+	flagCat  = flag.String("category", "", "run only one Table 5 category")
+	flagV    = flag.Bool("v", false, "print the diagnostics each bug produced")
+)
+
+func main() {
+	flag.Parse()
+	bugs := bugdb.Catalog()
+	if *flagReal {
+		bugs = append(bugdb.ByOrigin(bugs, bugdb.OriginKnown),
+			bugdb.ByOrigin(bugs, bugdb.OriginNew)...)
+	}
+	if *flagCat != "" {
+		bugs = bugdb.ByCategory(bugs, bugdb.Category(*flagCat))
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "bug\tworkload\tcategory\torigin\texpected\tresult")
+	detected := 0
+	for _, b := range bugs {
+		reports, err := b.Execute()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bughunt: %s: %v\n", b.ID, err)
+			os.Exit(1)
+		}
+		verdict := "MISSED"
+		if b.Detected(reports) {
+			verdict = "detected"
+			detected++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			b.ID, b.Workload, b.Category, b.Origin, b.Expect, verdict)
+		if *flagV {
+			for _, r := range reports {
+				if !r.Clean() {
+					fmt.Fprintf(w, "\t%s\n", r.Summary())
+				}
+			}
+		}
+	}
+	w.Flush()
+	fmt.Printf("\n%d/%d bugs detected\n", detected, len(bugs))
+	if detected != len(bugs) {
+		os.Exit(1)
+	}
+}

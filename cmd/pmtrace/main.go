@@ -1,0 +1,212 @@
+// Command pmtrace dumps an annotated PM-operation trace with the persist
+// intervals the checking engine deduces — a textual version of the
+// paper's Fig. 7 walkthrough. It ships with the Fig. 4 and Fig. 7 traces
+// built in and can visualize any of the microbenchmarks' first
+// transactions.
+//
+// Usage:
+//
+//	go run ./cmd/pmtrace            # the paper's Fig. 7 trace
+//	go run ./cmd/pmtrace -fig4      # the paper's Fig. 4 trace
+//	go run ./cmd/pmtrace -store btree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+	"pmtest/internal/whisper"
+)
+
+var (
+	flagFig4   = flag.Bool("fig4", false, "dump the paper's Fig. 4 trace")
+	flagStore  = flag.String("store", "", "dump the first transaction of a workload (ctree|btree|rbtree|hashmap-tx|hashmap-ll|echo|vacation)")
+	flagModel  = flag.String("model", "x86", "persistency model (x86|arm|hops|epoch)")
+	flagRecord = flag.String("record", "", "write the selected trace to a file (binary format) instead of dumping it")
+	flagCheck  = flag.String("check", "", "load a recorded trace file and dump/check it offline")
+)
+
+func main() {
+	flag.Parse()
+	rules, ok := core.Models()[*flagModel]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pmtrace: unknown model %q\n", *flagModel)
+		os.Exit(1)
+	}
+	var ops []trace.Op
+	switch {
+	case *flagCheck != "":
+		f, err := os.Open(*flagCheck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traces, err := trace.DecodeAll(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err)
+			os.Exit(1)
+		}
+		for _, tr := range traces {
+			dump(rules, tr.Ops)
+			fmt.Println()
+		}
+		return
+	case *flagStore != "":
+		ops = storeTrace(*flagStore)
+	case *flagFig4:
+		ops = fig4()
+	default:
+		ops = fig7()
+	}
+	if *flagRecord != "" {
+		f, err := os.Create(*flagRecord)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Encode(f, &trace.Trace{Ops: ops}); err != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d ops to %s\n", len(ops), *flagRecord)
+		return
+	}
+	dump(rules, ops)
+}
+
+func fig7() []trace.Op {
+	return []trace.Op{
+		{Kind: trace.KindWrite, Addr: 0x10, Size: 64},
+		{Kind: trace.KindFlush, Addr: 0x10, Size: 64},
+		{Kind: trace.KindFence},
+		{Kind: trace.KindWrite, Addr: 0x50, Size: 64},
+		{Kind: trace.KindIsPersist, Addr: 0x50, Size: 64},
+		{Kind: trace.KindIsOrderedBefore, Addr: 0x10, Size: 64, Addr2: 0x50, Size2: 64},
+	}
+}
+
+func fig4() []trace.Op {
+	return []trace.Op{
+		{Kind: trace.KindFence},
+		{Kind: trace.KindWrite, Addr: 0xA0, Size: 8},
+		{Kind: trace.KindFlush, Addr: 0xA0, Size: 8},
+		{Kind: trace.KindWrite, Addr: 0xB0, Size: 8},
+		{Kind: trace.KindFence},
+		{Kind: trace.KindIsOrderedBefore, Addr: 0xA0, Size: 8, Addr2: 0xB0, Size2: 8},
+		{Kind: trace.KindIsPersist, Addr: 0xB0, Size: 8},
+	}
+}
+
+type recorder struct{ ops []trace.Op }
+
+func (r *recorder) Record(op trace.Op, _ int) { r.ops = append(r.ops, op) }
+
+func storeTrace(name string) []trace.Op {
+	rec := &recorder{}
+	dev := pmem.New(1<<24, rec)
+	var s whisper.Store
+	var err error
+	switch name {
+	case "ctree":
+		s, err = whisper.NewCTree(dev, nil)
+	case "btree":
+		s, err = whisper.NewBTree(dev, nil)
+	case "rbtree":
+		s, err = whisper.NewRBTree(dev, nil)
+	case "hashmap-tx":
+		s, err = whisper.NewHashmapTX(dev, 64, nil)
+	case "hashmap-ll":
+		s, err = whisper.NewHashmapLL(dev, 256, 128, nil)
+	case "echo":
+		e, err2 := whisper.NewEcho(dev, 1<<16, nil)
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err2)
+			os.Exit(1)
+		}
+		e.SetCheckers(true)
+		rec.ops = rec.ops[:0]
+		if err2 := e.Set(42, []byte("hello persistent world")); err2 != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err2)
+			os.Exit(1)
+		}
+		return rec.ops
+	case "vacation":
+		v, err2 := whisper.NewVacation(dev, 16, 8, 4)
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err2)
+			os.Exit(1)
+		}
+		v.SetCheckers(true)
+		rec.ops = rec.ops[:0]
+		if err2 := v.MakeReservation(1, 0, 2); err2 != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err2)
+			os.Exit(1)
+		}
+		return rec.ops
+	default:
+		fmt.Fprintf(os.Stderr, "pmtrace: unknown store %q\n", name)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+	if c, ok := s.(whisper.Checkered); ok {
+		c.SetCheckers(true)
+	}
+	rec.ops = rec.ops[:0]
+	if err := s.Insert(42, []byte("hello persistent world")); err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+	return rec.ops
+}
+
+// dump walks the trace one op at a time, printing the op, any diagnostics
+// it raised and the shadow-memory persist intervals after it — the
+// paper's Fig. 7 table.
+func dump(rules core.RuleSet, ops []trace.Op) {
+	fmt.Printf("model: %s\n\n", rules.Name())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "#\top\tshadow memory after op (range: PI / FI)")
+	// One full-trace report, with diagnostics anchored to their ops.
+	full := core.CheckTrace(rules, &trace.Trace{Ops: ops})
+	byOp := map[int][]core.Diagnostic{}
+	for _, d := range full.Diags {
+		byOp[d.OpIndex] = append(byOp[d.OpIndex], d)
+	}
+	// Re-run the prefix for each step to show evolving state.
+	for i := range ops {
+		st := core.NewState()
+		for j := 0; j <= i; j++ {
+			rules.Apply(st, ops[j])
+		}
+		diags := byOp[i]
+		shadow := ""
+		for _, e := range st.Shadow() {
+			if !e.HasPI && !e.HasFI {
+				continue
+			}
+			shadow += fmt.Sprintf("[0x%x,0x%x): ", e.Lo, e.Hi)
+			if e.HasPI {
+				shadow += "PI" + e.PI.String()
+			}
+			if e.HasFI {
+				shadow += " FI" + e.FI.String()
+			}
+			shadow += "  "
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\n", i, ops[i].String(), shadow)
+		for _, d := range diags {
+			fmt.Fprintf(w, "\t  → %s\t\n", d.String())
+		}
+	}
+	w.Flush()
+}

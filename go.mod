@@ -1,0 +1,3 @@
+module pmtest
+
+go 1.22

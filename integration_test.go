@@ -1,0 +1,233 @@
+package pmtest_test
+
+// Cross-package integration tests: the full pipeline the paper deploys —
+// instrumented substrate → per-thread tracker → (kernel FIFO) → checking
+// engine — driven end to end.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"pmtest"
+	"pmtest/internal/kfifo"
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+	"pmtest/internal/pmfs"
+	"pmtest/internal/trace"
+	"pmtest/internal/whisper"
+)
+
+// TestUserSpaceStackCleanAndBuggy drives a pmdk workload through the
+// public API exactly as the paper's Fig. 9a user-space deployment.
+func TestUserSpaceStackCleanAndBuggy(t *testing.T) {
+	run := func(bugs whisper.BugSet) []pmtest.Report {
+		sess := pmtest.Init(pmtest.Config{CaptureSites: true, Workers: 2})
+		th := sess.ThreadInit()
+		dev := pmem.New(1<<24, th)
+		s, err := whisper.NewCTree(dev, bugs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetCheckers(true)
+		th.Start()
+		for i := uint64(0); i < 50; i++ {
+			if err := s.Insert(i*3, []byte("integration")); err != nil {
+				t.Fatal(err)
+			}
+			th.SendTrace()
+		}
+		return sess.Exit()
+	}
+	for _, r := range run(nil) {
+		if !r.Clean() {
+			t.Fatalf("clean stack flagged: %s", r.Summary())
+		}
+	}
+	reports := run(whisper.BugSet{whisper.BugCTreeSkipParentLog: true})
+	if pmtest.CountCode(reports, pmtest.CodeMissingBackup) == 0 {
+		t.Fatal("buggy stack not flagged end to end")
+	}
+	// Diagnostics must carry real source sites from the workload code.
+	found := false
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			if d.Code == pmtest.CodeMissingBackup && strings.Contains(d.Site, "whisper/ctree.go") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing-backup diagnostic does not point at workload source")
+	}
+}
+
+// TestKernelStackThroughFIFO is the paper's Fig. 9b deployment: the FS
+// produces trace sections into the kernel FIFO; a user-space pump feeds
+// the engine. The buggy journal commit must be flagged across that
+// boundary.
+func TestKernelStackThroughFIFO(t *testing.T) {
+	run := func(bugs pmfs.Bugs) []pmtest.Report {
+		sess := pmtest.Init(pmtest.Config{})
+		builder := trace.NewBuilder(0, false)
+		fifo := kfifo.New(64)
+
+		sink := builderSink{builder}
+		dev := pmem.New(1<<24, sink)
+		fs, err := pmfs.Mkfs(dev, 32, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.SetBugs(bugs)
+		fs.SetAnnotations(true)
+		fs.SetSectionHook(func() {
+			if builder.Len() > 0 {
+				fifo.Push(builder.Take())
+			}
+		})
+
+		th := sess.ThreadInit()
+		th.Start()
+		var pump sync.WaitGroup
+		pump.Add(1)
+		go func() {
+			defer pump.Done()
+			for {
+				tr := fifo.Pop()
+				if tr == nil {
+					return
+				}
+				for _, op := range tr.Ops {
+					th.Record(op, 0)
+				}
+				th.SendTrace()
+			}
+		}()
+
+		ino, err := fs.CreateFile("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 5; i++ {
+			if err := fs.WriteFile(ino, i*256, make([]byte, 256)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fifo.Close()
+		pump.Wait()
+		return sess.Exit()
+	}
+	for _, r := range run(pmfs.Bugs{}) {
+		if !r.Clean() {
+			t.Fatalf("clean kernel stack flagged: %s", r.Summary())
+		}
+	}
+	reports := run(pmfs.Bugs{DoubleFlushCommit: true})
+	if pmtest.CountCode(reports, pmtest.CodeDuplicateWriteback) == 0 {
+		t.Fatal("journal.c:632 bug not flagged through the FIFO")
+	}
+}
+
+type builderSink struct{ b *trace.Builder }
+
+func (s builderSink) Record(op trace.Op, skip int) { s.b.Record(op, skip+1) }
+
+// TestNestedTxSemanticsDiscovery reproduces the paper's §7.1 experiment:
+// wrapping the INNER transaction in checkers reports incomplete-tx
+// (updates are not durable at the inner TX_END), while wrapping the
+// OUTER transaction passes — revealing PMDK's outermost-commit semantics.
+func TestNestedTxSemanticsDiscovery(t *testing.T) {
+	runNested := func(wrapInner bool) []pmtest.Report {
+		sess := pmtest.Init(pmtest.Config{})
+		th := sess.ThreadInit()
+		dev := pmem.New(1<<22, th)
+		pool, err := pmdk.Create(dev, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := pool.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th.Start()
+		if !wrapInner {
+			th.TxCheckerStart()
+		}
+		err = pool.Tx(func(outer *pmdk.Tx) error {
+			if wrapInner {
+				th.TxCheckerStart()
+			}
+			if err := pool.Tx(func(inner *pmdk.Tx) error {
+				inner.Add(off, 8)
+				inner.Set64(off, 1234)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if wrapInner {
+				th.TxCheckerEnd()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wrapInner {
+			th.TxCheckerEnd()
+		}
+		th.SendTrace()
+		return sess.Exit()
+	}
+	inner := runNested(true)
+	if pmtest.CountCode(inner, pmtest.CodeIncompleteTx) == 0 {
+		t.Fatalf("inner-wrapped nested tx should report incomplete-tx (§7.1): %s",
+			pmtest.Summarize(inner))
+	}
+	outer := runNested(false)
+	for _, r := range outer {
+		if r.Fails() != 0 {
+			t.Fatalf("outer-wrapped nested tx should pass (§7.1): %s", r.Summary())
+		}
+	}
+}
+
+// TestMultiThreadedWorkloadWithPerThreadTrackers mirrors §6.2.3: several
+// program threads, each with its own tracker, feeding one engine.
+func TestMultiThreadedWorkloadWithPerThreadTrackers(t *testing.T) {
+	sess := pmtest.Init(pmtest.Config{Workers: 2})
+	const threads = 4
+	var wg sync.WaitGroup
+	for c := 0; c < threads; c++ {
+		th := sess.ThreadInit()
+		wg.Add(1)
+		go func(id int, th *pmtest.Thread) {
+			defer wg.Done()
+			dev := pmem.New(1<<22, th)
+			s, err := whisper.NewHashmapLL(dev, 512, 64, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.SetCheckers(true)
+			th.Start()
+			for i := uint64(0); i < 30; i++ {
+				if err := s.Insert(i, []byte(fmt.Sprintf("t%d-%d", id, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				th.SendTrace()
+			}
+		}(c, th)
+	}
+	wg.Wait()
+	reports := sess.Exit()
+	if len(reports) != threads*30 {
+		t.Fatalf("reports = %d, want %d", len(reports), threads*30)
+	}
+	for _, r := range reports {
+		if !r.Clean() {
+			t.Fatalf("clean multithreaded run flagged: %s", r.Summary())
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package bugdb
+
+import (
+	"pmtest/internal/core"
+	"pmtest/internal/mnemosyne"
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+	"pmtest/internal/pmfs"
+	"pmtest/internal/whisper"
+)
+
+// Catalog returns every catalog entry: the 42 synthetic bugs of Table 5
+// (4 ordering + 6 writeback + 2 redundant-writeback + 19 backup +
+// 7 completion + 4 duplicated-log), the 3 known bugs reproduced from
+// commit history and the 3 new bugs of Table 6 / Fig. 13 — the paper's
+// 45 synthetic/reproduced detections plus the 3 new finds.
+func Catalog() []Bug {
+	var bugs []Bug
+	add := func(b Bug) { bugs = append(bugs, b) }
+
+	// --- Ordering (4) -------------------------------------------------------
+	add(Bug{
+		ID: "ord-1-hmll-backup-barrier", Category: CatOrdering, Origin: OriginSynthetic,
+		Workload: "HashMap (w/o TX)", PaperRef: "Table 5; Fig. 1a",
+		Description: "missing persist_barrier between backup creation and its valid flag",
+		Expect:      core.CodeOrderViolation, Severity: core.SeverityFail,
+		run: runStore(mkHMLL, whisper.BugSet{whisper.BugHMLLSkipBackupBarrier: true},
+			pmdk.Bugs{}, updateHeavy, 40, 128),
+	})
+	add(Bug{
+		ID: "ord-2-hmll-valid-before-value", Category: CatOrdering, Origin: OriginSynthetic,
+		Workload: "HashMap (w/o TX)", PaperRef: "Table 5",
+		Description: "slot valid flag persisted before the value it guards",
+		Expect:      core.CodeOrderViolation, Severity: core.SeverityFail,
+		run: runStore(mkHMLL, whisper.BugSet{whisper.BugHMLLValidBeforeValue: true},
+			pmdk.Bugs{}, ascending, 40, 128),
+	})
+	add(Bug{
+		ID: "ord-3-pmdk-log-entry-fence", Category: CatOrdering, Origin: OriginSynthetic,
+		Workload: "C-Tree", PaperRef: "Table 5",
+		Description: "missing fence between undo-log entry and its publication",
+		Expect:      core.CodeOrderViolation, Severity: core.SeverityFail,
+		run: runStore(mkCTree, nil, pmdk.Bugs{SkipLogEntryFence: true}, ascending, 30, 128),
+	})
+	add(Bug{
+		ID: "ord-4-mnemosyne-log-flush", Category: CatOrdering, Origin: OriginSynthetic,
+		Workload: "Memcached", PaperRef: "Table 5",
+		Description: "redo-log entries not written back before the commit seal",
+		Expect:      core.CodeOrderViolation, Severity: core.SeverityFail,
+		run: runMemcached(mnemosyne.Bugs{SkipLogFlush: true}, 30),
+	})
+
+	// --- Writeback (6) ------------------------------------------------------
+	add(Bug{
+		ID: "wb-1-hmll-update-flush", Category: CatWriteback, Origin: OriginSynthetic,
+		Workload: "HashMap (w/o TX)", PaperRef: "Table 5",
+		Description: "slot update never written back",
+		Expect:      core.CodeNotPersisted, Severity: core.SeverityFail,
+		run: runStore(mkHMLL, whisper.BugSet{whisper.BugHMLLSkipUpdateFlush: true},
+			pmdk.Bugs{}, ascending, 40, 128),
+	})
+	add(Bug{
+		ID: "wb-2-hmll-update-fence", Category: CatWriteback, Origin: OriginSynthetic,
+		Workload: "HashMap (w/o TX)", PaperRef: "Table 5",
+		Description: "slot update flushed but never fenced before the valid flag",
+		Expect:      core.CodeOrderViolation, Severity: core.SeverityFail,
+		run: runStore(mkHMLL, whisper.BugSet{whisper.BugHMLLSkipUpdateFence: true},
+			pmdk.Bugs{}, ascending, 40, 128),
+	})
+	add(Bug{
+		ID: "wb-3-pmdk-log-entry-flush", Category: CatWriteback, Origin: OriginSynthetic,
+		Workload: "B-Tree", PaperRef: "Table 5",
+		Description: "undo-log entry never written back before publication",
+		Expect:      core.CodeOrderViolation, Severity: core.SeverityFail,
+		run: runStore(mkBTree, nil, pmdk.Bugs{SkipLogEntryFlush: true}, ascending, 30, 128),
+	})
+	add(Bug{
+		ID: "wb-4-mnemosyne-apply-flush", Category: CatWriteback, Origin: OriginSynthetic,
+		Workload: "Memcached", PaperRef: "Table 5",
+		Description: "in-place updates not written back before redo-log truncation",
+		Expect:      core.CodeNotPersisted, Severity: core.SeverityFail,
+		run: runMemcached(mnemosyne.Bugs{SkipApplyFlush: true}, 30),
+	})
+	add(Bug{
+		ID: "wb-5-pmfs-data-flush", Category: CatWriteback, Origin: OriginSynthetic,
+		Workload: "PMFS", PaperRef: "Table 5",
+		Description: "file data never written back before fsync returns",
+		Expect:      core.CodeNotPersisted, Severity: core.SeverityFail,
+		run: runPMFS(pmfs.Bugs{SkipDataFlush: true}, pmfsWriteWorkload),
+	})
+	add(Bug{
+		ID: "wb-6-pmfs-inode-flush", Category: CatWriteback, Origin: OriginSynthetic,
+		Workload: "PMFS", PaperRef: "Table 5",
+		Description: "journaled metadata modified in place without writeback",
+		Expect:      core.CodeNotPersisted, Severity: core.SeverityFail,
+		run: runPMFS(pmfs.Bugs{SkipInodeFlush: true}, pmfsWriteWorkload),
+	})
+
+	// --- Performance: redundant writeback (2) -------------------------------
+	add(Bug{
+		ID: "pwb-1-hmll-double-flush", Category: CatPerfWriteback, Origin: OriginSynthetic,
+		Workload: "HashMap (w/o TX)", PaperRef: "Table 5",
+		Description: "same slot written back twice",
+		Expect:      core.CodeDuplicateWriteback, Severity: core.SeverityWarn,
+		run: runStore(mkHMLL, whisper.BugSet{whisper.BugHMLLDoubleSlotFlush: true},
+			pmdk.Bugs{}, ascending, 40, 128),
+	})
+	add(Bug{
+		ID: "pwb-2-hmll-flush-wrong-slot", Category: CatPerfWriteback, Origin: OriginSynthetic,
+		Workload: "HashMap (w/o TX)", PaperRef: "Table 5",
+		Description: "unmodified neighbouring slot written back",
+		Expect:      core.CodeUnnecessaryWriteback, Severity: core.SeverityWarn,
+		run: runStore(mkHMLL, whisper.BugSet{whisper.BugHMLLFlushWrongSlot: true},
+			pmdk.Bugs{}, ascending, 40, 128),
+	})
+
+	// --- Backup: missing TX_ADD (19) ----------------------------------------
+	backup := func(id, workload, desc string,
+		mk func(d *pmem.Device, b whisper.BugSet) (whisper.Store, error),
+		bug string, pattern keyPattern, n, valSize int) {
+		add(Bug{
+			ID: id, Category: CatBackup, Origin: OriginSynthetic,
+			Workload: workload, PaperRef: "Table 5; Fig. 1b",
+			Description: desc,
+			Expect:      core.CodeMissingBackup, Severity: core.SeverityFail,
+			run: runStore(mk, whisper.BugSet{bug: true}, pmdk.Bugs{}, pattern, n, valSize),
+		})
+	}
+	backup("bk-1-ctree-root", "C-Tree", "root pointer updated without TX_ADD",
+		mkCTree, whisper.BugCTreeSkipRootLog, ascending, 30, 64)
+	backup("bk-2-ctree-parent-asc", "C-Tree", "parent child-pointer updated without TX_ADD (ascending keys)",
+		mkCTree, whisper.BugCTreeSkipParentLog, ascending, 30, 64)
+	backup("bk-3-ctree-parent-desc", "C-Tree", "parent child-pointer updated without TX_ADD (descending keys)",
+		mkCTree, whisper.BugCTreeSkipParentLog, descending, 30, 64)
+	backup("bk-4-ctree-parent-zigzag", "C-Tree", "parent child-pointer updated without TX_ADD (alternating keys)",
+		mkCTree, whisper.BugCTreeSkipParentLog, zigzag, 30, 64)
+	backup("bk-5-ctree-value", "C-Tree", "value pointer overwritten without TX_ADD",
+		mkCTree, whisper.BugCTreeSkipValueLog, updateHeavy, 40, 64)
+	backup("bk-6-btree-insert", "B-Tree", "leaf node modified without TX_ADD (insert_item)",
+		mkBTree, whisper.BugBTreeSkipInsertLog, ascending, 30, 64)
+	backup("bk-7-btree-insert-random", "B-Tree", "leaf node modified without TX_ADD (zigzag keys)",
+		mkBTree, whisper.BugBTreeSkipInsertLog, zigzag, 30, 64)
+	backup("bk-8-btree-root", "B-Tree", "root pointer updated without TX_ADD",
+		mkBTree, whisper.BugBTreeSkipRootLog, ascending, 30, 64)
+	backup("bk-9-btree-split", "B-Tree", "split source node shrunk without TX_ADD",
+		mkBTree, whisper.BugBTreeSkipSplitLog, ascending, 60, 64)
+	backup("bk-10-btree-split-parent", "B-Tree", "split parent modified without TX_ADD",
+		mkBTree, whisper.BugBTreeSkipParentLog, ascending, 60, 64)
+	backup("bk-11-rbtree-node", "RB-Tree", "tree node modified without TX_ADD",
+		mkRBTree, whisper.BugRBTreeSkipNodeLog, ascending, 30, 64)
+	backup("bk-12-rbtree-node-zigzag", "RB-Tree", "tree node modified without TX_ADD (alternating keys)",
+		mkRBTree, whisper.BugRBTreeSkipNodeLog, zigzag, 30, 64)
+	backup("bk-13-rbtree-root", "RB-Tree", "root pointer updated without TX_ADD",
+		mkRBTree, whisper.BugRBTreeSkipRootLog, ascending, 30, 64)
+	backup("bk-14-rbtree-uncle", "RB-Tree", "recoloured uncle modified without TX_ADD",
+		mkRBTree, whisper.BugRBTreeSkipUncleLog, ascending, 60, 64)
+	backup("bk-15-hmtx-bucket", "HashMap (w/ TX)", "bucket head updated without TX_ADD",
+		mkHMTx, whisper.BugHMTxSkipBucketLog, ascending, 30, 64)
+	backup("bk-16-hmtx-bucket-desc", "HashMap (w/ TX)", "bucket head updated without TX_ADD (descending keys)",
+		mkHMTx, whisper.BugHMTxSkipBucketLog, descending, 30, 64)
+	backup("bk-17-hmtx-value", "HashMap (w/ TX)", "chained value overwritten without TX_ADD",
+		mkHMTx, whisper.BugHMTxSkipValueLog, updateHeavy, 40, 64)
+	backup("bk-18-ctree-value-large", "C-Tree", "large value overwritten without TX_ADD (4 KiB values)",
+		mkCTree, whisper.BugCTreeSkipValueLog, updateHeavy, 30, 4096)
+	backup("bk-19-btree-split-deep", "B-Tree", "deep split source shrunk without TX_ADD (many levels)",
+		mkBTree, whisper.BugBTreeSkipSplitLog, zigzag, 120, 64)
+
+	// --- Completion: incomplete transactions (7) ----------------------------
+	completion := func(id, workload string,
+		mk func(d *pmem.Device, b whisper.BugSet) (whisper.Store, error), pattern keyPattern) {
+		add(Bug{
+			ID: id, Category: CatCompletion, Origin: OriginSynthetic,
+			Workload: workload, PaperRef: "Table 5",
+			Description: "transaction updates never written back at commit",
+			Expect:      core.CodeIncompleteTx, Severity: core.SeverityFail,
+			run: runStore(mk, nil, pmdk.Bugs{SkipCommitFlush: true}, pattern, 30, 64),
+		})
+	}
+	completion("cp-1-ctree-commit-flush", "C-Tree", mkCTree, ascending)
+	completion("cp-2-btree-commit-flush", "B-Tree", mkBTree, ascending)
+	completion("cp-3-rbtree-commit-flush", "RB-Tree", mkRBTree, ascending)
+	completion("cp-4-hmtx-commit-flush", "HashMap (w/ TX)", mkHMTx, ascending)
+	add(Bug{
+		ID: "cp-5-redis-commit-flush", Category: CatCompletion, Origin: OriginSynthetic,
+		Workload: "Redis", PaperRef: "Table 5",
+		Description: "transaction updates never written back at commit (Redis)",
+		Expect:      core.CodeIncompleteTx, Severity: core.SeverityFail,
+		run: runRedis(pmdk.Bugs{SkipCommitFlush: true}, 30),
+	})
+	add(Bug{
+		ID: "cp-6-pmdk-commit-fence", Category: CatCompletion, Origin: OriginSynthetic,
+		Workload: "C-Tree", PaperRef: "Table 5",
+		Description: "log invalidated without fencing the flushed updates",
+		Expect:      core.CodeNotPersisted, Severity: core.SeverityFail,
+		run: runStore(mkCTree, nil, pmdk.Bugs{SkipCommitFence: true}, ascending, 30, 64),
+	})
+	add(Bug{
+		ID: "cp-7-mnemosyne-seal-fence", Category: CatCompletion, Origin: OriginSynthetic,
+		Workload: "Memcached", PaperRef: "Table 5",
+		Description: "commit seal not durable when the transaction reports success",
+		Expect:      core.CodeNotPersisted, Severity: core.SeverityFail,
+		run: runMemcached(mnemosyne.Bugs{SkipSealFence: true}, 30),
+	})
+
+	// --- Performance: duplicated log (4) ------------------------------------
+	perfLog := func(id, workload string,
+		mk func(d *pmem.Device, b whisper.BugSet) (whisper.Store, error), bug string, pattern keyPattern, n int) {
+		add(Bug{
+			ID: id, Category: CatPerfLog, Origin: OriginSynthetic,
+			Workload: workload, PaperRef: "Table 5",
+			Description: "same persistent object logged more than once",
+			Expect:      core.CodeDuplicateLog, Severity: core.SeverityWarn,
+			run: runStore(mk, whisper.BugSet{bug: true}, pmdk.Bugs{}, pattern, n, 64),
+		})
+	}
+	perfLog("pl-1-ctree-double-root", "C-Tree", mkCTree, whisper.BugCTreeDoubleRootLog, ascending, 20)
+	perfLog("pl-2-btree-double-insert", "B-Tree", mkBTree, whisper.BugBTreeDoubleInsertLog, ascending, 20)
+	perfLog("pl-3-rbtree-double-node", "RB-Tree", mkRBTree, whisper.BugRBTreeDoubleNodeLog, ascending, 20)
+	perfLog("pl-4-hmtx-double-bucket", "HashMap (w/ TX)", mkHMTx, whisper.BugHMTxDoubleBucketLog, ascending, 20)
+
+	// --- Table 6: known bugs reproduced from commit history (3) --------------
+	add(Bug{
+		ID: "known-1-pmfs-xips-double-flush", Category: CatPerfWriteback, Origin: OriginKnown,
+		Workload: "PMFS", PaperRef: "Table 6; xips.c:207,262",
+		Description: "the same persistent buffer is flushed twice in the XIP write path",
+		Expect:      core.CodeDuplicateWriteback, Severity: core.SeverityWarn,
+		run: runPMFS(pmfs.Bugs{DoubleFlushData: true}, pmfsWriteWorkload),
+	})
+	add(Bug{
+		ID: "known-2-pmfs-files-unmapped-flush", Category: CatPerfWriteback, Origin: OriginKnown,
+		Workload: "PMFS", PaperRef: "Table 6; files.c:232",
+		Description: "an unmapped (never written) buffer is flushed",
+		Expect:      core.CodeUnnecessaryWriteback, Severity: core.SeverityWarn,
+		run: runPMFS(pmfs.Bugs{FlushUnmapped: true}, pmfsWriteWorkload),
+	})
+	add(Bug{
+		ID: "known-3-pmdk-rbtree-missing-log", Category: CatBackup, Origin: OriginKnown,
+		Workload: "RB-Tree", PaperRef: "Table 6; rbtree_map.c:379",
+		Description: "a tree node is modified without logging it",
+		Expect:      core.CodeMissingBackup, Severity: core.SeverityFail,
+		run: runStore(mkRBTree, whisper.BugSet{whisper.BugRBTreeSkipNodeLog: true},
+			pmdk.Bugs{}, descending, 40, 64),
+	})
+
+	// --- Table 6: new bugs found by PMTest (3, Fig. 13) ----------------------
+	add(Bug{
+		ID: "new-1-pmfs-journal-double-flush", Category: CatPerfWriteback, Origin: OriginNew,
+		Workload: "PMFS", PaperRef: "Table 6; journal.c:632; Fig. 13a",
+		Description: "committing a journal transaction re-flushes already-flushed log entries",
+		Expect:      core.CodeDuplicateWriteback, Severity: core.SeverityWarn,
+		run: runPMFS(pmfs.Bugs{DoubleFlushCommit: true}, pmfsWriteWorkload),
+	})
+	add(Bug{
+		ID: "new-2-pmdk-btree-split-missing-log", Category: CatBackup, Origin: OriginNew,
+		Workload: "B-Tree", PaperRef: "Table 6; btree_map.c:201; Fig. 13b",
+		Description: "create_split_node modifies the source node without logging it",
+		Expect:      core.CodeMissingBackup, Severity: core.SeverityFail,
+		run: runStore(mkBTree, whisper.BugSet{whisper.BugBTreeSkipSplitLog: true},
+			pmdk.Bugs{}, ascending, 80, 64),
+	})
+	add(Bug{
+		ID: "new-3-pmdk-btree-double-log", Category: CatPerfLog, Origin: OriginNew,
+		Workload: "B-Tree", PaperRef: "Table 6; btree_map.c:367; Fig. 13c",
+		Description: "the rotate/insert path logs a node insert_item already logged",
+		Expect:      core.CodeDuplicateLog, Severity: core.SeverityWarn,
+		run: runStore(mkBTree, whisper.BugSet{whisper.BugBTreeDoubleInsertLog: true},
+			pmdk.Bugs{}, zigzag, 40, 64),
+	})
+
+	// --- Extension workloads (beyond the paper's 45) -------------------------
+	add(Bug{
+		ID: "ext-1-echo-entry-flush", Category: CatOrdering, Origin: OriginExtension,
+		Workload: "Echo (WAL)", PaperRef: "extension",
+		Description: "WAL record not persisted before the commit pointer covers it",
+		Expect:      core.CodeOrderViolation, Severity: core.SeverityFail,
+		run: runEcho(whisper.BugSet{whisper.BugEchoSkipEntryFlush: true}, 30),
+	})
+	add(Bug{
+		ID: "ext-2-echo-commit-fence", Category: CatCompletion, Origin: OriginExtension,
+		Workload: "Echo (WAL)", PaperRef: "extension",
+		Description: "commit pointer not durable when Set returns",
+		Expect:      core.CodeNotPersisted, Severity: core.SeverityFail,
+		run: runEcho(whisper.BugSet{whisper.BugEchoSkipCommitFence: true}, 30),
+	})
+
+	return bugs
+}
+
+// ByOrigin filters the catalog.
+func ByOrigin(bugs []Bug, o Origin) []Bug {
+	var out []Bug
+	for _, b := range bugs {
+		if b.Origin == o {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByCategory filters the catalog.
+func ByCategory(bugs []Bug, c Category) []Bug {
+	var out []Bug
+	for _, b := range bugs {
+		if b.Category == c {
+			out = append(out, b)
+		}
+	}
+	return out
+}

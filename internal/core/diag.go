@@ -1,0 +1,180 @@
+// Package core implements the PMTest checking engine (paper §4): the
+// shadow memory that tracks persist and flush intervals for every modified
+// address range, the checking rules that validate low- and high-level
+// checkers against those intervals, and the master/worker pipeline that
+// decouples checking from program execution.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pmtest/internal/trace"
+)
+
+// Severity classifies a diagnostic. The paper's engine reports WARNING for
+// performance bugs and FAIL for crash-consistency bugs (§4.1).
+type Severity uint8
+
+const (
+	// SeverityInfo is used for advisory notes (not present in the paper;
+	// used by extensions such as the nested-transaction explainer).
+	SeverityInfo Severity = iota
+	// SeverityWarn marks performance bugs: redundant writebacks,
+	// duplicated undo-log entries.
+	SeverityWarn
+	// SeverityFail marks crash-consistency bugs: unpersisted data,
+	// ordering violations, missing backups, incomplete transactions.
+	SeverityFail
+)
+
+// String returns the paper's spelling of the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityWarn:
+		return "WARN"
+	case SeverityFail:
+		return "FAIL"
+	default:
+		return "INFO"
+	}
+}
+
+// Code identifies the class of bug a diagnostic reports.
+type Code string
+
+// Diagnostic codes. FAIL codes are crash-consistency bugs, WARN codes are
+// performance bugs (paper §5.1).
+const (
+	// CodeNotPersisted: an isPersist checker found a persist interval that
+	// never ends — the data may not be durable at the checker.
+	CodeNotPersisted Code = "not-persisted"
+	// CodeOrderViolation: an isOrderedBefore checker found overlapping (or
+	// inverted) persist intervals — the two writes are not strictly ordered.
+	CodeOrderViolation Code = "order-violation"
+	// CodeMissingBackup: inside a checked transaction, a persistent object
+	// was modified without first being added to the undo log (TX_ADD).
+	CodeMissingBackup Code = "missing-backup"
+	// CodeIncompleteTx: at TX_CHECKER_END, a range modified inside the
+	// transaction was not persisted.
+	CodeIncompleteTx Code = "incomplete-tx"
+	// CodeDuplicateWriteback: a clwb targeted a range that already has a
+	// pending or completed writeback since its last modification.
+	CodeDuplicateWriteback Code = "duplicate-writeback"
+	// CodeUnnecessaryWriteback: a clwb targeted a range that was never
+	// modified — writing back unmodified data.
+	CodeUnnecessaryWriteback Code = "unnecessary-writeback"
+	// CodeDuplicateLog: the same persistent object was added to the undo
+	// log more than once in one transaction.
+	CodeDuplicateLog Code = "duplicate-log"
+	// CodeUnbalancedTx: transaction begin/end or checker start/end pairs
+	// did not nest properly in the trace.
+	CodeUnbalancedTx Code = "unbalanced-tx"
+	// CodeTruncated: the per-trace diagnostic cap was reached and the
+	// remainder of the trace was not checked.
+	CodeTruncated Code = "diagnostics-truncated"
+)
+
+// Diagnostic is one finding, tied to the trace operation that exposed it.
+type Diagnostic struct {
+	Severity Severity
+	Code     Code
+	// Message is a human-readable explanation.
+	Message string
+	// Site is the file:line of the operation that triggered the finding
+	// (the checker for FAILs, the redundant op for WARNs).
+	Site string
+	// Related is the file:line of the earlier operation involved, e.g. the
+	// write that never persisted or the first of two duplicate flushes.
+	Related string
+	// OpIndex is the position in the trace of the triggering operation.
+	OpIndex int
+}
+
+// String formats the diagnostic the way the paper's engine prints results:
+// "FAIL/WARN @<file>:<line>" plus the explanation.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s] @%s: %s", d.Severity, d.Code, d.Site, d.Message)
+	if d.Related != "" {
+		fmt.Fprintf(&b, " (related: %s)", d.Related)
+	}
+	return b.String()
+}
+
+// Report is the checking result for one trace.
+type Report struct {
+	TraceID int
+	Thread  int
+	// Ops is the number of trace operations checked.
+	Ops   int
+	Diags []Diagnostic
+}
+
+// Fails counts crash-consistency findings.
+func (r Report) Fails() int { return r.countSev(SeverityFail) }
+
+// Warns counts performance findings.
+func (r Report) Warns() int { return r.countSev(SeverityWarn) }
+
+func (r Report) countSev(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasCode reports whether any diagnostic carries the given code.
+func (r Report) HasCode(c Code) bool {
+	for _, d := range r.Diags {
+		if d.Code == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Clean reports whether the trace produced no findings at all.
+func (r Report) Clean() bool { return len(r.Diags) == 0 }
+
+// Summary renders all findings, one per line.
+func (r Report) Summary() string {
+	if r.Clean() {
+		return fmt.Sprintf("trace %d: PASS", r.TraceID)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d: %d FAIL, %d WARN\n", r.TraceID, r.Fails(), r.Warns())
+	for _, d := range r.Diags {
+		fmt.Fprintf(&b, "  %s\n", d.String())
+	}
+	return b.String()
+}
+
+// MergeReports combines per-trace reports into one flat list of
+// diagnostics, preserving trace order.
+func MergeReports(reports []Report) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range reports {
+		out = append(out, r.Diags...)
+	}
+	return out
+}
+
+// CountCode tallies diagnostics with the given code across reports.
+func CountCode(reports []Report, c Code) int {
+	n := 0
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			if d.Code == c {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// opSite is a helper to format a trace op's site for diagnostics.
+func opSite(op trace.Op) string { return op.Site() }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pmtest/internal/trace"
+)
+
+// Range is an address range excluded from checking for a whole session.
+type Range struct {
+	Addr, Size uint64
+}
+
+// CheckTrace runs the checking rules over one trace and returns its
+// report. It is a pure function of (rules, trace); the worker pool and the
+// inline-ablation benchmark both call it.
+func CheckTrace(rules RuleSet, t *trace.Trace) Report {
+	return CheckTraceExcluding(rules, t, nil)
+}
+
+// maxDiagsPerTrace caps diagnostics per trace so a pathological trace (a
+// bug repeated in a hot loop) cannot balloon the report; the cap is noted
+// in the final diagnostic.
+const maxDiagsPerTrace = 1000
+
+// CheckTraceExcluding is CheckTrace with session-wide static exclusions
+// seeded into the fresh state of every trace (library metadata regions —
+// undo logs, allocator headers — are excluded for the whole run rather
+// than re-announced in each trace section).
+func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) Report {
+	s := NewState()
+	for _, r := range excludes {
+		s.Excluded.Set(r.Addr, r.Addr+r.Size, struct{}{})
+	}
+	for i, op := range t.Ops {
+		s.opIndex = i
+		rules.Apply(s, op)
+		if len(s.diags) >= maxDiagsPerTrace {
+			s.diags = append(s.diags, Diagnostic{
+				Severity: SeverityInfo,
+				Code:     CodeTruncated,
+				Message: fmt.Sprintf("diagnostics capped at %d; %d of %d ops checked",
+					maxDiagsPerTrace, i+1, len(t.Ops)),
+				Site:    "?",
+				OpIndex: i,
+			})
+			break
+		}
+	}
+	if s.TxCheckActive {
+		s.report(SeverityWarn, CodeUnbalancedTx, "?", "",
+			"trace ended with an open TX_CHECKER scope")
+	}
+	return Report{TraceID: t.ID, Thread: t.Thread, Ops: len(t.Ops), Diags: s.diags}
+}
+
+// trackOnly walks the trace without applying rules. It models the
+// "PMTest Framework" bar of Fig. 10b: the cost of tracking and shipping
+// operations without validating any checkers.
+func trackOnly(t *trace.Trace) Report {
+	n := 0
+	for _, op := range t.Ops {
+		if !op.Kind.IsChecker() {
+			n++
+		}
+	}
+	_ = n
+	return Report{TraceID: t.ID, Thread: t.Thread, Ops: len(t.Ops)}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Rules selects the persistency model; defaults to X86.
+	Rules RuleSet
+	// Workers is the number of checking worker threads (paper §4.4,
+	// Fig. 8); defaults to 1 as in the paper's evaluation (§6.1).
+	Workers int
+	// TrackOnly disables checker validation, leaving only operation
+	// tracking. Used to separate framework overhead from checking
+	// overhead (Fig. 10b).
+	TrackOnly bool
+	// QueueDepth bounds each worker's task queue; Submit blocks when the
+	// queue is full, applying back-pressure like the paper's kernel FIFO.
+	QueueDepth int
+	// StaticExcludes are ranges excluded from checking in every trace.
+	StaticExcludes []Range
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rules == nil {
+		o.Rules = X86{}
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// Engine is the PMTest checking engine: a master that dispatches incoming
+// traces round-robin to a pool of worker goroutines, each of which checks
+// its traces independently and posts results back (paper Fig. 8). The
+// program under test runs concurrently with checking; GetResult-style
+// synchronization is provided by Wait.
+type Engine struct {
+	opts    Options
+	queues  []chan *trace.Trace
+	next    int
+	nextID  int
+	pending sync.WaitGroup
+	done    sync.WaitGroup
+
+	mu      sync.Mutex
+	reports []Report
+	closed  bool
+}
+
+// NewEngine starts the worker pool and returns the engine.
+func NewEngine(opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{opts: opts}
+	e.queues = make([]chan *trace.Trace, opts.Workers)
+	for i := range e.queues {
+		q := make(chan *trace.Trace, opts.QueueDepth)
+		e.queues[i] = q
+		e.done.Add(1)
+		go e.worker(q)
+	}
+	return e
+}
+
+func (e *Engine) worker(q <-chan *trace.Trace) {
+	defer e.done.Done()
+	for t := range q {
+		var r Report
+		if e.opts.TrackOnly {
+			r = trackOnly(t)
+		} else {
+			r = CheckTraceExcluding(e.opts.Rules, t, e.opts.StaticExcludes)
+		}
+		e.mu.Lock()
+		e.reports = append(e.reports, r)
+		e.mu.Unlock()
+		e.pending.Done()
+	}
+}
+
+// Submit hands a trace to the engine (PMTest_SEND_TRACE). The master
+// thread dispatches traces to workers round-robin (§4.4). Submit may block
+// briefly when the chosen worker's queue is full.
+func (e *Engine) Submit(t *trace.Trace) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		panic("core: Submit after Close")
+	}
+	t.ID = e.nextID
+	e.nextID++
+	w := e.next
+	e.next = (e.next + 1) % len(e.queues)
+	e.pending.Add(1)
+	e.mu.Unlock()
+	e.queues[w] <- t
+}
+
+// Wait blocks until every submitted trace has been checked
+// (PMTest_GET_RESULT) and returns all reports so far in trace order.
+func (e *Engine) Wait() []Report {
+	e.pending.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sort.Slice(e.reports, func(i, j int) bool {
+		return e.reports[i].TraceID < e.reports[j].TraceID
+	})
+	out := make([]Report, len(e.reports))
+	copy(out, e.reports)
+	return out
+}
+
+// Close drains outstanding work and stops the workers (PMTest_EXIT). The
+// engine must not be used afterwards. Close returns the final reports.
+func (e *Engine) Close() []Report {
+	reports := e.Wait()
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for _, q := range e.queues {
+			close(q)
+		}
+	}
+	e.mu.Unlock()
+	e.done.Wait()
+	return reports
+}
+
+// Summarize renders a compact multi-line summary of all reports.
+func Summarize(reports []Report) string {
+	fails, warns, traces := 0, 0, len(reports)
+	for _, r := range reports {
+		fails += r.Fails()
+		warns += r.Warns()
+	}
+	s := fmt.Sprintf("%d traces checked: %d FAIL, %d WARN\n", traces, fails, warns)
+	for _, r := range reports {
+		if !r.Clean() {
+			s += r.Summary()
+		}
+	}
+	return s
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"pmtest/internal/trace"
+)
+
+// FuzzCheckTrace: arbitrary operation sequences — including nonsense
+// nesting, zero sizes and overlapping ranges — must never panic any rule
+// set, and diagnostics must stay anchored to valid op indexes.
+func FuzzCheckTrace(f *testing.F) {
+	f.Add([]byte{1, 3, 4, 1, 10})         // write, flush, fence, write, isPersist-ish
+	f.Add([]byte{7, 9, 1, 8, 12, 13})     // tx nonsense
+	f.Add([]byte{14, 1, 15, 1, 11, 2, 5}) // exclude/include/orderedBefore
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ops []trace.Op
+		for i, b := range data {
+			kind := trace.Kind(b%15 + 1)
+			addr := uint64(b) * 13 % 4096
+			size := uint64(data[(i+1)%len(data)])%256 + 1
+			ops = append(ops, trace.Op{
+				Kind: kind, Addr: addr, Size: size,
+				Addr2: (addr + size) % 4096, Size2: size / 2,
+			})
+			if len(ops) > 512 {
+				break
+			}
+		}
+		for _, rules := range []RuleSet{X86{}, HOPS{}, Epoch{}} {
+			r := CheckTrace(rules, &trace.Trace{Ops: ops})
+			for _, d := range r.Diags {
+				if d.OpIndex < 0 || d.OpIndex >= len(ops)+1 {
+					t.Fatalf("diagnostic op index %d out of range (%d ops)",
+						d.OpIndex, len(ops))
+				}
+			}
+		}
+	})
+}

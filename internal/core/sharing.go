@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pmtest/internal/interval"
+	"pmtest/internal/trace"
+)
+
+// SharingAnalyzer implements the extension the paper leaves as future
+// work (§7.4): detecting persistent-memory ranges written by more than
+// one program thread. PMTest's per-thread traces assume inter-thread PM
+// dependencies are rare (the WHISPER observation); when they are not,
+// per-thread checking can miss cross-thread ordering bugs. The analyzer
+// does not attempt full cross-thread ordering — it surfaces exactly the
+// ranges where the assumption is violated, so the developer knows where
+// per-thread verdicts are incomplete.
+//
+// It is deliberately cheap: one interval-tree insertion per write, fed
+// as traces are submitted, safe for concurrent producers.
+type SharingAnalyzer struct {
+	mu sync.Mutex
+	// perThread maps thread id → coverage of its PM writes.
+	perThread map[int]*interval.Tree[struct{}]
+	// excluded ranges (library metadata) are ignored: the undo log of a
+	// shared pool is written by every thread by design.
+	excluded *interval.Tree[struct{}]
+}
+
+// NewSharingAnalyzer returns an empty analyzer. excludes are ranges to
+// ignore (typically library metadata regions).
+func NewSharingAnalyzer(excludes []Range) *SharingAnalyzer {
+	ex := interval.New[struct{}]()
+	for _, r := range excludes {
+		ex.Set(r.Addr, r.Addr+r.Size, struct{}{})
+	}
+	return &SharingAnalyzer{
+		perThread: make(map[int]*interval.Tree[struct{}]),
+		excluded:  ex,
+	}
+}
+
+// Feed records the writes of one trace under its thread id.
+func (a *SharingAnalyzer) Feed(t *trace.Trace) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tree := a.perThread[t.Thread]
+	if tree == nil {
+		tree = interval.New[struct{}]()
+		a.perThread[t.Thread] = tree
+	}
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case trace.KindWrite, trace.KindWriteNT:
+			if a.excluded.Covered(op.Addr, op.Addr+op.Size) {
+				continue
+			}
+			tree.Set(op.Addr, op.Addr+op.Size, struct{}{})
+		case trace.KindExclude:
+			a.excluded.Set(op.Addr, op.Addr+op.Size, struct{}{})
+		}
+	}
+}
+
+// SharedRange is a PM range written by two or more threads.
+type SharedRange struct {
+	Addr, Size uint64
+	// Threads lists the writer thread ids, ascending.
+	Threads []int
+}
+
+// String renders the finding.
+func (s SharedRange) String() string {
+	return fmt.Sprintf("[0x%x,0x%x) written by threads %v", s.Addr, s.Addr+s.Size, s.Threads)
+}
+
+// Shared returns every range written by at least two threads, merged and
+// in address order. Per-thread crash-consistency verdicts are incomplete
+// for these ranges (§7.4).
+func (a *SharingAnalyzer) Shared() []SharedRange {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Collect all segment boundaries across threads, then count writers
+	// per elementary segment.
+	type seg struct {
+		lo, hi uint64
+		thread int
+	}
+	var segs []seg
+	for th, tree := range a.perThread {
+		for _, s := range tree.All() {
+			segs = append(segs, seg{s.Lo, s.Hi, th})
+		}
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	// Boundary sweep.
+	bounds := make([]uint64, 0, len(segs)*2)
+	for _, s := range segs {
+		bounds = append(bounds, s.lo, s.hi)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	bounds = dedupU64(bounds)
+
+	var out []SharedRange
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		var writers []int
+		for _, s := range segs {
+			if s.lo < hi && lo < s.hi {
+				writers = append(writers, s.thread)
+			}
+		}
+		writers = dedupInt(writers)
+		if len(writers) < 2 {
+			continue
+		}
+		sort.Ints(writers)
+		// Merge with the previous finding when contiguous with the same
+		// writer set.
+		if n := len(out); n > 0 && out[n-1].Addr+out[n-1].Size == lo &&
+			equalInts(out[n-1].Threads, writers) {
+			out[n-1].Size = hi - out[n-1].Addr
+			continue
+		}
+		out = append(out, SharedRange{Addr: lo, Size: hi - lo, Threads: writers})
+	}
+	return out
+}
+
+func dedupU64(v []uint64) []uint64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupInt(v []int) []int {
+	seen := map[int]bool{}
+	out := v[:0]
+	for _, x := range v {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"pmtest/internal/trace"
+)
+
+func feed(a *SharingAnalyzer, thread int, ops ...trace.Op) {
+	a.Feed(&trace.Trace{Thread: thread, Ops: ops})
+}
+
+func TestSharingNoOverlap(t *testing.T) {
+	a := NewSharingAnalyzer(nil)
+	feed(a, 0, write(0x000, 64))
+	feed(a, 1, write(0x100, 64))
+	feed(a, 2, write(0x200, 64))
+	if got := a.Shared(); got != nil {
+		t.Fatalf("Shared = %v, want none", got)
+	}
+}
+
+func TestSharingDetectsOverlap(t *testing.T) {
+	a := NewSharingAnalyzer(nil)
+	feed(a, 0, write(0x100, 64))
+	feed(a, 1, write(0x120, 64)) // overlaps [0x120,0x140)
+	got := a.Shared()
+	want := []SharedRange{{Addr: 0x120, Size: 32, Threads: []int{0, 1}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Shared = %v, want %v", got, want)
+	}
+}
+
+func TestSharingThreeThreads(t *testing.T) {
+	a := NewSharingAnalyzer(nil)
+	for th := 0; th < 3; th++ {
+		feed(a, th, write(0x100, 8))
+	}
+	got := a.Shared()
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Threads, []int{0, 1, 2}) {
+		t.Fatalf("Shared = %v", got)
+	}
+}
+
+func TestSharingSameThreadRepeatIsFine(t *testing.T) {
+	a := NewSharingAnalyzer(nil)
+	feed(a, 0, write(0x100, 64))
+	feed(a, 0, write(0x100, 64))
+	feed(a, 0, write(0x120, 8))
+	if got := a.Shared(); got != nil {
+		t.Fatalf("one thread rewriting its own data flagged: %v", got)
+	}
+}
+
+func TestSharingStaticExclusion(t *testing.T) {
+	a := NewSharingAnalyzer([]Range{{Addr: 0, Size: 0x1000}})
+	feed(a, 0, write(0x100, 64)) // inside the excluded metadata
+	feed(a, 1, write(0x100, 64))
+	if got := a.Shared(); got != nil {
+		t.Fatalf("excluded metadata flagged: %v", got)
+	}
+	feed(a, 0, write(0x2000, 8))
+	feed(a, 1, write(0x2000, 8))
+	if got := a.Shared(); len(got) != 1 {
+		t.Fatalf("non-excluded sharing missed: %v", got)
+	}
+}
+
+func TestSharingTraceExcludeOp(t *testing.T) {
+	a := NewSharingAnalyzer(nil)
+	feed(a, 0, exclude(0x100, 0x100), write(0x140, 8))
+	feed(a, 1, write(0x140, 8))
+	if got := a.Shared(); got != nil {
+		t.Fatalf("range excluded by trace op flagged: %v", got)
+	}
+}
+
+func TestSharingMergesContiguous(t *testing.T) {
+	a := NewSharingAnalyzer(nil)
+	feed(a, 0, write(0x100, 64), write(0x140, 64))
+	feed(a, 1, write(0x100, 128))
+	got := a.Shared()
+	want := []SharedRange{{Addr: 0x100, Size: 128, Threads: []int{0, 1}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Shared = %v, want %v", got, want)
+	}
+}
+
+func TestSharedRangeString(t *testing.T) {
+	s := SharedRange{Addr: 0x10, Size: 0x20, Threads: []int{1, 3}}
+	if s.String() != "[0x10,0x30) written by threads [1 3]" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

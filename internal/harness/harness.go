@@ -1,0 +1,588 @@
+// Package harness drives the paper's evaluation (§6): it runs the
+// WHISPER workloads under no tool / PMTest / tracking-only PMTest /
+// pmemcheck and measures execution time, regenerating the data behind
+// Fig. 10 (microbenchmark slowdown and overhead breakdown), Fig. 11
+// (real-workload slowdown), Fig. 12 (scalability), and the Yat
+// state-space estimates that motivate interval inference (§2.2).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pmtest"
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/pmemcheck"
+	"pmtest/internal/pmfs"
+	"pmtest/internal/trace"
+	"pmtest/internal/whisper"
+	"pmtest/internal/yat"
+)
+
+// Tool selects the testing tool attached to a run.
+type Tool int
+
+// Tools.
+const (
+	// ToolNone runs the workload with no testing tool (the baseline the
+	// paper normalizes against).
+	ToolNone Tool = iota
+	// ToolPMTest runs with full PMTest checking (1 worker by default).
+	ToolPMTest
+	// ToolPMTestTrack runs PMTest in tracking-only mode: operations are
+	// recorded and shipped but checkers are not validated — the
+	// "PMTest Framework" bar of Fig. 10b.
+	ToolPMTestTrack
+	// ToolPmemcheck runs the synchronous byte-granular baseline checker.
+	ToolPmemcheck
+	// ToolPMTestInline checks each section synchronously on the program
+	// thread instead of on decoupled workers (ablation: the design choice
+	// of §3.2 / Fig. 8).
+	ToolPMTestInline
+	// ToolPMTestMonolithic never cuts the trace: one giant section is
+	// checked at the end (ablation: PMTest_SEND_TRACE sectioning, §4.2).
+	ToolPMTestMonolithic
+)
+
+// String names the tool for table headers.
+func (t Tool) String() string {
+	switch t {
+	case ToolPMTest:
+		return "PMTest"
+	case ToolPMTestTrack:
+		return "PMTest (framework only)"
+	case ToolPmemcheck:
+		return "Pmemcheck"
+	case ToolPMTestInline:
+		return "PMTest (inline checking)"
+	case ToolPMTestMonolithic:
+		return "PMTest (monolithic trace)"
+	default:
+		return "none"
+	}
+}
+
+// MicroResult is one microbenchmark measurement.
+type MicroResult struct {
+	Store    string
+	TxSize   uint64
+	Inserts  int
+	Tool     Tool
+	Elapsed  time.Duration
+	Fails    int
+	Warns    int
+	TraceOps int
+}
+
+// MicroStores lists the five Fig. 10 microbenchmarks in paper order.
+var MicroStores = []string{"ctree", "btree", "rbtree", "hashmap-tx", "hashmap-ll"}
+
+// StoreDisplayName maps harness ids to the paper's names.
+func StoreDisplayName(id string) string {
+	switch id {
+	case "ctree":
+		return "C-Tree"
+	case "btree":
+		return "B-Tree"
+	case "rbtree":
+		return "RB-Tree"
+	case "hashmap-tx":
+		return "HashMap (w/ TX)"
+	case "hashmap-ll":
+		return "HashMap (w/o TX)"
+	}
+	return id
+}
+
+// deviceSize estimates the PM capacity a run needs.
+func deviceSize(n int, txSize uint64) uint64 {
+	per := (txSize+512+pmem.LineSize-1)&^uint64(pmem.LineSize-1) + 512
+	sz := uint64(16<<20) + uint64(n)*per
+	if ll := whisper.HashmapLLSpace(llSlots(n), txSize) + (1 << 20); ll > sz {
+		sz = ll
+	}
+	return sz
+}
+
+// llSlots sizes the open-addressed table for n insertions.
+func llSlots(n int) uint64 {
+	s := uint64(1024)
+	for s < uint64(n)*2 {
+		s <<= 1
+	}
+	return s
+}
+
+func newStore(id string, dev *pmem.Device, txSize uint64, n int) (whisper.Store, error) {
+	switch id {
+	case "ctree":
+		return whisper.NewCTree(dev, nil)
+	case "btree":
+		return whisper.NewBTree(dev, nil)
+	case "rbtree":
+		return whisper.NewRBTree(dev, nil)
+	case "hashmap-tx":
+		return whisper.NewHashmapTX(dev, 1<<14, nil)
+	case "hashmap-ll":
+		return whisper.NewHashmapLL(dev, llSlots(n), txSize, nil)
+	}
+	return nil, fmt.Errorf("harness: unknown store %q", id)
+}
+
+// MicroBench runs n insertions of txSize-byte values into the named store
+// under the given tool and returns the measurement. workers sets the
+// PMTest checking-thread count (Fig. 12b); <=0 means 1, the paper default.
+func MicroBench(store string, txSize uint64, n int, tool Tool, workers int) (MicroResult, error) {
+	res := MicroResult{Store: store, TxSize: txSize, Inserts: n, Tool: tool}
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 16
+	}
+	val := make([]byte, txSize)
+	rng.Read(val)
+
+	devSize := deviceSize(n, txSize)
+	switch tool {
+	case ToolNone:
+		dev := pmem.New(devSize, nil)
+		s, err := newStore(store, dev, txSize, n)
+		if err != nil {
+			return res, err
+		}
+		start := time.Now()
+		for _, k := range keys {
+			if err := s.Insert(k, val); err != nil {
+				return res, err
+			}
+		}
+		res.Elapsed = time.Since(start)
+
+	case ToolPMTest, ToolPMTestTrack:
+		sess := pmtest.Init(pmtest.Config{
+			Workers:   workers,
+			TrackOnly: tool == ToolPMTestTrack,
+		})
+		th := sess.ThreadInit()
+		dev := pmem.New(devSize, th)
+		s, err := newStore(store, dev, txSize, n)
+		if err != nil {
+			return res, err
+		}
+		if c, ok := s.(whisper.Checkered); ok {
+			c.SetCheckers(true)
+		}
+		th.Start()
+		start := time.Now()
+		for _, k := range keys {
+			if err := s.Insert(k, val); err != nil {
+				return res, err
+			}
+			th.SendTrace() // one section per transaction (§4.2)
+		}
+		reports := sess.GetResult() // PMTest_GET_RESULT
+		res.Elapsed = time.Since(start)
+		sess.Exit()
+		for _, r := range reports {
+			res.Fails += r.Fails()
+			res.Warns += r.Warns()
+		}
+
+	case ToolPmemcheck:
+		chk := pmemcheck.New()
+		dev := pmem.New(devSize, chk)
+		s, err := newStore(store, dev, txSize, n)
+		if err != nil {
+			return res, err
+		}
+		start := time.Now()
+		for _, k := range keys {
+			if err := s.Insert(k, val); err != nil {
+				return res, err
+			}
+		}
+		issues := chk.Finish()
+		res.Elapsed = time.Since(start)
+		res.Warns = len(issues)
+
+	case ToolPMTestInline:
+		// Ablation: same rules, same sections, but validated synchronously
+		// on the program thread (no master/worker decoupling).
+		rec := &opsRecorder{}
+		dev := pmem.New(devSize, rec)
+		s, err := newStore(store, dev, txSize, n)
+		if err != nil {
+			return res, err
+		}
+		if c, ok := s.(whisper.Checkered); ok {
+			c.SetCheckers(true)
+		}
+		start := time.Now()
+		for _, k := range keys {
+			rec.ops = rec.ops[:0]
+			if err := s.Insert(k, val); err != nil {
+				return res, err
+			}
+			r := core.CheckTrace(core.X86{}, &trace.Trace{Ops: rec.ops})
+			res.Fails += r.Fails()
+			res.Warns += r.Warns()
+		}
+		res.Elapsed = time.Since(start)
+
+	case ToolPMTestMonolithic:
+		// Ablation: one giant trace section checked at the end. The
+		// shadow memory grows with the whole run and checking cannot
+		// overlap execution.
+		sess := pmtest.Init(pmtest.Config{})
+		th := sess.ThreadInit()
+		dev := pmem.New(devSize, th)
+		s, err := newStore(store, dev, txSize, n)
+		if err != nil {
+			return res, err
+		}
+		if c, ok := s.(whisper.Checkered); ok {
+			c.SetCheckers(true)
+		}
+		th.Start()
+		start := time.Now()
+		for _, k := range keys {
+			if err := s.Insert(k, val); err != nil {
+				return res, err
+			}
+		}
+		th.SendTrace()
+		reports := sess.GetResult()
+		res.Elapsed = time.Since(start)
+		sess.Exit()
+		for _, r := range reports {
+			res.Fails += r.Fails()
+			res.Warns += r.Warns()
+		}
+	}
+	return res, nil
+}
+
+// Slowdown computes tool time over baseline time.
+func Slowdown(tool, base MicroResult) float64 {
+	if base.Elapsed == 0 {
+		return 0
+	}
+	return float64(tool.Elapsed) / float64(base.Elapsed)
+}
+
+// RealResult is one real-workload measurement (Fig. 11).
+type RealResult struct {
+	Workload string
+	Tool     Tool
+	Elapsed  time.Duration
+	Fails    int
+	Warns    int
+}
+
+// RealWorkloads lists the Fig. 11 configurations in paper order.
+var RealWorkloads = []string{
+	"memcached+memslap", "memcached+ycsb", "redis+lru", "pmfs+oltp", "pmfs+filebench",
+}
+
+// RealBench runs the named Table 4 workload with nOps operations.
+func RealBench(workload string, nOps int, tool Tool) (RealResult, error) {
+	switch workload {
+	case "memcached+memslap":
+		return memcachedBench("memcached+memslap", whisper.MemslapOps(nOps, 5000, 128, 7), 1, 1, tool)
+	case "memcached+ycsb":
+		return memcachedBench("memcached+ycsb", whisper.YCSBOps(nOps, 5000, 128, 7), 1, 1, tool)
+	case "redis+lru":
+		return redisBench(nOps, tool)
+	case "pmfs+oltp":
+		return pmfsBench("pmfs+oltp", whisper.OLTPOps(nOps, 4, 512, 7), tool)
+	case "pmfs+filebench":
+		return pmfsBench("pmfs+filebench", whisper.FilebenchOps(nOps, 16, 2048, 7), tool)
+	}
+	return RealResult{}, fmt.Errorf("harness: unknown workload %q", workload)
+}
+
+// memcachedBench runs clients against a sharded memcached; threads =
+// server shards = concurrent clients (Fig. 12 uses threads/workers > 1).
+func memcachedBench(name string, ops []whisper.KVOp, threads, workers int, tool Tool) (RealResult, error) {
+	res := RealResult{Workload: name, Tool: tool}
+	var sess *pmtest.Session
+	var checkers []trace.Sink
+	var threadsTrk []*pmtest.Thread
+	switch tool {
+	case ToolPMTest, ToolPMTestTrack:
+		sess = pmtest.Init(pmtest.Config{
+			Workers:   workers,
+			TrackOnly: tool == ToolPMTestTrack,
+		})
+		for i := 0; i < threads; i++ {
+			th := sess.ThreadInit()
+			th.Start()
+			threadsTrk = append(threadsTrk, th)
+			checkers = append(checkers, th)
+		}
+	case ToolPmemcheck:
+		for i := 0; i < threads; i++ {
+			checkers = append(checkers, pmemcheck.New())
+		}
+	default:
+		checkers = make([]trace.Sink, threads)
+	}
+
+	devs := make([]*pmem.Device, threads)
+	for i := range devs {
+		devs[i] = pmem.New(whisper.MemcachedShardSpace(1<<14, 256), checkers[i])
+	}
+	m, err := whisper.NewMemcached(devs, 1<<14, 256)
+	if err != nil {
+		return res, err
+	}
+	if tool == ToolPMTest || tool == ToolPMTestTrack {
+		m.SetCheckers(tool == ToolPMTest)
+		for i := 0; i < threads; i++ {
+			th := threadsTrk[i]
+			m.SetSectionHook(i, th.SendTrace)
+		}
+	}
+
+	// Partition ops across client goroutines (one per server thread).
+	start := time.Now()
+	var wg sync.WaitGroup
+	chunk := (len(ops) + threads - 1) / threads
+	var firstErr error
+	var mu sync.Mutex
+	for c := 0; c < threads; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(ops []whisper.KVOp, seed int64) {
+			defer wg.Done()
+			if err := whisper.RunKV(m.Set, m.Get, ops, seed); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(ops[lo:hi], int64(c))
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if sess != nil {
+		reports := sess.GetResult()
+		res.Elapsed = time.Since(start)
+		sess.Exit()
+		for _, r := range reports {
+			res.Fails += r.Fails()
+			res.Warns += r.Warns()
+		}
+	} else {
+		res.Elapsed = time.Since(start)
+	}
+	return res, nil
+}
+
+func redisBench(nOps int, tool Tool) (RealResult, error) {
+	res := RealResult{Workload: "redis+lru", Tool: tool}
+	ops := whisper.LRUOps(nOps, uint64(nOps), 128, 7)
+	devSize := deviceSize(nOps, 128)
+
+	var sink trace.Sink
+	var sess *pmtest.Session
+	var th *pmtest.Thread
+	var chk *pmemcheck.Checker
+	switch tool {
+	case ToolPMTest, ToolPMTestTrack:
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack})
+		th = sess.ThreadInit()
+		th.Start()
+		sink = th
+	case ToolPmemcheck:
+		chk = pmemcheck.New()
+		sink = chk
+	}
+	r, err := whisper.NewRedis(pmem.New(devSize, sink), 1<<14, nOps/2+1)
+	if err != nil {
+		return res, err
+	}
+	if tool == ToolPMTest {
+		r.SetCheckers(true)
+	}
+	set := r.Set
+	if th != nil {
+		set = func(k uint64, v []byte) error {
+			err := r.Set(k, v)
+			th.SendTrace()
+			return err
+		}
+	}
+	start := time.Now()
+	if err := whisper.RunKV(set, r.Get, ops, 7); err != nil {
+		return res, err
+	}
+	if sess != nil {
+		reports := sess.GetResult()
+		res.Elapsed = time.Since(start)
+		sess.Exit()
+		for _, rep := range reports {
+			res.Fails += rep.Fails()
+			res.Warns += rep.Warns()
+		}
+	} else {
+		if chk != nil {
+			res.Warns = len(chk.Finish())
+		}
+		res.Elapsed = time.Since(start)
+	}
+	return res, nil
+}
+
+func pmfsBench(name string, ops []whisper.FSOp, tool Tool) (RealResult, error) {
+	res := RealResult{Workload: name, Tool: tool}
+	var sink trace.Sink
+	var sess *pmtest.Session
+	var th *pmtest.Thread
+	var chk *pmemcheck.Checker
+	switch tool {
+	case ToolPMTest, ToolPMTestTrack:
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack})
+		th = sess.ThreadInit()
+		th.Start()
+		sink = th
+	case ToolPmemcheck:
+		chk = pmemcheck.New()
+		sink = chk
+	}
+	dev := pmem.New(1<<26, sink)
+	fs, err := pmfs.Mkfs(dev, 256, 512)
+	if err != nil {
+		return res, err
+	}
+	if tool == ToolPMTest {
+		fs.SetAnnotations(true)
+	}
+	if th != nil {
+		fs.SetSectionHook(th.SendTrace)
+	}
+	start := time.Now()
+	if err := whisper.RunFS(fs, ops, 7); err != nil {
+		return res, err
+	}
+	if sess != nil {
+		reports := sess.GetResult()
+		res.Elapsed = time.Since(start)
+		sess.Exit()
+		for _, r := range reports {
+			res.Fails += r.Fails()
+			res.Warns += r.Warns()
+		}
+	} else {
+		if chk != nil {
+			res.Warns = len(chk.Finish())
+		}
+		res.Elapsed = time.Since(start)
+	}
+	return res, nil
+}
+
+// ScaleResult is one Fig. 12 cell.
+type ScaleResult struct {
+	Threads  int
+	Workers  int
+	Client   string
+	Tool     Tool
+	Elapsed  time.Duration
+	Slowdown float64
+}
+
+// ScaleBench measures memcached with the given server-thread and
+// PMTest-worker counts, returning the slowdown over the untested run
+// (Fig. 12a/b/c).
+func ScaleBench(client string, threads, workers, opsPerClient int) (ScaleResult, error) {
+	var gen func(n int, keySpace uint64, valSize int, seed int64) []whisper.KVOp
+	switch client {
+	case "memslap":
+		gen = whisper.MemslapOps
+	case "ycsb":
+		gen = whisper.YCSBOps
+	default:
+		return ScaleResult{}, fmt.Errorf("harness: unknown client %q", client)
+	}
+	ops := gen(opsPerClient*threads, 5000, 128, 11)
+	base, err := memcachedBench("scale", ops, threads, 1, ToolNone)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	tested, err := memcachedBench("scale", ops, threads, workers, ToolPMTest)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	return ScaleResult{
+		Threads: threads, Workers: workers, Client: client, Tool: ToolPMTest,
+		Elapsed:  tested.Elapsed,
+		Slowdown: float64(tested.Elapsed) / float64(base.Elapsed),
+	}, nil
+}
+
+// YatEstimate replays a PMTest-traced microbenchmark run and reports the
+// crash-state space an exhaustive tool would face (§2.2's "five years").
+type YatEstimate struct {
+	Store      string
+	Inserts    int
+	TraceOps   int
+	StateSpace float64
+}
+
+// EstimateYat records a short run of the store and sizes Yat's search
+// space for it.
+func EstimateYat(store string, n int, txSize uint64) (YatEstimate, error) {
+	rec := &opsRecorder{}
+	dev := pmem.New(deviceSize(n, txSize), rec)
+	s, err := newStore(store, dev, txSize, n)
+	if err != nil {
+		return YatEstimate{}, err
+	}
+	rng := rand.New(rand.NewSource(3))
+	val := make([]byte, txSize)
+	for i := 0; i < n; i++ {
+		if err := s.Insert(rng.Uint64()>>16, val); err != nil {
+			return YatEstimate{}, err
+		}
+	}
+	initial := make([]byte, dev.Size())
+	space := yat.EstimateStateSpace(initial, rec.ops)
+	return YatEstimate{Store: store, Inserts: n, TraceOps: len(rec.ops), StateSpace: space}, nil
+}
+
+type opsRecorder struct{ ops []trace.Op }
+
+func (r *opsRecorder) Record(op trace.Op, _ int) { r.ops = append(r.ops, op) }
+
+// SparseFenceStateSpace sizes Yat's crash-state space for a synthetic
+// trace of nWrites line writes with a fence every `window` writes —
+// the fence-sparse pattern (PMFS-style batched metadata updates) whose
+// exhaustive exploration the paper quotes at more than five years. It is
+// computed analytically: each crash point with d dirty lines contributes
+// 2^d reachable durable states.
+func SparseFenceStateSpace(nWrites, window int) (space float64, ops int) {
+	perWindow := 0.0
+	for d := 1; d <= window; d++ {
+		w := 1.0
+		for i := 0; i < d; i++ {
+			w *= 2
+		}
+		perWindow += w
+	}
+	windows := nWrites / window
+	return perWindow * float64(windows), nWrites + windows
+}

@@ -1,0 +1,42 @@
+package kfifo
+
+import (
+	"testing"
+
+	"pmtest/internal/trace"
+)
+
+func TestPushOnClosedPanics(t *testing.T) {
+	f := New(4)
+	f.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push on closed FIFO must panic")
+		}
+	}()
+	f.Push(&trace.Trace{})
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	f := New(4)
+	f.Close()
+	f.Close() // second close must not panic
+	if got := f.Pop(); got != nil {
+		t.Fatalf("Pop = %v", got)
+	}
+}
+
+func TestLenTracksOccupancy(t *testing.T) {
+	f := New(8)
+	for i := 0; i < 5; i++ {
+		f.Push(&trace.Trace{ID: i})
+	}
+	if f.Len() != 5 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.Pop()
+	f.Pop()
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d after pops", f.Len())
+	}
+}

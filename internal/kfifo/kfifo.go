@@ -1,0 +1,130 @@
+// Package kfifo simulates the kernel FIFO transport PMTest uses to ship
+// traces from a crash-consistent kernel module to the user-space checking
+// engine (paper §4.5, Fig. 9b).
+//
+// The paper creates a kernel FIFO (/proc/PMTest) with 1024 trace entries
+// and an interruptible wait queue: when the FIFO fills, the kernel module
+// puts itself to sleep and is woken once the FIFO drains below half full.
+// This package reproduces those semantics with a condition variable: Push
+// blocks while the buffer is full and resumes only when occupancy drops
+// below half capacity, so a burst of kernel activity cannot livelock the
+// producer against the consumer.
+package kfifo
+
+import (
+	"sync"
+
+	"pmtest/internal/trace"
+)
+
+// DefaultCapacity matches the paper's 1024-entry kernel FIFO.
+const DefaultCapacity = 1024
+
+// FIFO is a bounded, blocking queue of traces with half-full resume
+// semantics. It is safe for one producer (the kernel module) and one or
+// more consumers (the user-space engine pump).
+type FIFO struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []*trace.Trace
+	head     int
+	count    int
+	capacity int
+	closed   bool
+	// waiting reports whether the producer is parked on the wait queue;
+	// exposed for tests and the harness.
+	waiting bool
+	// maxDepth records the high-water mark for the stats report.
+	maxDepth int
+}
+
+// New creates a FIFO; capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *FIFO {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	f := &FIFO{buf: make([]*trace.Trace, capacity), capacity: capacity}
+	f.notFull = sync.NewCond(&f.mu)
+	f.notEmpty = sync.NewCond(&f.mu)
+	return f
+}
+
+// Push appends a trace, blocking while the FIFO is full. Per the paper's
+// wait-queue behaviour, a blocked producer resumes only when the FIFO has
+// drained to less than half full. Push panics if the FIFO is closed.
+func (f *FIFO) Push(t *trace.Trace) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.count == f.capacity {
+		f.waiting = true
+		// Resume only below half occupancy, not merely "not full".
+		for f.count >= f.capacity/2 && !f.closed {
+			f.notFull.Wait()
+		}
+		f.waiting = false
+	}
+	if f.closed {
+		panic("kfifo: Push on closed FIFO")
+	}
+	f.buf[(f.head+f.count)%f.capacity] = t
+	f.count++
+	if f.count > f.maxDepth {
+		f.maxDepth = f.count
+	}
+	f.notEmpty.Signal()
+}
+
+// Pop removes the oldest trace, blocking while the FIFO is empty. It
+// returns nil when the FIFO has been closed and drained.
+func (f *FIFO) Pop() *trace.Trace {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.count == 0 && !f.closed {
+		f.notEmpty.Wait()
+	}
+	if f.count == 0 {
+		return nil
+	}
+	t := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % f.capacity
+	f.count--
+	if f.count < f.capacity/2 {
+		f.notFull.Broadcast()
+	}
+	return t
+}
+
+// Close marks the FIFO closed; blocked Pops drain remaining entries and
+// then return nil, and blocked Pushes panic (the kernel module must stop
+// producing first).
+func (f *FIFO) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	f.notEmpty.Broadcast()
+	f.notFull.Broadcast()
+}
+
+// Len returns the current occupancy.
+func (f *FIFO) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// MaxDepth returns the occupancy high-water mark.
+func (f *FIFO) MaxDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxDepth
+}
+
+// ProducerWaiting reports whether a producer is currently parked on the
+// wait queue (used by tests to assert the half-full resume behaviour).
+func (f *FIFO) ProducerWaiting() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waiting
+}

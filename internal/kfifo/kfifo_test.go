@@ -1,0 +1,159 @@
+package kfifo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pmtest/internal/trace"
+)
+
+func tr(id int) *trace.Trace { return &trace.Trace{ID: id} }
+
+func TestPushPopOrder(t *testing.T) {
+	f := New(8)
+	for i := 0; i < 5; i++ {
+		f.Push(tr(i))
+	}
+	for i := 0; i < 5; i++ {
+		got := f.Pop()
+		if got == nil || got.ID != i {
+			t.Fatalf("Pop %d = %v", i, got)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	f := New(0)
+	if f.capacity != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", f.capacity, DefaultCapacity)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	f := New(4)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			f.Push(tr(round*3 + i))
+		}
+		for i := 0; i < 3; i++ {
+			if got := f.Pop(); got.ID != round*3+i {
+				t.Fatalf("round %d: got %d", round, got.ID)
+			}
+		}
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	f := New(4)
+	done := make(chan *trace.Trace)
+	go func() { done <- f.Pop() }()
+	select {
+	case <-done:
+		t.Fatal("Pop returned before Push")
+	case <-time.After(10 * time.Millisecond):
+	}
+	f.Push(tr(42))
+	got := <-done
+	if got.ID != 42 {
+		t.Fatalf("got %d", got.ID)
+	}
+}
+
+func TestPushBlocksWhenFullAndResumesBelowHalf(t *testing.T) {
+	f := New(8)
+	for i := 0; i < 8; i++ {
+		f.Push(tr(i))
+	}
+	pushed := make(chan struct{})
+	go func() {
+		f.Push(tr(100))
+		close(pushed)
+	}()
+	// Wait for the producer to park.
+	deadline := time.Now().Add(time.Second)
+	for !f.ProducerWaiting() {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Popping down to 4 (== half) must NOT release the producer.
+	for i := 0; i < 4; i++ {
+		f.Pop()
+	}
+	select {
+	case <-pushed:
+		t.Fatal("producer resumed at exactly half full; must wait for below half")
+	case <-time.After(10 * time.Millisecond):
+	}
+	// One more pop takes occupancy to 3 (< half): producer resumes.
+	f.Pop()
+	select {
+	case <-pushed:
+	case <-time.After(time.Second):
+		t.Fatal("producer never resumed after drain below half")
+	}
+}
+
+func TestCloseDrainsThenNil(t *testing.T) {
+	f := New(4)
+	f.Push(tr(1))
+	f.Close()
+	if got := f.Pop(); got == nil || got.ID != 1 {
+		t.Fatalf("Pop after close = %v, want remaining entry", got)
+	}
+	if got := f.Pop(); got != nil {
+		t.Fatalf("Pop on drained closed FIFO = %v, want nil", got)
+	}
+}
+
+func TestCloseWakesBlockedPop(t *testing.T) {
+	f := New(4)
+	done := make(chan *trace.Trace)
+	go func() { done <- f.Pop() }()
+	time.Sleep(5 * time.Millisecond)
+	f.Close()
+	select {
+	case got := <-done:
+		if got != nil {
+			t.Fatalf("got %v, want nil", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop not woken by Close")
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	f := New(16)
+	const n = 2000
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			tr := f.Pop()
+			if tr == nil {
+				return
+			}
+			got = append(got, tr.ID)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		f.Push(tr(i))
+	}
+	f.Close()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("consumed %d, want %d", len(got), n)
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("out of order at %d: %d", i, id)
+		}
+	}
+	if f.MaxDepth() == 0 || f.MaxDepth() > 16 {
+		t.Fatalf("MaxDepth = %d", f.MaxDepth())
+	}
+}

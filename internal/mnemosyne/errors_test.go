@@ -1,0 +1,67 @@
+package mnemosyne
+
+import (
+	"strings"
+	"testing"
+
+	"pmtest/internal/pmem"
+)
+
+// Error-path coverage for the transaction state machine.
+
+func TestLogAppendOutsideTx(t *testing.T) {
+	r := newRegion(t, nil)
+	if err := r.LogAppend(r.DataOff(), []byte{1}); err == nil ||
+		!strings.Contains(err.Error(), "outside transaction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCommitOutsideTx(t *testing.T) {
+	r := newRegion(t, nil)
+	if err := r.Commit(); err == nil ||
+		!strings.Contains(err.Error(), "outside transaction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAbortOutsideTxIsNoOp(t *testing.T) {
+	r := newRegion(t, nil)
+	r.Abort() // must not panic
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	r.Abort()
+	if err := r.Begin(); err != nil {
+		t.Fatalf("Begin after Abort: %v", err)
+	}
+	r.Abort()
+}
+
+func TestDurableBeginFailurePropagates(t *testing.T) {
+	r := newRegion(t, nil)
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Abort()
+	// Durable inside an open transaction must fail (no nesting).
+	if err := r.Durable(func(w *TxWriter) error { return nil }); err != ErrNested {
+		t.Fatalf("err = %v, want ErrNested", err)
+	}
+}
+
+func TestCreateTooSmall(t *testing.T) {
+	if _, err := Create(pmem.New(128, nil), 1<<16); err == nil {
+		t.Fatal("expected device-too-small error")
+	}
+}
+
+func TestOpenCorruptHeader(t *testing.T) {
+	dev := pmem.New(1<<20, nil)
+	// Valid magic but zero log size.
+	dev.Store64(offMagic, magic)
+	dev.PersistBarrier(offMagic, 8)
+	if _, _, err := Open(dev); err == nil {
+		t.Fatal("expected corrupt-header error")
+	}
+}

@@ -1,0 +1,337 @@
+// Package mnemosyne is a Mnemosyne-like lightweight persistent memory
+// library built on the simulated PM device, substituting for the real
+// Mnemosyne the paper evaluates under Memcached (§6.2.2, Fig. 2a).
+//
+// Unlike pmdk's undo logging, durable transactions here use a REDO log:
+// every write inside a transaction is appended to a persistent log
+// (LogAppend), the log is made durable (LogFlush), a commit record seals
+// it, and only then are the writes applied in place. Recovery replays a
+// sealed log forward; an unsealed log is discarded. The two libraries
+// therefore impose different persist-ordering obligations — exactly the
+// diversity of CCS stacks PMTest's flexibility argument rests on (Fig. 2).
+package mnemosyne
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+// Region layout:
+//
+//	0    magic
+//	8    log head: number of valid entries
+//	16   log sealed flag (commit record)
+//	64   log area (LogSize bytes)
+//	...  data area
+const (
+	offMagic   = 0
+	offLogLen  = 8
+	offSealed  = 16
+	offLogArea = 64
+
+	magic = 0x4D4E454D4F53594E // "MNEMOSYN"
+
+	entryHeader = 16 // target offset + size
+)
+
+// DefaultLogSize is the default redo-log area size.
+const DefaultLogSize = 1 << 20
+
+// Bugs are fault-injection switches for the synthetic bug catalog.
+type Bugs struct {
+	// SkipLogFlush omits the per-entry writeback in LogAppend (ordering
+	// bug: the seal may persist before the entries it covers, so recovery
+	// can replay garbage).
+	SkipLogFlush bool
+	// SkipSealFence omits the fence after the commit record (completion
+	// bug: the transaction may not be durable when Commit returns).
+	SkipSealFence bool
+	// SkipApplyFlush omits the writeback of in-place updates before the
+	// log is truncated (ordering bug: the truncation can persist while the
+	// updates do not, losing a committed transaction).
+	SkipApplyFlush bool
+	// DoubleApplyFlush flushes the same in-place update twice
+	// (performance bug: duplicate writeback).
+	DoubleApplyFlush bool
+}
+
+// Region is a persistent region with durable-transaction support. Not
+// safe for concurrent use; Memcached shards regions per thread.
+type Region struct {
+	dev      *pmem.Device
+	logSize  uint64
+	dataOff  uint64
+	bugs     Bugs
+	annotate bool
+
+	inTx    bool
+	tail    uint64 // append offset in the log area
+	count   uint64 // entries in the current transaction
+	pending []entry
+}
+
+type entry struct {
+	pos  uint64 // entry position in the log
+	off  uint64 // target offset
+	size uint64
+}
+
+// ErrNotARegion is returned by Open on an unformatted device.
+var ErrNotARegion = errors.New("mnemosyne: device does not contain a region")
+
+// DataStart returns the first data offset for the given log size.
+func DataStart(logSize uint64) uint64 {
+	return (offLogArea + logSize + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
+}
+
+// Create formats a region. logSize <= 0 selects DefaultLogSize.
+func Create(dev *pmem.Device, logSize uint64) (*Region, error) {
+	if logSize == 0 {
+		logSize = DefaultLogSize
+	}
+	if dev.Size() < DataStart(logSize)+pmem.LineSize {
+		return nil, fmt.Errorf("mnemosyne: device too small for log size %d", logSize)
+	}
+	r := &Region{dev: dev, logSize: logSize, dataOff: DataStart(logSize)}
+	dev.Store64(offLogLen, 0)
+	dev.Store64(offSealed, 0)
+	// The log size lives next to the sealed word so Open can find it.
+	dev.Store64(offSealed+8, logSize)
+	dev.PersistBarrier(offLogLen, 24)
+	dev.Store64(offMagic, magic)
+	dev.PersistBarrier(offMagic, 8)
+	return r, nil
+}
+
+// Open attaches to a region, replaying a sealed log or discarding an
+// unsealed one.
+func Open(dev *pmem.Device) (*Region, *RecoveryInfo, error) {
+	if dev.Load64(offMagic) != magic {
+		return nil, nil, ErrNotARegion
+	}
+	logSize := dev.Load64(offSealed + 8)
+	if logSize == 0 || DataStart(logSize) > dev.Size() {
+		return nil, nil, fmt.Errorf("mnemosyne: corrupt header (log size %d)", logSize)
+	}
+	r := &Region{dev: dev, logSize: logSize, dataOff: DataStart(logSize)}
+	info := r.recover()
+	return r, info, nil
+}
+
+// RecoveryInfo reports what recovery did.
+type RecoveryInfo struct {
+	// Replayed is the number of redo entries applied (sealed log).
+	Replayed int
+	// Discarded is the number of entries dropped (unsealed log).
+	Discarded int
+}
+
+func (r *Region) recover() *RecoveryInfo {
+	info := &RecoveryInfo{}
+	count := r.dev.Load64(offLogLen)
+	sealed := r.dev.Load64(offSealed)
+	if count == 0 {
+		return info
+	}
+	if sealed != 1 {
+		// Unsealed: the transaction never committed; discard.
+		info.Discarded = int(count)
+	} else {
+		pos := uint64(offLogArea)
+		for i := uint64(0); i < count; i++ {
+			off := r.dev.Load64(pos)
+			size := r.dev.Load64(pos + 8)
+			data := r.dev.LoadBytes(pos+entryHeader, size)
+			r.dev.Store(off, data)
+			r.dev.CLWB(off, size)
+			pos += align8(entryHeader + size)
+			info.Replayed++
+		}
+		r.dev.SFence()
+	}
+	r.dev.Store64(offSealed, 0)
+	r.dev.PersistBarrier(offSealed, 8)
+	r.dev.Store64(offLogLen, 0)
+	r.dev.PersistBarrier(offLogLen, 8)
+	return info
+}
+
+// SetBugs installs fault-injection switches.
+func (r *Region) SetBugs(b Bugs) { r.bugs = b }
+
+// SetAnnotations enables the library-developer checkers (paper §7.2).
+func (r *Region) SetAnnotations(on bool) { r.annotate = on }
+
+// Device returns the underlying device.
+func (r *Region) Device() *pmem.Device { return r.dev }
+
+// DataOff returns the first usable data offset.
+func (r *Region) DataOff() uint64 { return r.dataOff }
+
+// MetaRange returns the metadata range (header + redo log) for PMTest
+// exclusion.
+func (r *Region) MetaRange() (addr, size uint64) { return 0, r.dataOff }
+
+// ErrLogFull is returned when the redo log cannot hold another entry.
+var ErrLogFull = errors.New("mnemosyne: redo log full")
+
+// ErrNested is returned by Begin when a transaction is already open
+// (Mnemosyne durable transactions do not nest).
+var ErrNested = errors.New("mnemosyne: transactions do not nest")
+
+// Begin opens a durable transaction.
+func (r *Region) Begin() error {
+	if r.inTx {
+		return ErrNested
+	}
+	r.inTx = true
+	r.tail = offLogArea
+	r.count = 0
+	r.pending = r.pending[:0]
+	metaAddr, metaSize := r.MetaRange()
+	r.dev.RecordOp(trace.Op{Kind: trace.KindExclude, Addr: metaAddr, Size: metaSize}, 1)
+	r.dev.RecordOp(trace.Op{Kind: trace.KindTxBegin}, 1)
+	return nil
+}
+
+// LogAppend records a transactional write of data at off: the new value
+// goes to the redo log now and in place at commit (Fig. 2a's
+// log_append).
+func (r *Region) LogAppend(off uint64, data []byte) error {
+	if !r.inTx {
+		return errors.New("mnemosyne: LogAppend outside transaction")
+	}
+	size := uint64(len(data))
+	need := align8(entryHeader + size)
+	if r.tail+need > offLogArea+r.logSize {
+		return ErrLogFull
+	}
+	buf := make([]byte, entryHeader+size)
+	binary.LittleEndian.PutUint64(buf[0:8], off)
+	binary.LittleEndian.PutUint64(buf[8:16], size)
+	copy(buf[entryHeader:], data)
+	r.dev.StoreSkip(r.tail, buf, 1)
+	if !r.bugs.SkipLogFlush {
+		r.dev.CLWBSkip(r.tail, uint64(len(buf)), 1)
+	}
+	r.pending = append(r.pending, entry{pos: r.tail, off: off, size: size})
+	r.tail += need
+	r.count++
+	return nil
+}
+
+// LogFlush makes all appended entries durable (Fig. 2a's log_flush).
+func (r *Region) LogFlush() {
+	r.dev.SFenceSkip(1)
+}
+
+// Commit seals the log, making the transaction durable, then applies the
+// writes in place. Ordering obligations:
+//
+//  1. entries durable (LogFlush) before the seal,
+//  2. seal durable (fence) before Commit returns,
+//  3. in-place writes flushed afterwards so the log can be truncated.
+func (r *Region) Commit() error {
+	if !r.inTx {
+		return errors.New("mnemosyne: Commit outside transaction")
+	}
+	r.LogFlush()
+	// Publish entry count + seal.
+	r.dev.Store64(offLogLen, r.count)
+	r.dev.CLWBSkip(offLogLen, 8, 1)
+	r.dev.SFenceSkip(1)
+	r.dev.Store64(offSealed, 1)
+	r.dev.CLWBSkip(offSealed, 8, 1)
+	if !r.bugs.SkipSealFence {
+		r.dev.SFenceSkip(1)
+	}
+	if r.annotate {
+		// Every log entry written this transaction must persist strictly
+		// before the seal, and the seal must be durable when Commit
+		// reports success.
+		r.dev.RecordOp(trace.Op{
+			Kind: trace.KindIsOrderedBefore,
+			Addr: offLogArea, Size: r.tail - offLogArea,
+			Addr2: offSealed, Size2: 8,
+		}, 1)
+		r.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist, Addr: offSealed, Size: 8}, 1)
+	}
+	// Apply in place and truncate the log.
+	for _, e := range r.pending {
+		data := r.dev.LoadBytes(e.pos+entryHeader, e.size)
+		r.dev.StoreSkip(e.off, data, 1)
+		if !r.bugs.SkipApplyFlush {
+			r.dev.CLWBSkip(e.off, e.size, 1)
+			if r.bugs.DoubleApplyFlush {
+				r.dev.CLWBSkip(e.off, e.size, 1)
+			}
+		}
+	}
+	r.dev.SFenceSkip(1)
+	if r.annotate {
+		for _, e := range r.pending {
+			r.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist, Addr: e.off, Size: e.size}, 1)
+		}
+	}
+	r.dev.Store64(offSealed, 0)
+	r.dev.CLWBSkip(offSealed, 8, 1)
+	r.dev.SFenceSkip(1)
+	r.dev.Store64(offLogLen, 0)
+	r.dev.CLWBSkip(offLogLen, 8, 1)
+	r.dev.SFenceSkip(1)
+	r.dev.RecordOp(trace.Op{Kind: trace.KindTxEnd}, 1)
+	r.inTx = false
+	return nil
+}
+
+// Abort drops the transaction: nothing was applied in place, so only the
+// volatile bookkeeping resets.
+func (r *Region) Abort() {
+	if !r.inTx {
+		return
+	}
+	r.pending = r.pending[:0]
+	r.count = 0
+	r.tail = offLogArea
+	r.inTx = false
+	r.dev.RecordOp(trace.Op{Kind: trace.KindTxEnd}, 1)
+}
+
+// Durable runs fn as one durable transaction: writes issued through the
+// TxWriter all take effect atomically.
+func (r *Region) Durable(fn func(w *TxWriter) error) error {
+	if err := r.Begin(); err != nil {
+		return err
+	}
+	w := &TxWriter{r: r}
+	if err := fn(w); err != nil {
+		r.Abort()
+		return err
+	}
+	return r.Commit()
+}
+
+// TxWriter issues transactional writes inside Durable.
+type TxWriter struct{ r *Region }
+
+// Write records a transactional write of data at off.
+func (w *TxWriter) Write(off uint64, data []byte) error {
+	return w.r.LogAppend(off, data)
+}
+
+// Write64 records a transactional 8-byte write.
+func (w *TxWriter) Write64(off uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return w.r.LogAppend(off, b[:])
+}
+
+// Read64 reads the current durable+applied value (transaction-local reads
+// of pending writes are not supported; Memcached reads before writing).
+func (w *TxWriter) Read64(off uint64) uint64 { return w.r.dev.Load64(off) }
+
+func align8(v uint64) uint64 { return (v + 7) &^ 7 }

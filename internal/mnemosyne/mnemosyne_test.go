@@ -1,0 +1,281 @@
+package mnemosyne
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+const devSize = 1 << 22
+
+func newRegion(t testing.TB, sink trace.Sink) *Region {
+	t.Helper()
+	dev := pmem.New(devSize, sink)
+	r, err := Create(dev, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDurableCommitApplies(t *testing.T) {
+	r := newRegion(t, nil)
+	off := r.DataOff()
+	err := r.Durable(func(w *TxWriter) error {
+		return w.Write64(off, 777)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Device().Load64(off); got != 777 {
+		t.Fatalf("value = %d, want 777", got)
+	}
+	// Durable against any crash: the image alone must recover to 777.
+	p2, _, err := Open(pmem.FromImage(r.Device().Image(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Device().Load64(off); got != 777 {
+		t.Fatalf("durable value = %d, want 777", got)
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	r := newRegion(t, nil)
+	off := r.DataOff()
+	r.Durable(func(w *TxWriter) error { return w.Write64(off, 1) })
+	err := r.Durable(func(w *TxWriter) error {
+		if err := w.Write64(off, 2); err != nil {
+			return err
+		}
+		return errors.New("abort")
+	})
+	if err == nil {
+		t.Fatal("expected abort error")
+	}
+	if got := r.Device().Load64(off); got != 1 {
+		t.Fatalf("aborted write applied: %d", got)
+	}
+}
+
+func TestNoNesting(t *testing.T) {
+	r := newRegion(t, nil)
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Begin(); !errors.Is(err, ErrNested) {
+		t.Fatalf("nested Begin: %v", err)
+	}
+	r.Abort()
+}
+
+func TestLogFull(t *testing.T) {
+	dev := pmem.New(devSize, nil)
+	r, err := Create(dev, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Begin()
+	defer r.Abort()
+	big := make([]byte, 256)
+	if err := r.LogAppend(r.DataOff(), big); !errors.Is(err, ErrLogFull) {
+		t.Fatalf("err = %v, want ErrLogFull", err)
+	}
+}
+
+func TestOpenRequiresMagic(t *testing.T) {
+	if _, _, err := Open(pmem.New(devSize, nil)); !errors.Is(err, ErrNotARegion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoveryReplaysSealedLog(t *testing.T) {
+	// Crash after seal but before in-place apply: recovery must replay.
+	r := newRegion(t, nil)
+	off := r.DataOff()
+	r.Begin()
+	var b [8]byte
+	b[0] = 99
+	r.LogAppend(off, b[:])
+	r.LogFlush()
+	// Manually seal (as Commit would) and crash before applying.
+	r.dev.Store64(offLogLen, 1)
+	r.dev.PersistBarrier(offLogLen, 8)
+	r.dev.Store64(offSealed, 1)
+	r.dev.PersistBarrier(offSealed, 8)
+	img := r.Device().Image()
+	r2, info, err := Open(pmem.FromImage(img, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != 1 {
+		t.Fatalf("Replayed = %d, want 1", info.Replayed)
+	}
+	if got := r2.Device().Load8(off); got != 99 {
+		t.Fatalf("replayed value = %d, want 99", got)
+	}
+}
+
+func TestRecoveryDiscardsUnsealedLog(t *testing.T) {
+	r := newRegion(t, nil)
+	off := r.DataOff()
+	r.Begin()
+	var b [8]byte
+	b[0] = 55
+	r.LogAppend(off, b[:])
+	r.LogFlush()
+	// Publish count but never seal: tx did not commit.
+	r.dev.Store64(offLogLen, 1)
+	r.dev.PersistBarrier(offLogLen, 8)
+	img := r.Device().Image()
+	r2, info, err := Open(pmem.FromImage(img, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Discarded != 1 || info.Replayed != 0 {
+		t.Fatalf("info = %+v, want 1 discarded", info)
+	}
+	if got := r2.Device().Load8(off); got != 0 {
+		t.Fatalf("discarded tx applied: %d", got)
+	}
+}
+
+func TestCommittedSurvivesRandomCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := newRegion(t, nil)
+	off := r.DataOff()
+	r.Durable(func(w *TxWriter) error { return w.Write64(off, 4242) })
+	for i := 0; i < 30; i++ {
+		img := r.Device().SampleCrash(rng, pmem.CrashOptions{})
+		r2, _, err := Open(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r2.Device().Load64(off); got != 4242 {
+			t.Fatalf("sample %d: committed value lost (%d)", i, got)
+		}
+	}
+}
+
+func TestGroundTruthSkipApplyFlushLosesData(t *testing.T) {
+	// Truncating the log before the in-place updates are durable loses a
+	// committed transaction in some crash state.
+	rng := rand.New(rand.NewSource(6))
+	broken := false
+	for i := 0; i < 60 && !broken; i++ {
+		r := newRegion(t, nil)
+		r.SetBugs(Bugs{SkipApplyFlush: true})
+		off := r.DataOff()
+		r.Durable(func(w *TxWriter) error { return w.Write64(off, 31337) })
+		img := r.Device().SampleCrash(rng, pmem.CrashOptions{})
+		r2, _, err := Open(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Device().Load64(off) != 31337 {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatal("SkipApplyFlush never lost data — ground truth broken")
+	}
+}
+
+// --- Engine integration -----------------------------------------------------
+
+type recorder struct{ ops *[]trace.Op }
+
+func (r recorder) Record(op trace.Op, _ int) { *r.ops = append(*r.ops, op) }
+
+func runTx(t *testing.T, bugs Bugs) core.Report {
+	t.Helper()
+	var ops []trace.Op
+	r := newRegion(t, recorder{&ops})
+	r.SetBugs(bugs)
+	r.SetAnnotations(true)
+	off := r.DataOff()
+	ops = ops[:0]
+	if err := r.Durable(func(w *TxWriter) error { return w.Write64(off, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	return core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+}
+
+func TestEngineCleanCommit(t *testing.T) {
+	if r := runTx(t, Bugs{}); !r.Clean() {
+		t.Fatalf("clean commit flagged: %s", r.Summary())
+	}
+}
+
+func TestEngineSkipLogFlush(t *testing.T) {
+	r := runTx(t, Bugs{SkipLogFlush: true})
+	if !r.HasCode(core.CodeOrderViolation) {
+		t.Fatalf("unflushed entries before seal must FAIL: %s", r.Summary())
+	}
+}
+
+func TestEngineSkipSealFence(t *testing.T) {
+	r := runTx(t, Bugs{SkipSealFence: true})
+	if !r.HasCode(core.CodeNotPersisted) {
+		t.Fatalf("unfenced seal must FAIL isPersist: %s", r.Summary())
+	}
+}
+
+func TestEngineSkipApplyFlush(t *testing.T) {
+	r := runTx(t, Bugs{SkipApplyFlush: true})
+	if !r.HasCode(core.CodeNotPersisted) {
+		t.Fatalf("unflushed in-place updates must FAIL: %s", r.Summary())
+	}
+}
+
+func TestEngineDoubleApplyFlush(t *testing.T) {
+	r := runTx(t, Bugs{DoubleApplyFlush: true})
+	if !r.HasCode(core.CodeDuplicateWriteback) {
+		t.Fatalf("double apply flush must WARN: %s", r.Summary())
+	}
+}
+
+func TestQuickDurableMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRegion(t, nil)
+		base := r.DataOff()
+		model := map[uint64]uint64{}
+		for i := 0; i < 15; i++ {
+			slot := base + uint64(rng.Intn(8))*64
+			val := rng.Uint64()
+			abort := rng.Intn(4) == 0
+			r.Durable(func(w *TxWriter) error {
+				if err := w.Write64(slot, val); err != nil {
+					return err
+				}
+				if abort {
+					return errors.New("abort")
+				}
+				return nil
+			})
+			if !abort {
+				model[slot] = val
+			}
+		}
+		// Durable view must match the model after reopening from image.
+		r2, _, err := Open(pmem.FromImage(r.Device().Image(), nil))
+		if err != nil {
+			return false
+		}
+		for slot, val := range model {
+			if r2.Device().Load64(slot) != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package pmdk
+
+import (
+	"fmt"
+
+	"pmtest/internal/pmem"
+)
+
+// The allocator is a persistent bump allocator with a volatile free list.
+// The heap frontier (heapTop) is persisted with a barrier on every
+// advance, so a crash can at worst leak the object being allocated —
+// never corrupt the heap. Freed blocks are recycled from a volatile
+// per-size free list that is simply empty after a restart (a documented
+// simplification: real PMDK redo-logs its allocator metadata).
+
+// Alloc returns the offset of a new block of at least size bytes, aligned
+// to the cache-line size so distinct objects never share a line.
+func (p *Pool) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("pmdk: zero-size allocation")
+	}
+	cls := alignUp(size, pmem.LineSize)
+	if list := p.free[cls]; len(list) > 0 {
+		off := list[len(list)-1]
+		p.free[cls] = list[:len(list)-1]
+		return off, nil
+	}
+	top := p.dev.Load64(offHeapTop)
+	if top+cls > p.dev.Size() {
+		return 0, fmt.Errorf("pmdk: out of space (heap top 0x%x + %d > 0x%x)",
+			top, cls, p.dev.Size())
+	}
+	p.dev.Store64(offHeapTop, top+cls)
+	p.dev.PersistBarrier(offHeapTop, 8)
+	return top, nil
+}
+
+// Free recycles a block allocated with size (volatile free list).
+func (p *Pool) Free(off, size uint64) {
+	cls := alignUp(size, pmem.LineSize)
+	p.free[cls] = append(p.free[cls], off)
+}
+
+// HeapUsed returns the persistent heap frontier minus the data start.
+func (p *Pool) HeapUsed() uint64 {
+	return p.dev.Load64(offHeapTop) - DataStart(p.logSize)
+}

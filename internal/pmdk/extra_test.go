@@ -1,0 +1,91 @@
+package pmdk
+
+import (
+	"testing"
+
+	"pmtest/internal/pmem"
+)
+
+// Additional pool coverage: metadata range, heap accounting, root sizing.
+
+func TestMetaRangeCoversHeaderAndLog(t *testing.T) {
+	p := newPool(t, nil)
+	addr, size := p.MetaRange()
+	if addr != 0 {
+		t.Fatalf("MetaRange addr = %d", addr)
+	}
+	if size != DataStart(1<<16) {
+		t.Fatalf("MetaRange size = %d, want %d", size, DataStart(1<<16))
+	}
+	// Every allocation must land past the metadata.
+	off, _ := p.Alloc(64)
+	if off < size {
+		t.Fatalf("alloc 0x%x inside metadata", off)
+	}
+}
+
+func TestHeapUsedGrows(t *testing.T) {
+	p := newPool(t, nil)
+	before := p.HeapUsed()
+	p.Alloc(1000)
+	after := p.HeapUsed()
+	if after <= before {
+		t.Fatalf("HeapUsed did not grow: %d → %d", before, after)
+	}
+	// Freed blocks are recycled, so heap does not grow on reuse.
+	off, _ := p.Alloc(128)
+	p.Free(off, 128)
+	mid := p.HeapUsed()
+	p.Alloc(128)
+	if p.HeapUsed() != mid {
+		t.Fatal("recycled allocation grew the heap")
+	}
+}
+
+func TestDeviceTooSmallForLog(t *testing.T) {
+	dev := pmem.New(256, nil)
+	if _, err := Create(dev, 1<<16); err == nil {
+		t.Fatal("expected device-too-small error")
+	}
+}
+
+func TestOpenCorruptLogSize(t *testing.T) {
+	dev := pmem.New(1<<20, nil)
+	dev.Store64(offMagic, magic) // magic without a valid header
+	dev.PersistBarrier(offMagic, 8)
+	if _, _, err := Open(dev); err == nil {
+		t.Fatal("expected corrupt-header error")
+	}
+}
+
+func TestGet64InsideTx(t *testing.T) {
+	p := newPool(t, nil)
+	off, _ := p.Alloc(64)
+	p.Device().Store64(off, 123)
+	p.Device().PersistBarrier(off, 8)
+	err := p.Tx(func(tx *Tx) error {
+		if tx.Get64(off) != 123 {
+			t.Fatal("Get64 wrong before write")
+		}
+		tx.Add(off, 8)
+		tx.Set64(off, 456)
+		if tx.Get64(off) != 456 {
+			t.Fatal("Get64 must see the transaction's own write")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddOutsideTxPanics(t *testing.T) {
+	p := newPool(t, nil)
+	tx := &Tx{p: p}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add outside a transaction must panic")
+		}
+	}()
+	tx.Add(0x1000, 8)
+}

@@ -1,0 +1,243 @@
+// Package pmdk is a PMDK-like (libpmemobj-style) transactional persistent
+// object library built on the simulated PM device, substituting for the
+// real PMDK the paper tests (§2.1, Fig. 1b, Fig. 13b/c).
+//
+// It provides a persistent pool with a root object, a persistent
+// allocator, and failure-atomic transactions with an undo log: Tx.Add
+// snapshots an object before modification (TX_ADD), and commit flushes all
+// snapshotted ranges before invalidating the log. Nested transactions
+// follow real PMDK semantics: updates are only guaranteed durable when the
+// outermost transaction commits (the behaviour PMTest's authors discovered
+// with their own checkers, paper §7.1).
+//
+// Every PM operation flows through the device's trace sink; the library
+// additionally emits the transaction events (TX_BEGIN/TX_ADD/TX_END) that
+// drive PMTest's high-level transaction checkers.
+package pmdk
+
+import (
+	"errors"
+	"fmt"
+
+	"pmtest/internal/interval"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+// Pool layout (all offsets in bytes from the start of the device):
+//
+//	0    magic
+//	8    root object offset
+//	16   root object size
+//	24   heap top (bump allocator frontier)
+//	64   undo-log entry count (own cache line: the commit point)
+//	128  undo-log entry area (LogSize bytes)
+//	...  data area (DataStart)
+const (
+	offMagic    = 0
+	offRootOff  = 8
+	offRootSize = 16
+	offHeapTop  = 24
+	offLogSize  = 32
+	offLogCount = 64
+	offLogData  = 128
+
+	magic = 0x504D444B2D474F31 // "PMDK-GO1"
+
+	// logEntryHeader is the per-entry header: target offset + size.
+	logEntryHeader = 16
+)
+
+// DefaultLogSize is the default undo-log area size.
+const DefaultLogSize = 1 << 20
+
+// Bugs are library-level fault-injection switches used by the synthetic
+// bug catalog (paper Table 5) to reproduce ordering, writeback and
+// completion bugs inside the transaction machinery.
+type Bugs struct {
+	// SkipCommitFlush omits the writeback of snapshotted ranges at commit
+	// (completion bug: transaction updates may never persist).
+	SkipCommitFlush bool
+	// SkipCommitFence omits the fence between flushing updates and
+	// invalidating the log (ordering bug: the log may be cleared before
+	// the updates are durable).
+	SkipCommitFence bool
+	// SkipLogEntryFlush omits the writeback of a new undo-log entry
+	// (writeback bug: the backup may be lost in a crash).
+	SkipLogEntryFlush bool
+	// SkipLogEntryFence omits the fence between writing a log entry and
+	// publishing it via the entry count (ordering bug).
+	SkipLogEntryFence bool
+	// DoubleCommitFlush issues the commit writeback twice (performance
+	// bug: duplicate writeback, paper Fig. 13a's shape).
+	DoubleCommitFlush bool
+}
+
+// Pool is a persistent object pool. Not safe for concurrent use; the
+// multi-threaded workloads use one pool (and device) per thread.
+type Pool struct {
+	dev     *pmem.Device
+	sink    trace.Sink
+	logSize uint64
+
+	// volatile state
+	depth    int      // transaction nesting depth
+	logTail  uint64   // append position in the log area
+	logCount uint64   // cached entry count
+	logged   []logRng // snapshotted ranges of the current outermost tx
+	txAllocs []logRng // objects allocated in the current outermost tx
+	written  *interval.Tree[struct{}]
+	added    *interval.Tree[struct{}]
+	free     map[uint64][]uint64
+	bugs     Bugs
+	annotate bool
+}
+
+type logRng struct {
+	off, size uint64
+	entry     uint64 // offset of the entry in the log area
+}
+
+// ErrNotAPool is returned by Open when the device lacks a valid pool.
+var ErrNotAPool = errors.New("pmdk: device does not contain a pool (bad magic)")
+
+// DataStart returns the first data-area offset for a pool with the given
+// log size.
+func DataStart(logSize uint64) uint64 {
+	return alignUp(offLogData+logSize, pmem.LineSize)
+}
+
+// Create formats a fresh pool on the device. logSize <= 0 selects
+// DefaultLogSize.
+func Create(dev *pmem.Device, logSize uint64) (*Pool, error) {
+	if logSize == 0 {
+		logSize = DefaultLogSize
+	}
+	p := &Pool{dev: dev, logSize: logSize, free: map[uint64][]uint64{}, written: interval.New[struct{}](), added: interval.New[struct{}]()}
+	p.sink = devSink(dev)
+	if dev.Size() < DataStart(logSize)+pmem.LineSize {
+		return nil, fmt.Errorf("pmdk: device too small (%d bytes) for log size %d",
+			dev.Size(), logSize)
+	}
+	dev.Store64(offRootOff, 0)
+	dev.Store64(offRootSize, 0)
+	dev.Store64(offHeapTop, DataStart(logSize))
+	dev.Store64(offLogSize, logSize)
+	dev.Store64(offLogCount, 0)
+	// Persist exactly the written header fields; the magic word is
+	// published last, after everything it guards is durable.
+	dev.CLWB(offRootOff, offLogSize+8-offRootOff)
+	dev.CLWB(offLogCount, 8)
+	dev.SFence()
+	dev.Store64(offMagic, magic)
+	dev.PersistBarrier(offMagic, 8)
+	return p, nil
+}
+
+// Open attaches to an existing pool, applying undo-log recovery if a
+// transaction was interrupted (the log has valid entries).
+func Open(dev *pmem.Device) (*Pool, *RecoveryInfo, error) {
+	if dev.Load64(offMagic) != magic {
+		return nil, nil, ErrNotAPool
+	}
+	logSize := dev.Load64(offLogSize)
+	if logSize == 0 || DataStart(logSize) > dev.Size() {
+		return nil, nil, fmt.Errorf("pmdk: corrupt pool header (log size 0x%x)", logSize)
+	}
+	p := &Pool{dev: dev, logSize: logSize, free: map[uint64][]uint64{}, written: interval.New[struct{}](), added: interval.New[struct{}]()}
+	p.sink = devSink(dev)
+	info := p.recover()
+	return p, info, nil
+}
+
+// RecoveryInfo describes what undo-log recovery did at Open.
+type RecoveryInfo struct {
+	// EntriesApplied is the number of undo records rolled back.
+	EntriesApplied int
+}
+
+// recover rolls back an interrupted transaction: valid log entries are
+// applied in reverse order, then the log is invalidated.
+func (p *Pool) recover() *RecoveryInfo {
+	count := p.dev.Load64(offLogCount)
+	info := &RecoveryInfo{}
+	if count == 0 {
+		return info
+	}
+	// Walk entries forward to find their offsets, then apply in reverse.
+	type ent struct{ pos, off, size uint64 }
+	var ents []ent
+	pos := uint64(offLogData)
+	for i := uint64(0); i < count; i++ {
+		off := p.dev.Load64(pos)
+		size := p.dev.Load64(pos + 8)
+		ents = append(ents, ent{pos, off, size})
+		pos += alignUp(logEntryHeader+size, 8)
+	}
+	for i := len(ents) - 1; i >= 0; i-- {
+		e := ents[i]
+		old := p.dev.LoadBytes(e.pos+logEntryHeader, e.size)
+		p.dev.Store(e.off, old)
+		p.dev.CLWB(e.off, e.size)
+		info.EntriesApplied++
+	}
+	p.dev.SFence()
+	p.dev.Store64(offLogCount, 0)
+	p.dev.PersistBarrier(offLogCount, 8)
+	return info
+}
+
+// SetBugs installs fault-injection switches (testing only).
+func (p *Pool) SetBugs(b Bugs) { p.bugs = b }
+
+// SetAnnotations enables the library-developer checkers embedded in the
+// transaction machinery: isOrderedBefore(log entry, publish) and
+// isPersist(updates) before log invalidation. This is the paper's §7.2
+// workflow — expert library developers annotate internals with low-level
+// checkers so ordinary users get automated checking.
+func (p *Pool) SetAnnotations(on bool) { p.annotate = on }
+
+// Device returns the underlying PM device.
+func (p *Pool) Device() *pmem.Device { return p.dev }
+
+// MetaRange returns the pool metadata range (header + undo log), which
+// callers register as a static exclusion with PMTest: the library's
+// internal log writes are not application objects.
+func (p *Pool) MetaRange() (addr, size uint64) {
+	return 0, DataStart(p.logSize)
+}
+
+// Root returns the root object's offset, allocating it (outside any
+// transaction, with explicit barriers) on first use.
+func (p *Pool) Root(size uint64) (uint64, error) {
+	if off := p.dev.Load64(offRootOff); off != 0 {
+		return off, nil
+	}
+	off, err := p.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	p.dev.Store64(offRootOff, off)
+	p.dev.Store64(offRootSize, size)
+	p.dev.PersistBarrier(offRootOff, 16)
+	return off, nil
+}
+
+// Zero zeroes a freshly allocated object (durable, with barriers).
+func (p *Pool) Zero(off, size uint64) {
+	buf := make([]byte, size)
+	p.dev.Store(off, buf)
+	p.dev.PersistBarrier(off, size)
+}
+
+func devSink(dev *pmem.Device) trace.Sink { return devSinkAdapter{dev} }
+
+// devSinkAdapter lets the pool emit library-level ops (TX events) through
+// the device's current sink without holding a stale copy.
+type devSinkAdapter struct{ dev *pmem.Device }
+
+func (a devSinkAdapter) Record(op trace.Op, callerSkip int) {
+	a.dev.RecordOp(op, callerSkip+1)
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

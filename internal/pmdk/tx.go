@@ -1,0 +1,265 @@
+package pmdk
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmtest/internal/interval"
+	"pmtest/internal/trace"
+)
+
+// Tx is a failure-atomic transaction handle. Use Pool.Tx to run one; Tx
+// methods must only be called inside the transaction function.
+type Tx struct {
+	p *Pool
+}
+
+// ErrLogFull is returned (via panic/recover inside Pool.Tx) when the undo
+// log area cannot hold another snapshot.
+var ErrLogFull = fmt.Errorf("pmdk: undo log full")
+
+type txAbort struct{ err error }
+
+// Tx runs fn inside a transaction (TX_BEGIN ... TX_END). Transactions
+// nest: only the outermost commit flushes updates and invalidates the
+// undo log (real PMDK semantics, paper §7.1). If fn returns an error the
+// transaction aborts: snapshotted objects are rolled back.
+func (p *Pool) Tx(fn func(tx *Tx) error) error {
+	p.txBegin()
+	tx := &Tx{p: p}
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if a, ok := r.(txAbort); ok {
+					err = a.err
+					return
+				}
+				// A foreign panic must not leave the transaction open:
+				// roll back, then propagate.
+				p.txAbort()
+				panic(r)
+			}
+		}()
+		return fn(tx)
+	}()
+	if err != nil {
+		p.txAbort()
+		return err
+	}
+	p.txCommit()
+	return nil
+}
+
+// txBegin opens a (possibly nested) transaction and emits TX_BEGIN. On
+// the outermost begin the pool also announces its metadata exclusion so
+// per-transaction trace sections skip internal log writes.
+func (p *Pool) txBegin() {
+	p.depth++
+	if p.depth == 1 {
+		metaAddr, metaSize := p.MetaRange()
+		p.sink.Record(trace.Op{Kind: trace.KindExclude, Addr: metaAddr, Size: metaSize}, 1)
+		p.logTail = offLogData
+		p.logCount = 0
+		p.logged = p.logged[:0]
+		p.txAllocs = p.txAllocs[:0]
+		p.written.Clear()
+		p.added.Clear()
+	}
+	p.sink.Record(trace.Op{Kind: trace.KindTxBegin}, 1)
+}
+
+// Add snapshots [off, off+size) into the undo log before modification
+// (TX_ADD). The snapshot is durable — entry persisted, then published by
+// bumping the entry count — before Add returns, so a crash mid-update can
+// always roll back. Adding a range that is already covered this
+// transaction emits the TX_ADD event (so PMTest's duplicate-log checker
+// sees the call, paper Fig. 13c) but skips the redundant snapshot, like
+// real pmemobj.
+func (tx *Tx) Add(off, size uint64) {
+	p := tx.p
+	if p.depth == 0 {
+		panic("pmdk: Tx.Add outside a transaction")
+	}
+	if p.added.Covered(off, off+size) {
+		p.sink.Record(trace.Op{Kind: trace.KindTxAdd, Addr: off, Size: size}, 1)
+		return
+	}
+	need := alignUp(logEntryHeader+size, 8)
+	if p.logTail+need > offLogData+p.logSize {
+		panic(txAbort{ErrLogFull})
+	}
+	// Assemble header + old data and write the entry.
+	buf := make([]byte, logEntryHeader+size)
+	binary.LittleEndian.PutUint64(buf[0:8], off)
+	binary.LittleEndian.PutUint64(buf[8:16], size)
+	p.dev.Load(off, buf[logEntryHeader:])
+	p.dev.StoreSkip(p.logTail, buf, 1)
+	if !p.bugs.SkipLogEntryFlush {
+		p.dev.CLWBSkip(p.logTail, uint64(len(buf)), 1)
+	}
+	if !p.bugs.SkipLogEntryFence {
+		p.dev.SFenceSkip(1)
+	}
+	// Publish the entry: bump the persistent count (the validity flag).
+	p.logCount++
+	p.dev.Store64(offLogCount, p.logCount)
+	p.dev.CLWBSkip(offLogCount, 8, 1)
+	p.dev.SFenceSkip(1)
+	if p.annotate {
+		// Library-developer checkers (§7.2): the snapshot must persist
+		// strictly before its publication, and the publication itself
+		// must be durable when Add returns.
+		p.sink.Record(trace.Op{
+			Kind: trace.KindIsOrderedBefore,
+			Addr: p.logTail, Size: uint64(len(buf)),
+			Addr2: offLogCount, Size2: 8,
+		}, 1)
+		p.sink.Record(trace.Op{Kind: trace.KindIsPersist, Addr: offLogCount, Size: 8}, 1)
+	}
+	p.logged = append(p.logged, logRng{off: off, size: size, entry: p.logTail})
+	p.added.Set(off, off+size, struct{}{})
+	p.logTail += need
+	// Emit the TX_ADD event for the high-level checkers, attributed to
+	// the caller.
+	p.sink.Record(trace.Op{Kind: trace.KindTxAdd, Addr: off, Size: size}, 1)
+}
+
+// Set writes data at off inside the transaction. The write is attributed
+// to the caller; durability comes from the outermost commit, provided the
+// range was snapshotted with Add (commit flushes the written parts of
+// snapshotted ranges, exactly what must persist).
+func (tx *Tx) Set(off uint64, data []byte) {
+	tx.p.written.Set(off, off+uint64(len(data)), struct{}{})
+	tx.p.dev.StoreSkip(off, data, 1)
+}
+
+// Set64 writes a uint64 at off inside the transaction.
+func (tx *Tx) Set64(off uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	tx.p.written.Set(off, off+8, struct{}{})
+	tx.p.dev.StoreSkip(off, b[:], 1)
+}
+
+// Set32 writes a uint32 at off inside the transaction.
+func (tx *Tx) Set32(off uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	tx.p.written.Set(off, off+4, struct{}{})
+	tx.p.dev.StoreSkip(off, b[:], 1)
+}
+
+// Get64 reads a uint64 (volatile view).
+func (tx *Tx) Get64(off uint64) uint64 { return tx.p.dev.Load64(off) }
+
+// Alloc allocates a new object inside the transaction (PMDK TX_NEW). The
+// fresh range is automatically part of the transaction: its written parts
+// are flushed at commit, it is freed on abort, and a TX_ADD event is
+// emitted so the checkers treat it as backed up (a brand-new object needs
+// no undo data — rollback is deallocation).
+func (tx *Tx) Alloc(size uint64) (uint64, error) {
+	p := tx.p
+	off, err := p.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	p.txAllocs = append(p.txAllocs, logRng{off: off, size: size})
+	p.added.Set(off, off+size, struct{}{})
+	p.sink.Record(trace.Op{Kind: trace.KindTxAdd, Addr: off, Size: size}, 1)
+	return off, nil
+}
+
+// Abort aborts the transaction from inside fn.
+func (tx *Tx) Abort(err error) {
+	panic(txAbort{err})
+}
+
+// txCommit ends the transaction (TX_END). Only the outermost commit
+// flushes the snapshotted ranges, fences, and invalidates the log —
+// that order is the commit protocol whose violations the bug catalog
+// injects.
+func (p *Pool) txCommit() {
+	if p.depth == 0 {
+		panic("pmdk: commit without begin")
+	}
+	p.sink.Record(trace.Op{Kind: trace.KindTxEnd}, 1)
+	p.depth--
+	if p.depth > 0 {
+		return // inner commit: nothing is durable yet (paper §7.1)
+	}
+	if !p.bugs.SkipCommitFlush {
+		// Flush the modified parts of every snapshotted or freshly
+		// allocated range: what was written under transaction protection
+		// is exactly what must persist.
+		flushRange := func(r logRng) {
+			p.written.Visit(r.off, r.off+r.size, func(seg interval.Seg[struct{}]) bool {
+				p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3)
+				if p.bugs.DoubleCommitFlush {
+					p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3)
+				}
+				return true
+			})
+		}
+		for _, r := range p.logged {
+			flushRange(r)
+		}
+		for _, r := range p.txAllocs {
+			flushRange(r)
+		}
+	}
+	if !p.bugs.SkipCommitFence {
+		p.dev.SFenceSkip(1)
+	}
+	if p.annotate {
+		// Every snapshotted object must be durable before the log is
+		// invalidated; otherwise a crash after invalidation loses data.
+		for _, r := range p.logged {
+			p.sink.Record(trace.Op{Kind: trace.KindIsPersist, Addr: r.off, Size: r.size}, 1)
+		}
+	}
+	// Commit point: invalidate the log.
+	p.logCount = 0
+	p.dev.Store64(offLogCount, 0)
+	p.dev.CLWBSkip(offLogCount, 8, 1)
+	p.dev.SFenceSkip(1)
+	p.logged = p.logged[:0]
+	p.txAllocs = p.txAllocs[:0]
+	p.logTail = offLogData
+}
+
+// txAbort rolls back every snapshotted range (in reverse), persists the
+// restored data, and invalidates the log.
+func (p *Pool) txAbort() {
+	if p.depth == 0 {
+		panic("pmdk: abort without begin")
+	}
+	p.sink.Record(trace.Op{Kind: trace.KindTxEnd}, 1)
+	p.depth--
+	if p.depth > 0 {
+		// Inner abort propagates by the caller returning an error; the
+		// rollback happens at the outermost level in real PMDK too.
+		return
+	}
+	for i := len(p.logged) - 1; i >= 0; i-- {
+		r := p.logged[i]
+		old := p.dev.LoadBytes(r.entry+logEntryHeader, r.size)
+		p.dev.StoreSkip(r.off, old, 1)
+		p.dev.CLWBSkip(r.off, r.size, 1)
+	}
+	p.dev.SFenceSkip(1)
+	p.logCount = 0
+	p.dev.Store64(offLogCount, 0)
+	p.dev.CLWBSkip(offLogCount, 8, 1)
+	p.dev.SFenceSkip(1)
+	// Objects allocated by the aborted transaction are unreachable; give
+	// them back to the allocator.
+	for _, r := range p.txAllocs {
+		p.Free(r.off, r.size)
+	}
+	p.logged = p.logged[:0]
+	p.txAllocs = p.txAllocs[:0]
+	p.logTail = offLogData
+}
+
+// InTx reports whether a transaction is open (testing helper).
+func (p *Pool) InTx() bool { return p.depth > 0 }

@@ -1,0 +1,133 @@
+package pmem
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// This file provides ground truth for PMTest's verdicts: because the
+// simulator knows exactly which lines are dirty, it can materialize every
+// durable state a power failure could leave behind. A crash-consistency
+// bug flagged by PMTest is *demonstrated* by finding a crash state whose
+// recovery fails; a clean program must recover from all of them.
+
+// CrashOptions controls crash-state generation.
+type CrashOptions struct {
+	// TearLines allows a dirty line to persist partially, at 8-byte
+	// granularity — x86 guarantees only 8-byte atomicity for persists.
+	// When false, lines persist atomically (the common simplification,
+	// also made by Yat).
+	TearLines bool
+}
+
+// Image returns a copy of the current durable contents — the state after
+// an instant crash in which no dirty line managed to persist.
+func (d *Device) Image() []byte {
+	img := make([]byte, len(d.persisted))
+	copy(img, d.persisted)
+	return img
+}
+
+// SampleCrash returns one possible durable state after a crash at this
+// moment: the persisted image plus a random subset of the dirty lines
+// (hardware may have evicted any of them before the failure).
+func (d *Device) SampleCrash(rng *rand.Rand, opt CrashOptions) []byte {
+	img := d.Image()
+	for base, ln := range d.cache {
+		if !opt.TearLines {
+			if rng.Intn(2) == 1 {
+				copy(img[base:base+LineSize], ln.data[:])
+			}
+			continue
+		}
+		for off := uint64(0); off < LineSize; off += 8 {
+			if rng.Intn(2) == 1 {
+				copy(img[base+off:base+off+8], ln.data[off:off+8])
+			}
+		}
+	}
+	return img
+}
+
+// dirtyBases returns the dirty line addresses in ascending order, for
+// deterministic enumeration.
+func (d *Device) dirtyBases() []uint64 {
+	bases := make([]uint64, 0, len(d.cache))
+	for b := range d.cache {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
+}
+
+// CrashStateCount returns how many distinct crash states exist at this
+// moment under line-atomic persistence (2^dirty). This is the state-space
+// size an exhaustive tool like Yat must explore (§2.2); it is reported,
+// not iterated, when it exceeds limits.
+func (d *Device) CrashStateCount() float64 {
+	n := len(d.cache)
+	count := 1.0
+	for i := 0; i < n; i++ {
+		count *= 2
+	}
+	return count
+}
+
+// EnumerateCrashStates calls visit with every possible durable state at
+// this moment (line-atomic persistence), up to limit states; it returns
+// false if the state space exceeded the limit (visit still saw the first
+// `limit` states). The image passed to visit is reused across calls —
+// copy it to retain.
+func (d *Device) EnumerateCrashStates(limit int, visit func(img []byte) bool) bool {
+	bases := d.dirtyBases()
+	if len(bases) > 62 {
+		// 2^63 states: enumeration is hopeless, exactly the paper's point
+		// about exhaustive testing.
+		return false
+	}
+	img := d.Image()
+	n := uint64(0)
+	for mask := uint64(0); mask < (uint64(1) << uint(len(bases))); mask++ {
+		if limit > 0 && n >= uint64(limit) {
+			return false
+		}
+		// Build the image for this subset.
+		copy(img, d.persisted)
+		for i, base := range bases {
+			if mask&(1<<uint(i)) != 0 {
+				ln := d.cache[base]
+				copy(img[base:base+LineSize], ln.data[:])
+			}
+		}
+		n++
+		if !visit(img) {
+			return true
+		}
+	}
+	return true
+}
+
+// RecoveryCheck runs validate against up to samples random crash states
+// (plus the no-eviction and all-evicted extremes) and returns the first
+// error, or nil if every sampled state recovers. validate receives a
+// private copy of the image.
+func (d *Device) RecoveryCheck(rng *rand.Rand, samples int, opt CrashOptions,
+	validate func(img []byte) error) error {
+	states := make([][]byte, 0, samples+2)
+	states = append(states, d.Image())
+	// All dirty lines persisted.
+	all := d.Image()
+	for base, ln := range d.cache {
+		copy(all[base:base+LineSize], ln.data[:])
+	}
+	states = append(states, all)
+	for i := 0; i < samples; i++ {
+		states = append(states, d.SampleCrash(rng, opt))
+	}
+	for _, img := range states {
+		if err := validate(img); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+// Package pmem simulates a byte-addressable persistent memory device
+// behind a volatile CPU cache, substituting for the NVDIMM hardware of the
+// paper's testbed (Table 3).
+//
+// The device exposes exactly the primitives the paper instruments — store,
+// clwb-style writeback, sfence — and models their persistence semantics:
+// a store lands in a volatile cache line; a writeback marks the line
+// pending; a fence makes pending lines durable. Because the cache is
+// volatile, ANY dirty line may also persist spontaneously at any moment
+// (hardware eviction), which is precisely the reordering that makes crash
+// consistency hard. Crash-state sampling (crash.go) exploits that: a crash
+// may durably apply any subset of the dirty lines.
+//
+// Every operation is also emitted to an attached trace.Sink, which is how
+// the PMTest tracker and the baseline checkers observe execution.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmtest/internal/trace"
+)
+
+// LineSize is the cache-line granularity of writebacks and persistence.
+const LineSize = 64
+
+// line is one dirty cache line: the volatile content of the full line and
+// whether a writeback has been issued for it since its last store.
+type line struct {
+	data         [LineSize]byte
+	flushPending bool
+}
+
+// Device is a simulated PM device. It is not safe for concurrent use; the
+// workloads shard PM regions per thread, mirroring WHISPER's per-thread
+// transactions (paper §7.4: inter-thread PM dependencies are rare).
+type Device struct {
+	persisted []byte
+	cache     map[uint64]*line
+	sink      trace.Sink
+
+	// stats for the benchmark harness
+	stores  uint64
+	flushes uint64
+	fences  uint64
+}
+
+// New creates a device of the given size with all bytes zero and durable.
+func New(size uint64, sink trace.Sink) *Device {
+	if sink == nil {
+		sink = trace.Discard
+	}
+	return &Device{
+		persisted: make([]byte, size),
+		cache:     make(map[uint64]*line),
+		sink:      sink,
+	}
+}
+
+// FromImage creates a device whose durable contents are a crash image
+// (typically produced by SampleCrash); used by recovery tests.
+func FromImage(img []byte, sink trace.Sink) *Device {
+	if sink == nil {
+		sink = trace.Discard
+	}
+	cp := make([]byte, len(img))
+	copy(cp, img)
+	return &Device{persisted: cp, cache: make(map[uint64]*line), sink: sink}
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return uint64(len(d.persisted)) }
+
+// SetSink replaces the attached operation sink and returns the previous
+// one. Passing nil detaches (operations are discarded).
+func (d *Device) SetSink(s trace.Sink) trace.Sink {
+	old := d.sink
+	if s == nil {
+		s = trace.Discard
+	}
+	d.sink = s
+	return old
+}
+
+// Stats returns cumulative operation counts (stores, writebacks, fences).
+func (d *Device) Stats() (stores, flushes, fences uint64) {
+	return d.stores, d.flushes, d.fences
+}
+
+func (d *Device) check(addr, size uint64) {
+	if addr+size > uint64(len(d.persisted)) || addr+size < addr {
+		panic(fmt.Sprintf("pmem: access [0x%x,0x%x) out of range (device size 0x%x)",
+			addr, addr+size, len(d.persisted)))
+	}
+}
+
+func (d *Device) lineFor(base uint64) *line {
+	ln := d.cache[base]
+	if ln == nil {
+		ln = &line{}
+		copy(ln.data[:], d.persisted[base:base+LineSize])
+		d.cache[base] = ln
+	}
+	return ln
+}
+
+// Store writes data at addr through the volatile cache and records a
+// write op. The data is NOT durable until written back and fenced.
+func (d *Device) Store(addr uint64, data []byte) {
+	d.storeInternal(addr, data, trace.KindWrite, 1)
+}
+
+// StoreSkip is Store with extra caller frames skipped when attributing the
+// source site; instrumented libraries use it so diagnostics point at their
+// caller.
+func (d *Device) StoreSkip(addr uint64, data []byte, skip int) {
+	d.storeInternal(addr, data, trace.KindWrite, skip+1)
+}
+
+// StoreNT performs a non-temporal store: the data bypasses the cache and
+// becomes durable at the next fence without an explicit writeback.
+func (d *Device) StoreNT(addr uint64, data []byte) {
+	d.storeInternal(addr, data, trace.KindWriteNT, 1)
+}
+
+func (d *Device) storeInternal(addr uint64, data []byte, kind trace.Kind, skip int) {
+	size := uint64(len(data))
+	if size == 0 {
+		return
+	}
+	d.check(addr, size)
+	d.stores++
+	off := uint64(0)
+	for off < size {
+		a := addr + off
+		base := a &^ (LineSize - 1)
+		ln := d.lineFor(base)
+		n := copy(ln.data[a-base:], data[off:])
+		// A new store invalidates any pending writeback for the line: the
+		// earlier clwb is not guaranteed to cover the new data.
+		ln.flushPending = kind == trace.KindWriteNT
+		off += uint64(n)
+	}
+	d.sink.Record(trace.Op{Kind: kind, Addr: addr, Size: size}, skip+1)
+}
+
+// CLWB issues a cache writeback for every line overlapping
+// [addr, addr+size). The writeback completes (data becomes durable) at
+// the next SFence.
+func (d *Device) CLWB(addr, size uint64) { d.clwbInternal(addr, size, 1) }
+
+// CLWBSkip is CLWB with extra caller frames skipped for site attribution.
+func (d *Device) CLWBSkip(addr, size uint64, skip int) { d.clwbInternal(addr, size, skip+1) }
+
+func (d *Device) clwbInternal(addr, size uint64, skip int) {
+	if size == 0 {
+		return
+	}
+	d.check(addr, size)
+	d.flushes++
+	for base := addr &^ (LineSize - 1); base < addr+size; base += LineSize {
+		if ln := d.cache[base]; ln != nil {
+			ln.flushPending = true
+		}
+	}
+	d.sink.Record(trace.Op{Kind: trace.KindFlush, Addr: addr, Size: size}, skip+1)
+}
+
+// SFence completes all pending writebacks: their lines become durable and
+// leave the dirty set.
+func (d *Device) SFence() { d.sfenceInternal(1) }
+
+// SFenceSkip is SFence with extra caller frames skipped.
+func (d *Device) SFenceSkip(skip int) { d.sfenceInternal(skip + 1) }
+
+func (d *Device) sfenceInternal(skip int) {
+	d.fences++
+	for base, ln := range d.cache {
+		if ln.flushPending {
+			copy(d.persisted[base:base+LineSize], ln.data[:])
+			delete(d.cache, base)
+		}
+	}
+	d.sink.Record(trace.Op{Kind: trace.KindFence}, skip+1)
+}
+
+// PersistBarrier is the paper's persist_barrier(): clwb of the range
+// followed by sfence.
+func (d *Device) PersistBarrier(addr, size uint64) {
+	d.clwbInternal(addr, size, 1)
+	d.sfenceInternal(1)
+}
+
+// RecordOp emits a library-level operation (e.g. a transaction event)
+// into the device's current sink, so instrumented libraries need not hold
+// their own sink reference.
+func (d *Device) RecordOp(op trace.Op, callerSkip int) {
+	d.sink.Record(op, callerSkip+1)
+}
+
+// Load reads len(buf) bytes at addr into buf, observing volatile cache
+// contents (program semantics, not durable state).
+func (d *Device) Load(addr uint64, buf []byte) {
+	size := uint64(len(buf))
+	if size == 0 {
+		return
+	}
+	d.check(addr, size)
+	off := uint64(0)
+	for off < size {
+		a := addr + off
+		base := a &^ (LineSize - 1)
+		var n int
+		if ln := d.cache[base]; ln != nil {
+			n = copy(buf[off:], ln.data[a-base:])
+		} else {
+			end := base + LineSize
+			if end > addr+size {
+				end = addr + size
+			}
+			n = copy(buf[off:], d.persisted[a:end])
+		}
+		off += uint64(n)
+	}
+}
+
+// --- Typed helpers (little-endian, like the x86 target) --------------------
+
+// Store64 writes a uint64 at addr.
+func (d *Device) Store64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.storeInternal(addr, b[:], trace.KindWrite, 1)
+}
+
+// Load64 reads a uint64 at addr.
+func (d *Device) Load64(addr uint64) uint64 {
+	var b [8]byte
+	d.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Store32 writes a uint32 at addr.
+func (d *Device) Store32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	d.storeInternal(addr, b[:], trace.KindWrite, 1)
+}
+
+// Load32 reads a uint32 at addr.
+func (d *Device) Load32(addr uint64) uint32 {
+	var b [4]byte
+	d.Load(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Store8 writes one byte at addr.
+func (d *Device) Store8(addr uint64, v byte) {
+	d.storeInternal(addr, []byte{v}, trace.KindWrite, 1)
+}
+
+// Load8 reads one byte at addr.
+func (d *Device) Load8(addr uint64) byte {
+	var b [1]byte
+	d.Load(addr, b[:])
+	return b[0]
+}
+
+// LoadBytes reads size bytes at addr into a fresh slice.
+func (d *Device) LoadBytes(addr, size uint64) []byte {
+	buf := make([]byte, size)
+	d.Load(addr, buf)
+	return buf
+}
+
+// DirtyLines returns the number of cache lines whose content is not yet
+// guaranteed durable.
+func (d *Device) DirtyLines() int { return len(d.cache) }
+
+// DrainAll makes every cached line durable — a clean shutdown. It emits
+// no trace ops (it models power-down completion, not program behaviour).
+func (d *Device) DrainAll() {
+	for base, ln := range d.cache {
+		copy(d.persisted[base:base+LineSize], ln.data[:])
+		delete(d.cache, base)
+	}
+}

@@ -1,0 +1,351 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/trace"
+)
+
+// sinkRec captures emitted ops for assertions.
+type sinkRec struct{ ops []trace.Op }
+
+func (s *sinkRec) Record(op trace.Op, _ int) { s.ops = append(s.ops, op) }
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(100, []byte("hello persistent world"))
+	got := d.LoadBytes(100, 22)
+	if string(got) != "hello persistent world" {
+		t.Fatalf("Load = %q", got)
+	}
+}
+
+func TestStoreCrossesLineBoundary(t *testing.T) {
+	d := New(4096, nil)
+	data := make([]byte, 200)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	d.Store(60, data) // spans 4 lines starting mid-line
+	if got := d.LoadBytes(60, 200); !bytes.Equal(got, data) {
+		t.Fatalf("cross-line round trip failed")
+	}
+	// [60,260) touches lines at 0, 64, 128, 192 and 256.
+	if d.DirtyLines() != 5 {
+		t.Fatalf("DirtyLines = %d, want 5", d.DirtyLines())
+	}
+}
+
+func TestStoreNotDurableUntilFence(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{0xAA})
+	if img := d.Image(); img[0] != 0 {
+		t.Fatal("store visible in durable image before writeback+fence")
+	}
+	d.CLWB(0, 1)
+	if img := d.Image(); img[0] != 0 {
+		t.Fatal("clwb alone must not persist")
+	}
+	d.SFence()
+	if img := d.Image(); img[0] != 0xAA {
+		t.Fatal("store not durable after clwb+sfence")
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines = %d after full persist, want 0", d.DirtyLines())
+	}
+}
+
+func TestStoreAfterCLWBInvalidatesPending(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{1})
+	d.CLWB(0, 1)
+	d.Store(0, []byte{2}) // invalidates the pending writeback
+	d.SFence()
+	if img := d.Image(); img[0] != 0 {
+		t.Fatalf("image[0] = %d; store after clwb must not be persisted by the old clwb", img[0])
+	}
+	d.CLWB(0, 1)
+	d.SFence()
+	if img := d.Image(); img[0] != 2 {
+		t.Fatalf("image[0] = %d, want 2", img[0])
+	}
+}
+
+func TestStoreNTPersistsAtFence(t *testing.T) {
+	d := New(4096, nil)
+	d.StoreNT(128, []byte{7})
+	d.SFence()
+	if img := d.Image(); img[128] != 7 {
+		t.Fatal("non-temporal store must persist at the next fence")
+	}
+}
+
+func TestPersistBarrier(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{9})
+	d.PersistBarrier(0, 1)
+	if img := d.Image(); img[0] != 9 {
+		t.Fatal("persist_barrier must make the store durable")
+	}
+}
+
+func TestTypedHelpers(t *testing.T) {
+	d := New(4096, nil)
+	d.Store64(8, 0xDEADBEEFCAFE)
+	d.Store32(100, 0x12345678)
+	d.Store8(200, 0xFF)
+	if d.Load64(8) != 0xDEADBEEFCAFE {
+		t.Fatal("Load64 mismatch")
+	}
+	if d.Load32(100) != 0x12345678 {
+		t.Fatal("Load32 mismatch")
+	}
+	if d.Load8(200) != 0xFF {
+		t.Fatal("Load8 mismatch")
+	}
+}
+
+func TestOpsEmittedToSink(t *testing.T) {
+	s := &sinkRec{}
+	d := New(4096, s)
+	d.Store(0, []byte{1, 2, 3})
+	d.CLWB(0, 3)
+	d.SFence()
+	want := []trace.Kind{trace.KindWrite, trace.KindFlush, trace.KindFence}
+	if len(s.ops) != len(want) {
+		t.Fatalf("ops = %v", s.ops)
+	}
+	for i, k := range want {
+		if s.ops[i].Kind != k {
+			t.Fatalf("op %d = %v, want %v", i, s.ops[i].Kind, k)
+		}
+	}
+	if s.ops[0].Addr != 0 || s.ops[0].Size != 3 {
+		t.Fatalf("write op range = [%d,%d)", s.ops[0].Addr, s.ops[0].Addr+s.ops[0].Size)
+	}
+}
+
+func TestSetSinkSwaps(t *testing.T) {
+	s1, s2 := &sinkRec{}, &sinkRec{}
+	d := New(4096, s1)
+	d.Store(0, []byte{1})
+	old := d.SetSink(s2)
+	if old != trace.Sink(s1) {
+		t.Fatal("SetSink did not return previous sink")
+	}
+	d.Store(1, []byte{2})
+	if len(s1.ops) != 1 || len(s2.ops) != 1 {
+		t.Fatalf("sink routing wrong: %d / %d", len(s1.ops), len(s2.ops))
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := New(64, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range store")
+		}
+	}()
+	d.Store(60, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+}
+
+func TestSampleCrashSubsetsOfDirty(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{1})
+	d.Store(64, []byte{2})
+	d.Store(128, []byte{3})
+	rng := rand.New(rand.NewSource(42))
+	seen0, seen1 := false, false
+	for i := 0; i < 64; i++ {
+		img := d.SampleCrash(rng, CrashOptions{})
+		for j, addr := range []uint64{0, 64, 128} {
+			v := img[addr]
+			if v == 0 {
+				seen0 = true
+			} else if v == byte(j+1) {
+				seen1 = true
+			} else {
+				t.Fatalf("impossible crash value %d at line %d", v, j)
+			}
+		}
+	}
+	if !seen0 || !seen1 {
+		t.Fatal("sampling never produced both persisted and unpersisted lines")
+	}
+}
+
+func TestEnumerateCrashStates(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{1})
+	d.Store(64, []byte{2})
+	var states [][2]byte
+	ok := d.EnumerateCrashStates(0, func(img []byte) bool {
+		states = append(states, [2]byte{img[0], img[64]})
+		return true
+	})
+	if !ok {
+		t.Fatal("enumeration unexpectedly hit limit")
+	}
+	if len(states) != 4 {
+		t.Fatalf("states = %d, want 4", len(states))
+	}
+	want := map[[2]byte]bool{{0, 0}: true, {1, 0}: true, {0, 2}: true, {1, 2}: true}
+	for _, s := range states {
+		if !want[s] {
+			t.Fatalf("unexpected state %v", s)
+		}
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing states: %v", want)
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	d := New(4096, nil)
+	for i := uint64(0); i < 5; i++ {
+		d.Store(i*64, []byte{byte(i + 1)})
+	}
+	n := 0
+	ok := d.EnumerateCrashStates(10, func([]byte) bool { n++; return true })
+	if ok || n != 10 {
+		t.Fatalf("limit: ok=%v n=%d, want false/10", ok, n)
+	}
+}
+
+func TestCrashStateCount(t *testing.T) {
+	d := New(4096, nil)
+	for i := uint64(0); i < 10; i++ {
+		d.Store(i*64, []byte{1})
+	}
+	if got := d.CrashStateCount(); got != 1024 {
+		t.Fatalf("CrashStateCount = %v, want 1024", got)
+	}
+}
+
+func TestRecoveryCheckFindsBrokenState(t *testing.T) {
+	// Classic valid-flag bug: set valid=1 and data without ordering; a
+	// crash state with valid=1 but data=0 must be found.
+	d := New(4096, nil)
+	d.Store(0, []byte{42}) // data
+	d.Store(64, []byte{1}) // valid flag (separate line, unordered!)
+	err := d.RecoveryCheck(rand.New(rand.NewSource(1)), 32, CrashOptions{}, func(img []byte) error {
+		if img[64] == 1 && img[0] != 42 {
+			return errString("valid flag set but data missing")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("RecoveryCheck missed the inconsistent crash state")
+	}
+}
+
+func TestRecoveryCheckPassesWhenOrdered(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{42})
+	d.PersistBarrier(0, 1) // data durable before flag is written
+	d.Store(64, []byte{1})
+	err := d.RecoveryCheck(rand.New(rand.NewSource(1)), 64, CrashOptions{}, func(img []byte) error {
+		if img[64] == 1 && img[0] != 42 {
+			return errString("valid flag set but data missing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("correctly ordered program failed recovery: %v", err)
+	}
+}
+
+func TestFromImageIsolation(t *testing.T) {
+	d := New(128, nil)
+	d.Store(0, []byte{5})
+	d.PersistBarrier(0, 1)
+	img := d.Image()
+	d2 := FromImage(img, nil)
+	d2.Store(0, []byte{9})
+	d2.PersistBarrier(0, 1)
+	if img[0] != 5 {
+		t.Fatal("FromImage must copy the image")
+	}
+	if d.Load8(0) != 5 {
+		t.Fatal("original device affected by clone")
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{1})
+	d.Store(64, []byte{2})
+	d.DrainAll()
+	img := d.Image()
+	if img[0] != 1 || img[64] != 2 {
+		t.Fatal("DrainAll must persist everything")
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatal("DrainAll left dirty lines")
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// TestQuickLoadSeesLatestStore: Load must always observe program order
+// regardless of persistence operations interleaved.
+func TestQuickLoadSeesLatestStore(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(1024, nil)
+		shadow := make([]byte, 1024)
+		for i := 0; i < int(n); i++ {
+			addr := uint64(rng.Intn(1000))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := byte(rng.Intn(256))
+				d.Store(addr, []byte{v})
+				shadow[addr] = v
+			case 2:
+				d.CLWB(addr, 8)
+			case 3:
+				d.SFence()
+			}
+		}
+		for a := 0; a < 1024; a++ {
+			if d.Load8(uint64(a)) != shadow[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrashStatesRespectPersistence: a fully persisted store appears
+// in every crash state; a never-flushed store appears only with its line.
+func TestQuickCrashStatesRespectPersistence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(1024, nil)
+		d.Store(0, []byte{111})
+		d.PersistBarrier(0, 1)
+		d.Store(512, []byte{222}) // never flushed
+		for i := 0; i < 16; i++ {
+			img := d.SampleCrash(rng, CrashOptions{})
+			if img[0] != 111 {
+				return false // persisted data must survive every crash
+			}
+			if img[512] != 0 && img[512] != 222 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package pmem
+
+import (
+	"testing"
+
+	"pmtest/internal/trace"
+)
+
+// Additional device coverage: stats, zero-length ops, sink passthrough.
+
+func TestStatsCount(t *testing.T) {
+	d := New(4096, nil)
+	d.Store(0, []byte{1})
+	d.Store(64, []byte{2})
+	d.CLWB(0, 128)
+	d.SFence()
+	stores, flushes, fences := d.Stats()
+	if stores != 2 || flushes != 1 || fences != 1 {
+		t.Fatalf("Stats = %d, %d, %d", stores, flushes, fences)
+	}
+}
+
+func TestZeroLengthOpsNoTraceNoEffect(t *testing.T) {
+	s := &sinkRec{}
+	d := New(4096, s)
+	d.Store(10, nil)
+	d.CLWB(10, 0)
+	d.Load(10, nil)
+	if len(s.ops) != 0 {
+		t.Fatalf("zero-length ops emitted %d trace entries", len(s.ops))
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatal("zero-length store dirtied a line")
+	}
+}
+
+func TestRecordOpForwardsToSink(t *testing.T) {
+	s := &sinkRec{}
+	d := New(64, s)
+	d.RecordOp(trace.Op{Kind: trace.KindTxBegin}, 0)
+	if len(s.ops) != 1 || s.ops[0].Kind != trace.KindTxBegin {
+		t.Fatalf("ops = %v", s.ops)
+	}
+}
+
+func TestImageIsACopy(t *testing.T) {
+	d := New(64, nil)
+	d.Store(0, []byte{1})
+	d.PersistBarrier(0, 1)
+	img := d.Image()
+	img[0] = 99
+	if d.Load8(0) != 1 {
+		t.Fatal("Image aliases device memory")
+	}
+}
+
+func TestLoadStraddlesCachedAndDurable(t *testing.T) {
+	d := New(4096, nil)
+	// First line durable, second line only cached.
+	d.Store(0, []byte{1, 2, 3, 4})
+	d.PersistBarrier(0, 4)
+	d.Store(64, []byte{5, 6})
+	buf := make([]byte, 128)
+	d.Load(0, buf)
+	if buf[0] != 1 || buf[64] != 5 {
+		t.Fatalf("straddling load wrong: %v %v", buf[0], buf[64])
+	}
+}

@@ -1,0 +1,237 @@
+// Package pmemcheck reimplements the cost model and checking behaviour of
+// pmemcheck, the Valgrind-based tool the paper compares PMTest against
+// (§2.2, §6.2.1, Fig. 10a).
+//
+// Pmemcheck instruments every store at BYTE granularity and processes each
+// operation synchronously, inline with program execution — there is no
+// decoupled checking thread and no coarse range tracking. Those two design
+// choices are exactly what PMTest improves on, so this implementation
+// keeps them faithfully:
+//
+//   - a per-byte state machine (dirty → flushed → fenced/clean) updated on
+//     every store and writeback, byte by byte;
+//   - checking performed inside Record, so the program under test stalls
+//     for the full cost of every update.
+//
+// Like the real tool it reports stores that never became persistent,
+// redundant flushes ("multiple stores to the same address" /
+// "flushing non-dirty memory") and, for transaction events, objects
+// modified outside the undo log.
+package pmemcheck
+
+import (
+	"fmt"
+
+	"pmtest/internal/trace"
+)
+
+// byteState is the per-byte persistence state.
+type byteState uint8
+
+const (
+	stateClean   byteState = iota // persisted or never written
+	stateDirty                    // stored, not yet flushed
+	stateFlushed                  // flush issued, awaiting fence
+)
+
+// Issue is one pmemcheck finding.
+type Issue struct {
+	// Kind is the pmemcheck-style message class.
+	Kind string
+	// Addr is the first affected byte.
+	Addr uint64
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s @0x%x: %s", i.Kind, i.Addr, i.Detail) }
+
+// Issue kinds.
+const (
+	IssueNotPersisted = "store-not-persisted"
+	IssueDoubleFlush  = "redundant-flush"
+	IssueCleanFlush   = "flush-of-clean"
+	IssueNoLog        = "store-outside-tx-log"
+)
+
+// Checker is a synchronous, byte-granular persistence checker. It
+// implements trace.Sink so it attaches to the same instrumented device as
+// PMTest's tracker; unlike PMTest, all work happens inside Record.
+type Checker struct {
+	bytes map[uint64]byteState
+	// txDepth and log track transaction events for the PMDK-specific
+	// checks pmemcheck ships with.
+	txDepth int
+	log     map[uint64]bool
+	// excluded is kept as ranges: exclusions cover large static regions
+	// (library metadata), so per-byte expansion would dominate runtime.
+	excluded []exRange
+	issues   []Issue
+	// stores counts tracked store bytes (the tool's work metric).
+	storeBytes uint64
+}
+
+type exRange struct{ lo, hi uint64 }
+
+// New returns an empty checker.
+func New() *Checker {
+	return &Checker{
+		bytes: make(map[uint64]byteState),
+		log:   make(map[uint64]bool),
+	}
+}
+
+func (c *Checker) isExcluded(a uint64) bool {
+	for _, r := range c.excluded {
+		if a >= r.lo && a < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Record implements trace.Sink: every operation is processed immediately,
+// byte by byte.
+func (c *Checker) Record(op trace.Op, _ int) {
+	switch op.Kind {
+	case trace.KindWrite:
+		c.store(op, false)
+	case trace.KindWriteNT:
+		c.store(op, true)
+	case trace.KindFlush:
+		c.flush(op)
+	case trace.KindFence, trace.KindDFence, trace.KindOFence:
+		c.fence()
+	case trace.KindTxBegin:
+		c.txDepth++
+		if c.txDepth == 1 {
+			c.log = make(map[uint64]bool)
+		}
+	case trace.KindTxEnd:
+		if c.txDepth > 0 {
+			c.txDepth--
+		}
+	case trace.KindTxAdd:
+		for a := op.Addr; a < op.Addr+op.Size; a++ {
+			c.log[a] = true
+		}
+	case trace.KindExclude:
+		if !c.isExcluded(op.Addr) || !c.isExcluded(op.Addr+op.Size-1) {
+			c.excluded = append(c.excluded, exRange{op.Addr, op.Addr + op.Size})
+		}
+	case trace.KindInclude:
+		out := c.excluded[:0]
+		for _, r := range c.excluded {
+			// Keep the parts outside the included range.
+			if r.hi <= op.Addr || r.lo >= op.Addr+op.Size {
+				out = append(out, r)
+				continue
+			}
+			if r.lo < op.Addr {
+				out = append(out, exRange{r.lo, op.Addr})
+			}
+			if r.hi > op.Addr+op.Size {
+				out = append(out, exRange{op.Addr + op.Size, r.hi})
+			}
+		}
+		c.excluded = out
+	}
+	// Checker ops (isPersist etc.) are PMTest's interface; pmemcheck has
+	// no equivalent and ignores them (its checks are built in).
+}
+
+func (c *Checker) store(op trace.Op, nt bool) {
+	for a := op.Addr; a < op.Addr+op.Size; a++ {
+		if c.txDepth > 0 && !c.log[a] && !c.isExcluded(a) {
+			c.issues = append(c.issues, Issue{
+				Kind: IssueNoLog, Addr: a,
+				Detail: "store inside transaction to unlogged address",
+			})
+			// One finding per store op is enough detail.
+			c.markRange(op, nt)
+			return
+		}
+	}
+	c.markRange(op, nt)
+}
+
+func (c *Checker) markRange(op trace.Op, nt bool) {
+	st := stateDirty
+	if nt {
+		st = stateFlushed
+	}
+	for a := op.Addr; a < op.Addr+op.Size; a++ {
+		c.bytes[a] = st
+		c.storeBytes++
+	}
+}
+
+func (c *Checker) flush(op trace.Op) {
+	dirty, redundant := false, false
+	redundantAt := uint64(0)
+	for a := op.Addr; a < op.Addr+op.Size; a++ {
+		switch c.bytes[a] {
+		case stateDirty:
+			c.bytes[a] = stateFlushed
+			dirty = true
+		case stateFlushed:
+			if !c.isExcluded(a) && !redundant {
+				redundant, redundantAt = true, a
+			}
+		}
+	}
+	switch {
+	case redundant:
+		c.issues = append(c.issues, Issue{
+			Kind: IssueDoubleFlush, Addr: redundantAt,
+			Detail: "flushing memory already being flushed",
+		})
+	case !dirty && !c.isExcluded(op.Addr):
+		c.issues = append(c.issues, Issue{
+			Kind: IssueCleanFlush, Addr: op.Addr,
+			Detail: "flushing clean (never written) memory",
+		})
+	}
+}
+
+func (c *Checker) fence() {
+	for a, st := range c.bytes {
+		if st == stateFlushed {
+			delete(c.bytes, a)
+		}
+	}
+}
+
+// Finish reports every byte still not persisted, like pmemcheck's
+// end-of-run summary, and returns all issues.
+func (c *Checker) Finish() []Issue {
+	reported := map[uint64]bool{}
+	for a, st := range c.bytes {
+		if st != stateClean && !c.isExcluded(a) && !reported[a] {
+			c.issues = append(c.issues, Issue{
+				Kind: IssueNotPersisted, Addr: a,
+				Detail: "store never made persistent",
+			})
+			reported[a] = true
+		}
+	}
+	return c.issues
+}
+
+// Issues returns findings so far without the end-of-run pass.
+func (c *Checker) Issues() []Issue { return c.issues }
+
+// TrackedBytes reports cumulative per-byte store work (the cost metric
+// that makes pmemcheck slow).
+func (c *Checker) TrackedBytes() uint64 { return c.storeBytes }
+
+// CountKind tallies issues of one kind.
+func CountKind(issues []Issue, kind string) int {
+	n := 0
+	for _, i := range issues {
+		if i.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

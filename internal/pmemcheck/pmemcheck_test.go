@@ -1,0 +1,135 @@
+package pmemcheck
+
+import (
+	"testing"
+
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+	"pmtest/internal/whisper"
+)
+
+func op(k trace.Kind, addr, size uint64) trace.Op {
+	return trace.Op{Kind: k, Addr: addr, Size: size}
+}
+
+func TestCleanSequenceNoIssues(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindWrite, 0x10, 64), 0)
+	c.Record(op(trace.KindFlush, 0x10, 64), 0)
+	c.Record(op(trace.KindFence, 0, 0), 0)
+	if issues := c.Finish(); len(issues) != 0 {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestUnpersistedStoreReported(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindWrite, 0x10, 8), 0)
+	issues := c.Finish()
+	if CountKind(issues, IssueNotPersisted) == 0 {
+		t.Fatalf("missing not-persisted: %v", issues)
+	}
+}
+
+func TestFlushWithoutFenceStillUnpersisted(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindWrite, 0x10, 8), 0)
+	c.Record(op(trace.KindFlush, 0x10, 8), 0)
+	issues := c.Finish()
+	if CountKind(issues, IssueNotPersisted) == 0 {
+		t.Fatalf("flush without fence must stay unpersisted: %v", issues)
+	}
+}
+
+func TestDoubleFlushReported(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindWrite, 0x10, 8), 0)
+	c.Record(op(trace.KindFlush, 0x10, 8), 0)
+	c.Record(op(trace.KindFlush, 0x10, 8), 0)
+	if CountKind(c.Issues(), IssueDoubleFlush) != 1 {
+		t.Fatalf("issues = %v", c.Issues())
+	}
+}
+
+func TestCleanFlushReported(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindFlush, 0x500, 64), 0)
+	if CountKind(c.Issues(), IssueCleanFlush) != 1 {
+		t.Fatalf("issues = %v", c.Issues())
+	}
+}
+
+func TestTxUnloggedStoreReported(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindTxBegin, 0, 0), 0)
+	c.Record(op(trace.KindTxAdd, 0x100, 64), 0)
+	c.Record(op(trace.KindWrite, 0x100, 8), 0) // logged: fine
+	c.Record(op(trace.KindWrite, 0x200, 8), 0) // unlogged
+	c.Record(op(trace.KindTxEnd, 0, 0), 0)
+	if CountKind(c.Issues(), IssueNoLog) != 1 {
+		t.Fatalf("issues = %v", c.Issues())
+	}
+}
+
+func TestExcludeSuppresses(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindExclude, 0x100, 64), 0)
+	c.Record(op(trace.KindTxBegin, 0, 0), 0)
+	c.Record(op(trace.KindWrite, 0x100, 8), 0)
+	c.Record(op(trace.KindTxEnd, 0, 0), 0)
+	c.Record(op(trace.KindFlush, 0x100, 8), 0)
+	c.Record(op(trace.KindFlush, 0x100, 8), 0)
+	c.Record(op(trace.KindFence, 0, 0), 0)
+	if len(c.Issues()) != 0 {
+		t.Fatalf("excluded range produced issues: %v", c.Issues())
+	}
+}
+
+func TestNTStorePersistsAtFence(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindWriteNT, 0x10, 8), 0)
+	c.Record(op(trace.KindFence, 0, 0), 0)
+	if issues := c.Finish(); len(issues) != 0 {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+// TestAgreesWithPMTestOnWorkloads: pmemcheck and PMTest must agree on
+// clean vs buggy verdicts for the PMDK workloads they both support.
+func TestAgreesWithPMTestOnWorkloads(t *testing.T) {
+	run := func(bugs whisper.BugSet) []Issue {
+		c := New()
+		s, err := whisper.NewCTree(pmem.New(1<<24, c), bugs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 50; i++ {
+			if err := s.Insert(i*3, []byte{1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Finish()
+	}
+	if issues := run(nil); len(issues) != 0 {
+		t.Fatalf("clean ctree flagged by pmemcheck: %v", issues[:min(3, len(issues))])
+	}
+	buggy := run(whisper.BugSet{whisper.BugCTreeSkipParentLog: true})
+	if CountKind(buggy, IssueNoLog) == 0 {
+		t.Fatalf("pmemcheck missed the unlogged store: %v", buggy)
+	}
+}
+
+func TestTrackedBytesGrowsPerByte(t *testing.T) {
+	c := New()
+	c.Record(op(trace.KindWrite, 0, 4096), 0)
+	if c.TrackedBytes() != 4096 {
+		t.Fatalf("TrackedBytes = %d", c.TrackedBytes())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

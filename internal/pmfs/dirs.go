@@ -1,0 +1,197 @@
+package pmfs
+
+import (
+	"strings"
+)
+
+// Directory hierarchy. Dentries carry a parent-inode field, so a path
+// like "a/b/f" resolves by walking components from the root directory
+// (inode 1, created by Mkfs). All metadata changes remain journaled.
+//
+// Dentry layout (64 bytes):
+//
+//	0  inode number
+//	8  parent directory inode
+//	16 name length (2)
+//	18 name (MaxName bytes)
+
+const (
+	deIno    = 0
+	deParent = 8
+	deLen    = 16
+	deName   = 18
+
+	// RootIno is the root directory's inode, created by Mkfs.
+	RootIno = 1
+
+	inodeFile = 1
+	inodeDir  = 2
+)
+
+// splitPath returns the parent components and the final name of a
+// slash-separated path ("a/b/f" → ["a","b"], "f"). Leading slashes and
+// empty components are ignored.
+func splitPath(path string) (dirs []string, name string) {
+	parts := make([]string, 0, 4)
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, ""
+	}
+	if len(parts) == 1 {
+		return nil, parts[0]
+	}
+	return parts[:len(parts)-1], parts[len(parts)-1]
+}
+
+// resolveDir walks the directory components, returning the inode of the
+// directory that should contain the final name.
+func (fs *FS) resolveDir(dirs []string) (uint64, error) {
+	cur := uint64(RootIno)
+	for _, comp := range dirs {
+		ino, err := fs.lookupIn(cur, comp)
+		if err != nil {
+			return 0, err
+		}
+		if fs.dev.Load8(fs.inodeOff(ino)+inUsed) != inodeDir {
+			return 0, ErrNotADir
+		}
+		cur = ino
+	}
+	return cur, nil
+}
+
+// lookupIn finds name within directory dir.
+func (fs *FS) lookupIn(dir uint64, name string) (uint64, error) {
+	slot, ino, err := fs.lookupSlotIn(dir, name)
+	_ = slot
+	return ino, err
+}
+
+func (fs *FS) lookupSlotIn(dir uint64, name string) (slot, ino uint64, err error) {
+	for i := uint64(0); i < fs.nDentry; i++ {
+		off := fs.dentryOff(i)
+		in := fs.dev.Load64(off + deIno)
+		if in == 0 || fs.dev.Load64(off+deParent) != dir {
+			continue
+		}
+		n := getU16(fs.dev.LoadBytes(off+deLen, 2))
+		if string(fs.dev.LoadBytes(off+deName, uint64(n))) == name {
+			return i, in, nil
+		}
+	}
+	return 0, 0, ErrNotFound
+}
+
+// parentOf returns the parent directory of the directory with inode ino
+// by scanning for its dentry.
+func (fs *FS) parentOf(ino uint64) (uint64, bool) {
+	for i := uint64(0); i < fs.nDentry; i++ {
+		off := fs.dentryOff(i)
+		if fs.dev.Load64(off+deIno) == ino {
+			return fs.dev.Load64(off + deParent), true
+		}
+	}
+	return 0, false
+}
+
+// Mkdir creates a directory at path; parents must exist.
+func (fs *FS) Mkdir(path string) (uint64, error) {
+	defer fs.section()
+	return fs.createNode(path, inodeDir)
+}
+
+// createNode allocates an inode+dentry of the given kind under the
+// resolved parent, journaled.
+func (fs *FS) createNode(path string, kind byte) (uint64, error) {
+	dirs, name := splitPath(path)
+	if name == "" {
+		return 0, ErrNotFound
+	}
+	if len(name) > MaxName {
+		return 0, ErrNameTooBig
+	}
+	parent, err := fs.resolveDir(dirs)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fs.lookupIn(parent, name); err == nil {
+		return 0, ErrExists
+	}
+	ino, ok := fs.findFreeInode()
+	if !ok {
+		return 0, ErrNoSpace
+	}
+	slot, ok := fs.findFreeDentry()
+	if !ok {
+		return 0, ErrNoSpace
+	}
+
+	tx := fs.beginTx()
+	tx.logRange(fs.inodeOff(ino), InodeSize)
+	tx.logRange(fs.dentryOff(slot), DentrySize)
+	tx.publish()
+	inode := make([]byte, InodeSize)
+	inode[inUsed] = kind
+	tx.modify(fs.inodeOff(ino), inode)
+	de := make([]byte, DentrySize)
+	putU64(de[deIno:], ino)
+	putU64(de[deParent:], parent)
+	putU16(de[deLen:], uint16(len(name)))
+	copy(de[deName:], name)
+	tx.modify(fs.dentryOff(slot), de)
+	tx.commit()
+	return ino, nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error {
+	defer fs.section()
+	dirs, name := splitPath(path)
+	parent, err := fs.resolveDir(dirs)
+	if err != nil {
+		return err
+	}
+	slot, ino, err := fs.lookupSlotIn(parent, name)
+	if err != nil {
+		return err
+	}
+	if fs.dev.Load8(fs.inodeOff(ino)+inUsed) != inodeDir {
+		return ErrNotADir
+	}
+	// Must be empty.
+	for i := uint64(0); i < fs.nDentry; i++ {
+		off := fs.dentryOff(i)
+		if fs.dev.Load64(off+deIno) != 0 && fs.dev.Load64(off+deParent) == ino {
+			return ErrNotEmpty
+		}
+	}
+	tx := fs.beginTx()
+	tx.logRange(fs.dentryOff(slot), 8)
+	tx.logRange(fs.inodeOff(ino), InodeSize)
+	tx.publish()
+	tx.modify64(fs.dentryOff(slot), 0)
+	tx.modify(fs.inodeOff(ino), make([]byte, InodeSize))
+	tx.commit()
+	return nil
+}
+
+// IsDir reports whether path names a directory.
+func (fs *FS) IsDir(path string) (bool, error) {
+	dirs, name := splitPath(path)
+	if name == "" {
+		return true, nil // the root
+	}
+	parent, err := fs.resolveDir(dirs)
+	if err != nil {
+		return false, err
+	}
+	ino, err := fs.lookupIn(parent, name)
+	if err != nil {
+		return false, err
+	}
+	return fs.dev.Load8(fs.inodeOff(ino)+inUsed) == inodeDir, nil
+}

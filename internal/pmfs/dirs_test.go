@@ -1,0 +1,252 @@
+package pmfs
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pmtest/internal/pmem"
+)
+
+func TestMkdirAndNestedCreate(t *testing.T) {
+	fs := newFS(t, nil)
+	if _, err := fs.Mkdir("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := fs.CreateFile("a/b/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ino, 0, []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Lookup("a/b/file")
+	if err != nil || got != ino {
+		t.Fatalf("Lookup = %d, %v", got, err)
+	}
+	// Same leaf name in different directories is fine.
+	if _, err := fs.CreateFile("file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateFile("a/file"); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate within one directory is not.
+	if _, err := fs.CreateFile("a/b/file"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListDirPerDirectory(t *testing.T) {
+	fs := newFS(t, nil)
+	fs.Mkdir("d1")
+	fs.Mkdir("d2")
+	fs.CreateFile("d1/x")
+	fs.CreateFile("d1/y")
+	fs.CreateFile("d2/z")
+	fs.CreateFile("top")
+	got, err := fs.ListDir("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("ListDir(d1) = %v", got)
+	}
+	root, _ := fs.ListDir("")
+	sort.Strings(root)
+	if !reflect.DeepEqual(root, []string{"d1", "d2", "top"}) {
+		t.Fatalf("ListDir(root) = %v", root)
+	}
+	if _, err := fs.ListDir("top"); !errors.Is(err, ErrNotADir) {
+		t.Fatalf("ListDir(file) = %v", err)
+	}
+	if _, err := fs.ListDir("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ListDir(ghost) = %v", err)
+	}
+}
+
+func TestDirErrors(t *testing.T) {
+	fs := newFS(t, nil)
+	fs.Mkdir("d")
+	fs.CreateFile("f")
+	if _, err := fs.CreateFile("f/child"); !errors.Is(err, ErrNotADir) {
+		t.Fatalf("create under file: %v", err)
+	}
+	if _, err := fs.CreateFile("ghost/child"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("create under missing dir: %v", err)
+	}
+	if err := fs.Unlink("d"); !errors.Is(err, ErrIsADir) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+	if isDir, err := fs.IsDir("d"); err != nil || !isDir {
+		t.Fatalf("IsDir(d) = %v, %v", isDir, err)
+	}
+	if isDir, _ := fs.IsDir("f"); isDir {
+		t.Fatal("IsDir(file) true")
+	}
+	if isDir, err := fs.IsDir("/"); err != nil || !isDir {
+		t.Fatalf("IsDir(root) = %v, %v", isDir, err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs := newFS(t, nil)
+	fs.Mkdir("d")
+	fs.CreateFile("d/f")
+	if err := fs.Rmdir("d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := fs.Unlink("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("d"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("directory still resolves after Rmdir")
+	}
+	if err := fs.Rmdir("d"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double rmdir: %v", err)
+	}
+	// Rmdir of a file is refused.
+	fs.CreateFile("plain")
+	if err := fs.Rmdir("plain"); !errors.Is(err, ErrNotADir) {
+		t.Fatalf("rmdir file: %v", err)
+	}
+}
+
+func TestRenameAcrossDirectories(t *testing.T) {
+	fs := newFS(t, nil)
+	fs.Mkdir("src")
+	fs.Mkdir("dst")
+	ino, _ := fs.CreateFile("src/f")
+	fs.WriteFile(ino, 0, []byte("moved"))
+	if err := fs.Rename("src/f", "dst/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("src/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("source still resolves")
+	}
+	got, err := fs.Lookup("dst/g")
+	if err != nil || got != ino {
+		t.Fatalf("Lookup(dst/g) = %d, %v", got, err)
+	}
+	buf := make([]byte, 5)
+	fs.ReadFile(got, 0, buf)
+	if string(buf) != "moved" {
+		t.Fatalf("data = %q", buf)
+	}
+}
+
+func TestDirectoryTreeSurvivesRemountAndCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	dev := pmem.New(devSize, nil)
+	fs, err := Mkfs(dev, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Mkdir("a")
+	fs.Mkdir("a/b")
+	ino, _ := fs.CreateFile("a/b/leaf")
+	fs.WriteFile(ino, 0, []byte("nested"))
+	for trial := 0; trial < 15; trial++ {
+		img := dev.SampleCrash(rng, pmem.CrashOptions{})
+		fs2, _, err := Mount(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs2.Lookup("a/b/leaf")
+		if err != nil {
+			t.Fatalf("trial %d: nested path lost: %v", trial, err)
+		}
+		buf := make([]byte, 6)
+		fs2.ReadFile(got, 0, buf)
+		if string(buf) != "nested" {
+			t.Fatalf("trial %d: data = %q", trial, buf)
+		}
+	}
+}
+
+// TestCrashDuringMkdirAtomic: an uncommitted mkdir never becomes visible.
+func TestCrashDuringMkdirAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 15; trial++ {
+		fs := newFS(t, nil)
+		ino, _ := fs.findFreeInode()
+		slot, _ := fs.findFreeDentry()
+		tx := fs.beginTx()
+		tx.logRange(fs.inodeOff(ino), InodeSize)
+		tx.logRange(fs.dentryOff(slot), DentrySize)
+		tx.publish()
+		inode := make([]byte, InodeSize)
+		inode[inUsed] = inodeDir
+		tx.modify(fs.inodeOff(ino), inode)
+		de := make([]byte, DentrySize)
+		putU64(de[deIno:], ino)
+		putU64(de[deParent:], RootIno)
+		putU16(de[deLen:], 3)
+		copy(de[deName:], "dir")
+		tx.modify(fs.dentryOff(slot), de)
+		// Crash before commit.
+		img := fs.Device().SampleCrash(rng, pmem.CrashOptions{})
+		fs2, _, err := Mount(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs2.Lookup("dir"); err == nil {
+			t.Fatalf("trial %d: uncommitted mkdir visible", trial)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		dirs []string
+		name string
+	}{
+		{"f", nil, "f"},
+		{"/f", nil, "f"},
+		{"a/b/f", []string{"a", "b"}, "f"},
+		{"//a//f", []string{"a"}, "f"},
+		{"", nil, ""},
+		{"/", nil, ""},
+	}
+	for _, c := range cases {
+		dirs, name := splitPath(c.in)
+		if !reflect.DeepEqual(dirs, c.dirs) || name != c.name {
+			t.Errorf("splitPath(%q) = %v, %q; want %v, %q", c.in, dirs, name, c.dirs, c.name)
+		}
+	}
+}
+
+func TestRenameDirIntoItselfRefused(t *testing.T) {
+	fs := newFS(t, nil)
+	fs.Mkdir("a")
+	fs.Mkdir("a/b")
+	if err := fs.Rename("a", "a/b/c"); !errors.Is(err, ErrInvalidMove) {
+		t.Fatalf("rename into own subtree: %v", err)
+	}
+	// Directory moves that do not create cycles are fine.
+	fs.Mkdir("other")
+	if err := fs.Rename("a/b", "other/b"); err != nil {
+		t.Fatal(err)
+	}
+	if isDir, err := fs.IsDir("other/b"); err != nil || !isDir {
+		t.Fatalf("moved dir missing: %v %v", isDir, err)
+	}
+}
+
+func TestTruncateDirectoryRefused(t *testing.T) {
+	fs := newFS(t, nil)
+	fs.Mkdir("d")
+	if err := fs.Truncate("d", 0); !errors.Is(err, ErrIsADir) {
+		t.Fatalf("truncate dir: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package pmfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pmtest/internal/pmem"
+)
+
+// Extra coverage: capacity limits, maximal files, overwrite semantics,
+// fsync, and inode/dentry exhaustion.
+
+func TestMaxSizeFile(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("big")
+	data := make([]byte, NumDirect*BlockSize)
+	for i := range data {
+		data[i] = byte(i / BlockSize)
+	}
+	if err := fs.WriteFile(ino, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	n, err := fs.ReadFile(ino, 0, buf)
+	if err != nil || n != len(data) {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("max-size round trip failed")
+	}
+	if _, blocks := fs.Usage(); blocks != NumDirect {
+		t.Fatalf("blocks = %d, want %d", blocks, NumDirect)
+	}
+}
+
+func TestOverwriteDoesNotReallocate(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, make([]byte, BlockSize))
+	_, before := fs.Usage()
+	fs.WriteFile(ino, 100, []byte("overwrite"))
+	_, after := fs.Usage()
+	if before != after {
+		t.Fatalf("overwrite changed block count: %d → %d", before, after)
+	}
+	buf := make([]byte, 9)
+	fs.ReadFile(ino, 100, buf)
+	if string(buf) != "overwrite" {
+		t.Fatalf("buf = %q", buf)
+	}
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	dev := pmem.New(devSize, nil)
+	fs, err := Mkfs(dev, 4, 16) // inode 0 = nil, 1 = root dir → 2 usable
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := fs.CreateFile(string(rune('a' + i))); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	if _, err := fs.CreateFile("overflow"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	// Unlink frees the inode for reuse.
+	if err := fs.Unlink("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateFile("reuse"); err != nil {
+		t.Fatalf("reuse after unlink: %v", err)
+	}
+}
+
+func TestFsyncUnknownInode(t *testing.T) {
+	fs := newFS(t, nil)
+	if err := fs.Fsync(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatMissing(t *testing.T) {
+	fs := newFS(t, nil)
+	if _, err := fs.Stat("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoveryInfoCommittedPath(t *testing.T) {
+	// Crash after the commit LE is durable but before sbNLive clears:
+	// recovery must recognize the committed transaction and not roll back.
+	fs := newFS(t, nil)
+	fs.CreateFile("keep")
+	tx := fs.beginTx()
+	iOff := fs.inodeOff(5)
+	tx.logRange(iOff, InodeSize)
+	tx.publish()
+	inode := make([]byte, InodeSize)
+	inode[inUsed] = 1
+	tx.modify(iOff, inode)
+	// Commit fully (everything durable), then re-publish nLive as if the
+	// final clear had not persisted.
+	tx.commit()
+	fs.dev.Store64(sbNLive, 3) // the LE count before the commit record
+	fs.dev.PersistBarrier(sbNLive, 8)
+	fs2, info, err := Mount(pmem.FromImage(fs.Device().Image(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Committed || info.RolledBack != 0 {
+		t.Fatalf("info = %+v, want committed with no rollback", info)
+	}
+	if fs2.dev.Load8(fs2.inodeOff(5)+inUsed) != 1 {
+		t.Fatal("committed inode update rolled back")
+	}
+}
+
+func TestWriteExtendsSizeOnly(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, make([]byte, 100))
+	if size, _ := fs.Stat("f"); size != 100 {
+		t.Fatalf("size = %d", size)
+	}
+	// Writing earlier bytes must not shrink the size.
+	fs.WriteFile(ino, 10, []byte{1})
+	if size, _ := fs.Stat("f"); size != 100 {
+		t.Fatalf("size after inner write = %d", size)
+	}
+}
+
+func TestSectionHookFiresPerOperation(t *testing.T) {
+	fs := newFS(t, nil)
+	n := 0
+	fs.SetSectionHook(func() { n++ })
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, []byte{1})
+	fs.Fsync(ino)
+	fs.Unlink("f")
+	if n != 4 {
+		t.Fatalf("section hook fired %d times, want 4", n)
+	}
+}

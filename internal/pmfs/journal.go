@@ -1,0 +1,230 @@
+package pmfs
+
+import (
+	"pmtest/internal/trace"
+)
+
+// The undo journal. A metadata transaction:
+//
+//  1. appends one undo log entry (LE) per modified range, each tagged
+//     with the current generation id, and writes the entries back;
+//  2. fences, then publishes the entry count (sbNLive) with a barrier —
+//     from here a crash rolls the transaction back;
+//  3. modifies metadata in place, writes it back, fences;
+//  4. appends a COMMIT log entry (pmfs_commit_logentry), flushes it and
+//     fences, then clears sbNLive with a barrier.
+//
+// Recovery: sbNLive > 0 and no commit entry → roll back (apply LEs in
+// reverse); commit entry present → updates already durable, just clear.
+//
+// Log entry layout (64 bytes, as in PMFS):
+//
+//	0  target address (8)
+//	8  size (2) | type (1) | pad (1) | gen_id (4)
+//	16 data (48)
+
+type journalTx struct {
+	fs      *FS
+	ranges  []leRange
+	genID   uint32
+	touched []leRange // in-place ranges modified (for annotations)
+}
+
+type leRange struct{ addr, size uint64 }
+
+func (fs *FS) leOff(i int) uint64 { return fs.journal + uint64(i)*LESize }
+
+// beginTx starts a metadata transaction. The journal supports one
+// outstanding transaction, like PMFS's per-CPU transaction slots. Each
+// transaction durably bumps the generation id first, so log entries (and
+// the commit record) of earlier transactions are recognizably stale —
+// PMFS's gen_id mechanism.
+func (fs *FS) beginTx() *journalTx {
+	fs.leUsed = 0
+	gen := uint32(fs.dev.Load64(sbGenID)) + 1
+	fs.dev.Store64(sbGenID, uint64(gen))
+	fs.dev.CLWBSkip(sbGenID, 8, 1)
+	fs.dev.SFenceSkip(1)
+	return &journalTx{fs: fs, genID: gen}
+}
+
+// logRange appends undo entries covering [addr, addr+size) (split into
+// 48-byte chunks, one LE each) — pmfs_add_logentry.
+func (tx *journalTx) logRange(addr, size uint64) {
+	fs := tx.fs
+	for off := uint64(0); off < size; off += LEDataSize {
+		n := size - off
+		if n > LEDataSize {
+			n = LEDataSize
+		}
+		le := fs.leOff(fs.leUsed)
+		buf := make([]byte, LESize)
+		putU64(buf[0:8], addr+off)
+		putU16(buf[8:10], uint16(n))
+		buf[10] = leData
+		putU32(buf[12:16], tx.genID)
+		fs.dev.Load(addr+off, buf[16:16+n])
+		fs.dev.StoreSkip(le, buf, 1)
+		if !fs.bugs.SkipLogEntryFlush {
+			fs.dev.CLWBSkip(le, LESize, 1)
+		}
+		fs.leUsed++
+	}
+	tx.ranges = append(tx.ranges, leRange{addr, size})
+}
+
+// publish makes the undo entries valid: fence, then persist the live
+// count. After publish, in-place modification may begin.
+func (tx *journalTx) publish() {
+	fs := tx.fs
+	fs.dev.SFenceSkip(1)
+	fs.dev.Store64(sbNLive, uint64(fs.leUsed))
+	fs.dev.CLWBSkip(sbNLive, 8, 1)
+	fs.dev.SFenceSkip(1)
+	if fs.annotate {
+		// Every LE must be durable strictly before the publish word.
+		fs.dev.RecordOp(trace.Op{
+			Kind: trace.KindIsOrderedBefore,
+			Addr: fs.journal, Size: uint64(fs.leUsed) * LESize,
+			Addr2: sbNLive, Size2: 8,
+		}, 1)
+	}
+}
+
+// modify performs an in-place journaled update and writes it back.
+func (tx *journalTx) modify(addr uint64, data []byte) {
+	fs := tx.fs
+	fs.dev.StoreSkip(addr, data, 1)
+	if !fs.bugs.SkipInodeFlush {
+		fs.dev.CLWBSkip(addr, uint64(len(data)), 1)
+	}
+	tx.touched = append(tx.touched, leRange{addr, uint64(len(data))})
+}
+
+// modify64 is modify for one 64-bit word.
+func (tx *journalTx) modify64(addr uint64, v uint64) {
+	var b [8]byte
+	putU64(b[:], v)
+	tx.modify(addr, b[:])
+}
+
+// commit finishes the transaction: fence the in-place updates, append the
+// COMMIT entry (pmfs_commit_logentry), persist it, and clear the live
+// count. The DoubleFlushCommit switch reproduces journal.c:632 — after
+// flushing the commit LE it redundantly flushes the whole transaction's
+// entries again (paper Fig. 13a / Table 6 Bug 1).
+func (tx *journalTx) commit() {
+	fs := tx.fs
+	fs.dev.SFenceSkip(1)
+	if fs.annotate {
+		for _, r := range tx.touched {
+			fs.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist, Addr: r.addr, Size: r.size}, 1)
+		}
+	}
+	// pmfs_commit_logentry: the commit record.
+	le := fs.leOff(fs.leUsed)
+	buf := make([]byte, LESize)
+	buf[10] = leCommit
+	putU32(buf[12:16], tx.genID)
+	fs.dev.StoreSkip(le, buf, 1)
+	fs.dev.CLWBSkip(le, LESize, 1)
+	if fs.bugs.DoubleFlushCommit {
+		// journal.c:632 — flush the entire transaction again even though
+		// every entry (and the commit LE) has already been written back.
+		fs.dev.CLWBSkip(fs.journal, uint64(fs.leUsed+1)*LESize, 1)
+	}
+	fs.leUsed++
+	if !fs.bugs.SkipCommitFence {
+		fs.dev.SFenceSkip(1)
+	}
+	fs.dev.Store64(sbNLive, 0)
+	fs.dev.CLWBSkip(sbNLive, 8, 1)
+	fs.dev.SFenceSkip(1)
+}
+
+// RecoveryInfo reports what Mount's journal recovery did.
+type RecoveryInfo struct {
+	// RolledBack is the number of undo entries applied (uncommitted tx).
+	RolledBack int
+	// Committed reports that a committed transaction's journal was simply
+	// cleared.
+	Committed bool
+}
+
+func (fs *FS) recoverJournal() *RecoveryInfo {
+	info := &RecoveryInfo{}
+	live := fs.dev.Load64(sbNLive)
+	if live == 0 {
+		return info
+	}
+	genID := uint32(fs.dev.Load64(sbGenID))
+	// Look for a commit entry after the live undo entries.
+	commitLE := fs.leOff(int(live))
+	hdr := fs.dev.LoadBytes(commitLE, 16)
+	committed := hdr[10] == leCommit && getU32(hdr[12:16]) == genID
+	if committed {
+		info.Committed = true
+	} else {
+		for i := int(live) - 1; i >= 0; i-- {
+			le := fs.leOff(i)
+			buf := fs.dev.LoadBytes(le, LESize)
+			if getU32(buf[12:16]) != genID || buf[10] != leData {
+				continue
+			}
+			addr := getU64(buf[0:8])
+			size := uint64(getU16(buf[8:10]))
+			fs.dev.Store(addr, buf[16:16+size])
+			fs.dev.CLWB(addr, size)
+			info.RolledBack++
+		}
+		fs.dev.SFence()
+	}
+	// Bump the generation (invalidates stale entries) and clear.
+	fs.dev.Store64(sbGenID, uint64(genID)+1)
+	fs.dev.CLWB(sbGenID, 8)
+	fs.dev.SFence()
+	fs.dev.Store64(sbNLive, 0)
+	fs.dev.PersistBarrier(sbNLive, 8)
+	return info
+}
+
+// --- little-endian helpers (journal entries are raw bytes) -----------------
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putU16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func getU32(b []byte) uint32 {
+	_ = b[3]
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func getU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }

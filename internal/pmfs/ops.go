@@ -1,0 +1,331 @@
+package pmfs
+
+import (
+	"pmtest/internal/trace"
+)
+
+// File operations. Metadata changes (inode table, bitmap, dentries) go
+// through the undo journal; file data is written XIP-style in place and
+// written back explicitly, before the metadata that references it is
+// journaled — the standard "data before metadata" ordering.
+
+// CreateFile allocates an inode and a directory entry for the file at
+// path; parent directories must exist.
+func (fs *FS) CreateFile(path string) (uint64, error) {
+	defer fs.section()
+	return fs.createNode(path, inodeFile)
+}
+
+// Lookup resolves a slash-separated path to an inode number.
+func (fs *FS) Lookup(path string) (uint64, error) {
+	dirs, name := splitPath(path)
+	if name == "" {
+		return RootIno, nil
+	}
+	parent, err := fs.resolveDir(dirs)
+	if err != nil {
+		return 0, err
+	}
+	return fs.lookupIn(parent, name)
+}
+
+// WriteFile writes data at byte offset off of inode ino, allocating
+// blocks as needed. Data is persisted before the metadata transaction
+// that makes it reachable.
+func (fs *FS) WriteFile(ino uint64, off uint64, data []byte) error {
+	defer fs.section()
+	end := off + uint64(len(data))
+	if end > NumDirect*BlockSize {
+		return ErrFileTooBig
+	}
+	iOff := fs.inodeOff(ino)
+	if fs.dev.Load8(iOff+inUsed) != 1 {
+		return ErrNotFound
+	}
+
+	// Phase 1: ensure blocks exist; stage new allocations volatilely.
+	firstBlk := off / BlockSize
+	lastBlk := (end - 1) / BlockSize
+	type allocation struct {
+		slot uint64 // inode block-pointer index
+		blk  uint64 // block number (0-based in data area)
+	}
+	var newAllocs []allocation
+	taken := map[uint64]bool{}
+	for b := firstBlk; b <= lastBlk; b++ {
+		if fs.dev.Load64(iOff+inBlocks+b*8) != 0 {
+			continue
+		}
+		blk, ok := fs.findFreeBlock(taken)
+		if !ok {
+			return ErrNoSpace
+		}
+		taken[blk] = true
+		newAllocs = append(newAllocs, allocation{slot: b, blk: blk})
+	}
+	blkAddr := func(b uint64) uint64 {
+		ptr := fs.dev.Load64(iOff + inBlocks + b*8)
+		if ptr != 0 {
+			return fs.dataOff + (ptr-1)*BlockSize
+		}
+		for _, a := range newAllocs {
+			if a.slot == b {
+				return fs.dataOff + a.blk*BlockSize
+			}
+		}
+		panic("pmfs: unallocated block")
+	}
+
+	// Phase 2: write the data in place and persist it (XIP path).
+	pos := off
+	rem := data
+	var chunks []struct{ addr, n uint64 }
+	for len(rem) > 0 {
+		b := pos / BlockSize
+		inBlk := pos % BlockSize
+		n := BlockSize - inBlk
+		if n > uint64(len(rem)) {
+			n = uint64(len(rem))
+		}
+		addr := blkAddr(b) + inBlk
+		fs.dev.StoreSkip(addr, rem[:n], 1)
+		if !fs.bugs.SkipDataFlush {
+			fs.dev.CLWBSkip(addr, n, 1)
+			if fs.bugs.DoubleFlushData {
+				// xips.c:207/262 — the same buffer is flushed twice.
+				fs.dev.CLWBSkip(addr, n, 1)
+			}
+		}
+		chunks = append(chunks, struct{ addr, n uint64 }{addr, n})
+		pos += n
+		rem = rem[n:]
+	}
+	if fs.bugs.FlushUnmapped {
+		// files.c:232 — flushing a buffer that was never written: the
+		// block after the written range (possibly unallocated space).
+		fs.dev.CLWBSkip(fs.dataOff+fs.nBlocks*BlockSize-BlockSize, BlockSize, 1)
+	}
+	fs.dev.SFenceSkip(1)
+	if fs.annotate {
+		for _, c := range chunks {
+			fs.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist, Addr: c.addr, Size: c.n}, 1)
+		}
+	}
+
+	// Phase 3: journaled metadata update (block pointers, bitmap, size).
+	needTx := len(newAllocs) > 0 || end > fs.dev.Load64(iOff+inSize)
+	if !needTx {
+		return nil
+	}
+	tx := fs.beginTx()
+	tx.logRange(iOff, InodeSize)
+	for _, a := range newAllocs {
+		tx.logRange(fs.bitmap+a.blk, 1)
+	}
+	tx.publish()
+	for _, a := range newAllocs {
+		tx.modify(fs.bitmap+a.blk, []byte{1})
+		tx.modify64(iOff+inBlocks+a.slot*8, a.blk+1)
+	}
+	if end > fs.dev.Load64(iOff+inSize) {
+		tx.modify64(iOff+inSize, end)
+	}
+	tx.commit()
+	return nil
+}
+
+// ReadFile reads len(buf) bytes at offset off of inode ino; it returns
+// the number of bytes read (short reads at EOF).
+func (fs *FS) ReadFile(ino uint64, off uint64, buf []byte) (int, error) {
+	iOff := fs.inodeOff(ino)
+	if fs.dev.Load8(iOff+inUsed) != 1 {
+		return 0, ErrNotFound
+	}
+	size := fs.dev.Load64(iOff + inSize)
+	if off >= size {
+		return 0, nil
+	}
+	n := size - off
+	if n > uint64(len(buf)) {
+		n = uint64(len(buf))
+	}
+	read := uint64(0)
+	for read < n {
+		pos := off + read
+		b := pos / BlockSize
+		ptr := fs.dev.Load64(iOff + inBlocks + b*8)
+		inBlk := pos % BlockSize
+		chunk := BlockSize - inBlk
+		if chunk > n-read {
+			chunk = n - read
+		}
+		if ptr == 0 {
+			// Hole: zeros.
+			for i := uint64(0); i < chunk; i++ {
+				buf[read+i] = 0
+			}
+		} else {
+			fs.dev.Load(fs.dataOff+(ptr-1)*BlockSize+inBlk, buf[read:read+chunk])
+		}
+		read += chunk
+	}
+	return int(read), nil
+}
+
+// Unlink removes a file: its dentry, inode and blocks are released in one
+// journaled transaction.
+func (fs *FS) Unlink(path string) error {
+	defer fs.section()
+	slot, ino, err := fs.lookupSlot(path)
+	if err != nil {
+		return err
+	}
+	if fs.dev.Load8(fs.inodeOff(ino)+inUsed) == inodeDir {
+		return ErrIsADir
+	}
+	iOff := fs.inodeOff(ino)
+	tx := fs.beginTx()
+	tx.logRange(fs.dentryOff(slot), 8) // only the ino word must be undone
+	tx.logRange(iOff, InodeSize)
+	var blks []uint64
+	for b := uint64(0); b < NumDirect; b++ {
+		if ptr := fs.dev.Load64(iOff + inBlocks + b*8); ptr != 0 {
+			blks = append(blks, ptr-1)
+			tx.logRange(fs.bitmap+(ptr-1), 1)
+		}
+	}
+	tx.publish()
+	tx.modify64(fs.dentryOff(slot), 0)
+	zero := make([]byte, InodeSize)
+	tx.modify(iOff, zero)
+	for _, b := range blks {
+		tx.modify(fs.bitmap+b, []byte{0})
+	}
+	tx.commit()
+	return nil
+}
+
+// Fsync fences outstanding writebacks for the file and, when annotations
+// are on, asserts the file's data is durable.
+func (fs *FS) Fsync(ino uint64) error {
+	defer fs.section()
+	iOff := fs.inodeOff(ino)
+	if fs.dev.Load8(iOff+inUsed) != 1 {
+		return ErrNotFound
+	}
+	fs.dev.SFenceSkip(1)
+	if fs.annotate {
+		size := fs.dev.Load64(iOff + inSize)
+		for b := uint64(0); b*BlockSize < size; b++ {
+			ptr := fs.dev.Load64(iOff + inBlocks + b*8)
+			if ptr == 0 {
+				continue
+			}
+			n := size - b*BlockSize
+			if n > BlockSize {
+				n = BlockSize
+			}
+			fs.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist,
+				Addr: fs.dataOff + (ptr-1)*BlockSize, Size: n}, 1)
+		}
+	}
+	return nil
+}
+
+// Stat returns the size of the named file.
+func (fs *FS) Stat(path string) (uint64, error) {
+	ino, err := fs.Lookup(path)
+	if err != nil {
+		return 0, err
+	}
+	return fs.dev.Load64(fs.inodeOff(ino) + inSize), nil
+}
+
+// ListDir returns the entry names in the directory at path ("" or "/"
+// for the root).
+func (fs *FS) ListDir(path string) ([]string, error) {
+	dir := uint64(RootIno)
+	if dirs, name := splitPath(path); name != "" {
+		parent, err := fs.resolveDir(dirs)
+		if err != nil {
+			return nil, err
+		}
+		ino, err := fs.lookupIn(parent, name)
+		if err != nil {
+			return nil, err
+		}
+		if fs.dev.Load8(fs.inodeOff(ino)+inUsed) != inodeDir {
+			return nil, ErrNotADir
+		}
+		dir = ino
+	}
+	var names []string
+	for i := uint64(0); i < fs.nDentry; i++ {
+		off := fs.dentryOff(i)
+		if fs.dev.Load64(off+deIno) == 0 || fs.dev.Load64(off+deParent) != dir {
+			continue
+		}
+		n := getU16(fs.dev.LoadBytes(off+deLen, 2))
+		names = append(names, string(fs.dev.LoadBytes(off+deName, uint64(n))))
+	}
+	return names, nil
+}
+
+// lookupSlot resolves a path to its dentry slot and inode.
+func (fs *FS) lookupSlot(path string) (slot, ino uint64, err error) {
+	dirs, name := splitPath(path)
+	if name == "" {
+		return 0, 0, ErrNotFound
+	}
+	parent, err := fs.resolveDir(dirs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return fs.lookupSlotIn(parent, name)
+}
+
+func (fs *FS) findFreeInode() (uint64, bool) {
+	// Inode 0 is reserved (nil) and inode 1 is the root directory.
+	for i := uint64(RootIno + 1); i < fs.nInodes; i++ {
+		if fs.dev.Load8(fs.inodeOff(i)+inUsed) == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (fs *FS) findFreeDentry() (uint64, bool) {
+	for i := uint64(0); i < fs.nDentry; i++ {
+		if fs.dev.Load64(fs.dentryOff(i)) == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (fs *FS) findFreeBlock(staged map[uint64]bool) (uint64, bool) {
+	for b := uint64(0); b < fs.nBlocks; b++ {
+		if staged[b] {
+			continue
+		}
+		if fs.dev.Load8(fs.bitmap+b) == 0 {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// Usage returns used inode and block counts (for the harness).
+func (fs *FS) Usage() (inodes, blocks uint64) {
+	for i := uint64(1); i < fs.nInodes; i++ {
+		if fs.dev.Load8(fs.inodeOff(i)+inUsed) == 1 {
+			inodes++
+		}
+	}
+	for b := uint64(0); b < fs.nBlocks; b++ {
+		if fs.dev.Load8(fs.bitmap+b) == 1 {
+			blocks++
+		}
+	}
+	return
+}

@@ -1,0 +1,110 @@
+package pmfs
+
+// Additional file operations: append, truncate and rename. All metadata
+// effects go through the undo journal like the core operations, so each
+// is failure-atomic.
+
+// Append writes data at the current end of the file.
+func (fs *FS) Append(ino uint64, data []byte) error {
+	size := fs.dev.Load64(fs.inodeOff(ino) + inSize)
+	return fs.WriteFile(ino, size, data)
+}
+
+// Truncate shrinks (or logically extends) the named file to newSize.
+// Shrinking releases whole blocks past the new end in one journaled
+// transaction; extending only moves the size (reads of the gap see
+// zeros, as holes).
+func (fs *FS) Truncate(name string, newSize uint64) error {
+	defer fs.section()
+	ino, err := fs.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if fs.dev.Load8(fs.inodeOff(ino)+inUsed) == inodeDir {
+		return ErrIsADir
+	}
+	if newSize > NumDirect*BlockSize {
+		return ErrFileTooBig
+	}
+	iOff := fs.inodeOff(ino)
+	oldSize := fs.dev.Load64(iOff + inSize)
+	if newSize == oldSize {
+		return nil
+	}
+
+	// Blocks wholly past the new end are released.
+	keepBlocks := (newSize + BlockSize - 1) / BlockSize
+	var drop []uint64 // block numbers (0-based)
+	var dropSlots []uint64
+	for b := keepBlocks; b < NumDirect; b++ {
+		if ptr := fs.dev.Load64(iOff + inBlocks + b*8); ptr != 0 {
+			drop = append(drop, ptr-1)
+			dropSlots = append(dropSlots, b)
+		}
+	}
+
+	tx := fs.beginTx()
+	tx.logRange(iOff, InodeSize)
+	for _, blk := range drop {
+		tx.logRange(fs.bitmap+blk, 1)
+	}
+	tx.publish()
+	tx.modify64(iOff+inSize, newSize)
+	for i, blk := range drop {
+		tx.modify(fs.bitmap+blk, []byte{0})
+		tx.modify64(iOff+inBlocks+dropSlots[i]*8, 0)
+	}
+	tx.commit()
+	return nil
+}
+
+// Rename atomically moves a file or directory to newPath (which may be
+// in a different directory). The destination must not exist.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	defer fs.section()
+	newDirs, newName := splitPath(newPath)
+	if newName == "" {
+		return ErrNotFound
+	}
+	if len(newName) > MaxName {
+		return ErrNameTooBig
+	}
+	newParent, err := fs.resolveDir(newDirs)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.lookupIn(newParent, newName); err == nil {
+		return ErrExists
+	}
+	slot, ino, err := fs.lookupSlot(oldPath)
+	if err != nil {
+		return err
+	}
+	// Moving a directory under itself would disconnect it into a cycle:
+	// refuse when the destination's ancestor chain passes through it.
+	if fs.dev.Load8(fs.inodeOff(ino)+inUsed) == inodeDir {
+		for cur := newParent; cur != RootIno; {
+			if cur == ino {
+				return ErrInvalidMove
+			}
+			next, ok := fs.parentOf(cur)
+			if !ok {
+				break
+			}
+			cur = next
+		}
+	}
+	de := fs.dentryOff(slot)
+	tx := fs.beginTx()
+	// Parent + name change together; the ino word stays, so a crash sees
+	// either the old location or the new one.
+	tx.logRange(de+deParent, DentrySize-deParent)
+	tx.publish()
+	rest := make([]byte, DentrySize-deParent)
+	putU64(rest[0:8], newParent)
+	putU16(rest[8:10], uint16(len(newName)))
+	copy(rest[10:], newName)
+	tx.modify(de+deParent, rest)
+	tx.commit()
+	return nil
+}

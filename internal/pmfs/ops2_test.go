@@ -1,0 +1,185 @@
+package pmfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pmtest/internal/pmem"
+)
+
+func TestAppend(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("log")
+	fs.Append(ino, []byte("hello "))
+	fs.Append(ino, []byte("world"))
+	buf := make([]byte, 11)
+	n, err := fs.ReadFile(ino, 0, buf)
+	if err != nil || n != 11 || string(buf) != "hello world" {
+		t.Fatalf("read = %q (%d, %v)", buf, n, err)
+	}
+}
+
+func TestTruncateShrinkReleasesBlocks(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, make([]byte, 3*BlockSize))
+	if _, blocks := fs.Usage(); blocks != 3 {
+		t.Fatalf("blocks = %d", blocks)
+	}
+	if err := fs.Truncate("f", BlockSize+10); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := fs.Stat("f"); size != BlockSize+10 {
+		t.Fatalf("size = %d", size)
+	}
+	if _, blocks := fs.Usage(); blocks != 2 {
+		t.Fatalf("blocks after truncate = %d, want 2", blocks)
+	}
+	// Rewriting past the end reallocates.
+	if err := fs.WriteFile(ino, 2*BlockSize+100, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	fs.ReadFile(ino, 2*BlockSize+100, buf)
+	if string(buf) != "tail" {
+		t.Fatalf("tail = %q", buf)
+	}
+}
+
+func TestTruncateExtendReadsZeros(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, []byte("abc"))
+	if err := fs.Truncate("f", 100); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	n, _ := fs.ReadFile(ino, 0, buf)
+	if n != 100 {
+		t.Fatalf("read = %d", n)
+	}
+	if !bytes.Equal(buf[:3], []byte("abc")) || buf[50] != 0 {
+		t.Fatal("extend semantics wrong")
+	}
+}
+
+func TestTruncateErrors(t *testing.T) {
+	fs := newFS(t, nil)
+	if err := fs.Truncate("ghost", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	fs.CreateFile("f")
+	if err := fs.Truncate("f", NumDirect*BlockSize+1); !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("before")
+	fs.WriteFile(ino, 0, []byte("payload"))
+	if err := fs.Rename("before", "after"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("before"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old name still resolves")
+	}
+	got, err := fs.Lookup("after")
+	if err != nil || got != ino {
+		t.Fatalf("Lookup(after) = %d, %v", got, err)
+	}
+	buf := make([]byte, 7)
+	fs.ReadFile(got, 0, buf)
+	if string(buf) != "payload" {
+		t.Fatalf("data = %q", buf)
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	fs := newFS(t, nil)
+	fs.CreateFile("a")
+	fs.CreateFile("b")
+	if err := fs.Rename("a", "b"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fs.Rename("ghost", "c"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fs.Rename("a", string(make([]byte, 100))); !errors.Is(err, ErrNameTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRenameCrashAtomic: a crash during rename must leave exactly the old
+// or the new name resolving to the inode — never neither, never both.
+func TestRenameCrashAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		fs := newFS(t, nil)
+		ino, _ := fs.CreateFile("old-name")
+		// Drive the rename transaction by hand and crash before commit.
+		slot, _, _ := fs.lookupSlot("old-name")
+		de := fs.dentryOff(slot)
+		tx := fs.beginTx()
+		tx.logRange(de+deParent, DentrySize-deParent)
+		tx.publish()
+		rest := make([]byte, DentrySize-deParent)
+		putU64(rest[0:8], RootIno)
+		putU16(rest[8:10], 8)
+		copy(rest[10:], "new-name")
+		tx.modify(de+deParent, rest)
+		// Crash (no commit).
+		img := fs.Device().SampleCrash(rng, pmem.CrashOptions{})
+		fs2, _, err := Mount(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldIno, oldErr := fs2.Lookup("old-name")
+		newIno, newErr := fs2.Lookup("new-name")
+		oldOK := oldErr == nil && oldIno == ino
+		newOK := newErr == nil && newIno == ino
+		if oldOK == newOK { // both or neither
+			t.Fatalf("trial %d: rename not atomic (old=%v new=%v)", trial, oldOK, newOK)
+		}
+	}
+}
+
+// TestTruncateCrashConsistent: a crash during truncate must recover to
+// either the full old state or the complete new state.
+func TestTruncateCrashConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		fs := newFS(t, nil)
+		fs.CreateFile("f")
+		ino, _ := fs.Lookup("f")
+		fs.WriteFile(ino, 0, make([]byte, 3*BlockSize))
+		if err := fs.Truncate("f", 10); err != nil {
+			t.Fatal(err)
+		}
+		img := fs.Device().SampleCrash(rng, pmem.CrashOptions{})
+		fs2, _, err := Mount(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := fs2.Stat("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, blocks := fs2.Usage()
+		switch size {
+		case 10:
+			// Block 0 still backs bytes [0,10).
+			if blocks != 1 {
+				t.Fatalf("trial %d: truncated size but %d blocks live, want 1", trial, blocks)
+			}
+		case 3 * BlockSize:
+			if blocks != 3 {
+				t.Fatalf("trial %d: old size but %d blocks live", trial, blocks)
+			}
+		default:
+			t.Fatalf("trial %d: size = %d, want 10 or %d", trial, size, 3*BlockSize)
+		}
+	}
+}

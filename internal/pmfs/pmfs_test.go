@@ -1,0 +1,409 @@
+package pmfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+const devSize = 1 << 24 // 16 MiB
+
+func newFS(t testing.TB, sink trace.Sink) *FS {
+	t.Helper()
+	dev := pmem.New(devSize, sink)
+	fs, err := Mkfs(dev, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestCreateLookupList(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, err := fs.CreateFile("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Lookup("alpha")
+	if err != nil || got != ino {
+		t.Fatalf("Lookup = %d, %v; want %d", got, err, ino)
+	}
+	if _, err := fs.CreateFile("alpha"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	fs.CreateFile("beta")
+	names, _ := fs.ListDir("")
+	if len(names) != 2 {
+		t.Fatalf("ListDir = %v", names)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	data := make([]byte, 10000) // crosses block boundaries
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := fs.WriteFile(ino, 100, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10000)
+	n, err := fs.ReadFile(ino, 100, buf)
+	if err != nil || n != 10000 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data mismatch")
+	}
+	if size, _ := fs.Stat("f"); size != 10100 {
+		t.Fatalf("Stat = %d, want 10100", size)
+	}
+}
+
+func TestReadHoleReturnsZeros(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 2*BlockSize, []byte{9})
+	buf := make([]byte, 16)
+	n, err := fs.ReadFile(ino, 0, buf)
+	if err != nil || n != 16 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("hole must read as zeros")
+		}
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, []byte("abc"))
+	buf := make([]byte, 10)
+	n, _ := fs.ReadFile(ino, 100, buf)
+	if n != 0 {
+		t.Fatalf("read past EOF = %d", n)
+	}
+	n, _ = fs.ReadFile(ino, 1, buf)
+	if n != 2 {
+		t.Fatalf("short read = %d, want 2", n)
+	}
+}
+
+func TestUnlinkFreesEverything(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, make([]byte, 3*BlockSize))
+	in0, bl0 := fs.Usage()
+	if in0 != 1 || bl0 != 3 {
+		t.Fatalf("usage before = %d inodes, %d blocks", in0, bl0)
+	}
+	if err := fs.Unlink("f"); err != nil {
+		t.Fatal(err)
+	}
+	in1, bl1 := fs.Usage()
+	if in1 != 0 || bl1 != 0 {
+		t.Fatalf("usage after = %d inodes, %d blocks", in1, bl1)
+	}
+	if _, err := fs.Lookup("f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup after unlink: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs := newFS(t, nil)
+	if _, err := fs.CreateFile(string(make([]byte, 100))); !errors.Is(err, ErrNameTooBig) {
+		t.Fatalf("long name: %v", err)
+	}
+	ino, _ := fs.CreateFile("f")
+	if err := fs.WriteFile(ino, NumDirect*BlockSize, []byte{1}); !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("big write: %v", err)
+	}
+	if err := fs.WriteFile(55, 0, []byte{1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("bad inode: %v", err)
+	}
+	if err := fs.Unlink("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unlink missing: %v", err)
+	}
+	if _, _, err := Mount(pmem.New(devSize, nil)); err == nil {
+		t.Fatal("mount of raw device must fail")
+	}
+}
+
+func TestMountSeesDurableState(t *testing.T) {
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("persist-me")
+	fs.WriteFile(ino, 0, []byte("hello"))
+	// Reopen from the durable image only.
+	fs2, info, err := Mount(pmem.FromImage(fs.Device().Image(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RolledBack != 0 {
+		t.Fatalf("unexpected rollback: %+v", info)
+	}
+	ino2, err := fs2.Lookup("persist-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	fs2.ReadFile(ino2, 0, buf)
+	if string(buf) != "hello" {
+		t.Fatalf("data after remount = %q", buf)
+	}
+}
+
+// TestCrashDuringCreateRollsBack: crash with a published, uncommitted
+// journal must roll back to "file absent" in every crash state.
+func TestCrashDuringCreateRollsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		fs := newFS(t, nil)
+		fs.CreateFile("stable")
+		// Hand-drive a create transaction and crash before commit.
+		ino, _ := fs.findFreeInode()
+		slot, _ := fs.findFreeDentry()
+		tx := fs.beginTx()
+		tx.logRange(fs.inodeOff(ino), InodeSize)
+		tx.logRange(fs.dentryOff(slot), DentrySize)
+		tx.publish()
+		inode := make([]byte, InodeSize)
+		inode[inUsed] = 1
+		tx.modify(fs.inodeOff(ino), inode)
+		de := make([]byte, DentrySize)
+		putU64(de[deIno:], ino)
+		putU64(de[deParent:], RootIno)
+		putU16(de[deLen:], 7)
+		copy(de[deName:], "interim")
+		tx.modify(fs.dentryOff(slot), de)
+		// Crash here (no commit).
+		img := fs.Device().SampleCrash(rng, pmem.CrashOptions{})
+		fs2, _, err := Mount(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs2.Lookup("interim"); err == nil {
+			t.Fatalf("trial %d: uncommitted file visible after recovery", trial)
+		}
+		if _, err := fs2.Lookup("stable"); err != nil {
+			t.Fatalf("trial %d: committed file lost: %v", trial, err)
+		}
+	}
+}
+
+// TestCommittedOpsSurviveCrashes: after CreateFile/WriteFile return, the
+// result must survive any crash.
+func TestCommittedOpsSurviveCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	fs := newFS(t, nil)
+	ino, _ := fs.CreateFile("f")
+	fs.WriteFile(ino, 0, []byte("payload!"))
+	for i := 0; i < 25; i++ {
+		img := fs.Device().SampleCrash(rng, pmem.CrashOptions{})
+		fs2, _, err := Mount(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ino2, err := fs2.Lookup("f")
+		if err != nil {
+			t.Fatalf("sample %d: file lost: %v", i, err)
+		}
+		buf := make([]byte, 8)
+		fs2.ReadFile(ino2, 0, buf)
+		if string(buf) != "payload!" {
+			t.Fatalf("sample %d: data = %q", i, buf)
+		}
+	}
+}
+
+// --- Engine integration: the Table 6 bugs ----------------------------------
+
+type recorder struct{ ops *[]trace.Op }
+
+func (r recorder) Record(op trace.Op, _ int) { *r.ops = append(*r.ops, op) }
+
+func runOp(t *testing.T, bugs Bugs, op func(fs *FS)) core.Report {
+	t.Helper()
+	var ops []trace.Op
+	fs := newFS(t, recorder{&ops})
+	fs.SetBugs(bugs)
+	fs.SetAnnotations(true)
+	ino, _ := fs.CreateFile("seed")
+	fs.WriteFile(ino, 0, make([]byte, 64))
+	ops = ops[:0]
+	op(fs)
+	return core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+}
+
+func writeOp(fs *FS) {
+	ino, _ := fs.Lookup("seed")
+	fs.WriteFile(ino, 0, make([]byte, 256))
+}
+
+func TestEngineCleanWrite(t *testing.T) {
+	r := runOp(t, Bugs{}, writeOp)
+	if !r.Clean() {
+		t.Fatalf("clean write flagged: %s", r.Summary())
+	}
+}
+
+func TestEngineBug1DoubleFlushCommit(t *testing.T) {
+	r := runOp(t, Bugs{DoubleFlushCommit: true}, writeOp)
+	if !r.HasCode(core.CodeDuplicateWriteback) {
+		t.Fatalf("journal.c:632 duplicate flush must WARN: %s", r.Summary())
+	}
+	if r.Fails() != 0 {
+		t.Fatalf("performance bug must not FAIL: %s", r.Summary())
+	}
+}
+
+func TestEngineKnownBugDoubleFlushData(t *testing.T) {
+	r := runOp(t, Bugs{DoubleFlushData: true}, writeOp)
+	if !r.HasCode(core.CodeDuplicateWriteback) {
+		t.Fatalf("xips.c double flush must WARN: %s", r.Summary())
+	}
+}
+
+func TestEngineKnownBugFlushUnmapped(t *testing.T) {
+	r := runOp(t, Bugs{FlushUnmapped: true}, writeOp)
+	if !r.HasCode(core.CodeUnnecessaryWriteback) {
+		t.Fatalf("files.c unmapped flush must WARN: %s", r.Summary())
+	}
+}
+
+func TestEngineSkipDataFlush(t *testing.T) {
+	r := runOp(t, Bugs{SkipDataFlush: true}, writeOp)
+	if !r.HasCode(core.CodeNotPersisted) {
+		t.Fatalf("unflushed data must FAIL isPersist: %s", r.Summary())
+	}
+}
+
+func TestEngineSkipInodeFlush(t *testing.T) {
+	r := runOp(t, Bugs{SkipInodeFlush: true}, func(fs *FS) {
+		fs.CreateFile("newfile")
+	})
+	if !r.HasCode(core.CodeNotPersisted) {
+		t.Fatalf("unflushed journaled metadata must FAIL: %s", r.Summary())
+	}
+}
+
+func TestEngineSkipLogEntryFlush(t *testing.T) {
+	r := runOp(t, Bugs{SkipLogEntryFlush: true}, func(fs *FS) {
+		fs.CreateFile("newfile")
+	})
+	if !r.HasCode(core.CodeOrderViolation) {
+		t.Fatalf("unflushed LEs must violate LE-before-publish order: %s", r.Summary())
+	}
+}
+
+func TestGroundTruthSkipInodeFlushBreaksRecovery(t *testing.T) {
+	// Without flushing journaled metadata before commit, a crash after
+	// the journal is cleared can lose the create.
+	rng := rand.New(rand.NewSource(11))
+	broken := false
+	for i := 0; i < 60 && !broken; i++ {
+		fs := newFS(t, nil)
+		fs.SetBugs(Bugs{SkipInodeFlush: true})
+		fs.CreateFile("x")
+		img := fs.Device().SampleCrash(rng, pmem.CrashOptions{})
+		fs2, _, err := Mount(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs2.Lookup("x"); err != nil {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatal("SkipInodeFlush never lost a committed create")
+	}
+}
+
+// TestQuickFilebenchModel drives random create/write/unlink sequences and
+// compares against an in-memory model, then remounts from the durable
+// image and compares again.
+func TestQuickFilebenchModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := newFS(t, nil)
+		model := map[string][]byte{}
+		names := []string{"a", "b", "c", "d"}
+		for i := 0; i < 30; i++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(3) {
+			case 0:
+				_, err := fs.CreateFile(name)
+				if _, exists := model[name]; exists {
+					if !errors.Is(err, ErrExists) {
+						return false
+					}
+				} else if err == nil {
+					model[name] = []byte{}
+				}
+			case 1:
+				if _, ok := model[name]; !ok {
+					continue
+				}
+				data := make([]byte, rng.Intn(3000)+1)
+				rng.Read(data)
+				ino, _ := fs.Lookup(name)
+				if err := fs.WriteFile(ino, 0, data); err != nil {
+					return false
+				}
+				cur := model[name]
+				if len(data) > len(cur) {
+					cur = append(cur, make([]byte, len(data)-len(cur))...)
+				}
+				copy(cur, data)
+				model[name] = cur
+			case 2:
+				err := fs.Unlink(name)
+				if _, ok := model[name]; ok {
+					if err != nil {
+						return false
+					}
+					delete(model, name)
+				} else if err == nil {
+					return false
+				}
+			}
+		}
+		check := func(f2 *FS) bool {
+			for name, want := range model {
+				ino, err := f2.Lookup(name)
+				if err != nil {
+					return false
+				}
+				buf := make([]byte, len(want))
+				n, _ := f2.ReadFile(ino, 0, buf)
+				if n != len(want) || !bytes.Equal(buf, want) {
+					return false
+				}
+			}
+			names, err := f2.ListDir("")
+			if err != nil {
+				return false
+			}
+			return len(names) == len(model)
+		}
+		if !check(fs) {
+			return false
+		}
+		fs2, _, err := Mount(pmem.FromImage(fs.Device().Image(), nil))
+		if err != nil {
+			return false
+		}
+		return check(fs2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package trace
+
+// Binary trace serialization. PMTest's decoupling means a trace is a
+// self-contained unit of checking work; serializing it makes the
+// decoupling span processes and time — record a production run online,
+// replay it through the checking engine (or cmd/pmtrace) offline. The
+// format is a simple length-prefixed little-endian encoding with a magic
+// header and per-op source-site strings.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// encMagic identifies a serialized trace stream ("PMTR", version 1 in
+// the low byte).
+const encMagic = 0x504D5401
+
+// ErrBadTrace is returned when decoding malformed data.
+var ErrBadTrace = errors.New("trace: malformed serialized trace")
+
+// maxDecodeOps bounds decoding so corrupt headers cannot trigger huge
+// allocations.
+const maxDecodeOps = 64 << 20
+
+// Encode writes the trace to w in the binary format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := put32(encMagic); err != nil {
+		return err
+	}
+	if err := put64(uint64(t.ID)); err != nil {
+		return err
+	}
+	if err := put64(uint64(t.Thread)); err != nil {
+		return err
+	}
+	if err := put64(uint64(len(t.Ops))); err != nil {
+		return err
+	}
+	for _, op := range t.Ops {
+		if err := bw.WriteByte(byte(op.Kind)); err != nil {
+			return err
+		}
+		for _, v := range [...]uint64{op.Addr, op.Size, op.Addr2, op.Size2} {
+			if err := put64(v); err != nil {
+				return err
+			}
+		}
+		if err := put32(uint32(op.Line)); err != nil {
+			return err
+		}
+		if len(op.File) > 0xFFFF {
+			return fmt.Errorf("trace: file name too long (%d bytes)", len(op.File))
+		}
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(op.File)))
+		if _, err := bw.Write(scratch[:2]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(op.File); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads one trace in the Encode format.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != encMagic {
+		return nil, ErrBadTrace
+	}
+	id, err := get64()
+	if err != nil {
+		return nil, ErrBadTrace
+	}
+	thread, err := get64()
+	if err != nil {
+		return nil, ErrBadTrace
+	}
+	n, err := get64()
+	if err != nil {
+		return nil, ErrBadTrace
+	}
+	if n > maxDecodeOps {
+		return nil, fmt.Errorf("trace: op count %d exceeds limit", n)
+	}
+	t := &Trace{ID: int(id), Thread: int(thread), Ops: make([]Op, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, ErrBadTrace
+		}
+		if Kind(kind) >= kindMax || Kind(kind) == KindInvalid {
+			return nil, fmt.Errorf("trace: invalid op kind %d at op %d", kind, i)
+		}
+		var vals [4]uint64
+		for j := range vals {
+			if vals[j], err = get64(); err != nil {
+				return nil, ErrBadTrace
+			}
+		}
+		line, err := get32()
+		if err != nil {
+			return nil, ErrBadTrace
+		}
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return nil, ErrBadTrace
+		}
+		fileLen := binary.LittleEndian.Uint16(scratch[:2])
+		var file string
+		if fileLen > 0 {
+			buf := make([]byte, fileLen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, ErrBadTrace
+			}
+			file = string(buf)
+		}
+		t.Ops = append(t.Ops, Op{
+			Kind: Kind(kind),
+			Addr: vals[0], Size: vals[1], Addr2: vals[2], Size2: vals[3],
+			File: file, Line: int(line),
+		})
+	}
+	return t, nil
+}
+
+// EncodeAll writes several traces back to back.
+func EncodeAll(w io.Writer, traces []*Trace) error {
+	for _, t := range traces {
+		if err := Encode(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeAll reads traces until EOF.
+func DecodeAll(r io.Reader) ([]*Trace, error) {
+	br := bufio.NewReader(r)
+	var out []*Trace
+	for {
+		if _, err := br.Peek(1); err == io.EOF {
+			return out, nil
+		}
+		t, err := Decode(br)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and anything
+// it accepts must re-encode and re-decode to the same trace.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	Encode(&seed, &Trace{ID: 1, Thread: 2, Ops: []Op{
+		{Kind: KindWrite, Addr: 0x10, Size: 64, File: "a.go", Line: 3},
+		{Kind: KindFence},
+	}})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 84, 77, 80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(tr2.Ops) != len(tr.Ops) || tr2.ID != tr.ID {
+			t.Fatal("round trip after decode not stable")
+		}
+	})
+}

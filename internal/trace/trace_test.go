@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindWrite:           "write",
+		KindFlush:           "clwb",
+		KindFence:           "sfence",
+		KindOFence:          "ofence",
+		KindDFence:          "dfence",
+		KindIsPersist:       "isPersist",
+		KindIsOrderedBefore: "isOrderedBefore",
+		Kind(200):           "Kind(200)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestIsChecker(t *testing.T) {
+	for _, k := range []Kind{KindIsPersist, KindIsOrderedBefore, KindTxCheckerStart,
+		KindTxCheckerEnd, KindExclude, KindInclude} {
+		if !k.IsChecker() {
+			t.Errorf("%v should be a checker", k)
+		}
+	}
+	for _, k := range []Kind{KindWrite, KindFlush, KindFence, KindTxBegin, KindTxAdd} {
+		if k.IsChecker() {
+			t.Errorf("%v should not be a checker", k)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Kind: KindWrite, Addr: 0x10, Size: 64, File: "foo.go", Line: 12}
+	if got := op.String(); got != "write(0x10,64) @foo.go:12" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Op{Kind: KindFence}).String(); got != "sfence" {
+		t.Errorf("fence String = %q", got)
+	}
+	ob := Op{Kind: KindIsOrderedBefore, Addr: 1, Size: 2, Addr2: 3, Size2: 4}
+	if got := ob.String(); got != "isOrderedBefore(0x1,2,0x3,4)" {
+		t.Errorf("orderedBefore String = %q", got)
+	}
+}
+
+func TestOpSiteUnknown(t *testing.T) {
+	if got := (Op{}).Site(); got != "?" {
+		t.Errorf("Site = %q, want ?", got)
+	}
+}
+
+func TestBuilderTakeResets(t *testing.T) {
+	b := NewBuilder(7, false)
+	b.Record(Op{Kind: KindWrite, Addr: 1, Size: 1}, 0)
+	b.Record(Op{Kind: KindFence}, 0)
+	tr := b.Take()
+	if tr.Thread != 7 || len(tr.Ops) != 2 {
+		t.Fatalf("Take = %+v", tr)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("builder not reset: %d", b.Len())
+	}
+	b.Record(Op{Kind: KindWrite}, 0)
+	if len(tr.Ops) != 2 {
+		t.Fatal("new records leaked into taken trace")
+	}
+}
+
+func TestBuilderCapturesSite(t *testing.T) {
+	b := NewBuilder(0, true)
+	b.Record(Op{Kind: KindWrite, Addr: 1, Size: 1}, 0) // captured here
+	tr := b.Take()
+	if !strings.Contains(tr.Ops[0].File, "trace_test.go") {
+		t.Errorf("captured file = %q, want trace_test.go", tr.Ops[0].File)
+	}
+	if tr.Ops[0].Line == 0 {
+		t.Error("line not captured")
+	}
+}
+
+func TestBuilderPresetSiteKept(t *testing.T) {
+	b := NewBuilder(0, true)
+	b.Record(Op{Kind: KindWrite, File: "app.c", Line: 9}, 0)
+	if op := b.Take().Ops[0]; op.File != "app.c" || op.Line != 9 {
+		t.Errorf("preset site overwritten: %+v", op)
+	}
+}
+
+func TestMultiSinkFanout(t *testing.T) {
+	var a, b Builder
+	m := MultiSink{&a, &b}
+	m.Record(Op{Kind: KindWrite, Addr: 5, Size: 1}, 0)
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fanout lens = %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	Discard.Record(Op{Kind: KindWrite}, 0) // must not panic
+}
+
+func TestTraceString(t *testing.T) {
+	tr := &Trace{ID: 3, Thread: 1, Ops: []Op{{Kind: KindWrite, Addr: 0x10, Size: 8}}}
+	s := tr.String()
+	if !strings.Contains(s, "trace 3") || !strings.Contains(s, "write(0x10,8)") {
+		t.Errorf("Trace.String = %q", s)
+	}
+}
+
+func TestTrimPath(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c/d.go": "c/d.go",
+		"x/y.go":      "x/y.go",
+		"y.go":        "y.go",
+	}
+	for in, want := range cases {
+		if got := trimPath(in); got != want {
+			t.Errorf("trimPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

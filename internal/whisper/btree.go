@@ -1,0 +1,358 @@
+package whisper
+
+import (
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+)
+
+// BTree is the WHISPER/PMDK btree_map analog: a B-tree of order 8 where
+// every insert is one PMDK transaction, with preemptive splitting on the
+// way down. Its split/insert paths reproduce the two new PMDK bugs of
+// paper Table 6 / Fig. 13b-c behind bug switches:
+//
+//   - BugBTreeSkipSplitLog: btree_map_create_split_node modifies the
+//     original node's items without snapshotting it first
+//     (btree_map.c:201, "modify a tree node without logging it").
+//   - BugBTreeDoubleInsertLog: the rotate/insert path snapshots a node
+//     that btree_map_insert_item already snapshotted in the same
+//     transaction (btree_map.c:367, "log the same object twice").
+//
+// Node layout (248 bytes):
+//
+//	0    n (number of keys)
+//	8    leaf flag
+//	16   keys[7]
+//	72   value offsets[7]
+//	128  value lengths[7]
+//	184  children[8]
+type BTree struct {
+	pool  *pmdk.Pool
+	root  uint64 // root object: pointer to the top node
+	bugs  BugSet
+	check bool
+
+	// addedTx tracks objects snapshotted in the current transaction so
+	// correct code calls TX_ADD once per object (the fixed PMDK code
+	// removed the redundant TX_ADD of Fig. 13c).
+	addedTx map[uint64]bool
+}
+
+const (
+	btOrder = 8 // max children; max keys = 7
+	btMaxK  = btOrder - 1
+
+	btN     = 0
+	btLeaf  = 8
+	btKeys  = 16
+	btVals  = 72
+	btVLens = 128
+	btKids  = 184
+	btSize  = 248
+)
+
+// Named injection points.
+const (
+	BugBTreeSkipSplitLog    = "btree-skip-split-log"    // Fig. 13b (new bug 2)
+	BugBTreeDoubleInsertLog = "btree-double-insert-log" // Fig. 13c (new bug 3)
+	BugBTreeSkipInsertLog   = "btree-skip-insert-log"   // leaf modified without TX_ADD
+	BugBTreeSkipRootLog     = "btree-skip-root-log"     // root pointer updated without TX_ADD
+	BugBTreeSkipParentLog   = "btree-skip-parent-log"   // split parent modified without TX_ADD
+)
+
+// NewBTree creates a B-tree in a fresh pool on dev.
+func NewBTree(dev *pmem.Device, bugs BugSet) (*BTree, error) {
+	pool, err := pmdk.Create(dev, 0)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8)
+	if err != nil {
+		return nil, err
+	}
+	return &BTree{pool: pool, root: root, bugs: bugs}, nil
+}
+
+// OpenBTree reattaches to an existing pool.
+func OpenBTree(dev *pmem.Device) (*BTree, error) {
+	pool, _, err := pmdk.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8)
+	if err != nil {
+		return nil, err
+	}
+	return &BTree{pool: pool, root: root}, nil
+}
+
+// Name implements Store.
+func (b *BTree) Name() string { return "B-Tree" }
+
+// Device implements Store.
+func (b *BTree) Device() *pmem.Device { return b.pool.Device() }
+
+// Pool exposes the backing pool.
+func (b *BTree) Pool() *pmdk.Pool { return b.pool }
+
+// SetCheckers implements Checkered.
+func (b *BTree) SetCheckers(on bool) { b.check = on }
+
+func (b *BTree) dev() *pmem.Device { return b.pool.Device() }
+
+func (b *BTree) nodeN(n uint64) int     { return int(b.dev().Load64(n + btN)) }
+func (b *BTree) nodeLeaf(n uint64) bool { return b.dev().Load64(n+btLeaf) == 1 }
+func (b *BTree) key(n uint64, i int) uint64 {
+	return b.dev().Load64(n + btKeys + uint64(i)*8)
+}
+func (b *BTree) child(n uint64, i int) uint64 {
+	return b.dev().Load64(n + btKids + uint64(i)*8)
+}
+
+// addNode snapshots a node once per transaction.
+func (b *BTree) addNode(tx *pmdk.Tx, node uint64) {
+	if b.addedTx[node] {
+		return
+	}
+	tx.Add(node, btSize)
+	b.addedTx[node] = true
+}
+
+// newNode allocates an empty node inside the transaction. Fresh objects
+// are implicitly part of the transaction (TX_NEW), so they never need a
+// later snapshot.
+func (b *BTree) newNode(tx *pmdk.Tx, leaf bool) (uint64, error) {
+	n, err := tx.Alloc(btSize)
+	if err != nil {
+		return 0, err
+	}
+	b.addedTx[n] = true
+	zero := make([]byte, btSize)
+	tx.Set(n, zero)
+	if leaf {
+		tx.Set64(n+btLeaf, 1)
+	}
+	return n, nil
+}
+
+// Insert adds key→val in one transaction.
+func (b *BTree) Insert(key uint64, val []byte) error {
+	if b.check {
+		txCheckerStart(b.Device())
+		defer txCheckerEnd(b.Device())
+	}
+	b.addedTx = map[uint64]bool{}
+	return b.pool.Tx(func(tx *pmdk.Tx) error {
+		vOff, err := tx.Alloc(uint64(len(val)))
+		if err != nil {
+			return err
+		}
+		tx.Set(vOff, val)
+
+		rootNode := b.dev().Load64(b.root)
+		if rootNode == 0 {
+			leaf, err := b.newNode(tx, true)
+			if err != nil {
+				return err
+			}
+			b.setItem(tx, leaf, 0, key, vOff, uint64(len(val)))
+			tx.Set64(leaf+btN, 1)
+			if !b.bugs.On(BugBTreeSkipRootLog) {
+				tx.Add(b.root, 8)
+			}
+			tx.Set64(b.root, leaf)
+			return nil
+		}
+		if b.nodeN(rootNode) == btMaxK {
+			// Grow: new root, split the old one.
+			newRoot, err := b.newNode(tx, false)
+			if err != nil {
+				return err
+			}
+			tx.Set64(newRoot+btKids, rootNode)
+			if err := b.splitChild(tx, newRoot, 0); err != nil {
+				return err
+			}
+			if !b.bugs.On(BugBTreeSkipRootLog) {
+				tx.Add(b.root, 8)
+			}
+			tx.Set64(b.root, newRoot)
+			rootNode = newRoot
+		}
+		return b.insertNonFull(tx, rootNode, key, vOff, uint64(len(val)))
+	})
+}
+
+// setItem writes slot i of node (caller has snapshotted node or it is
+// freshly allocated).
+func (b *BTree) setItem(tx *pmdk.Tx, node uint64, i int, key, vOff, vLen uint64) {
+	tx.Set64(node+btKeys+uint64(i)*8, key)
+	tx.Set64(node+btVals+uint64(i)*8, vOff)
+	tx.Set64(node+btVLens+uint64(i)*8, vLen)
+}
+
+// insertItem is btree_map_insert_item: snapshot the node, then shift and
+// place the new item.
+func (b *BTree) insertItem(tx *pmdk.Tx, node uint64, pos int, key, vOff, vLen uint64) {
+	if !b.bugs.On(BugBTreeSkipInsertLog) {
+		b.addNode(tx, node)
+	} else {
+		b.addedTx[node] = true
+	}
+	if b.bugs.On(BugBTreeDoubleInsertLog) {
+		// btree_map.c:367 — the caller logs the node again even though
+		// insert_item already snapshotted it (bypassing the dedup the
+		// fixed code relies on).
+		tx.Add(node, btSize)
+	}
+	n := b.nodeN(node)
+	for j := n; j > pos; j-- {
+		b.setItem(tx, node, j,
+			b.key(node, j-1),
+			b.dev().Load64(node+btVals+uint64(j-1)*8),
+			b.dev().Load64(node+btVLens+uint64(j-1)*8))
+	}
+	b.setItem(tx, node, pos, key, vOff, vLen)
+	tx.Set64(node+btN, uint64(n+1))
+}
+
+// splitChild is btree_map_create_split_node: child i of parent is full;
+// move its upper half into a fresh node and lift the median into parent.
+func (b *BTree) splitChild(tx *pmdk.Tx, parent uint64, i int) error {
+	child := b.child(parent, i)
+	right, err := b.newNode(tx, b.nodeLeaf(child))
+	if err != nil {
+		return err
+	}
+	mid := btMaxK / 2
+	// Copy upper half to the fresh right node (no snapshot needed: new).
+	for j := mid + 1; j < btMaxK; j++ {
+		b.setItem(tx, right, j-mid-1,
+			b.key(child, j),
+			b.dev().Load64(child+btVals+uint64(j)*8),
+			b.dev().Load64(child+btVLens+uint64(j)*8))
+	}
+	if !b.nodeLeaf(child) {
+		for j := mid + 1; j < btOrder; j++ {
+			tx.Set64(right+btKids+uint64(j-mid-1)*8, b.child(child, j))
+		}
+	}
+	tx.Set64(right+btN, uint64(btMaxK-mid-1))
+
+	midKey := b.key(child, mid)
+	midVal := b.dev().Load64(child + btVals + uint64(mid)*8)
+	midVLen := b.dev().Load64(child + btVLens + uint64(mid)*8)
+
+	// Shrink the original child — THIS is the modification Fig. 13b's bug
+	// performs without logging.
+	if !b.bugs.On(BugBTreeSkipSplitLog) {
+		b.addNode(tx, child)
+	} else {
+		b.addedTx[child] = true
+	}
+	tx.Set64(child+btN, uint64(mid))
+
+	// Insert the median into the parent.
+	if !b.bugs.On(BugBTreeSkipParentLog) {
+		b.addNode(tx, parent)
+	} else {
+		b.addedTx[parent] = true
+	}
+	pn := b.nodeN(parent)
+	for j := pn; j > i; j-- {
+		b.setItem(tx, parent, j,
+			b.key(parent, j-1),
+			b.dev().Load64(parent+btVals+uint64(j-1)*8),
+			b.dev().Load64(parent+btVLens+uint64(j-1)*8))
+		tx.Set64(parent+btKids+uint64(j+1)*8, b.child(parent, j))
+	}
+	tx.Set64(parent+btKids+uint64(i+1)*8, right)
+	b.setItem(tx, parent, i, midKey, midVal, midVLen)
+	tx.Set64(parent+btN, uint64(pn+1))
+	return nil
+}
+
+func (b *BTree) insertNonFull(tx *pmdk.Tx, node uint64, key, vOff, vLen uint64) error {
+	for {
+		n := b.nodeN(node)
+		// Existing key → in-place value update.
+		for i := 0; i < n; i++ {
+			if b.key(node, i) == key {
+				if !b.bugs.On(BugBTreeSkipInsertLog) {
+					b.addNode(tx, node)
+				}
+				b.setItem(tx, node, i, key, vOff, vLen)
+				return nil
+			}
+		}
+		pos := 0
+		for pos < n && b.key(node, pos) < key {
+			pos++
+		}
+		if b.nodeLeaf(node) {
+			b.insertItem(tx, node, pos, key, vOff, vLen)
+			return nil
+		}
+		child := b.child(node, pos)
+		if b.nodeN(child) == btMaxK {
+			if err := b.splitChild(tx, node, pos); err != nil {
+				return err
+			}
+			if key == b.key(node, pos) {
+				if !b.bugs.On(BugBTreeSkipInsertLog) {
+					b.addNode(tx, node)
+				}
+				b.setItem(tx, node, pos, key, vOff, vLen)
+				return nil
+			}
+			if key > b.key(node, pos) {
+				pos++
+			}
+			child = b.child(node, pos)
+		}
+		node = child
+	}
+}
+
+// Get implements Store.
+func (b *BTree) Get(key uint64) ([]byte, bool) {
+	node := b.dev().Load64(b.root)
+	for node != 0 {
+		n := b.nodeN(node)
+		pos := 0
+		for pos < n && b.key(node, pos) < key {
+			pos++
+		}
+		if pos < n && b.key(node, pos) == key {
+			vOff := b.dev().Load64(node + btVals + uint64(pos)*8)
+			vLen := b.dev().Load64(node + btVLens + uint64(pos)*8)
+			return b.dev().LoadBytes(vOff, vLen), true
+		}
+		if b.nodeLeaf(node) {
+			return nil, false
+		}
+		node = b.child(node, pos)
+	}
+	return nil, false
+}
+
+// Walk visits keys in ascending order.
+func (b *BTree) Walk(visit func(key uint64)) {
+	var rec func(n uint64)
+	rec = func(n uint64) {
+		if n == 0 {
+			return
+		}
+		cnt := b.nodeN(n)
+		leaf := b.nodeLeaf(n)
+		for i := 0; i < cnt; i++ {
+			if !leaf {
+				rec(b.child(n, i))
+			}
+			visit(b.key(n, i))
+		}
+		if !leaf {
+			rec(b.child(n, cnt))
+		}
+	}
+	rec(b.dev().Load64(b.root))
+}

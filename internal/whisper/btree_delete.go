@@ -1,0 +1,378 @@
+package whisper
+
+import (
+	"pmtest/internal/pmdk"
+)
+
+// B-tree deletion (single-pass CLRS: every node entered has at least t
+// keys, restored preemptively by borrowing or merging). The borrow
+// operations are btree_map_rotate_left/right — the functions in which
+// the paper's Bug 3 lives (btree_map.c:367, Fig. 13c): the rotate path
+// logs a node that insert_item/remove already logged in the same
+// transaction. BugBTreeDoubleInsertLog reproduces that here too.
+
+const btMinKeys = btOrder/2 - 1 // t-1 = 3 for order 8
+
+// Delete removes key from the B-tree in one transaction, returning false
+// when absent.
+func (b *BTree) Delete(key uint64) (bool, error) {
+	if b.check {
+		txCheckerStart(b.Device())
+		defer txCheckerEnd(b.Device())
+	}
+	b.addedTx = map[uint64]bool{}
+	deleted := false
+	err := b.pool.Tx(func(tx *pmdk.Tx) error {
+		root := b.dev().Load64(b.root)
+		if root == 0 {
+			return nil
+		}
+		var err error
+		deleted, err = b.deleteFrom(tx, root, key)
+		if err != nil {
+			return err
+		}
+		// Shrink the root when it empties.
+		if b.nodeN(root) == 0 && !b.nodeLeaf(root) {
+			tx.Add(b.root, 8)
+			tx.Set64(b.root, b.child(root, 0))
+			b.pool.Free(root, btSize)
+		} else if b.nodeN(root) == 0 && b.nodeLeaf(root) {
+			tx.Add(b.root, 8)
+			tx.Set64(b.root, 0)
+			b.pool.Free(root, btSize)
+		}
+		return nil
+	})
+	return deleted, err
+}
+
+// item reads slot i of node.
+func (b *BTree) item(n uint64, i int) (key, vOff, vLen uint64) {
+	d := b.dev()
+	return b.key(n, i),
+		d.Load64(n + btVals + uint64(i)*8),
+		d.Load64(n + btVLens + uint64(i)*8)
+}
+
+// removeItem deletes slot i from a node (snapshot first), shifting the
+// rest left; children to the right of i shift too when withChild is the
+// child index to drop.
+func (b *BTree) removeItem(tx *pmdk.Tx, n uint64, i int) {
+	b.addNode(tx, n)
+	cnt := b.nodeN(n)
+	for j := i; j < cnt-1; j++ {
+		k, vo, vl := b.item(n, j+1)
+		b.setItem(tx, n, j, k, vo, vl)
+	}
+	tx.Set64(n+btN, uint64(cnt-1))
+}
+
+// deleteFrom removes key from the subtree at node, which is guaranteed
+// to hold more than btMinKeys keys (or be the root).
+func (b *BTree) deleteFrom(tx *pmdk.Tx, node uint64, key uint64) (bool, error) {
+	cnt := b.nodeN(node)
+	pos := 0
+	for pos < cnt && b.key(node, pos) < key {
+		pos++
+	}
+	if pos < cnt && b.key(node, pos) == key {
+		if b.nodeLeaf(node) {
+			_, vo, vl := b.item(node, pos)
+			b.pool.Free(vo, vl)
+			b.removeItem(tx, node, pos)
+			return true, nil
+		}
+		return b.deleteInternal(tx, node, pos, key)
+	}
+	if b.nodeLeaf(node) {
+		return false, nil
+	}
+	child, err := b.ensureRich(tx, node, pos)
+	if err != nil {
+		return false, err
+	}
+	return b.deleteFrom(tx, child, key)
+}
+
+// deleteInternal removes the key at slot pos of an internal node.
+func (b *BTree) deleteInternal(tx *pmdk.Tx, node uint64, pos int, key uint64) (bool, error) {
+	left := b.child(node, pos)
+	right := b.child(node, pos+1)
+	switch {
+	case b.nodeN(left) > btMinKeys:
+		// Replace with the predecessor and delete it recursively.
+		pk, pvo, pvl := b.maxItem(left)
+		_, vo, vl := b.item(node, pos)
+		b.pool.Free(vo, vl)
+		b.addNode(tx, node)
+		b.setItem(tx, node, pos, pk, pvo, pvl)
+		return b.deleteDetached(tx, left, pk)
+	case b.nodeN(right) > btMinKeys:
+		sk, svo, svl := b.minItem(right)
+		_, vo, vl := b.item(node, pos)
+		b.pool.Free(vo, vl)
+		b.addNode(tx, node)
+		b.setItem(tx, node, pos, sk, svo, svl)
+		return b.deleteDetached(tx, right, sk)
+	default:
+		merged := b.mergeChildren(tx, node, pos)
+		return b.deleteFrom(tx, merged, key)
+	}
+}
+
+// deleteDetached removes key from a subtree whose copy now lives in the
+// parent (the value buffer ownership moved), so the recursive delete must
+// NOT free the value again.
+func (b *BTree) deleteDetached(tx *pmdk.Tx, node uint64, key uint64) (bool, error) {
+	cnt := b.nodeN(node)
+	pos := 0
+	for pos < cnt && b.key(node, pos) < key {
+		pos++
+	}
+	if pos < cnt && b.key(node, pos) == key {
+		if b.nodeLeaf(node) {
+			b.removeItem(tx, node, pos) // value moved, not freed
+			return true, nil
+		}
+		// The key to detach sits in an internal node: move it up via
+		// its own predecessor/successor first (rare; handle by merging).
+		return b.deleteInternalDetached(tx, node, pos, key)
+	}
+	if b.nodeLeaf(node) {
+		return false, nil
+	}
+	child, err := b.ensureRich(tx, node, pos)
+	if err != nil {
+		return false, err
+	}
+	return b.deleteDetached(tx, child, key)
+}
+
+// deleteInternalDetached is deleteInternal for a key whose value buffer
+// has been adopted by an ancestor.
+func (b *BTree) deleteInternalDetached(tx *pmdk.Tx, node uint64, pos int, key uint64) (bool, error) {
+	left := b.child(node, pos)
+	right := b.child(node, pos+1)
+	switch {
+	case b.nodeN(left) > btMinKeys:
+		pk, pvo, pvl := b.maxItem(left)
+		b.addNode(tx, node)
+		b.setItem(tx, node, pos, pk, pvo, pvl)
+		return b.deleteDetached(tx, left, pk)
+	case b.nodeN(right) > btMinKeys:
+		sk, svo, svl := b.minItem(right)
+		b.addNode(tx, node)
+		b.setItem(tx, node, pos, sk, svo, svl)
+		return b.deleteDetached(tx, right, sk)
+	default:
+		merged := b.mergeChildren(tx, node, pos)
+		return b.deleteDetached(tx, merged, key)
+	}
+}
+
+// maxItem / minItem find the rightmost/leftmost item of a subtree.
+func (b *BTree) maxItem(n uint64) (key, vOff, vLen uint64) {
+	for !b.nodeLeaf(n) {
+		n = b.child(n, b.nodeN(n))
+	}
+	return b.item(n, b.nodeN(n)-1)
+}
+
+func (b *BTree) minItem(n uint64) (key, vOff, vLen uint64) {
+	for !b.nodeLeaf(n) {
+		n = b.child(n, 0)
+	}
+	return b.item(n, 0)
+}
+
+// ensureRich guarantees child pos of node has more than btMinKeys keys,
+// borrowing from a sibling (rotate) or merging. It returns the child to
+// descend into (which changes when a merge collapses slots).
+func (b *BTree) ensureRich(tx *pmdk.Tx, node uint64, pos int) (uint64, error) {
+	child := b.child(node, pos)
+	if b.nodeN(child) > btMinKeys {
+		return child, nil
+	}
+	if pos > 0 && b.nodeN(b.child(node, pos-1)) > btMinKeys {
+		b.rotateRightB(tx, node, pos)
+		return child, nil
+	}
+	if pos < b.nodeN(node) && b.nodeN(b.child(node, pos+1)) > btMinKeys {
+		b.rotateLeftB(tx, node, pos)
+		return child, nil
+	}
+	// Merge with a sibling.
+	if pos > 0 {
+		return b.mergeChildren(tx, node, pos-1), nil
+	}
+	return b.mergeChildren(tx, node, pos), nil
+}
+
+// rotateLeftB is btree_map_rotate_left: parent key (pos) moves down into
+// child pos, the right sibling's first item moves up into the parent.
+func (b *BTree) rotateLeftB(tx *pmdk.Tx, node uint64, pos int) {
+	child := b.child(node, pos)
+	sib := b.child(node, pos+1)
+	b.addNode(tx, node)
+	b.addNode(tx, child)
+	if b.bugs.On(BugBTreeDoubleInsertLog) {
+		// btree_map.c:367 — the rotate path logs the node again even
+		// though it was already snapshotted in this transaction.
+		tx.Add(node, btSize)
+	}
+	b.addNode(tx, sib)
+
+	cn := b.nodeN(child)
+	pk, pvo, pvl := b.item(node, pos)
+	b.setItem(tx, child, cn, pk, pvo, pvl)
+	if !b.nodeLeaf(child) {
+		tx.Set64(child+btKids+uint64(cn+1)*8, b.child(sib, 0))
+	}
+	tx.Set64(child+btN, uint64(cn+1))
+
+	sk, svo, svl := b.item(sib, 0)
+	b.setItem(tx, node, pos, sk, svo, svl)
+
+	sn := b.nodeN(sib)
+	for j := 0; j < sn-1; j++ {
+		k, vo, vl := b.item(sib, j+1)
+		b.setItem(tx, sib, j, k, vo, vl)
+	}
+	if !b.nodeLeaf(sib) {
+		for j := 0; j < sn; j++ {
+			tx.Set64(sib+btKids+uint64(j)*8, b.child(sib, j+1))
+		}
+	}
+	tx.Set64(sib+btN, uint64(sn-1))
+}
+
+// rotateRightB mirrors rotateLeftB with the left sibling.
+func (b *BTree) rotateRightB(tx *pmdk.Tx, node uint64, pos int) {
+	child := b.child(node, pos)
+	sib := b.child(node, pos-1)
+	b.addNode(tx, node)
+	b.addNode(tx, child)
+	b.addNode(tx, sib)
+
+	// Shift child right by one.
+	cn := b.nodeN(child)
+	for j := cn; j > 0; j-- {
+		k, vo, vl := b.item(child, j-1)
+		b.setItem(tx, child, j, k, vo, vl)
+	}
+	if !b.nodeLeaf(child) {
+		for j := cn + 1; j > 0; j-- {
+			tx.Set64(child+btKids+uint64(j)*8, b.child(child, j-1))
+		}
+	}
+	pk, pvo, pvl := b.item(node, pos-1)
+	b.setItem(tx, child, 0, pk, pvo, pvl)
+	if !b.nodeLeaf(child) {
+		tx.Set64(child+btKids, b.child(sib, b.nodeN(sib)))
+	}
+	tx.Set64(child+btN, uint64(cn+1))
+
+	sk, svo, svl := b.item(sib, b.nodeN(sib)-1)
+	b.setItem(tx, node, pos-1, sk, svo, svl)
+	tx.Set64(sib+btN, uint64(b.nodeN(sib)-1))
+}
+
+// mergeChildren folds parent key pos and child pos+1 into child pos,
+// freeing the right child; it returns the merged node.
+func (b *BTree) mergeChildren(tx *pmdk.Tx, node uint64, pos int) uint64 {
+	left := b.child(node, pos)
+	right := b.child(node, pos+1)
+	b.addNode(tx, node)
+	b.addNode(tx, left)
+
+	ln := b.nodeN(left)
+	pk, pvo, pvl := b.item(node, pos)
+	b.setItem(tx, left, ln, pk, pvo, pvl)
+	rn := b.nodeN(right)
+	for j := 0; j < rn; j++ {
+		k, vo, vl := b.item(right, j)
+		b.setItem(tx, left, ln+1+j, k, vo, vl)
+	}
+	if !b.nodeLeaf(left) {
+		for j := 0; j <= rn; j++ {
+			tx.Set64(left+btKids+uint64(ln+1+j)*8, b.child(right, j))
+		}
+	}
+	tx.Set64(left+btN, uint64(ln+1+rn))
+
+	// Remove key pos and child pos+1 from the parent.
+	pn := b.nodeN(node)
+	for j := pos; j < pn-1; j++ {
+		k, vo, vl := b.item(node, j+1)
+		b.setItem(tx, node, j, k, vo, vl)
+		tx.Set64(node+btKids+uint64(j+1)*8, b.child(node, j+2))
+	}
+	tx.Set64(node+btN, uint64(pn-1))
+	b.pool.Free(right, btSize)
+	return left
+}
+
+// Len counts the keys (test helper).
+func (b *BTree) Len() int {
+	n := 0
+	b.Walk(func(uint64) { n++ })
+	return n
+}
+
+// Validate checks the B-tree structural invariants: key ordering, key
+// counts within [btMinKeys, btMaxK] (root exempt from the minimum), and
+// uniform leaf depth.
+func (b *BTree) Validate() (bool, string) {
+	root := b.dev().Load64(b.root)
+	if root == 0 {
+		return true, ""
+	}
+	ok, reason := true, ""
+	depth := -1
+	var rec func(n uint64, d int, isRoot bool, lo, hi uint64, haveLo, haveHi bool)
+	rec = func(n uint64, d int, isRoot bool, lo, hi uint64, haveLo, haveHi bool) {
+		cnt := b.nodeN(n)
+		if !isRoot && (cnt < btMinKeys || cnt > btMaxK) {
+			ok, reason = false, "key count out of range"
+			return
+		}
+		if isRoot && cnt > btMaxK {
+			ok, reason = false, "root overfull"
+			return
+		}
+		for i := 0; i < cnt; i++ {
+			k := b.key(n, i)
+			if i > 0 && b.key(n, i-1) >= k {
+				ok, reason = false, "keys out of order"
+			}
+			if haveLo && k <= lo {
+				ok, reason = false, "key below bound"
+			}
+			if haveHi && k >= hi {
+				ok, reason = false, "key above bound"
+			}
+		}
+		if b.nodeLeaf(n) {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				ok, reason = false, "leaves at different depths"
+			}
+			return
+		}
+		for i := 0; i <= cnt; i++ {
+			cl, ch := lo, hi
+			cll, chh := haveLo, haveHi
+			if i > 0 {
+				cl, cll = b.key(n, i-1), true
+			}
+			if i < cnt {
+				ch, chh = b.key(n, i), true
+			}
+			rec(b.child(n, i), d+1, false, cl, ch, cll, chh)
+		}
+	}
+	rec(root, 0, true, 0, 0, false, false)
+	return ok, reason
+}

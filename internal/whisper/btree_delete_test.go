@@ -1,0 +1,231 @@
+package whisper
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+func TestBTreeDeleteBasic(t *testing.T) {
+	b, _ := NewBTree(pmem.New(devSize, nil), nil)
+	for i := uint64(0); i < 20; i++ {
+		b.Insert(i, []byte{byte(i)})
+	}
+	ok, err := b.Delete(7)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, found := b.Get(7); found {
+		t.Fatal("deleted key present")
+	}
+	if valid, why := b.Validate(); !valid {
+		t.Fatal(why)
+	}
+	if b.Len() != 19 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if ok, _ := b.Delete(7); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestBTreeDeleteAllOrders(t *testing.T) {
+	for name, order := range map[string]func(n int) []int{
+		"ascending": func(n int) []int {
+			v := make([]int, n)
+			for i := range v {
+				v[i] = i
+			}
+			return v
+		},
+		"descending": func(n int) []int {
+			v := make([]int, n)
+			for i := range v {
+				v[i] = n - 1 - i
+			}
+			return v
+		},
+		"random": func(n int) []int { return rand.New(rand.NewSource(5)).Perm(n) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			const n = 200
+			b, _ := NewBTree(pmem.New(devSize, nil), nil)
+			for i := uint64(0); i < n; i++ {
+				b.Insert(i, []byte{byte(i)})
+			}
+			for _, k := range order(n) {
+				ok, err := b.Delete(uint64(k))
+				if err != nil || !ok {
+					t.Fatalf("Delete(%d) = %v, %v", k, ok, err)
+				}
+				if valid, why := b.Validate(); !valid {
+					t.Fatalf("after Delete(%d): %s", k, why)
+				}
+			}
+			if b.Len() != 0 {
+				t.Fatalf("Len = %d after deleting all", b.Len())
+			}
+			// The tree is reusable after emptying.
+			b.Insert(42, []byte{42})
+			if v, ok := b.Get(42); !ok || v[0] != 42 {
+				t.Fatal("reuse after emptying failed")
+			}
+		})
+	}
+}
+
+func TestQuickBTreeInsertDelete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(devSize, nil)
+		b, err := NewBTree(dev, nil)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]byte{}
+		for i := 0; i < 200; i++ {
+			k := uint64(rng.Intn(60))
+			if rng.Intn(3) == 0 {
+				ok, err := b.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, in := model[k]; in != ok {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := byte(rng.Intn(256))
+				if err := b.Insert(k, []byte{v}); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+			if valid, _ := b.Validate(); !valid {
+				return false
+			}
+		}
+		if b.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := b.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		var keys []uint64
+		b.Walk(func(k uint64) { keys = append(keys, k) })
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			return false
+		}
+		// Durable reopen.
+		b2, err := OpenBTree(pmem.FromImage(dev.Image(), nil))
+		if err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, ok := b2.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBTreeDeleteCheckedClean: borrow/merge paths under full checker
+// instrumentation produce no findings.
+func TestBTreeDeleteCheckedClean(t *testing.T) {
+	var ops []trace.Op
+	b, _ := NewBTree(pmem.New(devSize, recorder{&ops}), nil)
+	b.SetCheckers(true)
+	for i := uint64(0); i < 100; i++ {
+		b.Insert(i, []byte{byte(i)})
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		ops = ops[:0]
+		if _, err := b.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+		r := core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+		if !r.Clean() {
+			t.Fatalf("clean delete flagged: %s", r.Summary())
+		}
+	}
+	if valid, why := b.Validate(); !valid {
+		t.Fatal(why)
+	}
+}
+
+// TestBTreeRotateDoubleLogBug: the paper's Bug 3 in its authentic home —
+// the rotate path of remove logs a node already snapshotted, flagged as
+// duplicate-log.
+func TestBTreeRotateDoubleLogBug(t *testing.T) {
+	var ops []trace.Op
+	b, _ := NewBTree(pmem.New(devSize, recorder{&ops}),
+		BugSet{BugBTreeDoubleInsertLog: true})
+	b.SetCheckers(true)
+	// Build enough structure that deletions trigger rotate-left borrows.
+	for i := uint64(0); i < 120; i++ {
+		b.Insert(i, []byte{byte(i)})
+	}
+	found := false
+	for i := uint64(0); i < 120 && !found; i++ {
+		ops = ops[:0]
+		if _, err := b.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+		r := core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+		if r.HasCode(core.CodeDuplicateLog) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rotate-path duplicate TX_ADD never flagged")
+	}
+}
+
+// TestBTreeDeleteCrashConsistent: committed deletes survive crashes with
+// invariants intact.
+func TestBTreeDeleteCrashConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	dev := pmem.New(devSize, nil)
+	b, _ := NewBTree(dev, nil)
+	for i := uint64(0); i < 60; i++ {
+		b.Insert(i, []byte{byte(i)})
+	}
+	for i := uint64(0); i < 30; i++ {
+		if _, err := b.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		img := dev.SampleCrash(rng, pmem.CrashOptions{})
+		b2, err := OpenBTree(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if valid, why := b2.Validate(); !valid {
+			t.Fatalf("trial %d: %s", trial, why)
+		}
+		for i := uint64(0); i < 30; i++ {
+			if _, found := b2.Get(i); found {
+				t.Fatalf("trial %d: deleted key %d resurrected", trial, i)
+			}
+		}
+		for i := uint64(30); i < 60; i++ {
+			if _, found := b2.Get(i); !found {
+				t.Fatalf("trial %d: surviving key %d lost", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package whisper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmtest/internal/pmfs"
+)
+
+// Client generators mirroring paper Table 4's load generators: Memslap
+// (5% set / 95% get), YCSB (50% update / 50% read, zipfian keys), the
+// redis-cli LRU test, Filebench, and an OLTP-complex analog over PMFS.
+
+// KVOp is one generated key-value operation.
+type KVOp struct {
+	// IsSet selects a write (set/update) rather than a read.
+	IsSet bool
+	Key   uint64
+	Size  int // value size for sets
+}
+
+// MemslapOps generates n memslap-style operations: 5% sets, uniformly
+// random keys (paper Table 4: "Memslap, 5% set").
+func MemslapOps(n int, keySpace uint64, valSize int, seed int64) []KVOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]KVOp, n)
+	for i := range ops {
+		ops[i] = KVOp{
+			IsSet: rng.Intn(100) < 5,
+			Key:   uint64(rng.Int63n(int64(keySpace))),
+			Size:  valSize,
+		}
+	}
+	return ops
+}
+
+// YCSBOps generates n YCSB workload-A-style operations: 50% updates over
+// a zipfian key distribution (paper Table 4: "YCSB, 50% update").
+func YCSBOps(n int, keySpace uint64, valSize int, seed int64) []KVOp {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 1, keySpace-1)
+	ops := make([]KVOp, n)
+	for i := range ops {
+		ops[i] = KVOp{
+			IsSet: rng.Intn(100) < 50,
+			Key:   zipf.Uint64(),
+			Size:  valSize,
+		}
+	}
+	return ops
+}
+
+// LRUOps generates the redis-cli LRU test: sets over a key space larger
+// than the store capacity (forcing eviction) mixed with gets skewed
+// toward recent keys.
+func LRUOps(n int, keySpace uint64, valSize int, seed int64) []KVOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]KVOp, n)
+	for i := range ops {
+		if rng.Intn(100) < 50 {
+			ops[i] = KVOp{IsSet: true, Key: uint64(rng.Int63n(int64(keySpace))), Size: valSize}
+		} else {
+			// Reads biased to the recently written half of the space.
+			ops[i] = KVOp{Key: uint64(rng.Int63n(int64(keySpace/2 + 1)))}
+		}
+	}
+	return ops
+}
+
+// RunKV drives a key-value store with the generated ops.
+func RunKV(set func(uint64, []byte) error, get func(uint64) ([]byte, bool),
+	ops []KVOp, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 1<<16)
+	rng.Read(buf)
+	for _, op := range ops {
+		if op.IsSet {
+			if err := set(op.Key, buf[:op.Size]); err != nil {
+				return err
+			}
+		} else {
+			get(op.Key)
+		}
+	}
+	return nil
+}
+
+// FSOp is one generated file-system operation.
+type FSOp struct {
+	Kind FSOpKind
+	Name string
+	Off  uint64
+	Size int
+}
+
+// FSOpKind enumerates filebench/OLTP operation kinds.
+type FSOpKind uint8
+
+// File-system operation kinds.
+const (
+	FSCreate FSOpKind = iota
+	FSWrite
+	FSRead
+	FSDelete
+	FSFsync
+	FSMkdir
+)
+
+// FilebenchOps generates a fileserver-style mix: create/write/read/delete
+// over a rotating population of files spread across a small directory
+// tree (paper Table 4: "NFS (Filebench)").
+func FilebenchOps(n, nFiles, writeSize int, seed int64) []FSOp {
+	rng := rand.New(rand.NewSource(seed))
+	const nDirs = 4
+	ops := make([]FSOp, 0, n+nDirs)
+	for d := 0; d < nDirs; d++ {
+		ops = append(ops, FSOp{Kind: FSMkdir, Name: fmt.Sprintf("dir%d", d)})
+	}
+	live := map[int]bool{}
+	for len(ops) < n+nDirs {
+		f := rng.Intn(nFiles)
+		name := fmt.Sprintf("dir%d/fb%03d", f%nDirs, f)
+		switch {
+		case !live[f]:
+			ops = append(ops, FSOp{Kind: FSCreate, Name: name})
+			live[f] = true
+		case rng.Intn(100) < 50:
+			ops = append(ops, FSOp{Kind: FSWrite, Name: name,
+				Off: uint64(rng.Intn(4)) * uint64(writeSize), Size: writeSize})
+		case rng.Intn(100) < 80:
+			ops = append(ops, FSOp{Kind: FSRead, Name: name,
+				Off: 0, Size: writeSize})
+		default:
+			ops = append(ops, FSOp{Kind: FSDelete, Name: name})
+			delete(live, f)
+		}
+	}
+	return ops
+}
+
+// OLTPOps generates an OLTP-complex-style mix over a small set of table
+// files: random in-place record updates followed by fsync, with
+// occasional reads (paper Table 4: "MySQL (OLTP-complex)").
+func OLTPOps(n, nTables, recordSize int, seed int64) []FSOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]FSOp, 0, n+nTables)
+	for t := 0; t < nTables; t++ {
+		ops = append(ops, FSOp{Kind: FSCreate, Name: fmt.Sprintf("tab%02d", t)})
+	}
+	for len(ops) < n+nTables {
+		name := fmt.Sprintf("tab%02d", rng.Intn(nTables))
+		rec := uint64(rng.Intn(64))
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			ops = append(ops, FSOp{Kind: FSRead, Name: name,
+				Off: rec * uint64(recordSize), Size: recordSize})
+		default:
+			ops = append(ops, FSOp{Kind: FSWrite, Name: name,
+				Off: rec * uint64(recordSize), Size: recordSize})
+			ops = append(ops, FSOp{Kind: FSFsync, Name: name})
+		}
+	}
+	return ops
+}
+
+// RunFS drives a PMFS instance with the generated ops.
+func RunFS(fs *pmfs.FS, ops []FSOp, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 1<<16)
+	rng.Read(buf)
+	rbuf := make([]byte, 1<<16)
+	for _, op := range ops {
+		switch op.Kind {
+		case FSCreate:
+			if _, err := fs.CreateFile(op.Name); err != nil && err != pmfs.ErrExists {
+				return err
+			}
+		case FSWrite:
+			ino, err := fs.Lookup(op.Name)
+			if err != nil {
+				continue
+			}
+			if err := fs.WriteFile(ino, op.Off, buf[:op.Size]); err != nil {
+				return err
+			}
+		case FSRead:
+			ino, err := fs.Lookup(op.Name)
+			if err != nil {
+				continue
+			}
+			if _, err := fs.ReadFile(ino, op.Off, rbuf[:op.Size]); err != nil {
+				return err
+			}
+		case FSDelete:
+			if err := fs.Unlink(op.Name); err != nil && err != pmfs.ErrNotFound {
+				return err
+			}
+		case FSMkdir:
+			if _, err := fs.Mkdir(op.Name); err != nil && err != pmfs.ErrExists {
+				return err
+			}
+		case FSFsync:
+			ino, err := fs.Lookup(op.Name)
+			if err != nil {
+				continue
+			}
+			if err := fs.Fsync(ino); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package whisper
+
+import (
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+)
+
+// CTree is the WHISPER/PMDK crit-tree microbenchmark analog: an unbalanced
+// binary search tree where every insert is one PMDK transaction.
+//
+// Node layout (40 bytes, line-aligned by the allocator):
+//
+//	0  key
+//	8  value offset
+//	16 value length
+//	24 left child offset
+//	32 right child offset
+type CTree struct {
+	pool  *pmdk.Pool
+	root  uint64 // root object: one 8-byte pointer to the top node
+	bugs  BugSet
+	check bool
+}
+
+const (
+	ctKey   = 0
+	ctVal   = 8
+	ctVLen  = 16
+	ctLeft  = 24
+	ctRight = 32
+	ctSize  = 40
+)
+
+// Named injection points (Table 5 Backup/Completion rows for C-Tree).
+const (
+	BugCTreeSkipRootLog   = "ctree-skip-root-log"   // root pointer updated without TX_ADD
+	BugCTreeSkipParentLog = "ctree-skip-parent-log" // parent child-pointer updated without TX_ADD
+	BugCTreeSkipValueLog  = "ctree-skip-value-log"  // value overwrite without TX_ADD
+	BugCTreeDoubleRootLog = "ctree-double-root-log" // root pointer logged twice
+)
+
+// NewCTree creates a C-Tree in a fresh pool on dev.
+func NewCTree(dev *pmem.Device, bugs BugSet) (*CTree, error) {
+	pool, err := pmdk.Create(dev, 0)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8)
+	if err != nil {
+		return nil, err
+	}
+	return &CTree{pool: pool, root: root, bugs: bugs}, nil
+}
+
+// OpenCTree reattaches to an existing pool (after crash/recovery).
+func OpenCTree(dev *pmem.Device) (*CTree, error) {
+	pool, _, err := pmdk.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8)
+	if err != nil {
+		return nil, err
+	}
+	return &CTree{pool: pool, root: root}, nil
+}
+
+// Name implements Store.
+func (c *CTree) Name() string { return "C-Tree" }
+
+// Device implements Store.
+func (c *CTree) Device() *pmem.Device { return c.pool.Device() }
+
+// Pool exposes the backing pool (bug catalog installs library switches).
+func (c *CTree) Pool() *pmdk.Pool { return c.pool }
+
+// SetCheckers implements Checkered.
+func (c *CTree) SetCheckers(on bool) { c.check = on }
+
+// Insert adds key→val in one transaction.
+func (c *CTree) Insert(key uint64, val []byte) error {
+	if c.check {
+		txCheckerStart(c.Device())
+		defer txCheckerEnd(c.Device())
+	}
+	return c.pool.Tx(func(tx *pmdk.Tx) error {
+		// Find the insertion point (reads need no protection).
+		parent := uint64(0)
+		var parentField uint64
+		cur := c.pool.Device().Load64(c.root)
+		for cur != 0 {
+			k := c.pool.Device().Load64(cur + ctKey)
+			if k == key {
+				return c.updateValue(tx, cur, val)
+			}
+			parent = cur
+			if key < k {
+				parentField = cur + ctLeft
+				cur = c.pool.Device().Load64(cur + ctLeft)
+			} else {
+				parentField = cur + ctRight
+				cur = c.pool.Device().Load64(cur + ctRight)
+			}
+		}
+		node, err := c.newNode(tx, key, val)
+		if err != nil {
+			return err
+		}
+		if parent == 0 {
+			// Link from the root pointer.
+			if !c.bugs.On(BugCTreeSkipRootLog) {
+				tx.Add(c.root, 8)
+			}
+			if c.bugs.On(BugCTreeDoubleRootLog) {
+				tx.Add(c.root, 8)
+				tx.Add(c.root, 8)
+			}
+			tx.Set64(c.root, node)
+			return nil
+		}
+		if !c.bugs.On(BugCTreeSkipParentLog) {
+			tx.Add(parentField, 8)
+		}
+		tx.Set64(parentField, node)
+		return nil
+	})
+}
+
+func (c *CTree) newNode(tx *pmdk.Tx, key uint64, val []byte) (uint64, error) {
+	vOff, err := tx.Alloc(uint64(len(val)))
+	if err != nil {
+		return 0, err
+	}
+	tx.Set(vOff, val)
+	node, err := tx.Alloc(ctSize)
+	if err != nil {
+		return 0, err
+	}
+	tx.Set64(node+ctKey, key)
+	tx.Set64(node+ctVal, vOff)
+	tx.Set64(node+ctVLen, uint64(len(val)))
+	tx.Set64(node+ctLeft, 0)
+	tx.Set64(node+ctRight, 0)
+	return node, nil
+}
+
+func (c *CTree) updateValue(tx *pmdk.Tx, node uint64, val []byte) error {
+	vOff, err := tx.Alloc(uint64(len(val)))
+	if err != nil {
+		return err
+	}
+	tx.Set(vOff, val)
+	if !c.bugs.On(BugCTreeSkipValueLog) {
+		tx.Add(node+ctVal, 16)
+	}
+	oldOff := c.pool.Device().Load64(node + ctVal)
+	oldLen := c.pool.Device().Load64(node + ctVLen)
+	tx.Set64(node+ctVal, vOff)
+	tx.Set64(node+ctVLen, uint64(len(val)))
+	c.pool.Free(oldOff, oldLen)
+	return nil
+}
+
+// Get implements Store.
+func (c *CTree) Get(key uint64) ([]byte, bool) {
+	dev := c.pool.Device()
+	cur := dev.Load64(c.root)
+	for cur != 0 {
+		k := dev.Load64(cur + ctKey)
+		switch {
+		case k == key:
+			return dev.LoadBytes(dev.Load64(cur+ctVal), dev.Load64(cur+ctVLen)), true
+		case key < k:
+			cur = dev.Load64(cur + ctLeft)
+		default:
+			cur = dev.Load64(cur + ctRight)
+		}
+	}
+	return nil, false
+}
+
+// Walk visits keys in order (consistency checks in tests).
+func (c *CTree) Walk(visit func(key uint64)) {
+	var rec func(n uint64)
+	dev := c.pool.Device()
+	rec = func(n uint64) {
+		if n == 0 {
+			return
+		}
+		rec(dev.Load64(n + ctLeft))
+		visit(dev.Load64(n + ctKey))
+		rec(dev.Load64(n + ctRight))
+	}
+	rec(dev.Load64(c.root))
+}

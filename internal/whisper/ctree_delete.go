@@ -1,0 +1,89 @@
+package whisper
+
+import (
+	"pmtest/internal/pmdk"
+)
+
+// Delete removes key from the C-Tree in one transaction, returning false
+// when the key is absent. Standard BST deletion: leaves unlink, one-child
+// nodes splice, two-child nodes are replaced by their in-order successor.
+// Every modified node (and the parent link) is snapshotted first.
+func (c *CTree) Delete(key uint64) (bool, error) {
+	if c.check {
+		txCheckerStart(c.Device())
+		defer txCheckerEnd(c.Device())
+	}
+	deleted := false
+	err := c.pool.Tx(func(tx *pmdk.Tx) error {
+		dev := c.pool.Device()
+		// Locate the node and the field pointing at it.
+		parentField := c.root
+		cur := dev.Load64(c.root)
+		for cur != 0 {
+			k := dev.Load64(cur + ctKey)
+			if k == key {
+				break
+			}
+			if key < k {
+				parentField = cur + ctLeft
+			} else {
+				parentField = cur + ctRight
+			}
+			cur = dev.Load64(parentField)
+		}
+		if cur == 0 {
+			return nil // absent
+		}
+		deleted = true
+		left := dev.Load64(cur + ctLeft)
+		right := dev.Load64(cur + ctRight)
+
+		switch {
+		case left == 0 || right == 0:
+			// Zero or one child: splice the child into the parent link.
+			child := left
+			if child == 0 {
+				child = right
+			}
+			tx.Add(parentField, 8)
+			tx.Set64(parentField, child)
+			c.freeNode(cur)
+		default:
+			// Two children: find the in-order successor (leftmost of the
+			// right subtree), splice it out, and move its payload into
+			// cur.
+			succField := cur + ctRight
+			succ := right
+			for l := dev.Load64(succ + ctLeft); l != 0; l = dev.Load64(succ + ctLeft) {
+				succField = succ + ctLeft
+				succ = l
+			}
+			// The successor has no left child by construction.
+			tx.Add(succField, 8)
+			tx.Set64(succField, dev.Load64(succ+ctRight))
+			tx.Add(cur, ctSize)
+			tx.Set64(cur+ctKey, dev.Load64(succ+ctKey))
+			// Free cur's old value and adopt the successor's.
+			c.pool.Free(dev.Load64(cur+ctVal), dev.Load64(cur+ctVLen))
+			tx.Set64(cur+ctVal, dev.Load64(succ+ctVal))
+			tx.Set64(cur+ctVLen, dev.Load64(succ+ctVLen))
+			c.pool.Free(succ, ctSize)
+		}
+		return nil
+	})
+	return deleted, err
+}
+
+// freeNode releases a node and its value buffer.
+func (c *CTree) freeNode(n uint64) {
+	dev := c.pool.Device()
+	c.pool.Free(dev.Load64(n+ctVal), dev.Load64(n+ctVLen))
+	c.pool.Free(n, ctSize)
+}
+
+// Len counts the keys in the tree (test helper).
+func (c *CTree) Len() int {
+	n := 0
+	c.Walk(func(uint64) { n++ })
+	return n
+}

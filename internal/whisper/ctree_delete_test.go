@@ -1,0 +1,267 @@
+package whisper
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+func TestCTreeDeleteLeaf(t *testing.T) {
+	c, _ := NewCTree(pmem.New(devSize, nil), nil)
+	for _, k := range []uint64{50, 25, 75} {
+		c.Insert(k, []byte{byte(k)})
+	}
+	ok, err := c.Delete(25)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, found := c.Get(25); found {
+		t.Fatal("deleted key still present")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCTreeDeleteRootWithTwoChildren(t *testing.T) {
+	c, _ := NewCTree(pmem.New(devSize, nil), nil)
+	for _, k := range []uint64{50, 25, 75, 60, 90} {
+		c.Insert(k, []byte{byte(k)})
+	}
+	ok, _ := c.Delete(50)
+	if !ok {
+		t.Fatal("root delete failed")
+	}
+	var keys []uint64
+	c.Walk(func(k uint64) { keys = append(keys, k) })
+	want := []uint64{25, 60, 75, 90}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestCTreeDeleteAbsent(t *testing.T) {
+	c, _ := NewCTree(pmem.New(devSize, nil), nil)
+	c.Insert(1, []byte{1})
+	ok, err := c.Delete(99)
+	if err != nil || ok {
+		t.Fatalf("Delete(absent) = %v, %v", ok, err)
+	}
+}
+
+// TestQuickCTreeInsertDelete: random insert/delete sequences match a map
+// model, the walk stays sorted, and the durable image reopens to the
+// same contents.
+func TestQuickCTreeInsertDelete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(devSize, nil)
+		c, err := NewCTree(dev, nil)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]byte{}
+		for i := 0; i < 120; i++ {
+			k := uint64(rng.Intn(30))
+			if rng.Intn(3) == 0 {
+				ok, err := c.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, inModel := model[k]; inModel != ok {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := byte(rng.Intn(256))
+				if err := c.Insert(k, []byte{v}); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		// Volatile view matches the model.
+		for k, v := range model {
+			got, ok := c.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		if c.Len() != len(model) {
+			return false
+		}
+		// Walk sorted.
+		var keys []uint64
+		c.Walk(func(k uint64) { keys = append(keys, k) })
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			return false
+		}
+		// Durable view matches after reopen.
+		c2, err := OpenCTree(pmem.FromImage(dev.Image(), nil))
+		if err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, ok := c2.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCTreeDeleteCheckedClean: deletes under full checker instrumentation
+// produce no findings.
+func TestCTreeDeleteCheckedClean(t *testing.T) {
+	var ops []trace.Op
+	c, _ := NewCTree(pmem.New(devSize, recorder{&ops}), nil)
+	c.SetCheckers(true)
+	for i := uint64(0); i < 20; i++ {
+		c.Insert(i*3, []byte{byte(i)})
+	}
+	for i := uint64(0); i < 20; i += 2 {
+		ops = ops[:0]
+		if _, err := c.Delete(i * 3); err != nil {
+			t.Fatal(err)
+		}
+		r := core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+		if !r.Clean() {
+			t.Fatalf("clean delete flagged: %s", r.Summary())
+		}
+	}
+}
+
+// TestCTreeDeleteCrashConsistent: a committed delete survives any crash;
+// sampling recovery after deletes never resurrects or loses keys.
+func TestCTreeDeleteCrashConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dev := pmem.New(devSize, nil)
+	c, _ := NewCTree(dev, nil)
+	for i := uint64(0); i < 20; i++ {
+		c.Insert(i, []byte{byte(i)})
+	}
+	for i := uint64(0); i < 10; i++ {
+		c.Delete(i)
+	}
+	for trial := 0; trial < 15; trial++ {
+		img := dev.SampleCrash(rng, pmem.CrashOptions{})
+		c2, err := OpenCTree(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 10; i++ {
+			if _, found := c2.Get(i); found {
+				t.Fatalf("trial %d: deleted key %d resurrected", trial, i)
+			}
+		}
+		for i := uint64(10); i < 20; i++ {
+			if _, found := c2.Get(i); !found {
+				t.Fatalf("trial %d: surviving key %d lost", trial, i)
+			}
+		}
+	}
+}
+
+// --- HashmapLL tombstone deletion ------------------------------------------
+
+func TestHashmapLLDelete(t *testing.T) {
+	h, err := NewHashmapLL(pmem.New(1<<22, nil), 64, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 30; i++ {
+		h.Insert(i, []byte{byte(i)})
+	}
+	ok, err := h.Delete(7)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, found := h.Get(7); found {
+		t.Fatal("deleted key present")
+	}
+	// Keys that probed past the deleted slot must remain reachable.
+	for i := uint64(0); i < 30; i++ {
+		if i == 7 {
+			continue
+		}
+		if v, found := h.Get(i); !found || v[0] != byte(i) {
+			t.Fatalf("key %d lost after tombstoning", i)
+		}
+	}
+	if ok, _ := h.Delete(7); ok {
+		t.Fatal("double delete succeeded")
+	}
+	// Reinsert reuses the tombstone.
+	if err := h.Insert(7, []byte{77}); err != nil {
+		t.Fatal(err)
+	}
+	if v, found := h.Get(7); !found || v[0] != 77 {
+		t.Fatal("reinsert after delete failed")
+	}
+}
+
+func TestQuickHashmapLLInsertDeleteModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(1<<22, nil)
+		h, err := NewHashmapLL(dev, 64, 16, nil)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]byte{}
+		for i := 0; i < 150; i++ {
+			k := uint64(rng.Intn(40))
+			if rng.Intn(3) == 0 {
+				ok, err := h.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, in := model[k]; in != ok {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := byte(rng.Intn(256))
+				if err := h.Insert(k, []byte{v}); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		for k, v := range model {
+			got, ok := h.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		// Durable reopen.
+		h2, err := OpenHashmapLL(pmem.FromImage(dev.Image(), nil))
+		if err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, ok := h2.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package whisper
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+// Echo is the WHISPER "echo" analog: a key-value store built on a
+// write-ahead log — a third crash-consistency discipline beside pmdk's
+// undo log and mnemosyne's redo log. Every Set appends a checksummed
+// record and then advances a durable commit pointer; recovery replays the
+// log up to the pointer, verifying checksums. Compaction copies the live
+// set into the inactive of two log areas and flips the active flag with
+// one atomic persist (the A/B switch pattern).
+//
+// Layout:
+//
+//	0   magic
+//	8   active area (0 or 1)
+//	16  commit[0]: durable byte count of area 0
+//	24  commit[1]
+//	32  area capacity
+//	64  area 0
+//	64+cap  area 1
+//
+// Record: key(8) vlen(4) crc32(4) value... padded to 8.
+type Echo struct {
+	dev    *pmem.Device
+	cap    uint64
+	check  bool
+	bugs   BugSet
+	active int
+	tail   uint64 // volatile append offset within the active area
+	// index maps key → (absolute value offset, length); rebuilt on Open.
+	index map[uint64]echoLoc
+}
+
+type echoLoc struct {
+	off  uint64
+	vlen uint32
+}
+
+const (
+	echoMagicOff  = 0
+	echoActiveOff = 8
+	echoCommit0   = 16
+	echoCommit1   = 24
+	echoCapOff    = 32
+	echoArea0     = 64
+	echoMagic     = 0x4543484F2D474F21
+	echoHdr       = 16 // key + vlen + crc
+)
+
+// Echo bug-injection points.
+const (
+	BugEchoSkipEntryFlush  = "echo-skip-entry-flush"  // record not persisted before the commit pointer
+	BugEchoSkipCommitFence = "echo-skip-commit-fence" // commit pointer not durable when Set returns
+)
+
+// ErrEchoFull is returned when the active area cannot hold another record
+// even after compaction.
+var ErrEchoFull = errors.New("whisper: echo log full")
+
+// NewEcho formats an Echo store with the given per-area capacity.
+func NewEcho(dev *pmem.Device, areaCap uint64, bugs BugSet) (*Echo, error) {
+	if dev.Size() < echoArea0+2*areaCap {
+		return nil, errors.New("whisper: device too small for echo")
+	}
+	e := &Echo{dev: dev, cap: areaCap, bugs: bugs, index: map[uint64]echoLoc{}}
+	dev.Store64(echoActiveOff, 0)
+	dev.Store64(echoCommit0, 0)
+	dev.Store64(echoCommit1, 0)
+	dev.Store64(echoCapOff, areaCap)
+	dev.PersistBarrier(echoActiveOff, 56)
+	dev.Store64(echoMagicOff, echoMagic)
+	dev.PersistBarrier(echoMagicOff, 8)
+	return e, nil
+}
+
+// OpenEcho replays the committed log, verifying checksums.
+func OpenEcho(dev *pmem.Device) (*Echo, error) {
+	if dev.Load64(echoMagicOff) != echoMagic {
+		return nil, errors.New("whisper: no echo store on device")
+	}
+	e := &Echo{
+		dev:    dev,
+		cap:    dev.Load64(echoCapOff),
+		active: int(dev.Load64(echoActiveOff)),
+		index:  map[uint64]echoLoc{},
+	}
+	commit := dev.Load64(e.commitOff())
+	base := e.areaBase()
+	pos := uint64(0)
+	for pos+echoHdr <= commit {
+		rec := base + pos
+		key := dev.Load64(rec)
+		vlen := dev.Load32(rec + 8)
+		crc := dev.Load32(rec + 12)
+		if pos+echoHdr+uint64(vlen) > commit {
+			return nil, fmt.Errorf("whisper: echo record at %d exceeds commit", pos)
+		}
+		val := dev.LoadBytes(rec+echoHdr, uint64(vlen))
+		if crc32.ChecksumIEEE(val) != crc {
+			return nil, fmt.Errorf("whisper: echo checksum mismatch at %d (torn record)", pos)
+		}
+		if vlen == 0 {
+			delete(e.index, key) // tombstone record
+		} else {
+			e.index[key] = echoLoc{off: rec + echoHdr, vlen: vlen}
+		}
+		pos += align8(echoHdr + uint64(vlen))
+	}
+	e.tail = commit
+	return e, nil
+}
+
+func (e *Echo) areaBase() uint64 {
+	if e.active == 1 {
+		return echoArea0 + e.cap
+	}
+	return echoArea0
+}
+
+func (e *Echo) commitOff() uint64 {
+	if e.active == 1 {
+		return echoCommit1
+	}
+	return echoCommit0
+}
+
+// Device returns the backing device.
+func (e *Echo) Device() *pmem.Device { return e.dev }
+
+// SetCheckers enables the WAL-ordering checkers per operation.
+func (e *Echo) SetCheckers(on bool) { e.check = on }
+
+// Set appends key→val to the WAL and commits it.
+func (e *Echo) Set(key uint64, val []byte) error {
+	need := align8(echoHdr + uint64(len(val)))
+	if e.tail+need > e.cap {
+		if err := e.Compact(); err != nil {
+			return err
+		}
+		if e.tail+need > e.cap {
+			return ErrEchoFull
+		}
+	}
+	rec := e.areaBase() + e.tail
+	buf := make([]byte, echoHdr+len(val))
+	binary.LittleEndian.PutUint64(buf[0:8], key)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(val)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(val))
+	copy(buf[echoHdr:], val)
+	e.dev.Store(rec, buf)
+	if !e.bugs.On(BugEchoSkipEntryFlush) {
+		// WAL rule: the record must be durable before the commit pointer
+		// can cover it.
+		e.dev.PersistBarrier(rec, uint64(len(buf)))
+	}
+	newTail := e.tail + need
+	e.dev.Store64(e.commitOff(), newTail)
+	e.dev.CLWB(e.commitOff(), 8)
+	if !e.bugs.On(BugEchoSkipCommitFence) {
+		e.dev.SFence()
+	}
+	if e.check {
+		e.dev.RecordOp(trace.Op{
+			Kind: trace.KindIsOrderedBefore,
+			Addr: rec, Size: uint64(len(buf)),
+			Addr2: e.commitOff(), Size2: 8,
+		}, 1)
+		e.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist,
+			Addr: e.commitOff(), Size: 8}, 1)
+	}
+	e.tail = newTail
+	if len(val) == 0 {
+		delete(e.index, key)
+	} else {
+		e.index[key] = echoLoc{off: rec + echoHdr, vlen: uint32(len(val))}
+	}
+	return nil
+}
+
+// Delete appends a tombstone record (zero-length value).
+func (e *Echo) Delete(key uint64) (bool, error) {
+	if _, ok := e.index[key]; !ok {
+		return false, nil
+	}
+	return true, e.Set(key, nil)
+}
+
+// Get returns the value for key.
+func (e *Echo) Get(key uint64) ([]byte, bool) {
+	loc, ok := e.index[key]
+	if !ok {
+		return nil, false
+	}
+	return e.dev.LoadBytes(loc.off, uint64(loc.vlen)), true
+}
+
+// Len returns the number of live keys.
+func (e *Echo) Len() int { return len(e.index) }
+
+// Compact copies the live records into the inactive area, persists them
+// and the other area's commit pointer, then flips the active flag with a
+// single atomic persist. A crash before the flip leaves the old area
+// authoritative; after, the new one — never a mix.
+func (e *Echo) Compact() error {
+	oldActive := e.active
+	newActive := 1 - oldActive
+	newBase := uint64(echoArea0)
+	newCommit := uint64(echoCommit0)
+	if newActive == 1 {
+		newBase = echoArea0 + e.cap
+		newCommit = echoCommit1
+	}
+	// Copy live records.
+	pos := uint64(0)
+	newIndex := make(map[uint64]echoLoc, len(e.index))
+	for key, loc := range e.index {
+		val := e.dev.LoadBytes(loc.off, uint64(loc.vlen))
+		need := align8(echoHdr + uint64(len(val)))
+		if pos+need > e.cap {
+			return ErrEchoFull
+		}
+		rec := newBase + pos
+		buf := make([]byte, echoHdr+len(val))
+		binary.LittleEndian.PutUint64(buf[0:8], key)
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(len(val)))
+		binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(val))
+		copy(buf[echoHdr:], val)
+		e.dev.Store(rec, buf)
+		e.dev.CLWB(rec, uint64(len(buf)))
+		newIndex[key] = echoLoc{off: rec + echoHdr, vlen: uint32(len(val))}
+		pos += need
+	}
+	e.dev.SFence()
+	// Persist the new area's commit pointer.
+	e.dev.Store64(newCommit, pos)
+	e.dev.PersistBarrier(newCommit, 8)
+	// The atomic switch.
+	e.dev.Store64(echoActiveOff, uint64(newActive))
+	e.dev.PersistBarrier(echoActiveOff, 8)
+	if e.check {
+		e.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist,
+			Addr: echoActiveOff, Size: 8}, 1)
+	}
+	// Reset the old area's commit pointer for its next turn.
+	oldCommit := uint64(echoCommit0)
+	if oldActive == 1 {
+		oldCommit = echoCommit1
+	}
+	e.dev.Store64(oldCommit, 0)
+	e.dev.PersistBarrier(oldCommit, 8)
+	e.active = newActive
+	e.tail = pos
+	e.index = newIndex
+	return nil
+}
+
+func align8(v uint64) uint64 { return (v + 7) &^ 7 }

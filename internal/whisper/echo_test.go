@@ -1,0 +1,275 @@
+package whisper
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+func newEcho(t testing.TB, sink trace.Sink, bugs BugSet) *Echo {
+	t.Helper()
+	e, err := NewEcho(pmem.New(1<<22, sink), 1<<19, bugs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEchoSetGetDelete(t *testing.T) {
+	e := newEcho(t, nil, nil)
+	e.Set(1, []byte("one"))
+	e.Set(2, []byte("two"))
+	e.Set(1, []byte("uno")) // overwrite
+	if v, ok := e.Get(1); !ok || string(v) != "uno" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	ok, err := e.Delete(2)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, found := e.Get(2); found {
+		t.Fatal("deleted key present")
+	}
+	if ok, _ := e.Delete(2); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}
+
+func TestEchoRecoveryReplaysLog(t *testing.T) {
+	dev := pmem.New(1<<22, nil)
+	e, err := NewEcho(dev, 1<<19, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		e.Set(i, []byte{byte(i), byte(i + 1)})
+	}
+	e.Delete(7)
+	e2, err := OpenEcho(pmem.FromImage(dev.Image(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Len() != 49 {
+		t.Fatalf("Len after recovery = %d", e2.Len())
+	}
+	if _, found := e2.Get(7); found {
+		t.Fatal("tombstone not replayed")
+	}
+	if v, ok := e2.Get(12); !ok || v[0] != 12 {
+		t.Fatal("value lost in recovery")
+	}
+	// Recovered store keeps working.
+	if err := e2.Set(100, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEchoCompactionFlipsAreas(t *testing.T) {
+	dev := pmem.New(1<<22, nil)
+	e, err := NewEcho(dev, 4096, nil) // small area to force compaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0xCD}, 100)
+	// Overwrite few keys many times: log fills with garbage, compaction
+	// reclaims it.
+	for i := 0; i < 200; i++ {
+		if err := e.Set(uint64(i%5), val); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	if e.Len() != 5 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	for k := uint64(0); k < 5; k++ {
+		if v, ok := e.Get(k); !ok || !bytes.Equal(v, val) {
+			t.Fatalf("key %d corrupt after compactions", k)
+		}
+	}
+	// Recovery after compaction.
+	e2, err := OpenEcho(pmem.FromImage(dev.Image(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Len() != 5 {
+		t.Fatalf("recovered Len = %d", e2.Len())
+	}
+}
+
+func TestEchoFullWhenLiveSetExceedsArea(t *testing.T) {
+	e, err := NewEcho(pmem.New(1<<22, nil), 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{1}, 100)
+	var sawFull bool
+	for i := uint64(0); i < 50; i++ {
+		if err := e.Set(i, val); err != nil {
+			if !errors.Is(err, ErrEchoFull) {
+				t.Fatal(err)
+			}
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("live set exceeding the area never reported full")
+	}
+}
+
+func TestEchoCommittedSurvivesCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	dev := pmem.New(1<<22, nil)
+	e, err := NewEcho(dev, 1<<19, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 40; i++ {
+		e.Set(i, []byte{byte(i)})
+	}
+	for trial := 0; trial < 20; trial++ {
+		img := dev.SampleCrash(rng, pmem.CrashOptions{})
+		e2, err := OpenEcho(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatalf("trial %d: recovery failed: %v", trial, err)
+		}
+		for i := uint64(0); i < 40; i++ {
+			if v, ok := e2.Get(i); !ok || v[0] != byte(i) {
+				t.Fatalf("trial %d: committed key %d lost", trial, i)
+			}
+		}
+	}
+}
+
+func TestEchoCrashDuringCompactionAtomic(t *testing.T) {
+	// Crash in the middle of Compact: recovery must see either the
+	// complete old area or the complete new one.
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		dev := pmem.New(1<<22, nil)
+		e, err := NewEcho(dev, 8192, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 10; i++ {
+			e.Set(i, []byte{byte(i)})
+		}
+		// Run compaction but crash before its final old-commit reset has
+		// necessarily persisted (sample mid-state).
+		if err := e.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		img := dev.SampleCrash(rng, pmem.CrashOptions{})
+		e2, err := OpenEcho(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if e2.Len() != 10 {
+			t.Fatalf("trial %d: Len = %d after compaction crash", trial, e2.Len())
+		}
+		for i := uint64(0); i < 10; i++ {
+			if v, ok := e2.Get(i); !ok || v[0] != byte(i) {
+				t.Fatalf("trial %d: key %d lost across compaction crash", trial, i)
+			}
+		}
+	}
+}
+
+func TestEchoCheckedCleanAndBuggy(t *testing.T) {
+	run := func(bugs BugSet) []core.Report {
+		var ops []trace.Op
+		e := newEcho(t, recorder{&ops}, bugs)
+		e.SetCheckers(true)
+		var reports []core.Report
+		for i := uint64(0); i < 20; i++ {
+			ops = ops[:0]
+			if err := e.Set(i, []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, core.CheckTrace(core.X86{},
+				&trace.Trace{Ops: append([]trace.Op(nil), ops...)}))
+		}
+		return reports
+	}
+	for _, r := range run(nil) {
+		if !r.Clean() {
+			t.Fatalf("clean echo flagged: %s", r.Summary())
+		}
+	}
+	if core.CountCode(run(BugSet{BugEchoSkipEntryFlush: true}), core.CodeOrderViolation) == 0 {
+		t.Fatal("skip-entry-flush not flagged")
+	}
+	if core.CountCode(run(BugSet{BugEchoSkipCommitFence: true}), core.CodeNotPersisted) == 0 {
+		t.Fatal("skip-commit-fence not flagged")
+	}
+}
+
+// TestQuickEchoModel: random set/delete/compact against a map model, with
+// durable reopen.
+func TestQuickEchoModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(1<<22, nil)
+		e, err := NewEcho(dev, 1<<16, nil)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]byte{}
+		for i := 0; i < 120; i++ {
+			k := uint64(rng.Intn(20))
+			switch rng.Intn(5) {
+			case 0:
+				ok, err := e.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, in := model[k]; in != ok {
+					return false
+				}
+				delete(model, k)
+			case 1:
+				if err := e.Compact(); err != nil {
+					return false
+				}
+			default:
+				v := byte(rng.Intn(255) + 1)
+				if err := e.Set(k, []byte{v}); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		check := func(ec *Echo) bool {
+			if ec.Len() != len(model) {
+				return false
+			}
+			for k, v := range model {
+				got, ok := ec.Get(k)
+				if !ok || got[0] != v {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(e) {
+			return false
+		}
+		e2, err := OpenEcho(pmem.FromImage(dev.Image(), nil))
+		if err != nil {
+			return false
+		}
+		return check(e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

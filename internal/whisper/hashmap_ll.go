@@ -1,0 +1,284 @@
+package whisper
+
+import (
+	"errors"
+
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+// HashmapLL is the WHISPER "HashMap (w/o TX)" microbenchmark: a hashmap
+// built directly on the low-level primitives (write, clwb, sfence) with a
+// per-slot backup area — the undo-slot idiom of paper Fig. 1a. It is the
+// most PM-operation-intensive workload, which is why its testing overhead
+// is the highest in Fig. 10.
+//
+// Layout: header {magic, nSlots} then an array of fixed slots:
+//
+//	0   valid flag (8)
+//	8   key (8)
+//	16  value length (8)
+//	24  value (valCap bytes)
+//
+// plus one backup slot (same layout, with its own valid flag) used to
+// make updates of existing keys failure-atomic:
+//
+//	backup.val = slot contents; backup.valid = 1; persist_barrier;
+//	slot = new contents; persist_barrier; backup.valid = 0; persist_barrier.
+//
+// Recovery: if backup.valid == 1, the slot it names is restored.
+type HashmapLL struct {
+	dev    *pmem.Device
+	nSlots uint64
+	valCap uint64
+	bugs   BugSet
+	check  bool
+}
+
+const (
+	llMagicOff  = 0
+	llNSlotsOff = 8
+	llValCapOff = 16
+	llBackupOff = 64 // backup slot (header area)
+	llMagic     = 0x484D4C4C2D474F21
+
+	slotValid = 0
+	slotKey   = 8
+	slotVLen  = 16
+	slotData  = 24
+)
+
+// Named injection points (Fig. 1a's missing persist_barriers and the
+// low-level writeback/performance rows of Table 5).
+const (
+	BugHMLLSkipBackupBarrier = "hashmap-ll-skip-backup-barrier" // Fig. 1a: no barrier between backup and update
+	BugHMLLSkipUpdateFlush   = "hashmap-ll-skip-update-flush"   // slot update never written back
+	BugHMLLSkipUpdateFence   = "hashmap-ll-skip-update-fence"   // slot update flushed but never fenced
+	BugHMLLDoubleSlotFlush   = "hashmap-ll-double-slot-flush"   // slot flushed twice
+	BugHMLLFlushWrongSlot    = "hashmap-ll-flush-wrong-slot"    // unmodified neighbour slot flushed
+	BugHMLLValidBeforeValue  = "hashmap-ll-valid-before-value"  // valid flag persisted before the value
+)
+
+var errHMLLFull = errors.New("whisper: hashmap_ll full")
+
+// NewHashmapLL creates a low-level hashmap with nSlots open-addressed
+// slots holding values up to valCap bytes.
+func NewHashmapLL(dev *pmem.Device, nSlots, valCap uint64, bugs BugSet) (*HashmapLL, error) {
+	if nSlots == 0 {
+		nSlots = 4096
+	}
+	if valCap == 0 {
+		valCap = 4096
+	}
+	h := &HashmapLL{dev: dev, nSlots: nSlots, valCap: valCap, bugs: bugs}
+	need := h.slotOff(nSlots)
+	if dev.Size() < need {
+		return nil, errors.New("whisper: device too small for hashmap_ll")
+	}
+	dev.Store64(llNSlotsOff, nSlots)
+	dev.Store64(llValCapOff, valCap)
+	dev.PersistBarrier(0, 64)
+	dev.Store64(llMagicOff, llMagic)
+	dev.PersistBarrier(llMagicOff, 8)
+	return h, nil
+}
+
+// OpenHashmapLL reattaches to a formatted device, restoring an
+// interrupted update from the backup slot.
+func OpenHashmapLL(dev *pmem.Device) (*HashmapLL, error) {
+	if dev.Load64(llMagicOff) != llMagic {
+		return nil, errors.New("whisper: no hashmap_ll on device")
+	}
+	h := &HashmapLL{
+		dev:    dev,
+		nSlots: dev.Load64(llNSlotsOff),
+		valCap: dev.Load64(llValCapOff),
+	}
+	h.recover()
+	return h, nil
+}
+
+func (h *HashmapLL) slotSize() uint64 { return alignLine(slotData + h.valCap) }
+
+func (h *HashmapLL) slotOff(i uint64) uint64 {
+	base := alignLine(llBackupOff + h.slotSize())
+	return base + i*h.slotSize()
+}
+
+func (h *HashmapLL) backupOff() uint64 { return llBackupOff }
+
+func (h *HashmapLL) recover() {
+	bk := h.backupOff()
+	if h.dev.Load64(bk+slotValid) != 1 {
+		return
+	}
+	// The backup's key field holds the index of the slot being updated;
+	// updates only change vlen+value (key and valid are immutable once a
+	// slot is filled), so that is all the backup preserves.
+	idx := h.dev.Load64(bk + slotKey)
+	slot := h.slotOff(idx)
+	data := h.dev.LoadBytes(bk+slotVLen, 8+h.valCap)
+	h.dev.Store(slot+slotVLen, data)
+	h.dev.PersistBarrier(slot+slotVLen, 8+h.valCap)
+	h.dev.Store64(bk+slotValid, 0)
+	h.dev.PersistBarrier(bk+slotValid, 8)
+}
+
+// Name implements Store.
+func (h *HashmapLL) Name() string { return "HashMap (w/o TX)" }
+
+// Device implements Store.
+func (h *HashmapLL) Device() *pmem.Device { return h.dev }
+
+// SetCheckers implements Checkered: low-level checkers (isOrderedBefore +
+// isPersist) are emitted around each insert, as in the paper's evaluation
+// of the non-transactional workload (§6.3: 12 isPersist and 6
+// isOrderedBefore checkers across the low-level programs).
+func (h *HashmapLL) SetCheckers(on bool) { h.check = on }
+
+// Insert adds or updates key→val. Probing skips tombstones; a fresh
+// insert reuses the first tombstone on its probe path.
+func (h *HashmapLL) Insert(key uint64, val []byte) error {
+	if uint64(len(val)) > h.valCap {
+		return errors.New("whisper: value too large")
+	}
+	slot, existing, ok := h.insertProbe(key)
+	if !ok {
+		return errHMLLFull
+	}
+	if existing {
+		base := h.slotOff(0)
+		idx := (slot - base) / h.slotSize()
+		return h.update(idx, slot, val)
+	}
+	return h.fill(slot, key, val)
+}
+
+// fill writes a fresh slot: value persists strictly before the valid
+// flag, so a crash never exposes a half-written entry.
+func (h *HashmapLL) fill(slot, key uint64, val []byte) error {
+	dev := h.dev
+	if h.bugs.On(BugHMLLValidBeforeValue) {
+		// Ordering bug: the flag is made durable before the value.
+		dev.Store64(slot+slotValid, 1)
+		dev.Store64(slot+slotKey, key)
+		dev.PersistBarrier(slot, 24)
+		dev.Store64(slot+slotVLen, uint64(len(val)))
+		dev.Store(slot+slotData, val)
+		dev.PersistBarrier(slot+slotVLen, 8+uint64(len(val)))
+	} else {
+		dev.Store64(slot+slotKey, key)
+		dev.Store64(slot+slotVLen, uint64(len(val)))
+		dev.Store(slot+slotData, val)
+		if !h.bugs.On(BugHMLLSkipUpdateFlush) {
+			dev.CLWB(slot+slotKey, 16+uint64(len(val)))
+			if h.bugs.On(BugHMLLDoubleSlotFlush) {
+				dev.CLWB(slot+slotKey, 16+uint64(len(val)))
+			}
+		}
+		if h.bugs.On(BugHMLLFlushWrongSlot) {
+			next := h.slotOff((slot/h.slotSize() + 1) % h.nSlots)
+			dev.CLWB(next, h.slotSize())
+		}
+		if !h.bugs.On(BugHMLLSkipUpdateFence) {
+			dev.SFence()
+		}
+		dev.Store64(slot+slotValid, 1)
+		dev.CLWB(slot+slotValid, 8)
+		dev.SFence()
+	}
+	if h.check {
+		// The value must persist strictly before the valid flag, and the
+		// flag must be durable when Insert returns.
+		dev.RecordOp(trace.Op{
+			Kind: trace.KindIsOrderedBefore,
+			Addr: slot + slotKey, Size: 16 + uint64(len(val)),
+			Addr2: slot + slotValid, Size2: 8,
+		}, 1)
+		dev.RecordOp(trace.Op{Kind: trace.KindIsPersist, Addr: slot + slotValid, Size: 8}, 1)
+		dev.RecordOp(trace.Op{Kind: trace.KindIsPersist,
+			Addr: slot + slotData, Size: uint64(len(val))}, 1)
+	}
+	return nil
+}
+
+// update overwrites an existing slot's value using the backup slot
+// (Fig. 1a's undo idiom).
+func (h *HashmapLL) update(idx, slot uint64, val []byte) error {
+	dev := h.dev
+	bk := h.backupOff()
+	// Backup the old vlen+value, persist it, THEN publish it with the
+	// valid flag: the flag must never be durable before the content.
+	old := dev.LoadBytes(slot+slotVLen, 8+h.valCap)
+	dev.Store(bk+slotVLen, old)
+	dev.Store64(bk+slotKey, idx)
+	if !h.bugs.On(BugHMLLSkipBackupBarrier) {
+		// Fig. 1a: the barrier right after creating the backup copy —
+		// the one the buggy example omits.
+		dev.PersistBarrier(bk+slotKey, 16+h.valCap)
+	}
+	dev.Store64(bk+slotValid, 1)
+	dev.PersistBarrier(bk+slotValid, 8)
+	if h.check {
+		// Fig. 1a's invariant: the backup content must persist strictly
+		// before its valid flag. This checker sits between the publish
+		// and the in-place update, exactly where the paper places it.
+		dev.RecordOp(trace.Op{
+			Kind: trace.KindIsOrderedBefore,
+			Addr: bk + slotKey, Size: 16 + h.valCap,
+			Addr2: bk + slotValid, Size2: 8,
+		}, 1)
+	}
+	// In-place update.
+	dev.Store64(slot+slotVLen, uint64(len(val)))
+	dev.Store(slot+slotData, val)
+	if !h.bugs.On(BugHMLLSkipUpdateFlush) {
+		dev.CLWB(slot+slotVLen, 8+uint64(len(val)))
+	}
+	if !h.bugs.On(BugHMLLSkipUpdateFence) {
+		dev.SFence()
+	}
+	// Invalidate the backup.
+	dev.Store64(bk+slotValid, 0)
+	dev.CLWB(bk+slotValid, 8)
+	dev.SFence()
+	if h.check {
+		dev.RecordOp(trace.Op{
+			Kind: trace.KindIsOrderedBefore,
+			Addr: slot + slotVLen, Size: 8 + uint64(len(val)),
+			Addr2: bk + slotValid, Size2: 8,
+		}, 1)
+		dev.RecordOp(trace.Op{Kind: trace.KindIsPersist,
+			Addr: slot + slotData, Size: uint64(len(val))}, 1)
+	}
+	return nil
+}
+
+// Get implements Store. Lookups probe through tombstones.
+func (h *HashmapLL) Get(key uint64) ([]byte, bool) {
+	start := mix(key) % h.nSlots
+	for probe := uint64(0); probe < h.nSlots; probe++ {
+		i := (start + probe) % h.nSlots
+		slot := h.slotOff(i)
+		switch h.dev.Load64(slot + slotValid) {
+		case 1:
+			if h.dev.Load64(slot+slotKey) == key {
+				n := h.dev.Load64(slot + slotVLen)
+				return h.dev.LoadBytes(slot+slotData, n), true
+			}
+		case slotTombstone:
+			continue
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// SpaceFor returns the device size needed for the given geometry.
+func HashmapLLSpace(nSlots, valCap uint64) uint64 {
+	h := &HashmapLL{nSlots: nSlots, valCap: valCap}
+	return h.slotOff(nSlots) + pmem.LineSize
+}
+
+func alignLine(v uint64) uint64 { return (v + pmem.LineSize - 1) &^ (pmem.LineSize - 1) }

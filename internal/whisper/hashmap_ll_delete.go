@@ -1,0 +1,76 @@
+package whisper
+
+import (
+	"pmtest/internal/trace"
+)
+
+// Deletion for the low-level hashmap. Linear probing cannot simply clear
+// the valid flag (that would break probe chains through the slot), so a
+// deleted slot becomes a TOMBSTONE: lookups probe through it, inserts may
+// reuse it. The state transition is a single 8-byte persist — atomic on
+// its own, so deletion needs only one persist_barrier.
+
+const slotTombstone = 2
+
+// Delete removes key, returning false when absent.
+func (h *HashmapLL) Delete(key uint64) (bool, error) {
+	start := mix(key) % h.nSlots
+	for probe := uint64(0); probe < h.nSlots; probe++ {
+		i := (start + probe) % h.nSlots
+		slot := h.slotOff(i)
+		switch h.dev.Load64(slot + slotValid) {
+		case 1:
+			if h.dev.Load64(slot+slotKey) != key {
+				continue
+			}
+			h.dev.Store64(slot+slotValid, slotTombstone)
+			h.dev.PersistBarrier(slot+slotValid, 8)
+			if h.check {
+				h.dev.RecordOp(trace.Op{Kind: trace.KindIsPersist,
+					Addr: slot + slotValid, Size: 8}, 1)
+			}
+			return true, nil
+		case slotTombstone:
+			continue // probe through
+		default:
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// The original Insert/Get treat any non-1 state as empty/stop; with
+// tombstones in play they must probe through them. The methods below
+// shadow the originals' probe loops; Insert prefers reusing the first
+// tombstone encountered.
+
+// insertProbe finds the slot for key: an existing live entry, the first
+// tombstone, or the terminating empty slot.
+func (h *HashmapLL) insertProbe(key uint64) (slot uint64, existing bool, ok bool) {
+	start := mix(key) % h.nSlots
+	firstTomb := uint64(0)
+	haveTomb := false
+	for probe := uint64(0); probe < h.nSlots; probe++ {
+		i := (start + probe) % h.nSlots
+		s := h.slotOff(i)
+		switch h.dev.Load64(s + slotValid) {
+		case 1:
+			if h.dev.Load64(s+slotKey) == key {
+				return s, true, true
+			}
+		case slotTombstone:
+			if !haveTomb {
+				firstTomb, haveTomb = s, true
+			}
+		default:
+			if haveTomb {
+				return firstTomb, false, true
+			}
+			return s, false, true
+		}
+	}
+	if haveTomb {
+		return firstTomb, false, true
+	}
+	return 0, false, false
+}

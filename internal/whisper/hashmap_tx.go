@@ -1,0 +1,182 @@
+package whisper
+
+import (
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+)
+
+// HashmapTX is the WHISPER/PMDK transactional hashmap: a fixed bucket
+// array of chain heads, every insert one PMDK transaction.
+//
+// Root object: nBuckets (8) followed by the bucket array (nBuckets * 8).
+// Chain node layout (40 bytes): key, value offset, value length, next.
+type HashmapTX struct {
+	pool     *pmdk.Pool
+	rootOff  uint64
+	nBuckets uint64
+	bugs     BugSet
+	check    bool
+}
+
+const (
+	hmKey  = 0
+	hmVal  = 8
+	hmVLen = 16
+	hmNext = 24
+	hmSize = 32
+)
+
+// Named injection points.
+const (
+	BugHMTxSkipBucketLog   = "hashmap-tx-skip-bucket-log"   // bucket head updated without TX_ADD
+	BugHMTxSkipValueLog    = "hashmap-tx-skip-value-log"    // value overwrite without TX_ADD
+	BugHMTxDoubleBucketLog = "hashmap-tx-double-bucket-log" // bucket head logged twice
+)
+
+// NewHashmapTX creates a transactional hashmap with nBuckets buckets in a
+// fresh pool on dev.
+func NewHashmapTX(dev *pmem.Device, nBuckets uint64, bugs BugSet) (*HashmapTX, error) {
+	if nBuckets == 0 {
+		nBuckets = 1024
+	}
+	pool, err := pmdk.Create(dev, 0)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8 + nBuckets*8)
+	if err != nil {
+		return nil, err
+	}
+	pool.Zero(root, 8+nBuckets*8)
+	pool.Device().Store64(root, nBuckets)
+	pool.Device().PersistBarrier(root, 8)
+	return &HashmapTX{pool: pool, rootOff: root, nBuckets: nBuckets, bugs: bugs}, nil
+}
+
+// OpenHashmapTX reattaches to an existing pool.
+func OpenHashmapTX(dev *pmem.Device) (*HashmapTX, error) {
+	pool, _, err := pmdk.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8)
+	if err != nil {
+		return nil, err
+	}
+	n := pool.Device().Load64(root)
+	return &HashmapTX{pool: pool, rootOff: root, nBuckets: n}, nil
+}
+
+// Name implements Store.
+func (h *HashmapTX) Name() string { return "HashMap (w/ TX)" }
+
+// Device implements Store.
+func (h *HashmapTX) Device() *pmem.Device { return h.pool.Device() }
+
+// Pool exposes the backing pool.
+func (h *HashmapTX) Pool() *pmdk.Pool { return h.pool }
+
+// SetCheckers implements Checkered.
+func (h *HashmapTX) SetCheckers(on bool) { h.check = on }
+
+func (h *HashmapTX) bucketOff(key uint64) uint64 {
+	return h.rootOff + 8 + (mix(key)%h.nBuckets)*8
+}
+
+// Insert adds or updates key→val in one transaction.
+func (h *HashmapTX) Insert(key uint64, val []byte) error {
+	if h.check {
+		txCheckerStart(h.Device())
+		defer txCheckerEnd(h.Device())
+	}
+	return h.pool.Tx(func(tx *pmdk.Tx) error {
+		dev := h.pool.Device()
+		bucket := h.bucketOff(key)
+		// Existing key → replace value.
+		for cur := dev.Load64(bucket); cur != 0; cur = dev.Load64(cur + hmNext) {
+			if dev.Load64(cur+hmKey) != key {
+				continue
+			}
+			vOff, err := tx.Alloc(uint64(len(val)))
+			if err != nil {
+				return err
+			}
+			tx.Set(vOff, val)
+			if !h.bugs.On(BugHMTxSkipValueLog) {
+				tx.Add(cur+hmVal, 16)
+			}
+			oldOff := dev.Load64(cur + hmVal)
+			oldLen := dev.Load64(cur + hmVLen)
+			tx.Set64(cur+hmVal, vOff)
+			tx.Set64(cur+hmVLen, uint64(len(val)))
+			h.pool.Free(oldOff, oldLen)
+			return nil
+		}
+		vOff, err := tx.Alloc(uint64(len(val)))
+		if err != nil {
+			return err
+		}
+		tx.Set(vOff, val)
+		node, err := tx.Alloc(hmSize)
+		if err != nil {
+			return err
+		}
+		tx.Set64(node+hmKey, key)
+		tx.Set64(node+hmVal, vOff)
+		tx.Set64(node+hmVLen, uint64(len(val)))
+		tx.Set64(node+hmNext, dev.Load64(bucket))
+		if !h.bugs.On(BugHMTxSkipBucketLog) {
+			tx.Add(bucket, 8)
+		}
+		if h.bugs.On(BugHMTxDoubleBucketLog) {
+			tx.Add(bucket, 8)
+			tx.Add(bucket, 8)
+		}
+		tx.Set64(bucket, node)
+		return nil
+	})
+}
+
+// Get implements Store.
+func (h *HashmapTX) Get(key uint64) ([]byte, bool) {
+	dev := h.pool.Device()
+	for cur := dev.Load64(h.bucketOff(key)); cur != 0; cur = dev.Load64(cur + hmNext) {
+		if dev.Load64(cur+hmKey) == key {
+			return dev.LoadBytes(dev.Load64(cur+hmVal), dev.Load64(cur+hmVLen)), true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes key; it returns false when absent.
+func (h *HashmapTX) Delete(key uint64) (bool, error) {
+	dev := h.pool.Device()
+	bucket := h.bucketOff(key)
+	deleted := false
+	err := h.pool.Tx(func(tx *pmdk.Tx) error {
+		prevField := bucket
+		for cur := dev.Load64(bucket); cur != 0; cur = dev.Load64(cur + hmNext) {
+			if dev.Load64(cur+hmKey) == key {
+				tx.Add(prevField, 8)
+				tx.Set64(prevField, dev.Load64(cur+hmNext))
+				h.pool.Free(dev.Load64(cur+hmVal), dev.Load64(cur+hmVLen))
+				h.pool.Free(cur, hmSize)
+				deleted = true
+				return nil
+			}
+			prevField = cur + hmNext
+		}
+		return nil
+	})
+	return deleted, err
+}
+
+// mix is a 64-bit finalizer (splitmix64) for bucket selection.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

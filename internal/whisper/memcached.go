@@ -1,0 +1,321 @@
+package whisper
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pmtest/internal/mnemosyne"
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+)
+
+// Memcached is the WHISPER Memcached analog: a multi-threaded key-value
+// cache whose persistent map is backed by Mnemosyne durable transactions
+// (paper Table 4). Keys are sharded across server threads; each thread
+// owns its own PM region, matching the paper's observation that
+// inter-thread PM dependencies are rare (§7.4) and letting each thread
+// run its own PMTest tracker.
+//
+// Per-shard layout (in the region's data area): a fixed open-addressed
+// slot table. Slot: {state(8), key(8), vlen(8), value(valCap)}.
+type Memcached struct {
+	shards []*memShard
+}
+
+type memShard struct {
+	mu     sync.Mutex
+	region *mnemosyne.Region
+	nSlots uint64
+	valCap uint64
+	check  bool
+	// hook runs after each operation (trace sectioning).
+	hook func()
+}
+
+const (
+	memEmpty = 0
+	memUsed  = 1
+	memTomb  = 2
+)
+
+// MemcachedShardSpace returns the device size needed per shard.
+func MemcachedShardSpace(nSlots, valCap uint64) uint64 {
+	return mnemosyne.DataStart(1<<20) + nSlots*alignLine(24+valCap) + pmem.LineSize
+}
+
+// NewMemcached creates a memcached with one shard (server thread) per
+// device.
+func NewMemcached(devs []*pmem.Device, nSlots, valCap uint64) (*Memcached, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("whisper: memcached needs at least one shard device")
+	}
+	m := &Memcached{}
+	for _, dev := range devs {
+		r, err := mnemosyne.Create(dev, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		m.shards = append(m.shards, &memShard{region: r, nSlots: nSlots, valCap: valCap})
+	}
+	return m, nil
+}
+
+// OpenMemcached reattaches to existing shard devices after a restart,
+// running each region's redo-log recovery. Geometry (nSlots, valCap)
+// must match the original NewMemcached call.
+func OpenMemcached(devs []*pmem.Device, nSlots, valCap uint64) (*Memcached, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("whisper: memcached needs at least one shard device")
+	}
+	m := &Memcached{}
+	for _, dev := range devs {
+		r, _, err := mnemosyne.Open(dev)
+		if err != nil {
+			return nil, err
+		}
+		m.shards = append(m.shards, &memShard{region: r, nSlots: nSlots, valCap: valCap})
+	}
+	return m, nil
+}
+
+// Shards returns the number of server threads.
+func (m *Memcached) Shards() int { return len(m.shards) }
+
+// Region returns shard i's Mnemosyne region (annotation control).
+func (m *Memcached) Region(i int) *mnemosyne.Region { return m.shards[i].region }
+
+// SetCheckers enables per-operation consistency checkers on all shards.
+func (m *Memcached) SetCheckers(on bool) {
+	for _, s := range m.shards {
+		s.check = on
+		s.region.SetAnnotations(on)
+	}
+}
+
+// SetSectionHook installs fn on shard i; it runs after each completed
+// operation on that shard (the trace section boundary).
+func (m *Memcached) SetSectionHook(i int, fn func()) { m.shards[i].hook = fn }
+
+func (m *Memcached) shardFor(key uint64) *memShard {
+	return m.shards[mix(key)%uint64(len(m.shards))]
+}
+
+// ShardIndex returns which server thread owns key.
+func (m *Memcached) ShardIndex(key uint64) int {
+	return int(mix(key) % uint64(len(m.shards)))
+}
+
+func (s *memShard) slotOff(i uint64) uint64 {
+	return s.region.DataOff() + i*alignLine(24+s.valCap)
+}
+
+// Set stores key→val durably.
+func (m *Memcached) Set(key uint64, val []byte) error {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.section()
+	if uint64(len(val)) > s.valCap {
+		return errors.New("whisper: value too large")
+	}
+	dev := s.region.Device()
+	start := mix(key) % s.nSlots
+	target := uint64(0)
+	haveTarget := false
+	firstTomb, haveTomb := uint64(0), false
+probe:
+	for probe := uint64(0); probe < s.nSlots; probe++ {
+		i := (start + probe) % s.nSlots
+		off := s.slotOff(i)
+		switch dev.Load64(off) {
+		case memUsed:
+			if dev.Load64(off+8) == key {
+				target, haveTarget = off, true
+				break probe
+			}
+		case memTomb:
+			if !haveTomb {
+				firstTomb, haveTomb = off, true
+			}
+		default:
+			target, haveTarget = off, true
+			if haveTomb {
+				target = firstTomb
+			}
+			break probe
+		}
+	}
+	if !haveTarget && haveTomb {
+		target, haveTarget = firstTomb, true
+	}
+	if haveTarget {
+		off := target
+		// One durable transaction updates state+key+vlen+value atomically.
+		return s.region.Durable(func(w *mnemosyne.TxWriter) error {
+			var hdr [24]byte
+			binary.LittleEndian.PutUint64(hdr[0:8], memUsed)
+			binary.LittleEndian.PutUint64(hdr[8:16], key)
+			binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(val)))
+			if err := w.Write(off, hdr[:]); err != nil {
+				return err
+			}
+			return w.Write(off+24, val)
+		})
+	}
+	return fmt.Errorf("whisper: memcached shard full")
+}
+
+// Get returns the value for key.
+func (m *Memcached) Get(key uint64) ([]byte, bool) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.section()
+	dev := s.region.Device()
+	start := mix(key) % s.nSlots
+	for probe := uint64(0); probe < s.nSlots; probe++ {
+		i := (start + probe) % s.nSlots
+		off := s.slotOff(i)
+		switch dev.Load64(off) {
+		case memUsed:
+			if dev.Load64(off+8) == key {
+				n := dev.Load64(off + 16)
+				return dev.LoadBytes(off+24, n), true
+			}
+		case memTomb:
+			continue
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// Delete removes key durably; it returns false when absent.
+func (m *Memcached) Delete(key uint64) (bool, error) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.section()
+	dev := s.region.Device()
+	start := mix(key) % s.nSlots
+	for probe := uint64(0); probe < s.nSlots; probe++ {
+		i := (start + probe) % s.nSlots
+		off := s.slotOff(i)
+		switch dev.Load64(off) {
+		case memUsed:
+			if dev.Load64(off+8) != key {
+				continue
+			}
+			// One durable transaction marks the slot as a tombstone so
+			// later probes continue through it.
+			err := s.region.Durable(func(w *mnemosyne.TxWriter) error {
+				return w.Write64(off, memTomb)
+			})
+			return err == nil, err
+		case memTomb:
+			continue
+		default:
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+func (s *memShard) section() {
+	if s.hook != nil {
+		s.hook()
+	}
+}
+
+// Redis is the WHISPER Redis analog: a single-threaded key-value store on
+// the PMDK transactional hashmap with volatile LRU bookkeeping, driven by
+// the redis-cli LRU test client (paper Table 4).
+type Redis struct {
+	hm       *HashmapTX
+	capacity int
+	// volatile LRU state, rebuilt empty on restart (Redis treats PM as
+	// the durable store; recency is advisory).
+	order map[uint64]int
+	clock int
+	check bool
+}
+
+// OpenRedis reattaches to an existing Redis device after a restart. The
+// LRU recency state is volatile in real Redis too: it restarts cold, so
+// every recovered key is seeded with recency zero.
+func OpenRedis(dev *pmem.Device, capacity int) (*Redis, error) {
+	hm, err := OpenHashmapTX(dev)
+	if err != nil {
+		return nil, err
+	}
+	r := &Redis{hm: hm, capacity: capacity, order: map[uint64]int{}}
+	// Rebuild the key set by walking the buckets.
+	d := hm.Device()
+	for b := uint64(0); b < hm.nBuckets; b++ {
+		for cur := d.Load64(hm.rootOff + 8 + b*8); cur != 0; cur = d.Load64(cur + hmNext) {
+			r.order[d.Load64(cur+hmKey)] = 0
+		}
+	}
+	return r, nil
+}
+
+// NewRedis creates a Redis store holding at most capacity keys before
+// LRU eviction.
+func NewRedis(dev *pmem.Device, nBuckets uint64, capacity int) (*Redis, error) {
+	hm, err := NewHashmapTX(dev, nBuckets, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Redis{hm: hm, capacity: capacity, order: map[uint64]int{}}, nil
+}
+
+// SetCheckers enables transaction checkers per command.
+func (r *Redis) SetCheckers(on bool) {
+	r.check = on
+	r.hm.SetCheckers(on)
+}
+
+// Device returns the backing device.
+func (r *Redis) Device() *pmem.Device { return r.hm.Device() }
+
+// Pool returns the backing pmdk pool.
+func (r *Redis) Pool() *pmdk.Pool { return r.hm.Pool() }
+
+// Set stores key→val, evicting the least-recently-used key at capacity.
+func (r *Redis) Set(key uint64, val []byte) error {
+	if _, seen := r.order[key]; !seen && len(r.order) >= r.capacity {
+		// Evict the LRU key.
+		lruKey, lruClock := uint64(0), int(1<<62)
+		for k, c := range r.order {
+			if c < lruClock {
+				lruKey, lruClock = k, c
+			}
+		}
+		if _, err := r.hm.Delete(lruKey); err != nil {
+			return err
+		}
+		delete(r.order, lruKey)
+	}
+	if err := r.hm.Insert(key, val); err != nil {
+		return err
+	}
+	r.clock++
+	r.order[key] = r.clock
+	return nil
+}
+
+// Get returns the value for key and refreshes its recency.
+func (r *Redis) Get(key uint64) ([]byte, bool) {
+	v, ok := r.hm.Get(key)
+	if ok {
+		r.clock++
+		r.order[key] = r.clock
+	}
+	return v, ok
+}
+
+// Len returns the number of live keys.
+func (r *Redis) Len() int { return len(r.order) }

@@ -1,0 +1,382 @@
+package whisper
+
+import (
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+)
+
+// RBTree is the WHISPER/PMDK rbtree_map analog: a red-black tree where
+// every insert (including recolouring and rotations) is one PMDK
+// transaction. The known bug of Table 6 — rbtree_map.c:379, modifying a
+// tree node without logging it — is reproduced by BugRBTreeSkipNodeLog.
+//
+// Node layout (56 bytes):
+//
+//	0  key
+//	8  value offset
+//	16 value length
+//	24 left
+//	32 right
+//	40 parent
+//	48 color (0 = black, 1 = red)
+type RBTree struct {
+	pool  *pmdk.Pool
+	root  uint64 // root object: pointer to the top node
+	bugs  BugSet
+	check bool
+
+	// addedTx tracks nodes snapshotted in the current transaction so the
+	// correct code path calls TX_ADD exactly once per node (real PMDK
+	// code is written the same way; duplicate TX_ADDs are the Fig. 13c
+	// performance bug).
+	addedTx map[uint64]bool
+}
+
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbVLen   = 16
+	rbLeft   = 24
+	rbRight  = 32
+	rbParent = 40
+	rbColor  = 48
+	rbSize   = 56
+
+	black = 0
+	red   = 1
+)
+
+// Named injection points.
+const (
+	BugRBTreeSkipNodeLog   = "rbtree-skip-node-log"   // rbtree_map.c:379 (known bug)
+	BugRBTreeSkipUncleLog  = "rbtree-skip-uncle-log"  // recoloured uncle unlogged
+	BugRBTreeSkipRootLog   = "rbtree-skip-root-log"   // root pointer unlogged
+	BugRBTreeDoubleNodeLog = "rbtree-double-node-log" // node logged twice
+)
+
+// NewRBTree creates an RB-tree in a fresh pool on dev.
+func NewRBTree(dev *pmem.Device, bugs BugSet) (*RBTree, error) {
+	pool, err := pmdk.Create(dev, 0)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8)
+	if err != nil {
+		return nil, err
+	}
+	return &RBTree{pool: pool, root: root, bugs: bugs}, nil
+}
+
+// OpenRBTree reattaches to an existing pool.
+func OpenRBTree(dev *pmem.Device) (*RBTree, error) {
+	pool, _, err := pmdk.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(8)
+	if err != nil {
+		return nil, err
+	}
+	return &RBTree{pool: pool, root: root}, nil
+}
+
+// Name implements Store.
+func (r *RBTree) Name() string { return "RB-Tree" }
+
+// Device implements Store.
+func (r *RBTree) Device() *pmem.Device { return r.pool.Device() }
+
+// Pool exposes the backing pool.
+func (r *RBTree) Pool() *pmdk.Pool { return r.pool }
+
+// SetCheckers implements Checkered.
+func (r *RBTree) SetCheckers(on bool) { r.check = on }
+
+func (r *RBTree) dev() *pmem.Device { return r.pool.Device() }
+
+func (r *RBTree) get(n, field uint64) uint64 { return r.dev().Load64(n + field) }
+
+// add snapshots a node once per transaction (unless a bug skips it).
+func (r *RBTree) add(tx *pmdk.Tx, n uint64) {
+	if n == 0 || r.addedTx[n] {
+		return
+	}
+	if r.bugs.On(BugRBTreeSkipNodeLog) {
+		// rbtree_map.c:379 — the node is modified without a snapshot.
+		r.addedTx[n] = true
+		return
+	}
+	tx.Add(n, rbSize)
+	if r.bugs.On(BugRBTreeDoubleNodeLog) {
+		tx.Add(n, rbSize)
+	}
+	r.addedTx[n] = true
+}
+
+func (r *RBTree) set(tx *pmdk.Tx, n, field, v uint64) {
+	r.add(tx, n)
+	tx.Set64(n+field, v)
+}
+
+func (r *RBTree) setRoot(tx *pmdk.Tx, n uint64) {
+	if !r.bugs.On(BugRBTreeSkipRootLog) {
+		if !r.addedTx[r.root] {
+			tx.Add(r.root, 8)
+			r.addedTx[r.root] = true
+		}
+	}
+	tx.Set64(r.root, n)
+}
+
+// Insert adds key→val in one transaction.
+func (r *RBTree) Insert(key uint64, val []byte) error {
+	if r.check {
+		txCheckerStart(r.Device())
+		defer txCheckerEnd(r.Device())
+	}
+	r.addedTx = map[uint64]bool{}
+	return r.pool.Tx(func(tx *pmdk.Tx) error {
+		dev := r.dev()
+		// Standard BST descent.
+		var parent uint64
+		cur := dev.Load64(r.root)
+		for cur != 0 {
+			k := r.get(cur, rbKey)
+			if k == key {
+				return r.updateValue(tx, cur, val)
+			}
+			parent = cur
+			if key < k {
+				cur = r.get(cur, rbLeft)
+			} else {
+				cur = r.get(cur, rbRight)
+			}
+		}
+		vOff, err := tx.Alloc(uint64(len(val)))
+		if err != nil {
+			return err
+		}
+		tx.Set(vOff, val)
+		node, err := tx.Alloc(rbSize)
+		if err != nil {
+			return err
+		}
+		// Fresh node: implicitly part of the transaction (TX_NEW).
+		r.addedTx[node] = true
+		tx.Set64(node+rbKey, key)
+		tx.Set64(node+rbVal, vOff)
+		tx.Set64(node+rbVLen, uint64(len(val)))
+		tx.Set64(node+rbLeft, 0)
+		tx.Set64(node+rbRight, 0)
+		tx.Set64(node+rbParent, parent)
+		tx.Set64(node+rbColor, red)
+		if parent == 0 {
+			r.setRoot(tx, node)
+		} else if key < r.get(parent, rbKey) {
+			r.set(tx, parent, rbLeft, node)
+		} else {
+			r.set(tx, parent, rbRight, node)
+		}
+		r.fixup(tx, node)
+		return nil
+	})
+}
+
+func (r *RBTree) updateValue(tx *pmdk.Tx, node uint64, val []byte) error {
+	vOff, err := tx.Alloc(uint64(len(val)))
+	if err != nil {
+		return err
+	}
+	tx.Set(vOff, val)
+	oldOff := r.get(node, rbVal)
+	oldLen := r.get(node, rbVLen)
+	r.set(tx, node, rbVal, vOff)
+	tx.Set64(node+rbVLen, uint64(len(val)))
+	r.pool.Free(oldOff, oldLen)
+	return nil
+}
+
+func (r *RBTree) rotateLeft(tx *pmdk.Tx, x uint64) {
+	y := r.get(x, rbRight)
+	r.add(tx, x)
+	r.add(tx, y)
+	yl := r.get(y, rbLeft)
+	tx.Set64(x+rbRight, yl)
+	if yl != 0 {
+		r.set(tx, yl, rbParent, x)
+	}
+	xp := r.get(x, rbParent)
+	tx.Set64(y+rbParent, xp)
+	if xp == 0 {
+		r.setRoot(tx, y)
+	} else if r.get(xp, rbLeft) == x {
+		r.set(tx, xp, rbLeft, y)
+	} else {
+		r.set(tx, xp, rbRight, y)
+	}
+	tx.Set64(y+rbLeft, x)
+	tx.Set64(x+rbParent, y)
+}
+
+func (r *RBTree) rotateRight(tx *pmdk.Tx, x uint64) {
+	y := r.get(x, rbLeft)
+	r.add(tx, x)
+	r.add(tx, y)
+	yr := r.get(y, rbRight)
+	tx.Set64(x+rbLeft, yr)
+	if yr != 0 {
+		r.set(tx, yr, rbParent, x)
+	}
+	xp := r.get(x, rbParent)
+	tx.Set64(y+rbParent, xp)
+	if xp == 0 {
+		r.setRoot(tx, y)
+	} else if r.get(xp, rbRight) == x {
+		r.set(tx, xp, rbRight, y)
+	} else {
+		r.set(tx, xp, rbLeft, y)
+	}
+	tx.Set64(y+rbRight, x)
+	tx.Set64(x+rbParent, y)
+}
+
+// recolorUncle recolours the uncle node during fixup. The uncle is often
+// touched nowhere else in the transaction, which is what makes skipping
+// its snapshot a representative missing-backup bug.
+func (r *RBTree) recolorUncle(tx *pmdk.Tx, u uint64) {
+	if r.bugs.On(BugRBTreeSkipUncleLog) {
+		r.addedTx[u] = true // modified without a snapshot
+	}
+	r.set(tx, u, rbColor, black)
+}
+
+func (r *RBTree) fixup(tx *pmdk.Tx, z uint64) {
+	for {
+		p := r.get(z, rbParent)
+		if p == 0 || r.get(p, rbColor) == black {
+			break
+		}
+		g := r.get(p, rbParent)
+		if g == 0 {
+			break
+		}
+		if p == r.get(g, rbLeft) {
+			u := r.get(g, rbRight)
+			if u != 0 && r.get(u, rbColor) == red {
+				r.set(tx, p, rbColor, black)
+				r.recolorUncle(tx, u)
+				r.set(tx, g, rbColor, red)
+				z = g
+				continue
+			}
+			if z == r.get(p, rbRight) {
+				z = p
+				r.rotateLeft(tx, z)
+				p = r.get(z, rbParent)
+				g = r.get(p, rbParent)
+			}
+			r.set(tx, p, rbColor, black)
+			r.set(tx, g, rbColor, red)
+			r.rotateRight(tx, g)
+			continue
+		}
+		u := r.get(g, rbLeft)
+		if u != 0 && r.get(u, rbColor) == red {
+			r.set(tx, p, rbColor, black)
+			r.recolorUncle(tx, u)
+			r.set(tx, g, rbColor, red)
+			z = g
+			continue
+		}
+		if z == r.get(p, rbLeft) {
+			z = p
+			r.rotateRight(tx, z)
+			p = r.get(z, rbParent)
+			g = r.get(p, rbParent)
+		}
+		r.set(tx, p, rbColor, black)
+		r.set(tx, g, rbColor, red)
+		r.rotateLeft(tx, g)
+	}
+	rootNode := r.dev().Load64(r.root)
+	if r.get(rootNode, rbColor) != black {
+		r.set(tx, rootNode, rbColor, black)
+	}
+}
+
+// Get implements Store.
+func (r *RBTree) Get(key uint64) ([]byte, bool) {
+	dev := r.dev()
+	cur := dev.Load64(r.root)
+	for cur != 0 {
+		k := r.get(cur, rbKey)
+		switch {
+		case k == key:
+			return dev.LoadBytes(r.get(cur, rbVal), r.get(cur, rbVLen)), true
+		case key < k:
+			cur = r.get(cur, rbLeft)
+		default:
+			cur = r.get(cur, rbRight)
+		}
+	}
+	return nil, false
+}
+
+// Validate checks the red-black invariants; it returns false with a
+// reason when violated (property tests).
+func (r *RBTree) Validate() (bool, string) {
+	rootNode := r.dev().Load64(r.root)
+	if rootNode == 0 {
+		return true, ""
+	}
+	if r.get(rootNode, rbColor) != black {
+		return false, "root is red"
+	}
+	ok := true
+	reason := ""
+	var rec func(n uint64, lo, hi uint64, haveLo, haveHi bool) int
+	rec = func(n uint64, lo, hi uint64, haveLo, haveHi bool) int {
+		if n == 0 {
+			return 1
+		}
+		k := r.get(n, rbKey)
+		if haveLo && k <= lo {
+			ok, reason = false, "BST order violated"
+		}
+		if haveHi && k >= hi {
+			ok, reason = false, "BST order violated"
+		}
+		if r.get(n, rbColor) == red {
+			l, rr := r.get(n, rbLeft), r.get(n, rbRight)
+			if (l != 0 && r.get(l, rbColor) == red) || (rr != 0 && r.get(rr, rbColor) == red) {
+				ok, reason = false, "red node with red child"
+			}
+		}
+		lb := rec(r.get(n, rbLeft), lo, k, haveLo, true)
+		rb := rec(r.get(n, rbRight), k, hi, true, haveHi)
+		if lb != rb {
+			ok, reason = false, "black height mismatch"
+		}
+		h := lb
+		if r.get(n, rbColor) == black {
+			h++
+		}
+		return h
+	}
+	rec(rootNode, 0, 0, false, false)
+	return ok, reason
+}
+
+// Walk visits keys in ascending order.
+func (r *RBTree) Walk(visit func(key uint64)) {
+	var rec func(n uint64)
+	rec = func(n uint64) {
+		if n == 0 {
+			return
+		}
+		rec(r.get(n, rbLeft))
+		visit(r.get(n, rbKey))
+		rec(r.get(n, rbRight))
+	}
+	rec(r.dev().Load64(r.root))
+}

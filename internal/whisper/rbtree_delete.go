@@ -1,0 +1,188 @@
+package whisper
+
+import (
+	"pmtest/internal/pmdk"
+)
+
+// Delete removes key from the RB-tree in one transaction, returning
+// false when absent. Standard red-black deletion (CLRS) with parent
+// pointers; 0 is the nil sentinel, and the fixup treats nil children as
+// black. Every modified node is snapshotted through r.add, so deletion
+// stresses the undo machinery harder than any insert path (multi-node
+// recolouring chains plus up to three rotations).
+func (r *RBTree) Delete(key uint64) (bool, error) {
+	if r.check {
+		txCheckerStart(r.Device())
+		defer txCheckerEnd(r.Device())
+	}
+	r.addedTx = map[uint64]bool{}
+	deleted := false
+	err := r.pool.Tx(func(tx *pmdk.Tx) error {
+		dev := r.dev()
+		z := dev.Load64(r.root)
+		for z != 0 && r.get(z, rbKey) != key {
+			if key < r.get(z, rbKey) {
+				z = r.get(z, rbLeft)
+			} else {
+				z = r.get(z, rbRight)
+			}
+		}
+		if z == 0 {
+			return nil
+		}
+		deleted = true
+
+		// y is the node physically removed; x is the child that replaces
+		// it (possibly 0, with xParent tracking its would-be parent).
+		y := z
+		yOrigColor := r.get(y, rbColor)
+		var x, xParent uint64
+		switch {
+		case r.get(z, rbLeft) == 0:
+			x = r.get(z, rbRight)
+			xParent = r.get(z, rbParent)
+			r.transplant(tx, z, x)
+		case r.get(z, rbRight) == 0:
+			x = r.get(z, rbLeft)
+			xParent = r.get(z, rbParent)
+			r.transplant(tx, z, x)
+		default:
+			// y = minimum of z's right subtree.
+			y = r.get(z, rbRight)
+			for l := r.get(y, rbLeft); l != 0; l = r.get(y, rbLeft) {
+				y = l
+			}
+			yOrigColor = r.get(y, rbColor)
+			x = r.get(y, rbRight)
+			if r.get(y, rbParent) == z {
+				xParent = y
+				if x != 0 {
+					r.set(tx, x, rbParent, y)
+				}
+			} else {
+				xParent = r.get(y, rbParent)
+				r.transplant(tx, y, x)
+				r.set(tx, y, rbRight, r.get(z, rbRight))
+				r.set(tx, r.get(y, rbRight), rbParent, y)
+			}
+			r.transplant(tx, z, y)
+			r.set(tx, y, rbLeft, r.get(z, rbLeft))
+			r.set(tx, r.get(y, rbLeft), rbParent, y)
+			r.set(tx, y, rbColor, r.get(z, rbColor))
+		}
+		// Release z's storage.
+		r.pool.Free(r.get(z, rbVal), r.get(z, rbVLen))
+		r.pool.Free(z, rbSize)
+
+		if yOrigColor == black {
+			r.deleteFixup(tx, x, xParent)
+		}
+		return nil
+	})
+	return deleted, err
+}
+
+// transplant replaces the subtree rooted at u with the one rooted at v.
+func (r *RBTree) transplant(tx *pmdk.Tx, u, v uint64) {
+	up := r.get(u, rbParent)
+	if up == 0 {
+		r.setRoot(tx, v)
+	} else if u == r.get(up, rbLeft) {
+		r.set(tx, up, rbLeft, v)
+	} else {
+		r.set(tx, up, rbRight, v)
+	}
+	if v != 0 {
+		r.set(tx, v, rbParent, up)
+	}
+}
+
+// color treats the nil sentinel as black.
+func (r *RBTree) color(n uint64) uint64 {
+	if n == 0 {
+		return black
+	}
+	return r.get(n, rbColor)
+}
+
+// deleteFixup restores the red-black invariants after removing a black
+// node; x (possibly 0) sits where the doubled black is, under xParent.
+func (r *RBTree) deleteFixup(tx *pmdk.Tx, x, xParent uint64) {
+	for x != r.dev().Load64(r.root) && r.color(x) == black {
+		if xParent == 0 {
+			break
+		}
+		if x == r.get(xParent, rbLeft) {
+			w := r.get(xParent, rbRight)
+			if r.color(w) == red {
+				r.set(tx, w, rbColor, black)
+				r.set(tx, xParent, rbColor, red)
+				r.rotateLeft(tx, xParent)
+				w = r.get(xParent, rbRight)
+			}
+			if r.color(r.get(w, rbLeft)) == black && r.color(r.get(w, rbRight)) == black {
+				r.set(tx, w, rbColor, red)
+				x = xParent
+				xParent = r.get(x, rbParent)
+				continue
+			}
+			if r.color(r.get(w, rbRight)) == black {
+				if wl := r.get(w, rbLeft); wl != 0 {
+					r.set(tx, wl, rbColor, black)
+				}
+				r.set(tx, w, rbColor, red)
+				r.rotateRight(tx, w)
+				w = r.get(xParent, rbRight)
+			}
+			r.set(tx, w, rbColor, r.color(xParent))
+			r.set(tx, xParent, rbColor, black)
+			if wr := r.get(w, rbRight); wr != 0 {
+				r.set(tx, wr, rbColor, black)
+			}
+			r.rotateLeft(tx, xParent)
+			x = r.dev().Load64(r.root)
+			xParent = 0
+			continue
+		}
+		// Mirror image.
+		w := r.get(xParent, rbLeft)
+		if r.color(w) == red {
+			r.set(tx, w, rbColor, black)
+			r.set(tx, xParent, rbColor, red)
+			r.rotateRight(tx, xParent)
+			w = r.get(xParent, rbLeft)
+		}
+		if r.color(r.get(w, rbRight)) == black && r.color(r.get(w, rbLeft)) == black {
+			r.set(tx, w, rbColor, red)
+			x = xParent
+			xParent = r.get(x, rbParent)
+			continue
+		}
+		if r.color(r.get(w, rbLeft)) == black {
+			if wr := r.get(w, rbRight); wr != 0 {
+				r.set(tx, wr, rbColor, black)
+			}
+			r.set(tx, w, rbColor, red)
+			r.rotateLeft(tx, w)
+			w = r.get(xParent, rbLeft)
+		}
+		r.set(tx, w, rbColor, r.color(xParent))
+		r.set(tx, xParent, rbColor, black)
+		if wl := r.get(w, rbLeft); wl != 0 {
+			r.set(tx, wl, rbColor, black)
+		}
+		r.rotateRight(tx, xParent)
+		x = r.dev().Load64(r.root)
+		xParent = 0
+	}
+	if x != 0 {
+		r.set(tx, x, rbColor, black)
+	}
+}
+
+// Len counts the keys in the tree (test helper).
+func (r *RBTree) Len() int {
+	n := 0
+	r.Walk(func(uint64) { n++ })
+	return n
+}

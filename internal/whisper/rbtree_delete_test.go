@@ -1,0 +1,180 @@
+package whisper
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+func TestRBTreeDeleteBasic(t *testing.T) {
+	r, _ := NewRBTree(pmem.New(devSize, nil), nil)
+	for i := uint64(0); i < 10; i++ {
+		r.Insert(i, []byte{byte(i)})
+	}
+	ok, err := r.Delete(5)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, found := r.Get(5); found {
+		t.Fatal("deleted key present")
+	}
+	if valid, why := r.Validate(); !valid {
+		t.Fatalf("invariants broken: %s", why)
+	}
+	if r.Len() != 9 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if ok, _ := r.Delete(5); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestRBTreeDeleteAll(t *testing.T) {
+	r, _ := NewRBTree(pmem.New(devSize, nil), nil)
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		r.Insert(i, []byte{byte(i)})
+	}
+	order := rand.New(rand.NewSource(3)).Perm(n)
+	for _, k := range order {
+		ok, err := r.Delete(uint64(k))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", k, ok, err)
+		}
+		if valid, why := r.Validate(); !valid {
+			t.Fatalf("after Delete(%d): %s", k, why)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", r.Len())
+	}
+}
+
+// TestQuickRBTreeInsertDelete: random mixed workload against a map model
+// with invariant validation at every step, plus a durable reopen check.
+func TestQuickRBTreeInsertDelete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(devSize, nil)
+		r, err := NewRBTree(dev, nil)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]byte{}
+		for i := 0; i < 150; i++ {
+			k := uint64(rng.Intn(40))
+			if rng.Intn(3) == 0 {
+				ok, err := r.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, in := model[k]; in != ok {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := byte(rng.Intn(256))
+				if err := r.Insert(k, []byte{v}); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+			if valid, _ := r.Validate(); !valid {
+				return false
+			}
+		}
+		for k, v := range model {
+			got, ok := r.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		if r.Len() != len(model) {
+			return false
+		}
+		var keys []uint64
+		r.Walk(func(k uint64) { keys = append(keys, k) })
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			return false
+		}
+		// Durable reopen.
+		r2, err := OpenRBTree(pmem.FromImage(dev.Image(), nil))
+		if err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, ok := r2.Get(k)
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRBTreeDeleteCheckedClean: the multi-rotation delete paths produce
+// no findings under full instrumentation.
+func TestRBTreeDeleteCheckedClean(t *testing.T) {
+	var ops []trace.Op
+	r, _ := NewRBTree(pmem.New(devSize, recorder{&ops}), nil)
+	r.SetCheckers(true)
+	for i := uint64(0); i < 40; i++ {
+		r.Insert(i, []byte{byte(i)})
+	}
+	for i := uint64(0); i < 40; i += 3 {
+		ops = ops[:0]
+		if _, err := r.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+		rep := core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+		if !rep.Clean() {
+			t.Fatalf("clean delete flagged: %s", rep.Summary())
+		}
+	}
+	if valid, why := r.Validate(); !valid {
+		t.Fatal(why)
+	}
+}
+
+// TestRBTreeDeleteCrashConsistent: committed deletes survive any crash.
+func TestRBTreeDeleteCrashConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	dev := pmem.New(devSize, nil)
+	r, _ := NewRBTree(dev, nil)
+	for i := uint64(0); i < 30; i++ {
+		r.Insert(i, []byte{byte(i)})
+	}
+	for i := uint64(0); i < 15; i++ {
+		if _, err := r.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		img := dev.SampleCrash(rng, pmem.CrashOptions{})
+		r2, err := OpenRBTree(pmem.FromImage(img, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if valid, why := r2.Validate(); !valid {
+			t.Fatalf("trial %d: invariants after crash: %s", trial, why)
+		}
+		for i := uint64(0); i < 15; i++ {
+			if _, found := r2.Get(i); found {
+				t.Fatalf("trial %d: deleted key %d resurrected", trial, i)
+			}
+		}
+		for i := uint64(15); i < 30; i++ {
+			if _, found := r2.Get(i); !found {
+				t.Fatalf("trial %d: surviving key %d lost", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package whisper
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/pmfs"
+	"pmtest/internal/trace"
+)
+
+func newMemcached(t testing.TB, shards int, sinks []trace.Sink) *Memcached {
+	t.Helper()
+	var devs []*pmem.Device
+	for i := 0; i < shards; i++ {
+		var sink trace.Sink
+		if sinks != nil {
+			sink = sinks[i]
+		}
+		devs = append(devs, pmem.New(MemcachedShardSpace(2048, 256), sink))
+	}
+	m, err := NewMemcached(devs, 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMemcachedSetGet(t *testing.T) {
+	m := newMemcached(t, 2, nil)
+	for i := uint64(0); i < 200; i++ {
+		if err := m.Set(i, []byte{byte(i), byte(i >> 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := m.Get(i)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := m.Get(12345); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestMemcachedConcurrentClients(t *testing.T) {
+	m := newMemcached(t, 4, nil)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ops := MemslapOps(2000, 500, 64, int64(c))
+			if err := RunKV(m.Set, m.Get, ops, int64(c)); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestMemcachedShardingStable(t *testing.T) {
+	m := newMemcached(t, 4, nil)
+	for i := uint64(0); i < 100; i++ {
+		if m.ShardIndex(i) != m.ShardIndex(i) {
+			t.Fatal("unstable sharding")
+		}
+		if m.ShardIndex(i) < 0 || m.ShardIndex(i) >= 4 {
+			t.Fatal("shard out of range")
+		}
+	}
+}
+
+func TestMemcachedCheckedSectionsClean(t *testing.T) {
+	// One tracker per shard, one trace per op: the paper's §6.2.3 setup.
+	var ops []trace.Op
+	rec := recorder{&ops}
+	m := newMemcached(t, 1, []trace.Sink{rec})
+	m.SetCheckers(true)
+	ops = ops[:0] // drop region-creation traffic
+	var reports []core.Report
+	m.SetSectionHook(0, func() {
+		if len(ops) > 0 {
+			reports = append(reports, core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops}))
+			ops = ops[:0]
+		}
+	})
+	for i := uint64(0); i < 50; i++ {
+		if err := m.Set(i, bytes.Repeat([]byte{1}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(reports) != 50 {
+		t.Fatalf("sections = %d, want 50", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Clean() {
+			t.Fatalf("clean memcached flagged: %s", r.Summary())
+		}
+	}
+}
+
+func TestRedisLRUEviction(t *testing.T) {
+	r, err := NewRedis(pmem.New(1<<24, nil), 256, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 300; i++ {
+		if err := r.Set(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 (capacity)", r.Len())
+	}
+	// Recent keys present, oldest evicted.
+	if _, ok := r.Get(299); !ok {
+		t.Fatal("most recent key evicted")
+	}
+	if _, ok := r.Get(0); ok {
+		t.Fatal("oldest key survived eviction beyond capacity")
+	}
+}
+
+func TestRedisLRUWorkload(t *testing.T) {
+	r, err := NewRedis(pmem.New(1<<25, nil), 1024, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := LRUOps(5000, 2000, 64, 7)
+	if err := RunKV(r.Set, r.Get, ops, 7); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() > 500 {
+		t.Fatalf("capacity exceeded: %d", r.Len())
+	}
+}
+
+func TestFilebenchOverPMFS(t *testing.T) {
+	dev := pmem.New(1<<24, nil)
+	fs, err := pmfs.Mkfs(dev, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := FilebenchOps(2000, 16, 2048, 3)
+	if err := RunFS(fs, ops, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The FS survives remount from the durable image.
+	if _, _, err := pmfs.Mount(pmem.FromImage(dev.Image(), nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOLTPOverPMFS(t *testing.T) {
+	dev := pmem.New(1<<24, nil)
+	fs, err := pmfs.Mkfs(dev, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := OLTPOps(1500, 4, 512, 5)
+	if err := RunFS(fs, ops, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientGeneratorShapes(t *testing.T) {
+	ms := MemslapOps(10000, 1000, 64, 1)
+	sets := 0
+	for _, op := range ms {
+		if op.IsSet {
+			sets++
+		}
+	}
+	if sets < 300 || sets > 800 {
+		t.Fatalf("memslap sets = %d/10000, want ~5%%", sets)
+	}
+	yc := YCSBOps(10000, 1000, 64, 1)
+	sets = 0
+	for _, op := range yc {
+		if op.IsSet {
+			sets++
+		}
+	}
+	if sets < 4500 || sets > 5500 {
+		t.Fatalf("ycsb sets = %d/10000, want ~50%%", sets)
+	}
+	// Zipf skew: the most popular key should dominate.
+	counts := map[uint64]int{}
+	for _, op := range yc {
+		counts[op.Key]++
+	}
+	if counts[0] < 500 {
+		t.Fatalf("ycsb zipf head count = %d, want heavy skew", counts[0])
+	}
+}
+
+// TestMemcachedCrashRecovery: committed sets survive any crash and
+// reopen through OpenMemcached.
+func TestMemcachedCrashRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	devs := []*pmem.Device{
+		pmem.New(MemcachedShardSpace(512, 64), nil),
+		pmem.New(MemcachedShardSpace(512, 64), nil),
+	}
+	m, err := NewMemcached(devs, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 60; i++ {
+		if err := m.Set(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Delete(3)
+	for trial := 0; trial < 10; trial++ {
+		var imgs []*pmem.Device
+		for _, d := range devs {
+			imgs = append(imgs, pmem.FromImage(d.SampleCrash(rng, pmem.CrashOptions{}), nil))
+		}
+		m2, err := OpenMemcached(imgs, 512, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 60; i++ {
+			v, ok := m2.Get(i)
+			if i == 3 {
+				if ok {
+					t.Fatalf("trial %d: deleted key resurrected", trial)
+				}
+				continue
+			}
+			if !ok || v[0] != byte(i) {
+				t.Fatalf("trial %d: key %d lost", trial, i)
+			}
+		}
+	}
+}
+
+// TestRedisReopen: the persistent map survives a restart; LRU state
+// restarts cold but all keys remain evictable.
+func TestRedisReopen(t *testing.T) {
+	dev := pmem.New(1<<24, nil)
+	r, err := NewRedis(dev, 128, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		r.Set(i, []byte{byte(i)})
+	}
+	r2, err := OpenRedis(pmem.FromImage(dev.Image(), nil), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 50 {
+		t.Fatalf("Len after reopen = %d", r2.Len())
+	}
+	for i := uint64(0); i < 50; i++ {
+		if v, ok := r2.Get(i); !ok || v[0] != byte(i) {
+			t.Fatalf("key %d lost across reopen", i)
+		}
+	}
+	// Eviction still works against recovered keys.
+	for i := uint64(1000); i < 2000; i++ {
+		if err := r2.Set(i, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r2.Len() != 1000 {
+		t.Fatalf("capacity not enforced after reopen: %d", r2.Len())
+	}
+}

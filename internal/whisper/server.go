@@ -1,0 +1,235 @@
+package whisper
+
+// A TCP front-end for the Memcached analog, so the workload can be
+// driven the way the paper's real workloads are — by clients over a
+// socket (Table 4: "each of them has its own load-generating client").
+// The protocol is a minimal memcached-like text protocol:
+//
+//	SET <key> <hex-value>\n   →  OK\n | ERR <msg>\n
+//	GET <key>\n               →  VALUE <hex>\n | MISS\n
+//	DEL <key>\n               →  OK\n | MISS\n
+//	QUIT\n                    →  (closes the connection)
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// KVServer serves a Memcached store over TCP.
+type KVServer struct {
+	store *Memcached
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewKVServer starts serving store on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func NewKVServer(store *Memcached, addr string) (*KVServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &KVServer{store: store, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *KVServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for active connections to finish.
+func (s *KVServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *KVServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *KVServer) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 1<<16), 1<<20)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "SET":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "ERR usage: SET <key> <hex-value>\n")
+				break
+			}
+			key, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad key: %v\n", err)
+				break
+			}
+			val, err := hex.DecodeString(fields[2])
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad value: %v\n", err)
+				break
+			}
+			if err := s.store.Set(key, val); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "OK\n")
+		case "GET":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR usage: GET <key>\n")
+				break
+			}
+			key, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad key: %v\n", err)
+				break
+			}
+			if v, ok := s.store.Get(key); ok {
+				fmt.Fprintf(w, "VALUE %s\n", hex.EncodeToString(v))
+			} else {
+				fmt.Fprintf(w, "MISS\n")
+			}
+		case "DEL":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR usage: DEL <key>\n")
+				break
+			}
+			key, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad key: %v\n", err)
+				break
+			}
+			ok, err := s.store.Delete(key)
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "ERR %v\n", err)
+			case ok:
+				fmt.Fprintf(w, "OK\n")
+			default:
+				fmt.Fprintf(w, "MISS\n")
+			}
+		case "QUIT":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// KVClient is a minimal client for KVServer (the memslap analog's
+// transport).
+type KVClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialKV connects to a KVServer.
+func DialKV(addr string) (*KVClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &KVClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *KVClient) Close() error {
+	fmt.Fprintf(c.conn, "QUIT\n")
+	return c.conn.Close()
+}
+
+// Set stores key→val.
+func (c *KVClient) Set(key uint64, val []byte) error {
+	if _, err := fmt.Fprintf(c.conn, "SET %d %s\n", key, hex.EncodeToString(val)); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	line = strings.TrimSpace(line)
+	if line != "OK" {
+		return errors.New(line)
+	}
+	return nil
+}
+
+// Delete removes key; ok is false on a miss.
+func (c *KVClient) Delete(key uint64) (bool, error) {
+	if _, err := fmt.Fprintf(c.conn, "DEL %d\n", key); err != nil {
+		return false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	switch strings.TrimSpace(line) {
+	case "OK":
+		return true, nil
+	case "MISS":
+		return false, nil
+	default:
+		return false, errors.New(strings.TrimSpace(line))
+	}
+}
+
+// Get fetches key's value; ok is false on a miss.
+func (c *KVClient) Get(key uint64) (val []byte, ok bool, err error) {
+	if _, err := fmt.Fprintf(c.conn, "GET %d\n", key); err != nil {
+		return nil, false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, false, err
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "MISS":
+		return nil, false, nil
+	case strings.HasPrefix(line, "VALUE "):
+		v, err := hex.DecodeString(strings.TrimPrefix(line, "VALUE "))
+		return v, true, err
+	default:
+		return nil, false, errors.New(line)
+	}
+}

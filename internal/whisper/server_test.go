@@ -1,0 +1,199 @@
+package whisper
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T) (*KVServer, *Memcached) {
+	t.Helper()
+	m := newMemcached(t, 2, nil)
+	s, err := NewKVServer(m, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, m
+}
+
+func TestKVServerSetGet(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := DialKV(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set(42, []byte("over the wire")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get(42)
+	if err != nil || !ok || string(v) != "over the wire" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := c.Get(999); ok {
+		t.Fatal("phantom key over the wire")
+	}
+}
+
+func TestKVServerConcurrentClients(t *testing.T) {
+	s, m := startServer(t)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			cl, err := DialKV(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := uint64(0); i < 50; i++ {
+				key := base*1000 + i
+				if err := cl.Set(key, []byte{byte(key)}); err != nil {
+					t.Errorf("set %d: %v", key, err)
+					return
+				}
+			}
+		}(uint64(c))
+	}
+	wg.Wait()
+	// Verify through the store directly.
+	for c := uint64(0); c < 4; c++ {
+		for i := uint64(0); i < 50; i++ {
+			key := c*1000 + i
+			v, ok := m.Get(key)
+			if !ok || v[0] != byte(key) {
+				t.Fatalf("key %d lost (%v, %v)", key, v, ok)
+			}
+		}
+	}
+}
+
+func TestKVServerProtocolErrors(t *testing.T) {
+	s, _ := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	send := func(line string) string {
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(string(buf[:n]))
+	}
+	if got := send("BOGUS"); !strings.HasPrefix(got, "ERR unknown command") {
+		t.Fatalf("got %q", got)
+	}
+	if got := send("SET notanumber aa"); !strings.HasPrefix(got, "ERR bad key") {
+		t.Fatalf("got %q", got)
+	}
+	if got := send("SET 1 zz"); !strings.HasPrefix(got, "ERR bad value") {
+		t.Fatalf("got %q", got)
+	}
+	if got := send("SET 1"); !strings.HasPrefix(got, "ERR usage") {
+		t.Fatalf("got %q", got)
+	}
+	if got := send("GET"); !strings.HasPrefix(got, "ERR usage") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestKVServerLargeValue(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := DialKV(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	val := bytes.Repeat([]byte{0xAB}, 256) // shard valCap
+	if err := c.Set(7, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(7)
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("round trip failed: %v %v", ok, err)
+	}
+	// Too large for the shard: server reports the error.
+	if err := c.Set(8, bytes.Repeat([]byte{1}, 300)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestKVServerCloseUnblocksAccept(t *testing.T) {
+	m := newMemcached(t, 1, nil)
+	s, err := NewKVServer(m, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialKV(s.Addr()); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}
+
+func TestKVServerDelete(t *testing.T) {
+	s, m := startServer(t)
+	c, err := DialKV(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Set(5, []byte("bye"))
+	ok, err := c.Delete(5)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, found := m.Get(5); found {
+		t.Fatal("key survived DEL")
+	}
+	ok, err = c.Delete(5)
+	if err != nil || ok {
+		t.Fatalf("second Delete = %v, %v", ok, err)
+	}
+}
+
+func TestMemcachedDeleteProbeChains(t *testing.T) {
+	m := newMemcached(t, 1, nil)
+	// Insert enough keys that probe chains form, delete some in the
+	// middle, and verify the rest stay reachable.
+	for i := uint64(0); i < 200; i++ {
+		if err := m.Set(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 200; i += 3 {
+		ok, err := m.Delete(i)
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", i, ok, err)
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, found := m.Get(i)
+		if i%3 == 0 {
+			if found {
+				t.Fatalf("deleted key %d present", i)
+			}
+		} else if !found || v[0] != byte(i) {
+			t.Fatalf("key %d lost after deletions", i)
+		}
+	}
+	// Tombstone reuse: re-set a deleted key.
+	if err := m.Set(0, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	if v, found := m.Get(0); !found || v[0] != 0xEE {
+		t.Fatal("reinsert after delete failed")
+	}
+}

@@ -1,0 +1,248 @@
+package whisper
+
+import (
+	"errors"
+
+	"pmtest/internal/pmdk"
+	"pmtest/internal/pmem"
+)
+
+// Vacation is the WHISPER/STAMP "vacation" analog: a travel-reservation
+// system where one transaction touches several persistent tables — the
+// kind of multi-object transaction WHISPER uses to stress PM systems.
+//
+// Layout (all in one pmdk pool):
+//
+//	root:      three table offsets + customer-table offset
+//	resource:  {total(8), reserved(8), price(8)} per id, fixed arrays
+//	customer:  head pointer of a reservation list per id
+//	resnode:   {kind(8), id(8), price(8), next(8)}
+//
+// MakeReservation atomically checks availability, bumps the reservation
+// count and links a reservation node onto the customer's list — three
+// tables in one failure-atomic transaction.
+type Vacation struct {
+	pool  *pmdk.Pool
+	check bool
+
+	nRes   uint64 // ids per resource table
+	nCust  uint64
+	tables [3]uint64 // car/flight/room table offsets
+	cust   uint64    // customer table offset
+}
+
+// Resource kinds.
+const (
+	ResCar = iota
+	ResFlight
+	ResRoom
+	numResKinds
+)
+
+const (
+	resTotal    = 0
+	resReserved = 8
+	resPrice    = 16
+	resSize     = 24
+
+	rnKind = 0
+	rnID   = 8
+	rnCost = 16
+	rnNext = 24
+	rnSize = 32
+)
+
+// Vacation errors.
+var (
+	ErrSoldOut    = errors.New("whisper: resource sold out")
+	ErrBadID      = errors.New("whisper: id out of range")
+	ErrNoSuchRes  = errors.New("whisper: reservation not found")
+	ErrBadResKind = errors.New("whisper: unknown resource kind")
+)
+
+// NewVacation creates the reservation system with nRes ids per resource
+// table (each seeded with `capacity` units) and nCust customers.
+func NewVacation(dev *pmem.Device, nRes, nCust, capacity uint64) (*Vacation, error) {
+	pool, err := pmdk.Create(dev, 0)
+	if err != nil {
+		return nil, err
+	}
+	v := &Vacation{pool: pool, nRes: nRes, nCust: nCust}
+	root, err := pool.Root(4 * 8)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < numResKinds; k++ {
+		off, err := pool.Alloc(nRes * resSize)
+		if err != nil {
+			return nil, err
+		}
+		pool.Zero(off, nRes*resSize)
+		d := pool.Device()
+		for id := uint64(0); id < nRes; id++ {
+			d.Store64(off+id*resSize+resTotal, capacity)
+			d.Store64(off+id*resSize+resPrice, 50+id%100)
+		}
+		d.PersistBarrier(off, nRes*resSize)
+		v.tables[k] = off
+		pool.Device().Store64(root+uint64(k)*8, off)
+	}
+	custOff, err := pool.Alloc(nCust * 8)
+	if err != nil {
+		return nil, err
+	}
+	pool.Zero(custOff, nCust*8)
+	v.cust = custOff
+	pool.Device().Store64(root+3*8, custOff)
+	pool.Device().PersistBarrier(root, 4*8)
+	return v, nil
+}
+
+// OpenVacation reattaches after a crash/restart.
+func OpenVacation(dev *pmem.Device, nRes, nCust uint64) (*Vacation, error) {
+	pool, _, err := pmdk.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Root(4 * 8)
+	if err != nil {
+		return nil, err
+	}
+	v := &Vacation{pool: pool, nRes: nRes, nCust: nCust}
+	for k := 0; k < numResKinds; k++ {
+		v.tables[k] = pool.Device().Load64(root + uint64(k)*8)
+	}
+	v.cust = pool.Device().Load64(root + 3*8)
+	return v, nil
+}
+
+// Pool exposes the backing pool.
+func (v *Vacation) Pool() *pmdk.Pool { return v.pool }
+
+// Device exposes the backing device.
+func (v *Vacation) Device() *pmem.Device { return v.pool.Device() }
+
+// SetCheckers wraps each operation in transaction checkers.
+func (v *Vacation) SetCheckers(on bool) { v.check = on }
+
+func (v *Vacation) resOff(kind int, id uint64) (uint64, error) {
+	if kind < 0 || kind >= numResKinds {
+		return 0, ErrBadResKind
+	}
+	if id >= v.nRes {
+		return 0, ErrBadID
+	}
+	return v.tables[kind] + id*resSize, nil
+}
+
+// MakeReservation books one unit of (kind, id) for customer: resource
+// count and customer list change atomically.
+func (v *Vacation) MakeReservation(customer uint64, kind int, id uint64) error {
+	if customer >= v.nCust {
+		return ErrBadID
+	}
+	rOff, err := v.resOff(kind, id)
+	if err != nil {
+		return err
+	}
+	if v.check {
+		txCheckerStart(v.Device())
+		defer txCheckerEnd(v.Device())
+	}
+	return v.pool.Tx(func(tx *pmdk.Tx) error {
+		d := v.Device()
+		total := d.Load64(rOff + resTotal)
+		reserved := d.Load64(rOff + resReserved)
+		if reserved >= total {
+			return ErrSoldOut
+		}
+		tx.Add(rOff+resReserved, 8)
+		tx.Set64(rOff+resReserved, reserved+1)
+
+		node, err := tx.Alloc(rnSize)
+		if err != nil {
+			return err
+		}
+		head := v.cust + customer*8
+		tx.Set64(node+rnKind, uint64(kind))
+		tx.Set64(node+rnID, id)
+		tx.Set64(node+rnCost, d.Load64(rOff+resPrice))
+		tx.Set64(node+rnNext, d.Load64(head))
+		tx.Add(head, 8)
+		tx.Set64(head, node)
+		return nil
+	})
+}
+
+// CancelReservation releases customer's reservation of (kind, id).
+func (v *Vacation) CancelReservation(customer uint64, kind int, id uint64) error {
+	if customer >= v.nCust {
+		return ErrBadID
+	}
+	rOff, err := v.resOff(kind, id)
+	if err != nil {
+		return err
+	}
+	if v.check {
+		txCheckerStart(v.Device())
+		defer txCheckerEnd(v.Device())
+	}
+	return v.pool.Tx(func(tx *pmdk.Tx) error {
+		d := v.Device()
+		prevField := v.cust + customer*8
+		for n := d.Load64(prevField); n != 0; n = d.Load64(prevField) {
+			if int(d.Load64(n+rnKind)) == kind && d.Load64(n+rnID) == id {
+				tx.Add(prevField, 8)
+				tx.Set64(prevField, d.Load64(n+rnNext))
+				tx.Add(rOff+resReserved, 8)
+				tx.Set64(rOff+resReserved, d.Load64(rOff+resReserved)-1)
+				v.pool.Free(n, rnSize)
+				return nil
+			}
+			prevField = n + rnNext
+		}
+		return ErrNoSuchRes
+	})
+}
+
+// Reserved returns the reservation count for (kind, id).
+func (v *Vacation) Reserved(kind int, id uint64) uint64 {
+	off, err := v.resOff(kind, id)
+	if err != nil {
+		return 0
+	}
+	return v.Device().Load64(off + resReserved)
+}
+
+// CustomerBill sums the customer's reservation costs and counts them.
+func (v *Vacation) CustomerBill(customer uint64) (total uint64, count int) {
+	d := v.Device()
+	for n := d.Load64(v.cust + customer*8); n != 0; n = d.Load64(n + rnNext) {
+		total += d.Load64(n + rnCost)
+		count++
+	}
+	return
+}
+
+// TotalReserved sums reservations across all tables (consistency check:
+// must equal the sum of all customers' reservation counts).
+func (v *Vacation) TotalReserved() uint64 {
+	d := v.Device()
+	var sum uint64
+	for k := 0; k < numResKinds; k++ {
+		for id := uint64(0); id < v.nRes; id++ {
+			sum += d.Load64(v.tables[k] + id*resSize + resReserved)
+		}
+	}
+	return sum
+}
+
+// CustomerCount sums reservation-list lengths over all customers.
+func (v *Vacation) CustomerCount() uint64 {
+	var sum uint64
+	for c := uint64(0); c < v.nCust; c++ {
+		_, n := v.CustomerBill(c)
+		sum += uint64(n)
+	}
+	return sum
+}

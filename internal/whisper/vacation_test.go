@@ -1,0 +1,191 @@
+package whisper
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmtest/internal/core"
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+func newVacation(t testing.TB, sink trace.Sink) *Vacation {
+	t.Helper()
+	v, err := NewVacation(pmem.New(devSize, sink), 32, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVacationReserveAndBill(t *testing.T) {
+	v := newVacation(t, nil)
+	if err := v.MakeReservation(3, ResCar, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MakeReservation(3, ResFlight, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Reserved(ResCar, 5); got != 1 {
+		t.Fatalf("Reserved = %d", got)
+	}
+	total, count := v.CustomerBill(3)
+	if count != 2 || total == 0 {
+		t.Fatalf("bill = %d (%d items)", total, count)
+	}
+}
+
+func TestVacationSoldOut(t *testing.T) {
+	v := newVacation(t, nil) // capacity 4
+	for c := uint64(0); c < 4; c++ {
+		if err := v.MakeReservation(c, ResRoom, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.MakeReservation(5, ResRoom, 0); !errors.Is(err, ErrSoldOut) {
+		t.Fatalf("err = %v, want ErrSoldOut", err)
+	}
+	// A sold-out attempt must not leak partial state.
+	if v.Reserved(ResRoom, 0) != 4 {
+		t.Fatal("failed reservation mutated the count")
+	}
+	if _, n := v.CustomerBill(5); n != 0 {
+		t.Fatal("failed reservation linked a node")
+	}
+}
+
+func TestVacationCancel(t *testing.T) {
+	v := newVacation(t, nil)
+	v.MakeReservation(1, ResCar, 2)
+	v.MakeReservation(1, ResCar, 3)
+	if err := v.CancelReservation(1, ResCar, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v.Reserved(ResCar, 2) != 0 {
+		t.Fatal("cancel did not release the unit")
+	}
+	if _, n := v.CustomerBill(1); n != 1 {
+		t.Fatalf("bill items = %d, want 1", n)
+	}
+	if err := v.CancelReservation(1, ResCar, 2); !errors.Is(err, ErrNoSuchRes) {
+		t.Fatalf("double cancel: %v", err)
+	}
+}
+
+func TestVacationErrors(t *testing.T) {
+	v := newVacation(t, nil)
+	if err := v.MakeReservation(99, ResCar, 0); !errors.Is(err, ErrBadID) {
+		t.Fatalf("bad customer: %v", err)
+	}
+	if err := v.MakeReservation(0, ResCar, 99); !errors.Is(err, ErrBadID) {
+		t.Fatalf("bad id: %v", err)
+	}
+	if err := v.MakeReservation(0, 9, 0); !errors.Is(err, ErrBadResKind) {
+		t.Fatalf("bad kind: %v", err)
+	}
+}
+
+// TestQuickVacationConservation: the global invariant — total reserved
+// units equal total reservation-list entries — holds under random
+// reserve/cancel mixes, in the volatile view AND after reopening from
+// the durable image.
+func TestQuickVacationConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(devSize, nil)
+		v, err := NewVacation(dev, 16, 8, 3)
+		if err != nil {
+			return false
+		}
+		type res struct {
+			cust uint64
+			kind int
+			id   uint64
+		}
+		var live []res
+		for i := 0; i < 80; i++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				r := res{uint64(rng.Intn(8)), rng.Intn(3), uint64(rng.Intn(16))}
+				err := v.MakeReservation(r.cust, r.kind, r.id)
+				if err == nil {
+					live = append(live, r)
+				} else if !errors.Is(err, ErrSoldOut) {
+					return false
+				}
+			} else {
+				i := rng.Intn(len(live))
+				r := live[i]
+				if err := v.CancelReservation(r.cust, r.kind, r.id); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if v.TotalReserved() != uint64(len(live)) || v.CustomerCount() != uint64(len(live)) {
+			return false
+		}
+		// Durable view.
+		v2, err := OpenVacation(pmem.FromImage(dev.Image(), nil), 16, 8)
+		if err != nil {
+			return false
+		}
+		return v2.TotalReserved() == uint64(len(live)) &&
+			v2.CustomerCount() == uint64(len(live))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVacationCheckedClean: multi-table transactions are clean under
+// full instrumentation.
+func TestVacationCheckedClean(t *testing.T) {
+	var ops []trace.Op
+	v := newVacation(t, recorder{&ops})
+	v.SetCheckers(true)
+	for i := uint64(0); i < 20; i++ {
+		ops = ops[:0]
+		if err := v.MakeReservation(i%8, int(i%3), i%16); err != nil {
+			t.Fatal(err)
+		}
+		r := core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+		if !r.Clean() {
+			t.Fatalf("clean reservation flagged: %s", r.Summary())
+		}
+	}
+	ops = ops[:0]
+	if err := v.CancelReservation(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	r := core.CheckTrace(core.X86{}, &trace.Trace{Ops: ops})
+	if !r.Clean() {
+		t.Fatalf("clean cancel flagged: %s", r.Summary())
+	}
+}
+
+// TestVacationCrashAtomicity: the cross-table invariant holds in every
+// sampled crash state — a reservation is never half-applied.
+func TestVacationCrashAtomicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	dev := pmem.New(devSize, nil)
+	v, err := NewVacation(dev, 16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		v.MakeReservation(i%8, int(i%3), i%16)
+	}
+	for trial := 0; trial < 15; trial++ {
+		img := dev.SampleCrash(rng, pmem.CrashOptions{})
+		v2, err := OpenVacation(pmem.FromImage(img, nil), 16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v2.TotalReserved() != v2.CustomerCount() {
+			t.Fatalf("trial %d: counts diverged: %d reserved vs %d listed",
+				trial, v2.TotalReserved(), v2.CustomerCount())
+		}
+	}
+}

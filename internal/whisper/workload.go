@@ -1,0 +1,71 @@
+// Package whisper reimplements the workloads of the WHISPER benchmark
+// suite that the paper evaluates PMTest with (§6): five PMDK-style
+// single-threaded microbenchmarks (C-Tree, B-Tree, RB-Tree, HashMap with
+// and without transactions), plus analogs of the real workloads —
+// Memcached on Mnemosyne, Redis on pmdk, and client generators (memslap,
+// YCSB, redis LRU, filebench, OLTP) driving them and the PMFS substrate.
+//
+// Each insertion runs as one failure-atomic transaction whose value size
+// is the paper's "transaction size" parameter (Fig. 10 sweeps it from 64
+// to 4096 bytes).
+package whisper
+
+import (
+	"fmt"
+
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+// BugSet activates named injection points inside the workloads; the bug
+// catalog (internal/bugdb) maps Table 5 rows onto these names. A nil
+// BugSet is a clean run.
+type BugSet map[string]bool
+
+// On reports whether the named bug is active.
+func (b BugSet) On(name string) bool { return b != nil && b[name] }
+
+// Store is the common interface of the five microbenchmarks: keyed
+// insertion of opaque values plus lookup, with every insert
+// crash-consistent.
+type Store interface {
+	// Name is the benchmark's WHISPER name.
+	Name() string
+	// Insert adds or updates key with val, failure-atomically.
+	Insert(key uint64, val []byte) error
+	// Get returns the value stored for key.
+	Get(key uint64) ([]byte, bool)
+	// Device returns the backing PM device (for crash/recovery tests).
+	Device() *pmem.Device
+}
+
+// Checkered is implemented by stores that support the paper's checker
+// instrumentation: transaction checkers for the tx-based stores
+// (TX_CHECKER_START/END around every insert) and low-level checkers for
+// the raw-primitive HashMap.
+type Checkered interface {
+	// SetCheckers enables or disables checker emission per insert.
+	SetCheckers(on bool)
+}
+
+// value layout used by all pmdk-based stores: values live in their own
+// allocation; nodes reference {off, len}.
+
+// txCheckerSink wraps inserts with TX_CHECKER_START/END ops. The stores
+// emit these through the device sink so checker placement matches the
+// paper: two checkers per program (§6.3).
+func txCheckerStart(dev *pmem.Device) {
+	dev.RecordOp(trace.Op{Kind: trace.KindTxCheckerStart}, 1)
+}
+
+func txCheckerEnd(dev *pmem.Device) {
+	dev.RecordOp(trace.Op{Kind: trace.KindTxCheckerEnd}, 1)
+}
+
+// errBug annotates impossible conditions caused by an active bug switch.
+func errBug(name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("workload(bug=%s): %w", name, err)
+}

@@ -1,0 +1,233 @@
+// Package yat reimplements the testing approach of Yat, the exhaustive
+// crash-consistency validator the paper contrasts PMTest with (§2.2):
+// record a trace of PM operations, then replay it, and at every point a
+// crash could occur, materialize EVERY reachable durable state (each
+// subset of not-yet-persisted cache lines may or may not have landed) and
+// run the application's recovery validator against it.
+//
+// The state space is exponential in the number of dirty lines at each
+// crash point — the paper quotes more than five years for a 100k-op PMFS
+// trace — so Run takes explicit budgets and reports both what it tested
+// and the size of the full space it would have had to explore. That
+// number is the motivation for PMTest's interval inference, and the
+// harness prints it alongside the Fig. 10 results.
+package yat
+
+import (
+	"fmt"
+
+	"pmtest/internal/pmem"
+	"pmtest/internal/trace"
+)
+
+// Limits bounds an exhaustive run.
+type Limits struct {
+	// MaxStatesPerPoint caps the crash states enumerated at each op
+	// boundary (0 = 256).
+	MaxStatesPerPoint int
+	// MaxTotalStates caps the total states validated (0 = 1<<20).
+	MaxTotalStates int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxStatesPerPoint == 0 {
+		l.MaxStatesPerPoint = 256
+	}
+	if l.MaxTotalStates == 0 {
+		l.MaxTotalStates = 1 << 20
+	}
+	return l
+}
+
+// Violation is a crash state whose recovery failed.
+type Violation struct {
+	// OpIndex is the trace position after which the crash occurred.
+	OpIndex int
+	// Err is the validator's explanation.
+	Err error
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("crash after op %d: %v", v.OpIndex, v.Err)
+}
+
+// Result summarizes an exhaustive run.
+type Result struct {
+	// Points is the number of crash points replayed (one per op).
+	Points int
+	// StatesTested is the number of crash states validated.
+	StatesTested int
+	// StateSpace is the size of the FULL crash-state space (sum over
+	// points of 2^dirtyLines), whether or not it was all tested.
+	StateSpace float64
+	// Truncated reports that budgets cut enumeration short.
+	Truncated bool
+	// Violations lists failing crash states (possibly capped).
+	Violations []Violation
+}
+
+// Ok reports whether no violation was found.
+func (r Result) Ok() bool { return len(r.Violations) == 0 }
+
+// Run replays ops from the initial durable image and validates every
+// reachable crash state within limits. validate receives a scratch image
+// it may read freely (copy to retain).
+func Run(initial []byte, ops []trace.Op, validate func(img []byte) error, lim Limits) Result {
+	lim = lim.withDefaults()
+	dev := pmem.FromImage(initial, nil)
+	res := Result{}
+	for i, op := range ops {
+		applyOp(dev, op)
+		if op.Kind.IsChecker() || op.Kind == trace.KindTxBegin ||
+			op.Kind == trace.KindTxEnd || op.Kind == trace.KindTxAdd {
+			continue // library events; no new durable state
+		}
+		res.Points++
+		res.StateSpace += dev.CrashStateCount()
+		budget := lim.MaxStatesPerPoint
+		if rem := lim.MaxTotalStates - res.StatesTested; rem < budget {
+			budget = rem
+		}
+		if budget <= 0 {
+			res.Truncated = true
+			continue
+		}
+		complete := dev.EnumerateCrashStates(budget, func(img []byte) bool {
+			res.StatesTested++
+			if err := validate(img); err != nil {
+				res.Violations = append(res.Violations, Violation{OpIndex: i, Err: err})
+				return len(res.Violations) < 16 // cap reporting
+			}
+			return true
+		})
+		if !complete {
+			res.Truncated = true
+		}
+	}
+	return res
+}
+
+// applyOp executes one traced PM operation against the replay device.
+func applyOp(dev *pmem.Device, op trace.Op) {
+	switch op.Kind {
+	case trace.KindWrite:
+		// The trace records addresses and sizes but not data; replay
+		// writes a deterministic marker pattern. Callers that need real
+		// data replay should use RunWithData.
+		dev.Store(op.Addr, marker(op))
+	case trace.KindWriteNT:
+		dev.StoreNT(op.Addr, marker(op))
+	case trace.KindFlush:
+		dev.CLWB(op.Addr, op.Size)
+	case trace.KindFence, trace.KindOFence, trace.KindDFence:
+		dev.SFence()
+	}
+}
+
+func marker(op trace.Op) []byte {
+	b := make([]byte, op.Size)
+	for i := range b {
+		b[i] = byte(op.Addr+uint64(i)) ^ 0xA5
+	}
+	return b
+}
+
+// DataOp pairs a traced op with the data its write carried, for replays
+// that must reproduce exact contents (RunWithData).
+type DataOp struct {
+	Op   trace.Op
+	Data []byte
+}
+
+// RecordingDevice wraps a pmem.Device so every mutation is captured with
+// its data, producing the DataOps RunWithData replays. It is how a Yat
+// harness hooks a live workload.
+type RecordingDevice struct {
+	*pmem.Device
+	Ops []DataOp
+}
+
+// NewRecordingDevice wraps dev.
+func NewRecordingDevice(dev *pmem.Device) *RecordingDevice {
+	return &RecordingDevice{Device: dev}
+}
+
+// Store records and performs a store.
+func (r *RecordingDevice) Store(addr uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.Ops = append(r.Ops, DataOp{
+		Op:   trace.Op{Kind: trace.KindWrite, Addr: addr, Size: uint64(len(data))},
+		Data: cp,
+	})
+	r.Device.Store(addr, data)
+}
+
+// CLWB records and performs a writeback.
+func (r *RecordingDevice) CLWB(addr, size uint64) {
+	r.Ops = append(r.Ops, DataOp{Op: trace.Op{Kind: trace.KindFlush, Addr: addr, Size: size}})
+	r.Device.CLWB(addr, size)
+}
+
+// SFence records and performs a fence.
+func (r *RecordingDevice) SFence() {
+	r.Ops = append(r.Ops, DataOp{Op: trace.Op{Kind: trace.KindFence}})
+	r.Device.SFence()
+}
+
+// RunWithData is Run for traces that carry write data.
+func RunWithData(initial []byte, ops []DataOp, validate func(img []byte) error, lim Limits) Result {
+	lim = lim.withDefaults()
+	dev := pmem.FromImage(initial, nil)
+	res := Result{}
+	for i, dop := range ops {
+		switch dop.Op.Kind {
+		case trace.KindWrite:
+			dev.Store(dop.Op.Addr, dop.Data)
+		case trace.KindWriteNT:
+			dev.StoreNT(dop.Op.Addr, dop.Data)
+		case trace.KindFlush:
+			dev.CLWB(dop.Op.Addr, dop.Op.Size)
+		case trace.KindFence, trace.KindOFence, trace.KindDFence:
+			dev.SFence()
+		default:
+			continue
+		}
+		res.Points++
+		res.StateSpace += dev.CrashStateCount()
+		budget := lim.MaxStatesPerPoint
+		if rem := lim.MaxTotalStates - res.StatesTested; rem < budget {
+			budget = rem
+		}
+		if budget <= 0 {
+			res.Truncated = true
+			continue
+		}
+		complete := dev.EnumerateCrashStates(budget, func(img []byte) bool {
+			res.StatesTested++
+			if err := validate(img); err != nil {
+				res.Violations = append(res.Violations, Violation{OpIndex: i, Err: err})
+				return len(res.Violations) < 16
+			}
+			return true
+		})
+		if !complete {
+			res.Truncated = true
+		}
+	}
+	return res
+}
+
+// EstimateStateSpace computes the full crash-state count for a trace
+// without validating anything — the "more than five years" number.
+func EstimateStateSpace(initial []byte, ops []trace.Op) float64 {
+	dev := pmem.FromImage(initial, nil)
+	total := 0.0
+	for _, op := range ops {
+		applyOp(dev, op)
+		if !op.Kind.IsChecker() {
+			total += dev.CrashStateCount()
+		}
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+package pmtest_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pmtest"
+)
+
+// TestOfflineRecordAndRecheck: record a session's trace sections, then
+// re-check them offline — same verdicts. Then re-check the x86 trace
+// under HOPS rules, where the clwb is (correctly) flagged as unnecessary.
+func TestOfflineRecordAndRecheck(t *testing.T) {
+	var buf bytes.Buffer
+	sess := pmtest.Init(pmtest.Config{RecordTo: &buf})
+	th := sess.ThreadInit()
+	th.Start()
+	// Section 1: clean.
+	th.Write(0x10, 64)
+	th.Flush(0x10, 64)
+	th.Fence()
+	th.IsPersist(0x10, 64)
+	th.SendTrace()
+	// Section 2: buggy.
+	th.Write(0x50, 64)
+	th.IsPersist(0x50, 64)
+	th.SendTrace()
+	online := sess.Exit()
+	if len(online) != 2 || online[0].Fails() != 0 || online[1].Fails() != 1 {
+		t.Fatalf("online verdicts wrong: %s", pmtest.Summarize(online))
+	}
+
+	recorded := buf.Bytes()
+	offline, err := pmtest.CheckRecorded(bytes.NewReader(recorded), pmtest.X86, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offline) != 2 {
+		t.Fatalf("offline sections = %d", len(offline))
+	}
+	for i := range offline {
+		if offline[i].Fails() != online[i].Fails() || offline[i].Warns() != online[i].Warns() {
+			t.Fatalf("offline verdict differs at section %d:\nonline  %s\noffline %s",
+				i, online[i].Summary(), offline[i].Summary())
+		}
+	}
+
+	// Same recording, different model: HOPS flags the explicit writeback
+	// as unnecessary and the fence does drain, so section 2 still fails
+	// isPersist while section 1 gains a WARN.
+	hops, err := pmtest.CheckRecorded(bytes.NewReader(recorded), pmtest.HOPS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmtest.CountCode(hops, pmtest.CodeUnnecessaryWriteback) == 0 {
+		t.Fatalf("HOPS recheck should warn about the clwb: %s", pmtest.Summarize(hops))
+	}
+	if pmtest.CountCode(hops, pmtest.CodeNotPersisted) == 0 {
+		t.Fatalf("HOPS recheck should still fail section 2: %s", pmtest.Summarize(hops))
+	}
+}
+
+func TestCheckRecordedGarbage(t *testing.T) {
+	if _, err := pmtest.CheckRecorded(bytes.NewReader([]byte("garbage!")), pmtest.X86, 1); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}

@@ -1,0 +1,409 @@
+// Package pmtest is a fast and flexible testing framework for persistent
+// memory (PM) programs, reproducing "PMTest: A Fast and Flexible Testing
+// Framework for Persistent Memory Programs" (ASPLOS 2019).
+//
+// Programs (or the instrumented PM libraries they use) record their PM
+// operations — writes, cache writebacks, fences — into a per-thread
+// tracker, and annotate their code with assertion-like checkers:
+//
+//   - IsPersist asserts a persistent object has been persisted since its
+//     last update.
+//   - IsOrderedBefore asserts one persist is strictly ordered before
+//     another.
+//   - TxCheckerStart / TxCheckerEnd wrap a transaction and automatically
+//     verify that every modified object was logged before modification and
+//     persisted by commit.
+//
+// A decoupled checking engine consumes completed trace sections on worker
+// goroutines, deducing for every write the epoch interval in which it may
+// persist; checkers are validated against those intervals instead of
+// enumerating all legal reorderings, which is what makes PMTest fast.
+//
+// The package mirrors the paper's C interface (Table 2):
+//
+//	PMTest_INIT            → Init
+//	PMTest_EXIT            → (*Session).Exit
+//	PMTest_THREAD_INIT     → (*Session).ThreadInit
+//	PMTest_START / END     → (*Thread).Start / End
+//	PMTest_EXCLUDE/INCLUDE → (*Thread).Exclude / Include
+//	PMTest_REG_VAR et al.  → (*Session).RegVar / UnregVar / GetVar
+//	PMTest_SEND_TRACE      → (*Thread).SendTrace
+//	PMTest_GET_RESULT      → (*Session).GetResult
+//	isPersist              → (*Thread).IsPersist
+//	isOrderedBefore        → (*Thread).IsOrderedBefore
+//	TX_CHECKER_START / END → (*Thread).TxCheckerStart / TxCheckerEnd
+package pmtest
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pmtest/internal/core"
+	"pmtest/internal/trace"
+)
+
+// Re-exported result types, so users never import internal packages.
+type (
+	// Report is the checking result for one trace section.
+	Report = core.Report
+	// Diagnostic is a single FAIL/WARN/INFO finding.
+	Diagnostic = core.Diagnostic
+	// Severity distinguishes FAIL (crash-consistency bug) from WARN
+	// (performance bug).
+	Severity = core.Severity
+	// Code names the class of a finding.
+	Code = core.Code
+	// RuleSet is a pluggable persistency model.
+	RuleSet = core.RuleSet
+)
+
+// Severity and code constants re-exported from the engine.
+const (
+	SeverityInfo = core.SeverityInfo
+	SeverityWarn = core.SeverityWarn
+	SeverityFail = core.SeverityFail
+
+	CodeNotPersisted         = core.CodeNotPersisted
+	CodeOrderViolation       = core.CodeOrderViolation
+	CodeMissingBackup        = core.CodeMissingBackup
+	CodeIncompleteTx         = core.CodeIncompleteTx
+	CodeDuplicateWriteback   = core.CodeDuplicateWriteback
+	CodeUnnecessaryWriteback = core.CodeUnnecessaryWriteback
+	CodeDuplicateLog         = core.CodeDuplicateLog
+	CodeUnbalancedTx         = core.CodeUnbalancedTx
+)
+
+// Built-in persistency models.
+var (
+	// X86 is the strict x86 model: clwb + sfence (paper §4.4).
+	X86 RuleSet = core.X86{}
+	// ARM is the ARMv8.2 model (DC CVAP + DSB, paper §2.1); interval
+	// semantics coincide with X86.
+	ARM RuleSet = core.ARM{}
+	// HOPS is the relaxed ofence/dfence model (paper §5.2).
+	HOPS RuleSet = core.HOPS{}
+	// Epoch is an illustrative epoch-persistency model (extension).
+	Epoch RuleSet = core.Epoch{}
+)
+
+// Config configures a testing session.
+type Config struct {
+	// Model selects the persistency model; defaults to X86.
+	Model RuleSet
+	// Workers sets the number of checking worker goroutines; defaults
+	// to 1, the paper's default (§6.1).
+	Workers int
+	// TrackOnly records and ships traces but skips checker validation;
+	// used to measure framework overhead in isolation (Fig. 10b).
+	TrackOnly bool
+	// CaptureSites records file:line for each op so diagnostics can point
+	// at source. Costs one runtime.Caller per op; on for tests and
+	// debugging, off for the tightest benchmark loops.
+	CaptureSites bool
+	// StaticExcludes are address ranges excluded from checking in every
+	// trace section — typically library metadata such as undo-log areas
+	// (PMTest_EXCLUDE applied session-wide).
+	StaticExcludes []Var
+	// RecordTo, when non-nil, additionally serializes every submitted
+	// trace section to the writer (binary format of CheckRecorded), so a
+	// run can be re-checked offline — possibly under a different
+	// persistency model — without re-executing the program.
+	RecordTo io.Writer
+	// DetectSharing enables the inter-thread sharing analyzer (the
+	// paper's §7.4 future work): PM ranges written by more than one
+	// thread — where per-thread checking is incomplete — are reported by
+	// (*Session).SharedRanges.
+	DetectSharing bool
+}
+
+// SharedRange is a PM range written by two or more threads; re-exported
+// from the engine.
+type SharedRange = core.SharedRange
+
+// Session owns a checking engine and the variable-name registry. Create
+// one per program under test with Init; release it with Exit.
+type Session struct {
+	cfg     Config
+	engine  *core.Engine
+	sharing *core.SharingAnalyzer
+
+	mu         sync.Mutex
+	vars       map[string]Var
+	nextThread int
+}
+
+// Var is a named persistent object registered with PMTest_REG_VAR so its
+// persistency can be checked outside its lexical scope (paper §4.2).
+type Var struct {
+	Addr uint64
+	Size uint64
+}
+
+// Init creates a session and starts its checking engine (PMTest_INIT).
+func Init(cfg Config) *Session {
+	if cfg.Model == nil {
+		cfg.Model = X86
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	excludes := make([]core.Range, len(cfg.StaticExcludes))
+	for i, v := range cfg.StaticExcludes {
+		excludes[i] = core.Range{Addr: v.Addr, Size: v.Size}
+	}
+	s := &Session{
+		cfg: cfg,
+		engine: core.NewEngine(core.Options{
+			Rules:          cfg.Model,
+			Workers:        cfg.Workers,
+			TrackOnly:      cfg.TrackOnly,
+			StaticExcludes: excludes,
+		}),
+		vars: make(map[string]Var),
+	}
+	if cfg.DetectSharing {
+		s.sharing = core.NewSharingAnalyzer(excludes)
+	}
+	return s
+}
+
+// Exit drains outstanding traces, stops the engine and returns all
+// reports (PMTest_EXIT).
+func (s *Session) Exit() []Report { return s.engine.Close() }
+
+// GetResult blocks until every trace sent so far has been checked and
+// returns the reports accumulated so far (PMTest_GET_RESULT).
+func (s *Session) GetResult() []Report { return s.engine.Wait() }
+
+// SharedRanges returns the PM ranges written by more than one thread —
+// the spots where per-thread crash-consistency checking is incomplete
+// (§7.4). It returns nil unless Config.DetectSharing was set.
+func (s *Session) SharedRanges() []SharedRange {
+	if s.sharing == nil {
+		return nil
+	}
+	return s.sharing.Shared()
+}
+
+// ThreadInit creates the per-thread tracker (PMTest_THREAD_INIT). Each
+// goroutine of the program under test owns one Thread; Thread is not safe
+// for concurrent use.
+func (s *Session) ThreadInit() *Thread {
+	s.mu.Lock()
+	id := s.nextThread
+	s.nextThread++
+	s.mu.Unlock()
+	return &Thread{
+		sess:    s,
+		builder: trace.NewBuilder(id, s.cfg.CaptureSites),
+	}
+}
+
+// RegVar registers a named persistent object (PMTest_REG_VAR).
+func (s *Session) RegVar(name string, addr, size uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vars[name] = Var{Addr: addr, Size: size}
+}
+
+// UnregVar removes a registered name (PMTest_UNREG_VAR).
+func (s *Session) UnregVar(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.vars, name)
+}
+
+// GetVar looks up a registered name (PMTest_GET_VAR).
+func (s *Session) GetVar(name string) (Var, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vars[name]
+	return v, ok
+}
+
+// Thread is the per-thread tracker: it records PM operations and checkers
+// in program order and ships completed sections to the engine. It
+// implements the trace.Sink interface used by the instrumented substrates
+// (PM device, pmdk, mnemosyne, pmfs).
+type Thread struct {
+	sess    *Session
+	builder *trace.Builder
+	enabled bool
+}
+
+// Start enables tracking (PMTest_START). Operations recorded while
+// tracking is disabled are dropped.
+func (t *Thread) Start() { t.enabled = true }
+
+// End disables tracking (PMTest_END).
+func (t *Thread) End() { t.enabled = false }
+
+// Enabled reports whether tracking is active.
+func (t *Thread) Enabled() bool { return t.enabled }
+
+// Record implements trace.Sink; instrumented libraries call it for every
+// PM operation they execute.
+func (t *Thread) Record(op trace.Op, callerSkip int) {
+	if !t.enabled {
+		return
+	}
+	// +1 accounts for this method's own frame, preserving the Sink
+	// contract that callerSkip=0 attributes our immediate caller.
+	t.builder.Record(op, callerSkip+1)
+}
+
+// record is the internal entry point for the methods below: two wrapper
+// frames (record itself and the public method) separate the user call
+// site from builder.Record.
+func (t *Thread) record(op trace.Op) {
+	if !t.enabled {
+		return
+	}
+	t.builder.Record(op, 2)
+}
+
+// Pending returns the number of operations buffered in the current
+// section.
+func (t *Thread) Pending() int { return t.builder.Len() }
+
+// SendTrace ships the current section to the checking engine and starts a
+// new one (PMTest_SEND_TRACE). Sections are checked independently and
+// concurrently with continued execution (§4.4).
+func (t *Thread) SendTrace() {
+	if t.builder.Len() == 0 {
+		return
+	}
+	tr := t.builder.Take()
+	if t.sess.sharing != nil {
+		t.sess.sharing.Feed(tr)
+	}
+	if t.sess.cfg.RecordTo != nil {
+		t.sess.mu.Lock()
+		err := trace.Encode(t.sess.cfg.RecordTo, tr)
+		t.sess.mu.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("pmtest: trace recording failed: %v", err))
+		}
+	}
+	t.sess.engine.Submit(tr)
+}
+
+// --- Low-level PM operations (emitted by instrumented code) ---------------
+
+// Write records a store to PM at [addr, addr+size).
+func (t *Thread) Write(addr, size uint64) {
+	t.record(trace.Op{Kind: trace.KindWrite, Addr: addr, Size: size})
+}
+
+// WriteNT records a non-temporal store (cache-bypassing; persists at the
+// next fence without an explicit writeback).
+func (t *Thread) WriteNT(addr, size uint64) {
+	t.record(trace.Op{Kind: trace.KindWriteNT, Addr: addr, Size: size})
+}
+
+// Flush records a clwb-style cache writeback of [addr, addr+size).
+func (t *Thread) Flush(addr, size uint64) {
+	t.record(trace.Op{Kind: trace.KindFlush, Addr: addr, Size: size})
+}
+
+// Fence records an sfence: completes prior writebacks and opens a new
+// epoch.
+func (t *Thread) Fence() { t.record(trace.Op{Kind: trace.KindFence}) }
+
+// OFence records a HOPS ordering fence.
+func (t *Thread) OFence() { t.record(trace.Op{Kind: trace.KindOFence}) }
+
+// DFence records a HOPS durability fence.
+func (t *Thread) DFence() { t.record(trace.Op{Kind: trace.KindDFence}) }
+
+// --- Transaction events ----------------------------------------------------
+
+// TxBegin records a transaction begin (e.g. PMDK TX_BEGIN).
+func (t *Thread) TxBegin() { t.record(trace.Op{Kind: trace.KindTxBegin}) }
+
+// TxEnd records a transaction end (e.g. PMDK TX_END).
+func (t *Thread) TxEnd() { t.record(trace.Op{Kind: trace.KindTxEnd}) }
+
+// TxAdd records an undo-log backup of [addr, addr+size) (PMDK TX_ADD).
+func (t *Thread) TxAdd(addr, size uint64) {
+	t.record(trace.Op{Kind: trace.KindTxAdd, Addr: addr, Size: size})
+}
+
+// --- Checkers (paper Table 2) ----------------------------------------------
+
+// IsPersist asserts that [addr, addr+size) has been persisted since its
+// last update.
+func (t *Thread) IsPersist(addr, size uint64) {
+	t.record(trace.Op{Kind: trace.KindIsPersist, Addr: addr, Size: size})
+}
+
+// IsPersistVar asserts persistence of a variable registered with RegVar.
+// It returns an error if the name is unknown.
+func (t *Thread) IsPersistVar(name string) error {
+	v, ok := t.sess.GetVar(name)
+	if !ok {
+		return fmt.Errorf("pmtest: no registered variable %q", name)
+	}
+	t.record(trace.Op{Kind: trace.KindIsPersist, Addr: v.Addr, Size: v.Size})
+	return nil
+}
+
+// IsOrderedBefore asserts every persist of [a, a+sa) is strictly ordered
+// before any persist of [b, b+sb).
+func (t *Thread) IsOrderedBefore(a, sa, b, sb uint64) {
+	t.record(trace.Op{Kind: trace.KindIsOrderedBefore, Addr: a, Size: sa, Addr2: b, Size2: sb})
+}
+
+// TxCheckerStart opens a transaction-checker scope: subsequent writes must
+// be preceded by TxAdd backups (TX_CHECKER_START, §5.1.1).
+func (t *Thread) TxCheckerStart() {
+	t.record(trace.Op{Kind: trace.KindTxCheckerStart})
+}
+
+// TxCheckerEnd closes the scope and verifies every object modified inside
+// it has persisted (TX_CHECKER_END, §5.1.1).
+func (t *Thread) TxCheckerEnd() {
+	t.record(trace.Op{Kind: trace.KindTxCheckerEnd})
+}
+
+// Exclude removes [addr, addr+size) from the testing scope
+// (PMTest_EXCLUDE): automatic transaction checks and performance warnings
+// skip it.
+func (t *Thread) Exclude(addr, size uint64) {
+	t.record(trace.Op{Kind: trace.KindExclude, Addr: addr, Size: size})
+}
+
+// Include restores an excluded range to the testing scope
+// (PMTest_INCLUDE).
+func (t *Thread) Include(addr, size uint64) {
+	t.record(trace.Op{Kind: trace.KindInclude, Addr: addr, Size: size})
+}
+
+// CheckRecorded replays serialized trace sections (written via
+// Config.RecordTo) through a fresh checking engine under the given model
+// and returns the reports. Offline checking is a natural consequence of
+// the paper's decoupled design: a trace is a self-contained unit of
+// checking work, so it can be validated after the fact — even under a
+// different persistency model than the one it ran on.
+func CheckRecorded(r io.Reader, model RuleSet, workers int) ([]Report, error) {
+	traces, err := trace.DecodeAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if model == nil {
+		model = X86
+	}
+	e := core.NewEngine(core.Options{Rules: model, Workers: workers})
+	for _, t := range traces {
+		t.ID = 0 // reassigned by Submit
+		e.Submit(t)
+	}
+	return e.Close(), nil
+}
+
+// Summarize renders reports as the engine's textual output.
+func Summarize(reports []Report) string { return core.Summarize(reports) }
+
+// CountCode tallies findings with the given code across reports.
+func CountCode(reports []Report, c Code) int { return core.CountCode(reports, c) }

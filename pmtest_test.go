@@ -1,0 +1,276 @@
+package pmtest
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pmtest/internal/pmem"
+)
+
+func TestSessionEndToEndX86(t *testing.T) {
+	sess := Init(Config{CaptureSites: true})
+	th := sess.ThreadInit()
+	th.Start()
+
+	// Correct section: persist A, then write and persist B.
+	th.Write(0x10, 64)
+	th.Flush(0x10, 64)
+	th.Fence()
+	th.Write(0x50, 64)
+	th.Flush(0x50, 64)
+	th.Fence()
+	th.IsOrderedBefore(0x10, 64, 0x50, 64)
+	th.IsPersist(0x10, 64)
+	th.IsPersist(0x50, 64)
+	th.SendTrace()
+
+	// Buggy section: B never flushed.
+	th.Write(0x90, 64)
+	th.IsPersist(0x90, 64)
+	th.SendTrace()
+
+	reports := sess.Exit()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	if !reports[0].Clean() {
+		t.Fatalf("first section should pass: %s", reports[0].Summary())
+	}
+	if reports[1].Fails() != 1 || !reports[1].HasCode(CodeNotPersisted) {
+		t.Fatalf("second section should fail: %s", reports[1].Summary())
+	}
+}
+
+func TestSiteAttributionDirectCalls(t *testing.T) {
+	sess := Init(Config{CaptureSites: true})
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0x10, 8) // this line must be attributed
+	th.IsPersist(0x10, 8)
+	th.SendTrace()
+	reports := sess.Exit()
+	if len(reports) != 1 || len(reports[0].Diags) != 1 {
+		t.Fatalf("want one diagnostic, got %v", Summarize(reports))
+	}
+	d := reports[0].Diags[0]
+	if !strings.Contains(d.Site, "pmtest_test.go") {
+		t.Errorf("checker site = %q, want this test file", d.Site)
+	}
+	if !strings.Contains(d.Related, "pmtest_test.go") {
+		t.Errorf("write site = %q, want this test file", d.Related)
+	}
+}
+
+func TestSiteAttributionThroughDevice(t *testing.T) {
+	sess := Init(Config{CaptureSites: true})
+	th := sess.ThreadInit()
+	th.Start()
+	dev := pmem.New(4096, th)
+	dev.Store(0x10, []byte{1, 2, 3}) // must be attributed to this line
+	th.IsPersist(0x10, 3)
+	th.SendTrace()
+	reports := sess.Exit()
+	if len(reports) != 1 || len(reports[0].Diags) != 1 {
+		t.Fatalf("want one diagnostic, got %v", Summarize(reports))
+	}
+	d := reports[0].Diags[0]
+	if !strings.Contains(d.Related, "pmtest_test.go") {
+		t.Errorf("device store attributed to %q, want this test file", d.Related)
+	}
+}
+
+func TestStartEndGateTracking(t *testing.T) {
+	sess := Init(Config{})
+	th := sess.ThreadInit()
+	th.Write(0x10, 8) // dropped: tracking not started
+	if th.Pending() != 0 {
+		t.Fatal("ops recorded before Start")
+	}
+	th.Start()
+	th.Write(0x10, 8)
+	th.End()
+	th.Write(0x20, 8) // dropped again
+	if th.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", th.Pending())
+	}
+	th.Start()
+	th.IsPersist(0x10, 8)
+	th.SendTrace()
+	reports := sess.Exit()
+	if len(reports) != 1 || reports[0].Fails() != 1 {
+		t.Fatalf("unexpected reports: %v", Summarize(reports))
+	}
+}
+
+func TestVarRegistry(t *testing.T) {
+	sess := Init(Config{})
+	defer sess.Exit()
+	sess.RegVar("list.head", 0x100, 8)
+	v, ok := sess.GetVar("list.head")
+	if !ok || v.Addr != 0x100 || v.Size != 8 {
+		t.Fatalf("GetVar = %+v, %v", v, ok)
+	}
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0x100, 8)
+	if err := th.IsPersistVar("list.head"); err != nil {
+		t.Fatal(err)
+	}
+	th.SendTrace()
+	reports := sess.GetResult()
+	if len(reports) != 1 || reports[0].Fails() != 1 {
+		t.Fatalf("IsPersistVar should have failed: %v", Summarize(reports))
+	}
+	sess.UnregVar("list.head")
+	if err := th.IsPersistVar("list.head"); err == nil {
+		t.Fatal("IsPersistVar after UnregVar should error")
+	}
+}
+
+func TestHOPSModelSession(t *testing.T) {
+	sess := Init(Config{Model: HOPS})
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0xA0, 8)
+	th.OFence()
+	th.Write(0xB0, 8)
+	th.DFence()
+	th.IsOrderedBefore(0xA0, 8, 0xB0, 8)
+	th.IsPersist(0xA0, 8)
+	th.IsPersist(0xB0, 8)
+	th.SendTrace()
+	reports := sess.Exit()
+	if len(reports) != 1 || !reports[0].Clean() {
+		t.Fatalf("HOPS session should pass: %v", Summarize(reports))
+	}
+}
+
+func TestTxCheckersThroughSession(t *testing.T) {
+	sess := Init(Config{})
+	th := sess.ThreadInit()
+	th.Start()
+	th.TxCheckerStart()
+	th.TxBegin()
+	th.TxAdd(0x100, 64)
+	th.Write(0x100, 64)
+	th.Write(0x200, 8) // missing TX_ADD
+	th.Flush(0x100, 64)
+	th.Flush(0x200, 8)
+	th.Fence()
+	th.TxEnd()
+	th.TxCheckerEnd()
+	th.SendTrace()
+	reports := sess.Exit()
+	if CountCode(reports, CodeMissingBackup) != 1 {
+		t.Fatalf("want missing-backup: %v", Summarize(reports))
+	}
+}
+
+func TestExcludeIncludeThroughSession(t *testing.T) {
+	sess := Init(Config{})
+	th := sess.ThreadInit()
+	th.Start()
+	th.Exclude(0x200, 8)
+	th.TxCheckerStart()
+	th.TxBegin()
+	th.Write(0x200, 8)
+	th.TxEnd()
+	th.TxCheckerEnd()
+	th.SendTrace()
+	reports := sess.Exit()
+	if n := len(MergeDiags(reports)); n != 0 {
+		t.Fatalf("excluded writes must not be reported: %v", Summarize(reports))
+	}
+}
+
+// MergeDiags is a test helper using the public CountCode-style API.
+func MergeDiags(reports []Report) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range reports {
+		out = append(out, r.Diags...)
+	}
+	return out
+}
+
+func TestMultipleThreads(t *testing.T) {
+	sess := Init(Config{Workers: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		th := sess.ThreadInit()
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			th.Start()
+			for j := 0; j < 10; j++ {
+				th.Write(0x10, 8)
+				th.Flush(0x10, 8)
+				th.Fence()
+				th.IsPersist(0x10, 8)
+				th.SendTrace()
+			}
+		}(th)
+	}
+	wg.Wait()
+	reports := sess.Exit()
+	if len(reports) != 40 {
+		t.Fatalf("reports = %d, want 40", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Clean() {
+			t.Fatalf("unexpected finding: %s", r.Summary())
+		}
+	}
+}
+
+func TestSendTraceEmptyIsNoOp(t *testing.T) {
+	sess := Init(Config{})
+	th := sess.ThreadInit()
+	th.Start()
+	th.SendTrace() // nothing recorded
+	reports := sess.Exit()
+	if len(reports) != 0 {
+		t.Fatalf("empty SendTrace must not submit: %d reports", len(reports))
+	}
+}
+
+// TestSharingDetectionAcrossThreads: the §7.4 extension — two program
+// threads writing the same PM range are surfaced, sharded threads are
+// not.
+func TestSharingDetectionAcrossThreads(t *testing.T) {
+	sess := Init(Config{DetectSharing: true})
+	th0 := sess.ThreadInit()
+	th1 := sess.ThreadInit()
+	th0.Start()
+	th1.Start()
+	// Disjoint writes: no sharing.
+	th0.Write(0x000, 64)
+	th0.SendTrace()
+	th1.Write(0x100, 64)
+	th1.SendTrace()
+	if got := sess.SharedRanges(); got != nil {
+		t.Fatalf("disjoint writes flagged: %v", got)
+	}
+	// Overlapping writes: flagged.
+	th0.Write(0x200, 64)
+	th0.SendTrace()
+	th1.Write(0x220, 64)
+	th1.SendTrace()
+	got := sess.SharedRanges()
+	if len(got) != 1 || got[0].Addr != 0x220 || got[0].Size != 32 {
+		t.Fatalf("SharedRanges = %v", got)
+	}
+	sess.Exit()
+}
+
+func TestSharingDisabledReturnsNil(t *testing.T) {
+	sess := Init(Config{})
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0x10, 8)
+	th.SendTrace()
+	if sess.SharedRanges() != nil {
+		t.Fatal("SharedRanges without DetectSharing must be nil")
+	}
+	sess.Exit()
+}
