@@ -17,6 +17,7 @@ import (
 	"pmtest/internal/harness"
 	"pmtest/internal/interval"
 	"pmtest/internal/mnemosyne"
+	"pmtest/internal/obs"
 	"pmtest/internal/pmdk"
 	"pmtest/internal/pmem"
 	tracepkg "pmtest/internal/trace"
@@ -254,6 +255,26 @@ func BenchmarkWorkerScaling(b *testing.B) {
 			e.Close()
 		})
 	}
+}
+
+// BenchmarkObserverOverhead: engine Submit→check pipeline with no
+// observer vs a full obs.Metrics registry. The no-observer variant must
+// stay within noise of the seed (the engine takes no timestamps on that
+// path); the metrics variant bounds the cost of turning observability on.
+func BenchmarkObserverOverhead(b *testing.B) {
+	ops := cleanTxTrace(128)
+	run := func(b *testing.B, o obs.Observer) {
+		e := core.NewEngine(core.Options{Workers: 2, Observer: o})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Submit(&tracepkg.Trace{Ops: ops})
+		}
+		e.Wait()
+		b.StopTimer()
+		e.Close()
+	}
+	b.Run("no-observer", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics", func(b *testing.B) { run(b, obs.NewMetrics(64)) })
 }
 
 // BenchmarkVacation: the STAMP-style multi-table reservation workload

@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"pmtest/internal/core"
+	"pmtest/internal/obs"
 	"pmtest/internal/pmem"
 	"pmtest/internal/trace"
 	"pmtest/internal/whisper"
@@ -29,6 +30,7 @@ var (
 	flagModel  = flag.String("model", "x86", "persistency model (x86|arm|hops|epoch)")
 	flagRecord = flag.String("record", "", "write the selected trace to a file (binary format) instead of dumping it")
 	flagCheck  = flag.String("check", "", "load a recorded trace file and dump/check it offline")
+	flagStats  = flag.Bool("stats", false, "run the selected trace(s) through the checking engine and print an observability snapshot")
 )
 
 func main() {
@@ -56,6 +58,9 @@ func main() {
 			dump(rules, tr.Ops)
 			fmt.Println()
 		}
+		if *flagStats {
+			printStats(rules, traces)
+		}
 		return
 	case *flagStore != "":
 		ops = storeTrace(*flagStore)
@@ -79,6 +84,23 @@ func main() {
 		return
 	}
 	dump(rules, ops)
+	if *flagStats {
+		printStats(rules, []*trace.Trace{{Ops: ops}})
+	}
+}
+
+// printStats replays the traces through a fully instrumented checking
+// engine and prints the observability snapshot — a one-shot view of the
+// same numbers obs.Handler serves over HTTP.
+func printStats(rules core.RuleSet, traces []*trace.Trace) {
+	m := obs.NewMetrics(len(traces))
+	e := core.NewEngine(core.Options{Rules: rules, Observer: m})
+	for _, tr := range traces {
+		e.Submit(tr)
+	}
+	e.Close()
+	fmt.Println()
+	fmt.Print(m.Snapshot().Format())
 }
 
 func fig7() []trace.Op {

@@ -13,12 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"text/tabwriter"
 
 	"pmtest/internal/bugdb"
 	"pmtest/internal/harness"
+	"pmtest/internal/obs"
 )
 
 var (
@@ -37,6 +39,8 @@ var (
 	flagSizes  = flag.String("sizes", "64,128,256,512,1024,2048,4096", "transaction sizes for Fig. 10")
 	flagStores = flag.String("stores", "", "comma-separated store subset (default: all five)")
 	flagCSV    = flag.String("csv", "", "path prefix for machine-readable CSV output (writes <prefix>-fig10a.csv and <prefix>-fig11.csv)")
+	flagStats  = flag.Bool("stats", false, "print an observability snapshot (throughput, check-latency quantiles, diag histogram) after the run")
+	flagObs    = flag.String("obs-listen", "", "serve the live observability endpoint (Prometheus text + JSON) at this address, e.g. :8081")
 )
 
 // csvOut opens a CSV file for one figure when -csv is set; the returned
@@ -70,6 +74,19 @@ func main() {
 		*fig10a, *fig10b, *fig11, *fig12 = true, true, true, true
 		*table4, *table5, *table6, *flagYat, *flagHost = true, true, true, true, true
 	}
+	var metrics *obs.Metrics
+	if *flagStats || *flagObs != "" {
+		metrics = obs.NewMetrics(256)
+		harness.ObserveWith(metrics)
+	}
+	if *flagObs != "" {
+		go func() {
+			fmt.Printf("observability endpoint on http://%s/metrics (add ?format=json for JSON)\n", *flagObs)
+			if err := http.ListenAndServe(*flagObs, obs.Handler(metrics)); err != nil {
+				fmt.Fprintln(os.Stderr, "repro: obs endpoint:", err)
+			}
+		}()
+	}
 	if *flagHost {
 		printHost()
 	}
@@ -96,6 +113,9 @@ func main() {
 	}
 	if *flagYat {
 		runYat()
+	}
+	if *flagStats {
+		fmt.Print(metrics.Snapshot().Format())
 	}
 }
 

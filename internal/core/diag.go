@@ -107,8 +107,13 @@ type Report struct {
 	TraceID int
 	Thread  int
 	// Ops is the number of trace operations checked.
-	Ops   int
-	Diags []Diagnostic
+	Ops int
+	// TrackedOps is the number of non-checker operations (writes,
+	// writebacks, fences, transaction events) in the trace. TrackOnly
+	// runs report it too, so framework-overhead measurements carry the
+	// real volume of tracked work.
+	TrackedOps int
+	Diags      []Diagnostic
 }
 
 // Fails counts crash-consistency findings.

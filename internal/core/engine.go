@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"pmtest/internal/obs"
 	"pmtest/internal/trace"
 )
 
@@ -34,7 +36,11 @@ func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) Report
 	for _, r := range excludes {
 		s.Excluded.Set(r.Addr, r.Addr+r.Size, struct{}{})
 	}
+	tracked := 0
 	for i, op := range t.Ops {
+		if !op.Kind.IsChecker() {
+			tracked++
+		}
 		s.opIndex = i
 		rules.Apply(s, op)
 		if len(s.diags) >= maxDiagsPerTrace {
@@ -53,12 +59,13 @@ func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) Report
 		s.report(SeverityWarn, CodeUnbalancedTx, "?", "",
 			"trace ended with an open TX_CHECKER scope")
 	}
-	return Report{TraceID: t.ID, Thread: t.Thread, Ops: len(t.Ops), Diags: s.diags}
+	return Report{TraceID: t.ID, Thread: t.Thread, Ops: len(t.Ops), TrackedOps: tracked, Diags: s.diags}
 }
 
 // trackOnly walks the trace without applying rules. It models the
 // "PMTest Framework" bar of Fig. 10b: the cost of tracking and shipping
-// operations without validating any checkers.
+// operations without validating any checkers. The non-checker op count is
+// carried in the report so track-only runs still measure real work.
 func trackOnly(t *trace.Trace) Report {
 	n := 0
 	for _, op := range t.Ops {
@@ -66,8 +73,7 @@ func trackOnly(t *trace.Trace) Report {
 			n++
 		}
 	}
-	_ = n
-	return Report{TraceID: t.ID, Thread: t.Thread, Ops: len(t.Ops)}
+	return Report{TraceID: t.ID, Thread: t.Thread, Ops: len(t.Ops), TrackedOps: n}
 }
 
 // Options configures an Engine.
@@ -86,6 +92,11 @@ type Options struct {
 	QueueDepth int
 	// StaticExcludes are ranges excluded from checking in every trace.
 	StaticExcludes []Range
+	// Observer, when non-nil, receives per-trace lifecycle events
+	// (submit, dequeue, checked) plus backpressure stalls. When nil the
+	// engine takes no timestamps and the hot path is identical to the
+	// uninstrumented one.
+	Observer obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -101,51 +112,98 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// task is one queued unit of checking work. enq carries the submit
+// timestamp for queue-wait measurement; it is zero when no observer is
+// installed.
+type task struct {
+	tr  *trace.Trace
+	enq time.Time
+}
+
 // Engine is the PMTest checking engine: a master that dispatches incoming
 // traces round-robin to a pool of worker goroutines, each of which checks
 // its traces independently and posts results back (paper Fig. 8). The
 // program under test runs concurrently with checking; GetResult-style
 // synchronization is provided by Wait.
 type Engine struct {
-	opts    Options
-	queues  []chan *trace.Trace
-	next    int
-	nextID  int
-	pending sync.WaitGroup
-	done    sync.WaitGroup
+	opts   Options
+	queues []chan task
+	done   sync.WaitGroup
 
-	mu      sync.Mutex
-	reports []Report
-	closed  bool
+	mu        sync.Mutex
+	idle      sync.Cond // signaled when completed catches up to submitted
+	next      int
+	nextID    int
+	submitted int
+	completed int
+	reports   []Report
+	closed    bool
 }
 
 // NewEngine starts the worker pool and returns the engine.
 func NewEngine(opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{opts: opts}
-	e.queues = make([]chan *trace.Trace, opts.Workers)
+	e.idle.L = &e.mu
+	e.queues = make([]chan task, opts.Workers)
 	for i := range e.queues {
-		q := make(chan *trace.Trace, opts.QueueDepth)
+		q := make(chan task, opts.QueueDepth)
 		e.queues[i] = q
 		e.done.Add(1)
-		go e.worker(q)
+		go e.worker(i, q)
 	}
 	return e
 }
 
-func (e *Engine) worker(q <-chan *trace.Trace) {
+func (e *Engine) worker(id int, q <-chan task) {
 	defer e.done.Done()
-	for t := range q {
+	ob := e.opts.Observer
+	for tk := range q {
+		t := tk.tr
+		var start time.Time
+		if ob != nil {
+			start = time.Now()
+			ob.TraceDequeued(t.ID, id, start.Sub(tk.enq))
+		}
 		var r Report
 		if e.opts.TrackOnly {
 			r = trackOnly(t)
 		} else {
 			r = CheckTraceExcluding(e.opts.Rules, t, e.opts.StaticExcludes)
 		}
+		if ob != nil {
+			ev := obs.TraceEvent{
+				TraceID:    t.ID,
+				Thread:     t.Thread,
+				Worker:     id,
+				Ops:        r.Ops,
+				TrackedOps: r.TrackedOps,
+				QueueWait:  start.Sub(tk.enq),
+				CheckDur:   time.Since(start),
+			}
+			for _, d := range r.Diags {
+				switch d.Severity {
+				case SeverityFail:
+					ev.Fails++
+				case SeverityWarn:
+					ev.Warns++
+				default:
+					ev.Infos++
+				}
+				if ev.Codes == nil {
+					ev.Codes = make(map[string]int)
+				}
+				ev.Codes[string(d.Code)]++
+			}
+			ob.TraceChecked(ev)
+		}
 		e.mu.Lock()
 		e.reports = append(e.reports, r)
+		e.completed++
+		if e.completed == e.submitted {
+			e.idle.Broadcast()
+		}
 		e.mu.Unlock()
-		e.pending.Done()
 	}
 }
 
@@ -162,17 +220,49 @@ func (e *Engine) Submit(t *trace.Trace) {
 	e.nextID++
 	w := e.next
 	e.next = (e.next + 1) % len(e.queues)
-	e.pending.Add(1)
+	e.submitted++
 	e.mu.Unlock()
-	e.queues[w] <- t
+
+	ob := e.opts.Observer
+	if ob == nil {
+		e.queues[w] <- task{tr: t}
+		return
+	}
+	ob.TraceSubmitted(t.ID, t.Thread, len(t.Ops))
+	tk := task{tr: t, enq: time.Now()}
+	select {
+	case e.queues[w] <- tk:
+	default:
+		// The queue is full: measure the backpressure stall.
+		stallStart := time.Now()
+		e.queues[w] <- tk
+		if so, ok := ob.(obs.StallObserver); ok {
+			so.SubmitStalled(w, time.Since(stallStart))
+		}
+	}
+}
+
+// QueueDepths returns the number of traces currently queued per worker —
+// the live dispatch-imbalance gauge exported by the observability
+// endpoint.
+func (e *Engine) QueueDepths() []int {
+	depths := make([]int, len(e.queues))
+	for i, q := range e.queues {
+		depths[i] = len(q)
+	}
+	return depths
 }
 
 // Wait blocks until every submitted trace has been checked
 // (PMTest_GET_RESULT) and returns all reports so far in trace order.
+// It is safe to call concurrently with Submit; it waits for the traces
+// submitted before it observed the engine idle.
 func (e *Engine) Wait() []Report {
-	e.pending.Wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for e.completed < e.submitted {
+		e.idle.Wait()
+	}
 	sort.Slice(e.reports, func(i, j int) bool {
 		return e.reports[i].TraceID < e.reports[j].TraceID
 	})

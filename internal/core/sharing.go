@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pmtest/internal/interval"
+	"pmtest/internal/obs"
 	"pmtest/internal/trace"
 )
 
@@ -27,6 +28,15 @@ type SharingAnalyzer struct {
 	// excluded ranges (library metadata) are ignored: the undo log of a
 	// shared pool is written by every thread by design.
 	excluded *interval.Tree[struct{}]
+	// metrics, when non-nil, counts traces fed and writes tracked.
+	metrics *obs.Metrics
+}
+
+// SetMetrics attaches an observability registry; nil detaches it.
+func (a *SharingAnalyzer) SetMetrics(m *obs.Metrics) {
+	a.mu.Lock()
+	a.metrics = m
+	a.mu.Unlock()
 }
 
 // NewSharingAnalyzer returns an empty analyzer. excludes are ranges to
@@ -51,6 +61,7 @@ func (a *SharingAnalyzer) Feed(t *trace.Trace) {
 		tree = interval.New[struct{}]()
 		a.perThread[t.Thread] = tree
 	}
+	writes := uint64(0)
 	for _, op := range t.Ops {
 		switch op.Kind {
 		case trace.KindWrite, trace.KindWriteNT:
@@ -58,9 +69,14 @@ func (a *SharingAnalyzer) Feed(t *trace.Trace) {
 				continue
 			}
 			tree.Set(op.Addr, op.Addr+op.Size, struct{}{})
+			writes++
 		case trace.KindExclude:
 			a.excluded.Set(op.Addr, op.Addr+op.Size, struct{}{})
 		}
+	}
+	if a.metrics != nil {
+		a.metrics.SharingTracesFed.Add(1)
+		a.metrics.SharingWritesTracked.Add(writes)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"pmtest"
 	"pmtest/internal/core"
+	"pmtest/internal/obs"
 	"pmtest/internal/pmem"
 	"pmtest/internal/pmemcheck"
 	"pmtest/internal/pmfs"
@@ -21,6 +22,16 @@ import (
 	"pmtest/internal/whisper"
 	"pmtest/internal/yat"
 )
+
+// metrics, when set via ObserveWith, is installed into every PMTest
+// session the harness creates, so cmd/repro's -stats / -obs-listen flags
+// can aggregate observability across a whole experiment run.
+var metrics *obs.Metrics
+
+// ObserveWith installs an observability registry for all subsequent
+// harness runs (nil uninstalls). Not safe to call concurrently with a
+// running benchmark.
+func ObserveWith(m *obs.Metrics) { metrics = m }
 
 // Tool selects the testing tool attached to a run.
 type Tool int
@@ -165,6 +176,7 @@ func MicroBench(store string, txSize uint64, n int, tool Tool, workers int) (Mic
 		sess := pmtest.Init(pmtest.Config{
 			Workers:   workers,
 			TrackOnly: tool == ToolPMTestTrack,
+			Metrics:   metrics,
 		})
 		th := sess.ThreadInit()
 		dev := pmem.New(devSize, th)
@@ -236,7 +248,7 @@ func MicroBench(store string, txSize uint64, n int, tool Tool, workers int) (Mic
 		// Ablation: one giant trace section checked at the end. The
 		// shadow memory grows with the whole run and checking cannot
 		// overlap execution.
-		sess := pmtest.Init(pmtest.Config{})
+		sess := pmtest.Init(pmtest.Config{Metrics: metrics})
 		th := sess.ThreadInit()
 		dev := pmem.New(devSize, th)
 		s, err := newStore(store, dev, txSize, n)
@@ -316,6 +328,7 @@ func memcachedBench(name string, ops []whisper.KVOp, threads, workers int, tool 
 		sess = pmtest.Init(pmtest.Config{
 			Workers:   workers,
 			TrackOnly: tool == ToolPMTestTrack,
+			Metrics:   metrics,
 		})
 		for i := 0; i < threads; i++ {
 			th := sess.ThreadInit()
@@ -403,7 +416,7 @@ func redisBench(nOps int, tool Tool) (RealResult, error) {
 	var chk *pmemcheck.Checker
 	switch tool {
 	case ToolPMTest, ToolPMTestTrack:
-		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack})
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics})
 		th = sess.ThreadInit()
 		th.Start()
 		sink = th
@@ -455,7 +468,7 @@ func pmfsBench(name string, ops []whisper.FSOp, tool Tool) (RealResult, error) {
 	var chk *pmemcheck.Checker
 	switch tool {
 	case ToolPMTest, ToolPMTestTrack:
-		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack})
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics})
 		th = sess.ThreadInit()
 		th.Start()
 		sink = th

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testMetrics() *Metrics {
+	m := NewMetrics(8)
+	m.TraceSubmitted(0, 0, 12)
+	m.TraceDequeued(0, 0, time.Microsecond)
+	m.TraceChecked(TraceEvent{
+		TraceID: 0, Worker: 0, Ops: 12, TrackedOps: 10,
+		Fails: 1, Warns: 1,
+		Codes:     map[string]int{"not-persisted": 1, "duplicate-writeback": 1},
+		QueueWait: time.Microsecond, CheckDur: 3 * time.Microsecond,
+	})
+	m.SubmitStalled(0, time.Millisecond)
+	m.SectionsShipped.Add(1)
+	m.BytesEncoded.Add(99)
+	m.SetQueueDepthFn(func() []int { return []int{2} })
+	return m
+}
+
+func TestHandlerPrometheus(t *testing.T) {
+	h := Handler(testMetrics())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"pmtest_traces_submitted_total 1",
+		"pmtest_traces_checked_total 1",
+		"pmtest_ops_checked_total 12",
+		`pmtest_diagnostics_total{severity="FAIL"} 1`,
+		`pmtest_diagnostics_code_total{code="not-persisted"} 1`,
+		"pmtest_check_duration_seconds_bucket",
+		`pmtest_check_duration_seconds_bucket{le="+Inf"} 1`,
+		"pmtest_check_duration_seconds_count 1",
+		"pmtest_queue_wait_seconds_sum",
+		`pmtest_worker_traces_checked_total{worker="0"} 1`,
+		`pmtest_worker_queue_depth{worker="0"} 2`,
+		"pmtest_backpressure_stalls_total 1",
+		"pmtest_backpressure_stall_seconds_total 0.001",
+		"pmtest_bytes_encoded_total 99",
+		"pmtest_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+	// Every HELP line must pair with a TYPE line for the same metric.
+	if strings.Count(body, "# HELP") != strings.Count(body, "# TYPE") {
+		t.Error("unbalanced HELP/TYPE lines")
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	h := Handler(testMetrics())
+	do := func(target, accept string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			r.Header.Set("Accept", accept)
+		}
+		h.ServeHTTP(rec, r)
+		return rec
+	}
+	for _, req := range []*httptest.ResponseRecorder{
+		do("/metrics?format=json", ""),
+		do("/metrics", "application/json"),
+	} {
+		if ct := req.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type = %q, want application/json", ct)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(req.Body.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		if s.TracesChecked != 1 || s.OpsChecked != 12 {
+			t.Fatalf("JSON snapshot wrong: %+v", s)
+		}
+		if len(s.RecentTraces) != 1 || s.RecentTraces[0].Codes["not-persisted"] != 1 {
+			t.Fatalf("recent traces not serialized: %+v", s.RecentTraces)
+		}
+		if s.QueueDepths[0] != 2 {
+			t.Fatalf("queue depths not serialized: %+v", s.QueueDepths)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("fresh counter = %d, want 0", c.Load())
+	}
+	c.Add(3)
+	c.Add(4)
+	if c.Load() != 7 {
+		t.Fatalf("counter = %d, want 7", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.Mean != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of 1µs, 10 of 1ms: p50 must land near 1µs, p99
+	// in the 1ms bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count = %d, want 110", s.Count)
+	}
+	if s.P50 < 512*time.Nanosecond || s.P50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", s.P50)
+	}
+	if s.P99 < 512*time.Microsecond || s.P99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", s.P99)
+	}
+	wantMean := (100*time.Microsecond + 10*time.Millisecond) / 110
+	if s.Mean != wantMean {
+		t.Errorf("mean = %v, want %v", s.Mean, wantMean)
+	}
+	// Cumulative buckets must end at the total count with an unbounded
+	// final bucket.
+	if n := len(s.Buckets); n == 0 || s.Buckets[n-1].Le != 0 || s.Buckets[n-1].Count != 110 {
+		t.Errorf("final bucket = %+v, want +Inf cumulative 110", s.Buckets)
+	}
+}
+
+func TestHistogramNegativeAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)     // clamped to 0
+	h.Observe(30 * time.Second) // beyond the last bound → overflow bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	s := h.Snapshot()
+	if s.Buckets[len(s.Buckets)-1].Count != 2 {
+		t.Fatalf("overflow bucket missing: %+v", s.Buckets)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := newRing[int](3)
+	if got := r.snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring snapshot = %v, want empty", got)
+	}
+	r.add(1)
+	r.add(2)
+	if got := r.snapshot(); got[0] != 2 || got[1] != 1 {
+		t.Fatalf("snapshot = %v, want [2 1]", got)
+	}
+	r.add(3)
+	r.add(4) // evicts 1
+	got := r.snapshot()
+	if len(got) != 3 || got[0] != 4 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("snapshot = %v, want [4 3 2]", got)
+	}
+	if r.len() != 3 {
+		t.Fatalf("len = %d, want 3", r.len())
+	}
+}
+
+func TestRingZeroCapacity(t *testing.T) {
+	r := newRing[int](0) // clamped to 1
+	r.add(7)
+	r.add(8)
+	if got := r.snapshot(); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("snapshot = %v, want [8]", got)
+	}
+}
+
+func TestMetricsObserver(t *testing.T) {
+	m := NewMetrics(4)
+	m.TraceSubmitted(0, 0, 10)
+	m.TraceSubmitted(1, 1, 20)
+	m.TraceDequeued(0, 0, time.Microsecond)
+	m.TraceDequeued(1, 1, 2*time.Microsecond)
+	m.TraceChecked(TraceEvent{
+		TraceID: 0, Worker: 0, Ops: 10, TrackedOps: 8,
+		Fails: 1, Warns: 2, Infos: 1,
+		Codes:     map[string]int{"not-persisted": 1, "duplicate-writeback": 2},
+		QueueWait: time.Microsecond, CheckDur: 5 * time.Microsecond,
+	})
+	m.TraceChecked(TraceEvent{TraceID: 1, Worker: 1, Ops: 20, TrackedOps: 20,
+		CheckDur: 10 * time.Microsecond})
+	m.SubmitStalled(0, time.Millisecond)
+
+	s := m.Snapshot()
+	if s.TracesSubmitted != 2 || s.TracesDequeued != 2 || s.TracesChecked != 2 {
+		t.Fatalf("lifecycle counters wrong: %+v", s)
+	}
+	if s.OpsSubmitted != 30 || s.OpsChecked != 30 {
+		t.Fatalf("op counters = %d/%d, want 30/30", s.OpsSubmitted, s.OpsChecked)
+	}
+	if s.DiagsBySeverity["FAIL"] != 1 || s.DiagsBySeverity["WARN"] != 2 || s.DiagsBySeverity["INFO"] != 1 {
+		t.Fatalf("severity tallies wrong: %v", s.DiagsBySeverity)
+	}
+	if s.DiagsByCode["not-persisted"] != 1 || s.DiagsByCode["duplicate-writeback"] != 2 {
+		t.Fatalf("code tallies wrong: %v", s.DiagsByCode)
+	}
+	if len(s.PerWorkerChecked) != 2 || s.PerWorkerChecked[0] != 1 || s.PerWorkerChecked[1] != 1 {
+		t.Fatalf("per-worker counts wrong: %v", s.PerWorkerChecked)
+	}
+	if s.BackpressureStalls != 1 || s.BackpressureStall != time.Millisecond {
+		t.Fatalf("stall accounting wrong: %d %v", s.BackpressureStalls, s.BackpressureStall)
+	}
+	if len(s.RecentTraces) != 2 || s.RecentTraces[0].TraceID != 1 {
+		t.Fatalf("recent ring wrong: %+v", s.RecentTraces)
+	}
+	if s.QueueWait.Count != 2 || s.CheckDur.Count != 2 {
+		t.Fatalf("histogram counts wrong: %d %d", s.QueueWait.Count, s.CheckDur.Count)
+	}
+	if s.OpsPerSec <= 0 {
+		t.Fatalf("ops/s = %v, want > 0", s.OpsPerSec)
+	}
+}
+
+func TestMetricsQueueDepthFn(t *testing.T) {
+	m := NewMetrics(1)
+	m.SetQueueDepthFn(func() []int { return []int{3, 0} })
+	s := m.Snapshot()
+	if len(s.QueueDepths) != 2 || s.QueueDepths[0] != 3 {
+		t.Fatalf("queue depths = %v, want [3 0]", s.QueueDepths)
+	}
+	// Nil receiver must be a no-op, both for the setter and Snapshot.
+	var nilM *Metrics
+	nilM.SetQueueDepthFn(func() []int { return nil })
+	if s := nilM.Snapshot(); s.TracesChecked != 0 {
+		t.Fatalf("nil Metrics snapshot not zero: %+v", s)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of no live observers must be nil")
+	}
+	a, b := NewMetrics(1), NewMetrics(1)
+	if Multi(a, nil) != Observer(a) {
+		t.Fatal("Multi of one observer must return it unwrapped")
+	}
+	fan := Multi(a, b)
+	fan.TraceSubmitted(0, 0, 5)
+	fan.TraceDequeued(0, 0, time.Microsecond)
+	fan.TraceChecked(TraceEvent{Ops: 5})
+	fan.(StallObserver).SubmitStalled(0, time.Microsecond)
+	for _, m := range []*Metrics{a, b} {
+		if m.TracesSubmitted.Load() != 1 || m.TracesChecked.Load() != 1 ||
+			m.BackpressureStalls.Load() != 1 {
+			t.Fatalf("fan-out missed an observer: %+v", m.Snapshot())
+		}
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	m := NewMetrics(4)
+	m.TraceSubmitted(0, 0, 10)
+	m.TraceChecked(TraceEvent{Ops: 10, Fails: 1, Codes: map[string]int{"not-persisted": 1},
+		CheckDur: time.Microsecond})
+	m.SectionsShipped.Add(1)
+	m.OpsRecorded.Add(10)
+	m.BytesEncoded.Add(123)
+	m.SubmitStalled(0, time.Millisecond)
+	m.SharingTracesFed.Add(2)
+	out := m.Snapshot().Format()
+	for _, want := range []string{
+		"observability snapshot", "checked 1", "ops/s", "p50", "p99",
+		"FAIL 1", "not-persisted", "encoded 123B", "backpressure", "sharing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	// The empty snapshot must render without panicking.
+	if out := (Snapshot{}).Format(); !strings.Contains(out, "diags    none") {
+		t.Errorf("empty Format() = %q", out)
+	}
+}

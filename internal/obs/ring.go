@@ -1,0 +1,57 @@
+package obs
+
+import "sync"
+
+// ring is a fixed-capacity overwrite-oldest buffer holding the most
+// recent values added. It is safe for concurrent use; the lock is held
+// only for an index update and one copy per add, so the cost per event
+// is far below the cost of checking a trace.
+type ring[T any] struct {
+	mu  sync.Mutex
+	buf []T // fully allocated at construction
+	cur int // index of the next write; reads walk backwards from it
+	n   int // number of live values (<= len(buf))
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &ring[T]{buf: make([]T, capacity)}
+}
+
+// add stores v, evicting the oldest value once the ring is full.
+func (r *ring[T]) add(v T) {
+	r.mu.Lock()
+	r.buf[r.cur] = v
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.cur++
+	if r.cur == len(r.buf) {
+		r.cur = 0
+	}
+	r.mu.Unlock()
+}
+
+// len returns the number of live values.
+func (r *ring[T]) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// snapshot returns the live values, newest first.
+func (r *ring[T]) snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		j := r.cur - 1 - i
+		if j < 0 {
+			j += len(r.buf)
+		}
+		out[i] = r.buf[j]
+	}
+	return out
+}

@@ -38,8 +38,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"pmtest/internal/core"
+	"pmtest/internal/obs"
 	"pmtest/internal/trace"
 )
 
@@ -115,7 +117,22 @@ type Config struct {
 	// thread — where per-thread checking is incomplete — are reported by
 	// (*Session).SharedRanges.
 	DetectSharing bool
+	// Metrics, when non-nil, receives full observability instrumentation:
+	// engine lifecycle counters and latency histograms, session tracking
+	// counters (sections shipped, ops recorded, bytes encoded) and a ring
+	// of recent trace events. Snapshot it with (*Session).Stats, or mount
+	// obs.Handler(cfg.Metrics) to scrape it over HTTP. When nil (the
+	// default), no timestamps are taken and the hot path is unchanged.
+	Metrics *obs.Metrics
+	// Observer, when non-nil, additionally receives raw per-trace
+	// lifecycle events (TraceSubmitted / TraceDequeued / TraceChecked) —
+	// the pluggable hook for custom collectors. It may be combined with
+	// Metrics; both then see every event.
+	Observer obs.Observer
 }
+
+// Stats is the observability snapshot returned by (*Session).Stats.
+type Stats = obs.Snapshot
 
 // SharedRange is a PM range written by two or more threads; re-exported
 // from the engine.
@@ -127,10 +144,16 @@ type Session struct {
 	cfg     Config
 	engine  *core.Engine
 	sharing *core.SharingAnalyzer
+	metrics *obs.Metrics // nil when observability is off
+	// recording mirrors cfg.RecordTo != nil so the SendTrace fast path
+	// can skip the session lock entirely; it flips off permanently after
+	// an encode failure.
+	recording atomic.Bool
 
 	mu         sync.Mutex
 	vars       map[string]Var
 	nextThread int
+	err        error // first deferred error (e.g. RecordTo encode failure)
 }
 
 // Var is a named persistent object registered with PMTest_REG_VAR so its
@@ -152,29 +175,88 @@ func Init(cfg Config) *Session {
 	for i, v := range cfg.StaticExcludes {
 		excludes[i] = core.Range{Addr: v.Addr, Size: v.Size}
 	}
+	// Fan lifecycle events out to the metrics registry and any custom
+	// observer; Multi returns nil when neither is set, preserving the
+	// engine's uninstrumented fast path.
+	var observers []obs.Observer
+	if cfg.Metrics != nil {
+		observers = append(observers, cfg.Metrics)
+	}
+	if cfg.Observer != nil {
+		observers = append(observers, cfg.Observer)
+	}
+	if cfg.Metrics != nil && cfg.RecordTo != nil {
+		cfg.RecordTo = &countingWriter{w: cfg.RecordTo, n: &cfg.Metrics.BytesEncoded}
+	}
 	s := &Session{
-		cfg: cfg,
+		cfg:     cfg,
+		metrics: cfg.Metrics,
 		engine: core.NewEngine(core.Options{
 			Rules:          cfg.Model,
 			Workers:        cfg.Workers,
 			TrackOnly:      cfg.TrackOnly,
 			StaticExcludes: excludes,
+			Observer:       obs.Multi(observers...),
 		}),
 		vars: make(map[string]Var),
 	}
+	s.recording.Store(cfg.RecordTo != nil)
+	if cfg.Metrics != nil {
+		cfg.Metrics.SetQueueDepthFn(s.engine.QueueDepths)
+	}
 	if cfg.DetectSharing {
 		s.sharing = core.NewSharingAnalyzer(excludes)
+		s.sharing.SetMetrics(cfg.Metrics)
 	}
 	return s
 }
 
+// countingWriter counts bytes written through it into an obs.Counter.
+type countingWriter struct {
+	w io.Writer
+	n *obs.Counter
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
 // Exit drains outstanding traces, stops the engine and returns all
-// reports (PMTest_EXIT).
+// reports (PMTest_EXIT). Deferred session errors — such as a RecordTo
+// encode failure — do not abort the run; retrieve them afterwards with
+// Err or from the Stats snapshot.
 func (s *Session) Exit() []Report { return s.engine.Close() }
 
 // GetResult blocks until every trace sent so far has been checked and
 // returns the reports accumulated so far (PMTest_GET_RESULT).
 func (s *Session) GetResult() []Report { return s.engine.Wait() }
+
+// Err returns the first deferred session error (currently: a failure
+// serializing a trace to Config.RecordTo), or nil. Such errors disable
+// the failing feature but never crash the program under test.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats returns a point-in-time observability snapshot: trace/op
+// counters, check-latency and queue-wait histograms, per-worker load,
+// diagnostic tallies and recent trace events. Counters are non-zero only
+// when Config.Metrics was installed; the engine's live queue depths and
+// any deferred session error are included regardless.
+func (s *Session) Stats() Stats {
+	snap := s.metrics.Snapshot() // nil-safe: zero snapshot when off
+	if snap.QueueDepths == nil {
+		snap.QueueDepths = s.engine.QueueDepths()
+	}
+	if err := s.Err(); err != nil {
+		snap.Err = err.Error()
+	}
+	return snap
+}
 
 // SharedRanges returns the PM ranges written by more than one thread —
 // the spots where per-thread crash-consistency checking is incomplete
@@ -275,16 +357,32 @@ func (t *Thread) SendTrace() {
 		return
 	}
 	tr := t.builder.Take()
+	if m := t.sess.metrics; m != nil {
+		m.SectionsShipped.Add(1)
+		m.OpsRecorded.Add(uint64(len(tr.Ops)))
+	}
 	if t.sess.sharing != nil {
 		t.sess.sharing.Feed(tr)
 	}
-	if t.sess.cfg.RecordTo != nil {
+	if t.sess.recording.Load() {
 		t.sess.mu.Lock()
-		err := trace.Encode(t.sess.cfg.RecordTo, tr)
-		t.sess.mu.Unlock()
-		if err != nil {
-			panic(fmt.Sprintf("pmtest: trace recording failed: %v", err))
+		if w := t.sess.cfg.RecordTo; w != nil {
+			if err := trace.Encode(w, tr); err != nil {
+				// A recording failure must not crash the program under
+				// test: store it as a deferred session error (see
+				// Err/Stats), stop recording, and keep checking — the
+				// engine still gets every trace.
+				if t.sess.err == nil {
+					t.sess.err = fmt.Errorf("pmtest: trace recording failed: %w", err)
+				}
+				t.sess.cfg.RecordTo = nil
+				t.sess.recording.Store(false)
+				if m := t.sess.metrics; m != nil {
+					m.EncodeErrors.Add(1)
+				}
+			}
 		}
+		t.sess.mu.Unlock()
 	}
 	t.sess.engine.Submit(tr)
 }

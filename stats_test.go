@@ -1,0 +1,239 @@
+package pmtest_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmtest"
+	"pmtest/internal/obs"
+)
+
+// runInstrumented drives a small session with full observability on and
+// returns it plus its metrics registry (session left open for Stats).
+func runInstrumented(t *testing.T, cfg pmtest.Config) (*pmtest.Session, *obs.Metrics) {
+	t.Helper()
+	m := obs.NewMetrics(32)
+	cfg.Metrics = m
+	sess := pmtest.Init(cfg)
+	th := sess.ThreadInit()
+	th.Start()
+	for i := 0; i < 20; i++ {
+		addr := uint64(0x1000 + i*128)
+		th.Write(addr, 64)
+		th.Flush(addr, 64)
+		th.Fence()
+		th.IsPersist(addr, 64)
+		th.SendTrace()
+	}
+	// One buggy section: unflushed write + isPersist → FAIL.
+	th.Write(0x9000, 64)
+	th.IsPersist(0x9000, 64)
+	th.SendTrace()
+	sess.GetResult()
+	return sess, m
+}
+
+// TestSessionStats: after an instrumented run, Stats must return
+// non-zero trace, op and latency counters — the acceptance bar of the
+// observability layer.
+func TestSessionStats(t *testing.T) {
+	sess, m := runInstrumented(t, pmtest.Config{Workers: 2})
+	defer sess.Exit()
+	s := sess.Stats()
+	if s.TracesSubmitted != 21 || s.TracesChecked != 21 {
+		t.Fatalf("trace counters = %d/%d, want 21/21", s.TracesSubmitted, s.TracesChecked)
+	}
+	if s.SectionsShipped != 21 || s.OpsRecorded != 82 {
+		t.Fatalf("session counters = %d sections / %d ops, want 21/82", s.SectionsShipped, s.OpsRecorded)
+	}
+	if s.OpsChecked != 82 || s.OpsPerSec <= 0 {
+		t.Fatalf("ops checked = %d (%.0f/s), want 82 at non-zero rate", s.OpsChecked, s.OpsPerSec)
+	}
+	if s.CheckDur.Count != 21 || s.CheckDur.P99 <= 0 || s.QueueWait.Count != 21 {
+		t.Fatalf("latency histograms empty: check=%d wait=%d", s.CheckDur.Count, s.QueueWait.Count)
+	}
+	if s.DiagsBySeverity["FAIL"] != 1 || s.DiagsByCode["not-persisted"] != 1 {
+		t.Fatalf("diag tallies wrong: %v / %v", s.DiagsBySeverity, s.DiagsByCode)
+	}
+	if len(s.QueueDepths) != 2 {
+		t.Fatalf("queue depths = %v, want 2 workers", s.QueueDepths)
+	}
+	if len(s.RecentTraces) == 0 {
+		t.Fatal("recent trace ring empty")
+	}
+	// The registry snapshot and the session snapshot agree.
+	if got := m.Snapshot().TracesChecked; got != s.TracesChecked {
+		t.Fatalf("registry sees %d checked, session sees %d", got, s.TracesChecked)
+	}
+}
+
+// TestSessionStatsWithoutMetrics: Stats is nil-safe when observability
+// is off — zero counters, but live queue depths still reported.
+func TestSessionStatsWithoutMetrics(t *testing.T) {
+	sess := pmtest.Init(pmtest.Config{Workers: 3})
+	defer sess.Exit()
+	s := sess.Stats()
+	if s.TracesChecked != 0 || s.OpsChecked != 0 {
+		t.Fatalf("uninstrumented Stats non-zero: %+v", s)
+	}
+	if len(s.QueueDepths) != 3 {
+		t.Fatalf("queue depths = %v, want 3 workers", s.QueueDepths)
+	}
+}
+
+// TestSessionObserverPluggable: a custom Observer receives lifecycle
+// events alongside the Metrics registry.
+func TestSessionObserverPluggable(t *testing.T) {
+	var mu sync.Mutex
+	var submitted, checked int
+	sess := pmtest.Init(pmtest.Config{Observer: funcObserver{
+		onSubmit: func() { mu.Lock(); submitted++; mu.Unlock() },
+		onCheck:  func() { mu.Lock(); checked++; mu.Unlock() },
+	}})
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0x10, 64)
+	th.SendTrace()
+	sess.Exit()
+	if submitted != 1 || checked != 1 {
+		t.Fatalf("observer saw %d submitted / %d checked, want 1/1", submitted, checked)
+	}
+}
+
+type funcObserver struct {
+	onSubmit func()
+	onCheck  func()
+}
+
+func (f funcObserver) TraceSubmitted(_, _, _ int)              { f.onSubmit() }
+func (f funcObserver) TraceDequeued(_, _ int, _ time.Duration) {}
+func (f funcObserver) TraceChecked(obs.TraceEvent)             { f.onCheck() }
+
+// failingWriter errors after limit bytes, simulating a full disk under
+// Config.RecordTo.
+type failingWriter struct {
+	n     int
+	limit int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n+len(p) > f.limit {
+		return 0, errDiskFull
+	}
+	f.n += len(p)
+	return len(p), nil
+}
+
+// TestSendTraceEncodeErrorStored: a RecordTo failure must not panic; it
+// is stored as a session error retrievable from Err and Stats, recording
+// stops, and checking continues.
+func TestSendTraceEncodeErrorStored(t *testing.T) {
+	// The limit admits the first encoded section (one buffered Write of
+	// ~130 bytes) and rejects the second.
+	m := obs.NewMetrics(8)
+	sess := pmtest.Init(pmtest.Config{
+		RecordTo: &failingWriter{limit: 200},
+		Metrics:  m,
+	})
+	th := sess.ThreadInit()
+	th.Start()
+	for i := 0; i < 5; i++ {
+		addr := uint64(0x100 + i*64)
+		th.Write(addr, 64)
+		th.Flush(addr, 64)
+		th.Fence()
+		th.SendTrace() // must not panic once the writer starts failing
+	}
+	reports := sess.Exit()
+	if len(reports) != 5 {
+		t.Fatalf("checking stopped after encode error: %d reports, want 5", len(reports))
+	}
+	err := sess.Err()
+	if err == nil || !errors.Is(err, errDiskFull) {
+		t.Fatalf("Err() = %v, want wrapped errDiskFull", err)
+	}
+	s := sess.Stats()
+	if s.EncodeErrors != 1 {
+		t.Fatalf("encode errors = %d, want exactly 1 (recording disabled after first)", s.EncodeErrors)
+	}
+	if !strings.Contains(s.Err, "disk full") {
+		t.Fatalf("Stats.Err = %q, want the stored error", s.Err)
+	}
+	if s.BytesEncoded == 0 || s.BytesEncoded > 200 {
+		t.Fatalf("bytes encoded = %d, want (0,200]", s.BytesEncoded)
+	}
+}
+
+// TestSendTraceRecordsBytes: successful recording reports encoded bytes
+// matching the buffer.
+func TestSendTraceRecordsBytes(t *testing.T) {
+	var buf bytes.Buffer
+	m := obs.NewMetrics(8)
+	sess := pmtest.Init(pmtest.Config{RecordTo: &buf, Metrics: m})
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0x10, 64)
+	th.Flush(0x10, 64)
+	th.Fence()
+	th.SendTrace()
+	sess.Exit()
+	if got := sess.Stats().BytesEncoded; got != uint64(buf.Len()) {
+		t.Fatalf("bytes encoded = %d, buffer holds %d", got, buf.Len())
+	}
+	if sess.Err() != nil {
+		t.Fatalf("unexpected session error: %v", sess.Err())
+	}
+}
+
+// TestCheckRecordedDefaultWorkers: CheckRecorded must work with
+// workers <= 0 (defaulted to 1) rather than relying on callers to pass a
+// sane count.
+func TestCheckRecordedDefaultWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	sess := pmtest.Init(pmtest.Config{RecordTo: &buf})
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0x10, 64)
+	th.IsPersist(0x10, 64) // FAIL: never flushed
+	th.SendTrace()
+	sess.Exit()
+
+	for _, workers := range []int{0, -3} {
+		reports, err := pmtest.CheckRecorded(bytes.NewReader(buf.Bytes()), pmtest.X86, workers)
+		if err != nil {
+			t.Fatalf("CheckRecorded(workers=%d): %v", workers, err)
+		}
+		if len(reports) != 1 || reports[0].Fails() != 1 {
+			t.Fatalf("CheckRecorded(workers=%d) = %+v, want one FAIL", workers, reports)
+		}
+	}
+}
+
+// TestSharingAnalyzerSessionMetrics: DetectSharing feeds the sharing
+// counters of the session registry.
+func TestSharingAnalyzerSessionMetrics(t *testing.T) {
+	m := obs.NewMetrics(8)
+	sess := pmtest.Init(pmtest.Config{DetectSharing: true, Metrics: m})
+	for i := 0; i < 2; i++ {
+		th := sess.ThreadInit()
+		th.Start()
+		th.Write(0x100, 64) // same range from both threads
+		th.Flush(0x100, 64)
+		th.Fence()
+		th.SendTrace()
+	}
+	sess.Exit()
+	s := sess.Stats()
+	if s.SharingTracesFed != 2 || s.SharingWritesTracked != 2 {
+		t.Fatalf("sharing counters = %d/%d, want 2/2", s.SharingTracesFed, s.SharingWritesTracked)
+	}
+	if shared := sess.SharedRanges(); len(shared) != 1 {
+		t.Fatalf("shared ranges = %+v, want 1", shared)
+	}
+}
