@@ -8,6 +8,7 @@
 //	go run ./cmd/bughunt            # whole catalog
 //	go run ./cmd/bughunt -real      # only Table 6 (known + new)
 //	go run ./cmd/bughunt -v         # print each finding
+//	go run ./cmd/bughunt -lint      # add the static (pmlint) verdict column
 package main
 
 import (
@@ -17,12 +18,14 @@ import (
 	"text/tabwriter"
 
 	"pmtest/internal/bugdb"
+	"pmtest/internal/lint"
 )
 
 var (
 	flagReal = flag.Bool("real", false, "run only the Table 6 known/new bugs")
 	flagCat  = flag.String("category", "", "run only one Table 5 category")
 	flagV    = flag.Bool("v", false, "print the diagnostics each bug produced")
+	flagLint = flag.Bool("lint", false, "also print whether the bug's class is caught statically by pmlint")
 )
 
 func main() {
@@ -36,7 +39,29 @@ func main() {
 		bugs = bugdb.ByCategory(bugs, bugdb.Category(*flagCat))
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "bug\tworkload\tcategory\torigin\texpected\tresult")
+	header := "bug\tworkload\tcategory\torigin\texpected\tresult"
+	if *flagLint {
+		header += "\tstatic"
+	}
+	fmt.Fprintln(w, header)
+	// The static verdict is per bug class, not per injected instance:
+	// SelfCheck lints the class's canonical known-bad fragment, so one
+	// probe per rule is cached across the catalog.
+	lintVerdict := map[string]string{}
+	staticVerdict := func(rule string) string {
+		if rule == "" {
+			return "—" // class needs runtime state; no static rule
+		}
+		if v, ok := lintVerdict[rule]; ok {
+			return v
+		}
+		v := rule + ":missed"
+		if lint.SelfCheck(rule) {
+			v = rule + ":flagged"
+		}
+		lintVerdict[rule] = v
+		return v
+	}
 	detected := 0
 	for _, b := range bugs {
 		reports, err := b.Execute()
@@ -49,8 +74,12 @@ func main() {
 			verdict = "detected"
 			detected++
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+		row := fmt.Sprintf("%s\t%s\t%s\t%s\t%s\t%s",
 			b.ID, b.Workload, b.Category, b.Origin, b.Expect, verdict)
+		if *flagLint {
+			row += "\t" + staticVerdict(b.LintRule)
+		}
+		fmt.Fprintln(w, row)
 		if *flagV {
 			for _, r := range reports {
 				if !r.Clean() {

@@ -1,0 +1,211 @@
+// Command pmlint statically checks PM programs written against the
+// pmtest/pmem APIs for the paper's crash-consistency and performance bug
+// classes — before any trace is recorded. It parses Go source (stdlib
+// go/ast only, no build or type-check step), builds an intra-function CFG
+// and reports path-sensitive findings; each finding names the dynamic
+// diagnostic code and bugdb catalog category that would confirm it at
+// runtime.
+//
+// Usage:
+//
+//	go run ./cmd/pmlint ./...                # whole module
+//	go run ./cmd/pmlint internal/whisper     # one directory
+//	go run ./cmd/pmlint -json file.go        # machine-readable output
+//	go run ./cmd/pmlint -rules               # list the rules
+//
+// Directories named testdata, hidden directories and _test.go files are
+// skipped (pass -tests to include test files). Suppress a finding with a
+// "//pmlint:ignore <rules> <reason>" comment on the offending line, the
+// line above, or before the enclosing function declaration.
+//
+// Exit status: 0 when clean, 1 when findings remain, 2 on usage or parse
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pmtest/internal/lint"
+)
+
+var (
+	flagJSON  = flag.Bool("json", false, "emit findings as a JSON array")
+	flagTests = flag.Bool("tests", false, "also lint _test.go files")
+	flagRule  = flag.String("rule", "", "comma-separated rule names to run (default: all)")
+	flagRules = flag.Bool("rules", false, "print the rule catalog and exit")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pmlint: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	flag.Parse()
+	if *flagRules {
+		printRules()
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	dirs, singles := expandArgs(args)
+	var findings []lint.Finding
+	for _, d := range dirs {
+		found, err := lint.LintDir(d, *flagTests)
+		if err != nil {
+			fatalf("%s: %v", d, err)
+		}
+		findings = append(findings, found...)
+	}
+	if len(singles) > 0 {
+		fset := token.NewFileSet()
+		for _, path := range singles {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			findings = append(findings, lint.LintFiles(fset, []*ast.File{f})...)
+		}
+	}
+	findings = filterRules(findings)
+
+	if *flagJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Print(lint.Render(findings))
+		if len(findings) > 0 {
+			fails, warns := 0, 0
+			for _, f := range findings {
+				if f.Severity == "WARN" {
+					warns++
+				} else {
+					fails++
+				}
+			}
+			fmt.Printf("pmlint: %d finding(s): %d FAIL, %d WARN\n", len(findings), fails, warns)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printRules() {
+	for _, r := range lint.Rules() {
+		fmt.Printf("%-14s %s\n    %s\n    dynamic: %s   bugdb: %s\n",
+			r.Name, r.Severity, r.Doc, r.Dynamic, r.BugDB)
+	}
+}
+
+func filterRules(in []lint.Finding) []lint.Finding {
+	if *flagRule == "" {
+		return in
+	}
+	want := map[string]bool{}
+	known := map[string]bool{}
+	for _, n := range lint.RuleNames() {
+		known[n] = true
+	}
+	for _, r := range strings.Split(*flagRule, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if !known[r] {
+			fatalf("unknown rule %q (see -rules)", r)
+		}
+		want[r] = true
+	}
+	var out []lint.Finding
+	for _, f := range in {
+		if want[f.Rule] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// expandArgs resolves package-pattern arguments to directories to lint
+// plus individual files. "dir/..." walks recursively; testdata, hidden
+// and underscore-prefixed directories are skipped, mirroring go tooling.
+func expandArgs(args []string) (dirs, files []string) {
+	seen := map[string]bool{}
+	addDir := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] && hasGoFiles(d) {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, a := range args {
+		switch {
+		case strings.HasSuffix(a, "/...") || a == "...":
+			root := strings.TrimSuffix(a, "...")
+			root = strings.TrimSuffix(root, "/")
+			if root == "" || root == "." {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				addDir(path)
+				return nil
+			})
+			if err != nil {
+				fatalf("%v", err)
+			}
+		case strings.HasSuffix(a, ".go"):
+			files = append(files, a)
+		default:
+			st, err := os.Stat(a)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if !st.IsDir() {
+				fatalf("%s: not a directory or .go file", a)
+			}
+			addDir(a)
+		}
+	}
+	return dirs, files
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

@@ -61,9 +61,9 @@ func main() {
 
 	// The epoch-persistency extension: barriers both order and drain.
 	run("epoch model (extension)", pmtest.Epoch, func(th *pmtest.Thread) {
-		th.Write(0xA0, 8)
+		th.Write(0xA0, 8) //pmlint:ignore missedflush epoch-model barriers drain; no explicit writeback exists
 		th.Fence()
-		th.Write(0xB0, 8)
+		th.Write(0xB0, 8) //pmlint:ignore missedflush epoch-model barriers drain; no explicit writeback exists
 		th.Fence()
 		th.IsOrderedBefore(0xA0, 8, 0xB0, 8)
 		th.IsPersist(0xA0, 8)

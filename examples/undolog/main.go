@@ -32,6 +32,8 @@ const (
 // arrayUpdate is Fig. 1a's ArrayUpdate. With buggy=true it issues exactly
 // the two persist_barriers of the figure — missing the one after the
 // backup creation and the one after the in-place update.
+//
+//pmlint:ignore missedflush the buggy=true paths omit barriers on purpose; PMTest flags them dynamically
 func arrayUpdate(dev *pmem.Device, th *pmtest.Thread, idx uint64, newVal uint64, buggy bool) {
 	old := dev.Load64(offArray + idx*8)
 	dev.Store64(offBkVal, old) // backup.val = array[index]
@@ -70,6 +72,7 @@ func recover_(dev *pmem.Device) {
 	}
 }
 
+//pmlint:ignore missedflush,doubleflush the crash-sampling loop replays the buggy sequence verbatim and crashes mid-update
 func runVariant(name string, buggy bool) {
 	sess := pmtest.Init(pmtest.Config{CaptureSites: true})
 	th := sess.ThreadInit()

@@ -67,8 +67,30 @@ type Bug struct {
 	// Severity is the expected severity (FAIL for crash-consistency bugs,
 	// WARN for performance bugs).
 	Severity core.Severity
+	// LintRule names the pmlint rule (internal/lint) that targets this
+	// bug's class statically, or "" when no static rule applies (the
+	// duplicate-log class needs runtime undo-log state).
+	LintRule string
 
 	run func() ([]core.Report, error)
+}
+
+// LintRuleForCategory maps a Table 5 bug class to the pmlint rule that
+// flags it statically ("" when the class has no static counterpart).
+func LintRuleForCategory(c Category) string {
+	switch c {
+	case CatOrdering:
+		return "missedfence"
+	case CatWriteback:
+		return "missedflush"
+	case CatPerfWriteback:
+		return "doubleflush"
+	case CatBackup:
+		return "txnolog"
+	case CatCompletion:
+		return "checkermisuse"
+	}
+	return ""
 }
 
 // Execute runs the buggy workload under checker instrumentation and

@@ -16,7 +16,10 @@ import (
 // 45 synthetic/reproduced detections plus the 3 new finds.
 func Catalog() []Bug {
 	var bugs []Bug
-	add := func(b Bug) { bugs = append(bugs, b) }
+	add := func(b Bug) {
+		b.LintRule = LintRuleForCategory(b.Category)
+		bugs = append(bugs, b)
+	}
 
 	// --- Ordering (4) -------------------------------------------------------
 	add(Bug{

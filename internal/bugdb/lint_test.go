@@ -1,0 +1,57 @@
+package bugdb
+
+import (
+	"testing"
+
+	"pmtest/internal/lint"
+)
+
+// TestLintRuleCoverage ties the static and dynamic halves of the
+// framework together: every pmlint rule targets at least one executable
+// catalog entry, every populated LintRule names a registered rule, and
+// the per-category mapping is total except for the duplicate-log class
+// (which needs runtime undo-log state to detect).
+func TestLintRuleCoverage(t *testing.T) {
+	registered := map[string]bool{}
+	for _, r := range lint.Rules() {
+		registered[r.Name] = true
+	}
+
+	byRule := map[string]int{}
+	for _, b := range Catalog() {
+		if b.LintRule == "" {
+			if b.Category != CatPerfLog {
+				t.Errorf("bug %s (category %s) has no lint rule", b.ID, b.Category)
+			}
+			continue
+		}
+		if !registered[b.LintRule] {
+			t.Errorf("bug %s names unregistered lint rule %q", b.ID, b.LintRule)
+		}
+		if want := LintRuleForCategory(b.Category); b.LintRule != want {
+			t.Errorf("bug %s: LintRule %q, want %q for category %s", b.ID, b.LintRule, want, b.Category)
+		}
+		byRule[b.LintRule]++
+	}
+	for name := range registered {
+		if byRule[name] == 0 {
+			t.Errorf("lint rule %s maps to no catalog entry", name)
+		}
+	}
+}
+
+// TestSelfCheckMatchesCatalog: for every catalog category with a static
+// rule, the rule's canonical known-bad snippet actually trips it — the
+// probe bughunt -lint relies on.
+func TestSelfCheckMatchesCatalog(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Catalog() {
+		if b.LintRule == "" || seen[b.LintRule] {
+			continue
+		}
+		seen[b.LintRule] = true
+		if !lint.SelfCheck(b.LintRule) {
+			t.Errorf("lint.SelfCheck(%q) = false for category %s", b.LintRule, b.Category)
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// node is one vertex of the intra-function control-flow graph: a single
+// statement (or controlling expression), the PM ops it performs in source
+// order, and the identifiers it assigns.
+type node struct {
+	parts    []ast.Node // AST fragments this node covers (nil for joins)
+	ops      []op
+	succs    []*node
+	preds    []*node
+	assigned map[string]bool
+}
+
+// graph is the CFG of one function body. entry and exit are synthetic.
+type graph struct {
+	entry, exit *node
+	nodes       []*node
+}
+
+// brkCtx is one enclosing breakable construct (loop, switch or select).
+type brkCtx struct {
+	label     string
+	isLoop    bool
+	breaks    []*node
+	continues []*node
+}
+
+type cfgBuilder struct {
+	g            *graph
+	stack        []*brkCtx
+	labels       map[string]*node
+	gotos        map[string][]*node
+	pendingLabel string
+	ftOut        []*node // fallthrough sources awaiting the next case body
+}
+
+// buildGraph constructs the CFG for a function body. Every statement
+// becomes a node; if/for/range/switch/select/return/break/continue/goto
+// and fallthrough are modeled. Deferred statements are treated at their
+// syntactic position and panics as ordinary calls (both documented
+// approximations that bias the rules toward fewer findings).
+func buildGraph(body *ast.BlockStmt) *graph {
+	b := &cfgBuilder{
+		g:      &graph{},
+		labels: map[string]*node{},
+		gotos:  map[string][]*node{},
+	}
+	b.g.entry = b.newNode()
+	exit := &node{}
+	b.g.exit = exit
+	outs := b.stmts(body.List, []*node{b.g.entry})
+	b.connect(outs, exit)
+	for name, srcs := range b.gotos {
+		tgt := b.labels[name]
+		if tgt == nil {
+			tgt = exit
+		}
+		for _, s := range srcs {
+			s.succs = append(s.succs, tgt)
+		}
+	}
+	b.g.nodes = append(b.g.nodes, exit)
+	for _, n := range b.g.nodes {
+		for _, s := range n.succs {
+			s.preds = append(s.preds, n)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newNode(parts ...ast.Node) *node {
+	n := &node{assigned: map[string]bool{}}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		n.parts = append(n.parts, p)
+		collectOps(p, &n.ops)
+		collectAssigned(p, n.assigned)
+	}
+	sort.SliceStable(n.ops, func(i, j int) bool { return n.ops[i].call.Pos() < n.ops[j].call.Pos() })
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) connect(froms []*node, to *node) {
+	for _, f := range froms {
+		f.succs = append(f.succs, to)
+	}
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) findBreak(label string) *brkCtx {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		if label == "" || b.stack[i].label == label {
+			return b.stack[i]
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *brkCtx {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		if b.stack[i].isLoop && (label == "" || b.stack[i].label == label) {
+			return b.stack[i]
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt, preds []*node) []*node {
+	cur := preds
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt wires statement s after preds and returns its dangling exits.
+func (b *cfgBuilder) stmt(s ast.Stmt, preds []*node) []*node {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, preds)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			n := b.newNode(s.Init)
+			b.connect(preds, n)
+			preds = []*node{n}
+		}
+		cond := b.newNode(s.Cond)
+		b.connect(preds, cond)
+		thenOut := b.stmt(s.Body, []*node{cond})
+		elseOut := []*node{cond}
+		if s.Else != nil {
+			elseOut = b.stmt(s.Else, []*node{cond})
+		}
+		return append(thenOut, elseOut...)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			n := b.newNode(s.Init)
+			b.connect(preds, n)
+			preds = []*node{n}
+		}
+		var head *node
+		if s.Cond != nil {
+			head = b.newNode(s.Cond)
+		} else {
+			head = b.newNode()
+		}
+		b.connect(preds, head)
+		ctx := &brkCtx{label: label, isLoop: true}
+		b.stack = append(b.stack, ctx)
+		bodyOut := b.stmt(s.Body, []*node{head})
+		b.stack = b.stack[:len(b.stack)-1]
+		back := bodyOut
+		contTarget := head
+		if s.Post != nil {
+			post := b.newNode(s.Post)
+			b.connect(bodyOut, post)
+			back = []*node{post}
+			contTarget = post
+		}
+		b.connect(back, head)
+		for _, c := range ctx.continues {
+			c.succs = append(c.succs, contTarget)
+		}
+		out := ctx.breaks
+		if s.Cond != nil {
+			out = append(out, head)
+		}
+		return out
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newNode(s.Key, s.Value, s.X)
+		if s.Tok == token.DEFINE || s.Tok == token.ASSIGN {
+			collectAssigned(s.Key, head.assigned)
+			collectAssigned(s.Value, head.assigned)
+		}
+		b.connect(preds, head)
+		ctx := &brkCtx{label: label, isLoop: true}
+		b.stack = append(b.stack, ctx)
+		bodyOut := b.stmt(s.Body, []*node{head})
+		b.stack = b.stack[:len(b.stack)-1]
+		b.connect(bodyOut, head)
+		for _, c := range ctx.continues {
+			c.succs = append(c.succs, head)
+		}
+		return append(ctx.breaks, head)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			n := b.newNode(s.Init)
+			b.connect(preds, n)
+			preds = []*node{n}
+		}
+		tag := b.newNode(s.Tag)
+		b.connect(preds, tag)
+		return b.caseClauses(s.Body.List, tag, label, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			n := b.newNode(s.Init)
+			b.connect(preds, n)
+			preds = []*node{n}
+		}
+		tag := b.newNode(s.Assign)
+		b.connect(preds, tag)
+		return b.caseClauses(s.Body.List, tag, label, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		ctx := &brkCtx{label: label}
+		b.stack = append(b.stack, ctx)
+		var outs []*node
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			cn := b.newNode(clause.Comm)
+			b.connect(preds, cn)
+			outs = append(outs, b.stmts(clause.Body, []*node{cn})...)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		return append(outs, ctx.breaks...)
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		n.succs = append(n.succs, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.newNode()
+		b.connect(preds, n)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if ctx := b.findBreak(label); ctx != nil {
+				ctx.breaks = append(ctx.breaks, n)
+			} else {
+				n.succs = append(n.succs, b.g.exit)
+			}
+		case token.CONTINUE:
+			if ctx := b.findContinue(label); ctx != nil {
+				ctx.continues = append(ctx.continues, n)
+			} else {
+				n.succs = append(n.succs, b.g.exit)
+			}
+		case token.GOTO:
+			b.gotos[label] = append(b.gotos[label], n)
+		case token.FALLTHROUGH:
+			b.ftOut = append(b.ftOut, n)
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		j := b.newNode()
+		b.connect(preds, j)
+		b.labels[s.Label.Name] = j
+		b.pendingLabel = s.Label.Name
+		out := b.stmt(s.Stmt, []*node{j})
+		b.pendingLabel = ""
+		return out
+
+	case *ast.EmptyStmt:
+		return preds
+
+	default:
+		// ExprStmt, AssignStmt, DeclStmt, IncDecStmt, SendStmt, DeferStmt,
+		// GoStmt: one sequential node.
+		n := b.newNode(s)
+		b.connect(preds, n)
+		return []*node{n}
+	}
+}
+
+// caseClauses wires switch/type-switch cases, including fallthrough.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, tag *node, label string, allowFT bool) []*node {
+	ctx := &brkCtx{label: label}
+	b.stack = append(b.stack, ctx)
+	var outs []*node
+	hasDefault := false
+	var carry []*node
+	for _, cc := range clauses {
+		clause := cc.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		var parts []ast.Node
+		for _, e := range clause.List {
+			parts = append(parts, e)
+		}
+		cn := b.newNode(parts...)
+		b.connect([]*node{tag}, cn)
+		bodyPreds := append([]*node{cn}, carry...)
+		carry = nil
+		savedFT := b.ftOut
+		b.ftOut = nil
+		bodyOut := b.stmts(clause.Body, bodyPreds)
+		if allowFT {
+			carry = b.ftOut
+		}
+		b.ftOut = savedFT
+		outs = append(outs, bodyOut...)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	outs = append(outs, ctx.breaks...)
+	if !hasDefault {
+		outs = append(outs, tag)
+	}
+	return outs
+}
+
+// collectOps gathers classified PM calls under n, skipping nested function
+// literals (those are analyzed as functions of their own).
+func collectOps(n ast.Node, out *[]op) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := x.(*ast.CallExpr); ok {
+			if o, ok2 := classifyCall(c); ok2 {
+				*out = append(*out, o)
+			}
+		}
+		return true
+	})
+}
+
+// collectAssigned records identifiers a statement (re)assigns, used to
+// invalidate expression fingerprints along a path.
+func collectAssigned(n ast.Node, out map[string]bool) {
+	if n == nil {
+		return
+	}
+	addIdents := func(e ast.Node) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			if id, ok := x.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				addIdents(l)
+			}
+		case *ast.IncDecStmt:
+			addIdents(s.X)
+		case *ast.GenDecl:
+			if s.Tok == token.VAR {
+				for _, spec := range s.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							out[name.Name] = true
+						}
+					}
+				}
+			}
+		case *ast.Ident: // range Key/Value passed directly
+			if _, top := n.(*ast.Ident); top && x == n {
+				out[s.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+// --- Path queries -----------------------------------------------------------
+
+// pathQuery describes a CFG walk: the walk succeeds when matchOp (or the
+// entry/exit sentinel) is found on some path, and a branch is abandoned
+// when blockOp or blockNode matches first.
+type pathQuery struct {
+	blockOp   func(o *op) bool
+	blockNode func(n *node) bool
+	matchOp   func(o *op) bool
+	matchEnd  bool // forward: match reaching exit; backward: reaching entry
+}
+
+// searchForward explores paths from start, beginning at op index from
+// within it. It returns the first matching op (if matchOp is set) and
+// whether any match (op or exit) was found.
+func searchForward(g *graph, start *node, from int, q pathQuery) (*op, bool) {
+	seen := map[*node]bool{}
+	var hit *op
+	found := false
+	var visit func(n *node, opStart int) bool
+	visit = func(n *node, opStart int) bool {
+		for i := opStart; i < len(n.ops); i++ {
+			o := &n.ops[i]
+			if q.matchOp != nil && q.matchOp(o) {
+				hit, found = o, true
+				return true
+			}
+			if q.blockOp != nil && q.blockOp(o) {
+				return false
+			}
+		}
+		if n != start && q.blockNode != nil && q.blockNode(n) {
+			return false
+		}
+		for _, s := range n.succs {
+			if s == g.exit {
+				if q.matchEnd {
+					found = true
+					return true
+				}
+				continue
+			}
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if visit(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	visit(start, from)
+	return hit, found
+}
+
+// searchBackward explores paths backward from start, beginning just
+// before op index before within it.
+func searchBackward(g *graph, start *node, before int, q pathQuery) (*op, bool) {
+	seen := map[*node]bool{}
+	var hit *op
+	found := false
+	var visit func(n *node, opEnd int) bool
+	visit = func(n *node, opEnd int) bool {
+		for i := opEnd - 1; i >= 0; i-- {
+			o := &n.ops[i]
+			if q.matchOp != nil && q.matchOp(o) {
+				hit, found = o, true
+				return true
+			}
+			if q.blockOp != nil && q.blockOp(o) {
+				return false
+			}
+		}
+		if n != start && q.blockNode != nil && q.blockNode(n) {
+			return false
+		}
+		for _, p := range n.preds {
+			if p == g.entry {
+				if q.matchEnd {
+					found = true
+					return true
+				}
+				continue
+			}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if visit(p, len(p.ops)) {
+				return true
+			}
+		}
+		return false
+	}
+	visit(start, before)
+	return hit, found
+}

@@ -1,0 +1,363 @@
+// Package lint is pmlint: a static crash-consistency linter for programs
+// written against the pmtest tracker and pmem device APIs. It complements
+// the dynamic checking engine — which validates executed traces — with a
+// zero-execution-cost pass that flags the paper's bug classes on *every*
+// syntactic path, including ones a test run never takes.
+//
+// The analyzer is stdlib-only (go/ast, go/parser, go/token): it parses
+// source, recognizes PM operations by method name and arity (Write/Store*
+// stores, Flush/CLWB writebacks, Fence/SFence/DFence fences,
+// PersistBarrier, TxBegin/TxEnd/TxAdd, the Table 2 checkers, and
+// RecordOp(trace.Op{Kind: ...}) composite literals), builds an
+// intra-function CFG over AST statements, and runs path-sensitive rules
+// over it. Package-level integer constants are folded so range coverage
+// is exact for literal layouts; otherwise two ranges are assumed to alias
+// iff their base expressions coincide.
+//
+// Every finding names the dynamic diagnostic code and the bugdb catalog
+// category that would confirm it at runtime — the static and dynamic
+// halves of the framework cross-reference each other.
+//
+// A finding is suppressed with a directive comment:
+//
+//	//pmlint:ignore rule1,rule2 reason for suppressing
+//
+// ("all" instead of a rule list matches every rule) placed on the
+// offending line, on the line above it, or — to cover a whole function —
+// immediately before the function declaration. Everything after the rule
+// list is a free-text reason; by convention every directive carries one.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one static diagnostic.
+type Finding struct {
+	Rule     string `json:"rule"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"` // FAIL (crash consistency) or WARN (performance)
+	Message  string `json:"message"`
+	Hint     string `json:"hint"`
+	// Dynamic is the engine diagnostic code that would confirm this
+	// finding at runtime (core.Code spelling).
+	Dynamic string `json:"dynamic"`
+	// BugDB is the bug-catalog category (bugdb.Category spelling) whose
+	// entries exercise this bug class dynamically.
+	BugDB string `json:"bugdb"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s: %s (dynamic: %s, bugdb: %s)",
+		f.File, f.Line, f.Col, f.Rule, f.Severity, f.Message, f.Dynamic, f.BugDB)
+}
+
+// RuleInfo describes one lint rule for documentation and cross-checks.
+type RuleInfo struct {
+	Name     string `json:"name"`
+	Doc      string `json:"doc"`
+	Severity string `json:"severity"`
+	Dynamic  string `json:"dynamic"`
+	BugDB    string `json:"bugdb"`
+}
+
+type ruleDef struct {
+	RuleInfo
+	hint string
+	run  func(f *fnInfo) []Finding
+}
+
+// Rules returns the registered rules in reporting order.
+func Rules() []RuleInfo {
+	out := make([]RuleInfo, len(allRules))
+	for i, r := range allRules {
+		out[i] = r.RuleInfo
+	}
+	return out
+}
+
+// RuleNames returns the registered rule names.
+func RuleNames() []string {
+	var out []string
+	for _, r := range allRules {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// fnInfo is one function (declaration or literal) under analysis.
+type fnInfo struct {
+	name string
+	g    *graph
+	fset *token.FileSet
+	env  constEnv
+}
+
+func (f *fnInfo) fp(e ast.Expr) string   { return exprString(f.fset, e) }
+func (f *fnInfo) root(e ast.Expr) string { return exprString(f.fset, rootExpr(e)) }
+func (f *fnInfo) covers(w, s *op) bool   { return covers(f.fset, f.env, w, s) }
+
+func (f *fnInfo) pos(o *op) token.Position { return f.fset.Position(o.call.Pos()) }
+
+func (f *fnInfo) finding(r *ruleDef, o *op, msg string) Finding {
+	p := f.pos(o)
+	return Finding{
+		Rule:     r.Name,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Severity: r.Severity,
+		Message:  msg,
+		Hint:     r.hint,
+		Dynamic:  r.Dynamic,
+		BugDB:    r.BugDB,
+	}
+}
+
+// eachOp invokes fn for every op of every node.
+func (f *fnInfo) eachOp(fn func(n *node, i int, o *op)) {
+	for _, n := range f.g.nodes {
+		for i := range n.ops {
+			fn(n, i, &n.ops[i])
+		}
+	}
+}
+
+// forwarder reports whether the function's entire PM interaction is a
+// single op — a wrapper that forwards one primitive (a recording device's
+// Store, a helper emitting one checker event). Persistency and pairing
+// obligations for such functions belong to the caller, so the
+// path-to-exit rules skip them.
+func (f *fnInfo) forwarder() bool {
+	n := 0
+	f.eachOp(func(*node, int, *op) { n++ })
+	return n <= 1
+}
+
+// mayBeInTx reports whether some backward path from (n, i) reaches an
+// open TxBegin/TxCheckerStart — i.e. the op may execute inside a
+// transaction region, where the library's commit (not the programmer)
+// owns flushing.
+func (f *fnInfo) mayBeInTx(n *node, i int) bool {
+	_, found := searchBackward(f.g, n, i, pathQuery{
+		matchOp: func(o *op) bool { return o.kind == opTxBegin || o.kind == opTxCheckerStart },
+		blockOp: func(o *op) bool { return o.kind == opTxEnd || o.kind == opTxCheckerEnd },
+	})
+	return found
+}
+
+// --- Entry points -----------------------------------------------------------
+
+// LintFiles analyzes a set of parsed files that share one constant
+// namespace (typically one package directory) and returns the findings,
+// with ignore directives already applied, sorted by position.
+func LintFiles(fset *token.FileSet, files []*ast.File) []Finding {
+	env := buildConstEnv(files)
+	var findings []Finding
+	for _, file := range files {
+		sup := buildSuppressions(fset, file)
+		var fns []*fnInfo
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fns = append(fns, &fnInfo{name: d.Name.Name, g: buildGraph(d.Body), fset: fset, env: env})
+				}
+			case *ast.FuncLit:
+				fns = append(fns, &fnInfo{name: "func literal", g: buildGraph(d.Body), fset: fset, env: env})
+			}
+			return true
+		})
+		for _, fn := range fns {
+			for i := range allRules {
+				for _, fd := range allRules[i].run(fn) {
+					if !sup.suppressed(fd.Rule, fd.Line) {
+						findings = append(findings, fd)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return dedupe(findings)
+}
+
+func dedupe(in []Finding) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	for _, f := range in {
+		k := fmt.Sprintf("%s:%d:%d:%s", f.File, f.Line, f.Col, f.Rule)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// LintSource analyzes a single in-memory file.
+func LintSource(filename, src string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return LintFiles(fset, []*ast.File{file}), nil
+}
+
+// LintDir parses every .go file directly inside dir (optionally including
+// _test.go files) and analyzes them together.
+func LintDir(dir string, includeTests bool) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return LintFiles(fset, files), nil
+}
+
+// --- Ignore directives ------------------------------------------------------
+
+const directive = "pmlint:ignore"
+
+type suppression struct {
+	rules map[string]bool // nil-keyed by "all" flag below
+	all   bool
+	// line-targeted suppressions map line → rule set; range suppressions
+	// cover whole function declarations.
+	fromLine, toLine int
+}
+
+type suppressions struct {
+	byLine []suppression
+}
+
+func (s *suppressions) suppressed(rule string, line int) bool {
+	for _, sp := range s.byLine {
+		if line < sp.fromLine || line > sp.toLine {
+			continue
+		}
+		if sp.all || sp.rules[rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSuppressions extracts //pmlint:ignore directives from a file. A
+// directive on a code line targets that line; on its own line it targets
+// the next line; immediately before a function declaration it covers the
+// whole function.
+func buildSuppressions(fset *token.FileSet, file *ast.File) *suppressions {
+	sup := &suppressions{}
+	// Lines on which non-comment code begins.
+	codeLines := map[int]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	// Function declaration spans, keyed by their starting line.
+	funcSpans := map[int][2]int{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			start := fset.Position(fd.Pos()).Line
+			funcSpans[start] = [2]int{start, fset.Position(fd.End()).Line}
+		}
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+			if !strings.HasPrefix(text, directive) {
+				continue
+			}
+			args := strings.TrimSpace(strings.TrimPrefix(text, directive))
+			// The first field is the comma-separated rule list; anything
+			// after it is the human-readable reason (by convention every
+			// directive carries one).
+			rulesArg := ""
+			if fields := strings.Fields(args); len(fields) > 0 {
+				rulesArg = fields[0]
+			}
+			sp := suppression{rules: map[string]bool{}}
+			if rulesArg == "" || rulesArg == "all" || rulesArg == "*" {
+				sp.all = true
+			} else {
+				for _, r := range strings.Split(rulesArg, ",") {
+					if r != "" {
+						sp.rules[r] = true
+					}
+				}
+			}
+			line := fset.Position(c.Pos()).Line
+			target := line
+			if !codeLines[line] {
+				target = line + 1
+			}
+			if span, ok := funcSpans[target]; ok && !codeLines[line] {
+				sp.fromLine, sp.toLine = span[0], span[1]
+			} else {
+				sp.fromLine, sp.toLine = target, target
+			}
+			sup.byLine = append(sup.byLine, sp)
+		}
+	}
+	return sup
+}
+
+// Render formats findings as the CLI's text output, one line each plus an
+// indented hint.
+func Render(findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+		if f.Hint != "" {
+			b.WriteString("    hint: ")
+			b.WriteString(f.Hint)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// lintFixture lints one testdata file on its own (fixtures are
+// independent programs; LintDir would pool their constants).
+func lintFixture(t *testing.T, name string) []Finding {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := LintSource(path, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestGoldenBad locks the exact findings (position, message, hint,
+// cross-references) each rule produces on its known-bad fixture.
+func TestGoldenBad(t *testing.T) {
+	for _, rule := range RuleNames() {
+		t.Run(rule, func(t *testing.T) {
+			findings := lintFixture(t, rule+"_bad.go")
+			if len(findings) == 0 {
+				t.Fatalf("no findings on known-bad fixture for %s", rule)
+			}
+			for _, f := range findings {
+				if f.Rule != rule {
+					t.Errorf("unexpected rule %s in %s fixture: %s", f.Rule, rule, f)
+				}
+			}
+			got := Render(findings)
+			goldenPath := filepath.Join("testdata", rule+"_bad.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run go test -update to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s\n--- got ---\n%s--- want ---\n%s", rule, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenClean asserts the known-clean fixtures produce zero findings
+// from any rule — the true-negative half of each rule's contract.
+func TestGoldenClean(t *testing.T) {
+	for _, rule := range RuleNames() {
+		t.Run(rule, func(t *testing.T) {
+			if findings := lintFixture(t, rule+"_clean.go"); len(findings) != 0 {
+				t.Errorf("clean fixture for %s produced findings:\n%s", rule, Render(findings))
+			}
+		})
+	}
+}
+
+// TestSelfCheck asserts the liveness probe fires for every registered
+// rule (bughunt -lint depends on this).
+func TestSelfCheck(t *testing.T) {
+	for _, rule := range RuleNames() {
+		if !SelfCheck(rule) {
+			t.Errorf("SelfCheck(%q) = false; the canonical snippet no longer trips the rule", rule)
+		}
+	}
+	if SelfCheck("no-such-rule") {
+		t.Error("SelfCheck of an unknown rule must be false")
+	}
+}
+
+const ignoreBase = `package p
+
+func f(dev *Device) {
+	dev.Store64(0x40, 1)%s
+	dev.SFence()
+}
+`
+
+func countFindings(t *testing.T, src string) int {
+	t.Helper()
+	findings, err := LintSource("src.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(findings)
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	bare := strings.ReplaceAll(ignoreBase, "%s", "")
+	if n := countFindings(t, bare); n != 1 {
+		t.Fatalf("baseline: got %d findings, want 1", n)
+	}
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"same line with reason", strings.ReplaceAll(ignoreBase, "%s",
+			" //pmlint:ignore missedflush covered elsewhere"), 0},
+		{"same line all", strings.ReplaceAll(ignoreBase, "%s",
+			" //pmlint:ignore all not a PM store"), 0},
+		{"wrong rule", strings.ReplaceAll(ignoreBase, "%s",
+			" //pmlint:ignore doubleflush wrong rule"), 1},
+		{"line above", strings.Replace(bare,
+			"\tdev.Store64", "\t//pmlint:ignore missedflush covered elsewhere\n\tdev.Store64", 1), 0},
+		{"whole function", strings.Replace(bare,
+			"func f", "//pmlint:ignore missedflush demo function\nfunc f", 1), 0},
+		{"rule list", strings.ReplaceAll(ignoreBase, "%s",
+			" //pmlint:ignore doubleflush,missedflush two rules, one comma list"), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if n := countFindings(t, tc.src); n != tc.want {
+				t.Errorf("got %d findings, want %d", n, tc.want)
+			}
+		})
+	}
+}
+
+// TestForwarderSkip: a function whose whole PM interaction is one op is
+// a wrapper; its persistency obligations belong to the caller.
+func TestForwarderSkip(t *testing.T) {
+	src := `package p
+
+func (r *Recorder) Store(addr uint64, data []byte) {
+	r.dev.Store(addr, data)
+}
+
+func (r *Recorder) CLWB(addr, size uint64) {
+	r.dev.CLWB(addr, size)
+}
+
+func txCheckerStart(dev *Device) {
+	dev.RecordOp(Op{Kind: KindTxCheckerStart}, 1)
+}
+`
+	if n := countFindings(t, src); n != 0 {
+		t.Errorf("forwarder wrappers produced %d findings, want 0", n)
+	}
+}
+
+// TestRuleMetadata: every rule names its dynamic diagnostic and bugdb
+// category, and rule names are unique.
+func TestRuleMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %s", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Doc == "" || r.Severity == "" || r.Dynamic == "" || r.BugDB == "" {
+			t.Errorf("rule %s has incomplete metadata: %+v", r.Name, r)
+		}
+		if r.Severity != "FAIL" && r.Severity != "WARN" {
+			t.Errorf("rule %s: severity %q is not FAIL or WARN", r.Name, r.Severity)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("got %d rules, want 5", len(seen))
+	}
+}

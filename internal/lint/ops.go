@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// opKind classifies the PM-relevant calls the linter recognizes. The set
+// mirrors the trace.Kind vocabulary of the dynamic engine: stores,
+// writebacks, fences, transaction events and checkers.
+type opKind int
+
+const (
+	opNone opKind = iota
+	opStore
+	opStoreNT
+	opFlush
+	opFence   // sfence/dfence: completes writebacks, closes the epoch
+	opOFence  // ordering-only fence (HOPS ofence); does NOT drain
+	opBarrier // persist_barrier: writeback + fence in one call
+	opTxBegin
+	opTxEnd
+	opTxAdd
+	opTxCheckerStart
+	opTxCheckerEnd
+	opIsPersist
+	opIsOrderedBefore
+	opSendTrace
+)
+
+// op is one recognized PM operation inside a function body.
+type op struct {
+	kind   opKind
+	call   *ast.CallExpr
+	name   string   // method name as written at the call site
+	addr   ast.Expr // nil when the op carries no range
+	size   ast.Expr // nil when implicit or absent
+	addr2  ast.Expr // isOrderedBefore second range
+	size2  ast.Expr
+	fixed  int64 // implicit size (Store64 → 8); 0 = none
+	dfence bool  // durability fence that drains every pending write
+}
+
+// classifyCall maps a method call to a PM operation by name and arity.
+// The linter is purely syntactic (no type information), so the vocabulary
+// is chosen to avoid common Go idioms: `Write` with two arguments is a PM
+// store (io.Writer's Write takes one), `Add` with two arguments is a
+// TX_ADD (counters and WaitGroups take one), and so on.
+func classifyCall(c *ast.CallExpr) (op, bool) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return op{}, false
+	}
+	name := sel.Sel.Name
+	n := len(c.Args)
+	o := op{call: c, name: name}
+	arg := func(i int) ast.Expr { return c.Args[i] }
+	switch {
+	case name == "Write" && n == 2:
+		o.kind, o.addr, o.size = opStore, arg(0), arg(1)
+	case name == "WriteNT" && n == 2:
+		o.kind, o.addr, o.size = opStoreNT, arg(0), arg(1)
+	case name == "Store" && n == 2:
+		o.kind, o.addr = opStore, arg(0) // size = len(data), unknown
+	case name == "StoreSkip" && n == 3:
+		o.kind, o.addr = opStore, arg(0)
+	case name == "StoreNT" && n == 2:
+		o.kind, o.addr = opStoreNT, arg(0)
+	case name == "Store64" && n == 2:
+		o.kind, o.addr, o.fixed = opStore, arg(0), 8
+	case name == "Store32" && n == 2:
+		o.kind, o.addr, o.fixed = opStore, arg(0), 4
+	case name == "Store8" && n == 2:
+		o.kind, o.addr, o.fixed = opStore, arg(0), 1
+	case (name == "Flush" || name == "CLWB") && n == 2:
+		o.kind, o.addr, o.size = opFlush, arg(0), arg(1)
+	case name == "CLWBSkip" && n == 3:
+		o.kind, o.addr, o.size = opFlush, arg(0), arg(1)
+	case (name == "Fence" || name == "SFence") && n == 0:
+		o.kind = opFence
+	case name == "SFenceSkip" && n == 1:
+		o.kind = opFence
+	case name == "DFence" && n == 0:
+		o.kind, o.dfence = opFence, true
+	case name == "OFence" && n == 0:
+		o.kind = opOFence
+	case name == "PersistBarrier" && n == 2:
+		o.kind, o.addr, o.size = opBarrier, arg(0), arg(1)
+	case name == "TxBegin" && n == 0:
+		o.kind = opTxBegin
+	case name == "TxEnd" && n == 0:
+		o.kind = opTxEnd
+	case (name == "TxAdd" || name == "Add") && n == 2:
+		o.kind, o.addr, o.size = opTxAdd, arg(0), arg(1)
+	case name == "TxCheckerStart" && n == 0:
+		o.kind = opTxCheckerStart
+	case name == "TxCheckerEnd" && n == 0:
+		o.kind = opTxCheckerEnd
+	case name == "IsPersist" && n == 2:
+		o.kind, o.addr, o.size = opIsPersist, arg(0), arg(1)
+	case name == "IsPersistVar" && n == 1:
+		o.kind = opIsPersist // named variable; range unknown statically
+	case name == "IsOrderedBefore" && n == 4:
+		o.kind, o.addr, o.size, o.addr2, o.size2 = opIsOrderedBefore, arg(0), arg(1), arg(2), arg(3)
+	case name == "SendTrace" && n == 0:
+		o.kind = opSendTrace
+	case name == "RecordOp" && n >= 1:
+		return classifyRecordOp(c)
+	default:
+		return op{}, false
+	}
+	return o, true
+}
+
+// classifyRecordOp recognizes dev.RecordOp(trace.Op{Kind: trace.KindX, ...}, skip),
+// the idiom instrumented libraries use to emit checker and transaction
+// events without a tracker method per kind.
+func classifyRecordOp(c *ast.CallExpr) (op, bool) {
+	lit, ok := c.Args[0].(*ast.CompositeLit)
+	if !ok {
+		return op{}, false
+	}
+	o := op{call: c, name: "RecordOp"}
+	var kind string
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Kind":
+			switch v := kv.Value.(type) {
+			case *ast.SelectorExpr:
+				kind = v.Sel.Name
+			case *ast.Ident:
+				kind = v.Name
+			}
+		case "Addr":
+			o.addr = kv.Value
+		case "Size":
+			o.size = kv.Value
+		case "Addr2":
+			o.addr2 = kv.Value
+		case "Size2":
+			o.size2 = kv.Value
+		}
+	}
+	switch strings.TrimPrefix(kind, "Kind") {
+	case "Write":
+		o.kind = opStore
+	case "WriteNT":
+		o.kind = opStoreNT
+	case "Flush":
+		o.kind = opFlush
+	case "Fence":
+		o.kind = opFence
+	case "OFence":
+		o.kind = opOFence
+	case "DFence":
+		o.kind, o.dfence = opFence, true
+	case "TxBegin":
+		o.kind = opTxBegin
+	case "TxEnd":
+		o.kind = opTxEnd
+	case "TxAdd":
+		o.kind = opTxAdd
+	case "TxCheckerStart":
+		o.kind = opTxCheckerStart
+	case "TxCheckerEnd":
+		o.kind = opTxCheckerEnd
+	case "IsPersist":
+		o.kind = opIsPersist
+	case "IsOrderedBefore":
+		o.kind = opIsOrderedBefore
+	default:
+		return op{}, false
+	}
+	return o, true
+}
+
+// --- Expression fingerprints ------------------------------------------------
+
+// exprString renders an expression to its canonical source form, the
+// fingerprint used to decide whether two ops name "the same" range.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// rootExpr strips parentheses and +/- offset arithmetic down to the base
+// expression: root(slot+slotKey) = slot, root(n.addr+8) = n.addr. Two
+// ranges with the same root are assumed to address the same object.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD || v.Op == token.SUB {
+				e = v.X
+			} else {
+				return e
+			}
+		default:
+			return e
+		}
+	}
+}
+
+// identsOf collects every identifier appearing in e (including selector
+// bases and field names); an assignment to any of them invalidates a
+// fingerprint built from e.
+func identsOf(e ast.Expr) map[string]bool {
+	ids := map[string]bool{}
+	if e == nil {
+		return ids
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			ids[id.Name] = true
+		}
+		return true
+	})
+	return ids
+}
+
+// --- Package constant folding ----------------------------------------------
+
+// constEnv maps package-level integer constant names to their values, so
+// range coverage can be decided exactly for literal layouts (offsets like
+// slotValid = 0, slotKey = 8).
+type constEnv map[string]int64
+
+// buildConstEnv folds the top-level const declarations of a package's
+// files. Multiple passes resolve forward references; anything that does
+// not fold to an integer is simply absent.
+func buildConstEnv(files []*ast.File) constEnv {
+	env := constEnv{}
+	for pass := 0; pass < 3; pass++ {
+		for _, f := range files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				var carried []ast.Expr
+				for i, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					exprs := vs.Values
+					if len(exprs) == 0 {
+						exprs = carried // implicit repetition with new iota
+					} else {
+						carried = exprs
+					}
+					for j, name := range vs.Names {
+						if name.Name == "_" || j >= len(exprs) {
+							continue
+						}
+						if v, ok := evalConst(exprs[j], env, int64(i)); ok {
+							env[name.Name] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return env
+}
+
+// evalConst folds an expression to an int64 using env; iota is the
+// ConstSpec index (pass -1 outside const blocks).
+func evalConst(e ast.Expr, env constEnv, iota int64) (int64, bool) {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.INT {
+			return 0, false
+		}
+		n, err := strconv.ParseInt(v.Value, 0, 64)
+		if err != nil {
+			// Values above MaxInt64 (e.g. 64-bit magic numbers) fold via
+			// uint64 and reinterpret; coverage math only needs equality.
+			u, uerr := strconv.ParseUint(v.Value, 0, 64)
+			if uerr != nil {
+				return 0, false
+			}
+			return int64(u), true
+		}
+		return n, true
+	case *ast.Ident:
+		if v.Name == "iota" {
+			if iota >= 0 {
+				return iota, true
+			}
+			return 0, false
+		}
+		n, ok := env[v.Name]
+		return n, ok
+	case *ast.ParenExpr:
+		return evalConst(v.X, env, iota)
+	case *ast.UnaryExpr:
+		n, ok := evalConst(v.X, env, iota)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case token.SUB:
+			return -n, true
+		case token.ADD:
+			return n, true
+		case token.XOR:
+			return ^n, true
+		}
+		return 0, false
+	case *ast.BinaryExpr:
+		a, ok := evalConst(v.X, env, iota)
+		if !ok {
+			return 0, false
+		}
+		b, ok := evalConst(v.Y, env, iota)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.AND:
+			return a & b, true
+		case token.OR:
+			return a | b, true
+		case token.XOR:
+			return a ^ b, true
+		case token.AND_NOT:
+			return a &^ b, true
+		case token.SHL:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case token.SHR:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		}
+		return 0, false
+	case *ast.CallExpr:
+		// Numeric conversions: uint64(x), int(x), ...
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok || len(v.Args) != 1 {
+			return 0, false
+		}
+		switch id.Name {
+		case "int", "int8", "int16", "int32", "int64",
+			"uint", "uint8", "uint16", "uint32", "uint64", "uintptr", "byte":
+			return evalConst(v.Args[0], env, iota)
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// sizeVal resolves an op's byte size, from the implicit width (Store64)
+// or by folding its size expression.
+func sizeVal(o *op, env constEnv) (int64, bool) {
+	if o.fixed > 0 {
+		return o.fixed, true
+	}
+	if o.size == nil {
+		return 0, false
+	}
+	return evalConst(o.size, env, -1)
+}
+
+// covers reports whether a writeback-like op f (flush, persist_barrier or
+// TX_ADD) covers the range touched by store-like op s. Exact interval
+// math is used when both addresses fold to constants; otherwise the two
+// ranges are assumed to alias iff their root expressions coincide. The
+// heuristic errs toward "covered", keeping false positives low.
+func covers(fset *token.FileSet, env constEnv, f, s *op) bool {
+	fa, faOK := evalConst(f.addr, env, -1)
+	fs, fsOK := sizeVal(f, env)
+	sa, saOK := evalConst(s.addr, env, -1)
+	if faOK && fsOK && saOK {
+		if ss, ok := sizeVal(s, env); ok {
+			return sa < fa+fs && sa+ss > fa // any overlap counts
+		}
+		return sa >= fa && sa < fa+fs
+	}
+	if s.addr != nil && f.addr != nil &&
+		exprString(fset, rootExpr(f.addr)) == exprString(fset, rootExpr(s.addr)) {
+		return true
+	}
+	if faOK && fsOK && s.addr != nil {
+		if rv, ok := evalConst(rootExpr(s.addr), env, -1); ok {
+			return rv >= fa && rv < fa+fs
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package lint
+
+// allRules is the rule registry, populated by the rules_*.go init
+// functions; registration order is documentation order.
+var allRules []ruleDef
+
+func ruleByName(name string) *ruleDef {
+	for i := range allRules {
+		if allRules[i].Name == name {
+			return &allRules[i]
+		}
+	}
+	panic("lint: unknown rule " + name)
+}

@@ -1,0 +1,135 @@
+package lint
+
+import "fmt"
+
+// Checker-misuse rule: the annotations themselves can be wrong in ways
+// the dynamic engine either cannot see (a tautological checker passes
+// trivially) or only reports after the fact (unbalanced begin/end pairs
+// surface as unbalanced-tx diagnostics). Catching them statically keeps
+// the test harness itself honest.
+
+func init() {
+	allRules = append(allRules, ruleDef{
+		RuleInfo: RuleInfo{
+			Name: "checkermisuse",
+			Doc: "a PMTest annotation is used incoherently: isOrderedBefore comparing a range " +
+				"with itself or asserting contradictory orders, unbalanced TxBegin/TxEnd or " +
+				"TxCheckerStart/TxCheckerEnd pairs, or checkers recorded on a path that can " +
+				"exit without SendTrace ever shipping them",
+			Severity: "FAIL",
+			Dynamic:  "unbalanced-tx",
+			BugDB:    "completion",
+		},
+		hint: "make begin/end pairs match on every path, give isOrderedBefore two distinct " +
+			"ranges in a consistent order, and ship recorded checkers with SendTrace",
+		run: runCheckerMisuse,
+	})
+}
+
+func runCheckerMisuse(f *fnInfo) []Finding {
+	r := ruleByName("checkermisuse")
+	var out []Finding
+
+	// Tautological and contradictory ordering assertions.
+	type iobAt struct {
+		n *node
+		i int
+		o *op
+	}
+	var iobs []iobAt
+	hasSendTrace := false
+	f.eachOp(func(n *node, i int, o *op) {
+		switch o.kind {
+		case opIsOrderedBefore:
+			if o.addr != nil && o.addr2 != nil {
+				iobs = append(iobs, iobAt{n, i, o})
+				if f.fp(o.addr) == f.fp(o.addr2) {
+					out = append(out, f.finding(r, o,
+						fmt.Sprintf("isOrderedBefore in %s compares %s with itself — the assertion is vacuous",
+							f.name, f.fp(o.addr))))
+				}
+			}
+		case opSendTrace:
+			hasSendTrace = true
+		}
+	})
+	for _, a := range iobs {
+		for _, b := range iobs {
+			if a.o == b.o ||
+				f.fp(a.o.addr) != f.fp(b.o.addr2) || f.fp(a.o.addr2) != f.fp(b.o.addr) ||
+				f.fp(a.o.addr) == f.fp(a.o.addr2) {
+				continue
+			}
+			hit, _ := searchForward(f.g, a.n, a.i+1, pathQuery{
+				matchOp: func(o *op) bool { return o == b.o },
+			})
+			if hit != nil {
+				out = append(out, f.finding(r, b.o,
+					fmt.Sprintf("isOrderedBefore in %s contradicts an earlier assertion: %s before %s, but %s was asserted before %s",
+						f.name, f.fp(b.o.addr), f.fp(b.o.addr2), f.fp(a.o.addr), f.fp(a.o.addr2))))
+			}
+		}
+	}
+
+	// Unbalanced begin/end pairs, in both directions. Single-op wrapper
+	// helpers (a func whose whole body emits one begin or one end for its
+	// caller) are the caller's responsibility and are skipped.
+	if f.forwarder() {
+		return out
+	}
+	pairs := []struct {
+		open, close opKind
+		openName    string
+		closeName   string
+	}{
+		{opTxBegin, opTxEnd, "TxBegin", "TxEnd"},
+		{opTxCheckerStart, opTxCheckerEnd, "TxCheckerStart", "TxCheckerEnd"},
+	}
+	f.eachOp(func(n *node, i int, o *op) {
+		for _, p := range pairs {
+			switch o.kind {
+			case p.open:
+				_, exitReached := searchForward(f.g, n, i+1, pathQuery{
+					blockOp:  func(b *op) bool { return b.kind == p.close },
+					matchEnd: true,
+				})
+				if exitReached {
+					out = append(out, f.finding(r, o,
+						fmt.Sprintf("%s in %s is never closed by %s on some path to exit",
+							p.openName, f.name, p.closeName)))
+				}
+			case p.close:
+				_, entryReached := searchBackward(f.g, n, i, pathQuery{
+					blockOp:  func(b *op) bool { return b.kind == p.open },
+					matchEnd: true,
+				})
+				if entryReached {
+					out = append(out, f.finding(r, o,
+						fmt.Sprintf("%s in %s has no preceding %s on some path from entry",
+							p.closeName, f.name, p.openName)))
+				}
+			}
+		}
+	})
+
+	// Checkers that can escape the function without being shipped. Only
+	// meaningful in functions that do ship sections themselves; helpers
+	// that record checkers for a caller to ship are legitimate.
+	if hasSendTrace {
+		f.eachOp(func(n *node, i int, o *op) {
+			if o.kind != opIsPersist && o.kind != opIsOrderedBefore {
+				return
+			}
+			_, exitReached := searchForward(f.g, n, i+1, pathQuery{
+				blockOp:  func(b *op) bool { return b.kind == opSendTrace },
+				matchEnd: true,
+			})
+			if exitReached {
+				out = append(out, f.finding(r, o,
+					fmt.Sprintf("checker recorded in %s can reach exit without SendTrace shipping it",
+						f.name)))
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package lint
+
+import "fmt"
+
+// Writeback and fence rules: the paper's "missing/misplaced writeback",
+// "missing/misplaced ordering enforcement" and "redundant writeback"
+// classes (Table 5), detected on syntactic paths instead of traces.
+
+func init() {
+	allRules = append(allRules,
+		ruleDef{
+			RuleInfo: RuleInfo{
+				Name: "missedflush",
+				Doc: "a store can reach function exit with no writeback (CLWB/PersistBarrier) " +
+					"covering its range on some path — the data may never become durable",
+				Severity: "FAIL",
+				Dynamic:  "not-persisted",
+				BugDB:    "writeback",
+			},
+			hint: "write the range back before returning (CLWB + SFence, or PersistBarrier), " +
+				"or use a non-temporal store if the range persists at the next fence",
+			run: runMissedFlush,
+		},
+		ruleDef{
+			RuleInfo: RuleInfo{
+				Name: "missedfence",
+				Doc: "a writeback is never completed by a fence (SFence/DFence) on some path " +
+					"to function exit — the epoch is left open and the writeback may not take effect",
+				Severity: "FAIL",
+				Dynamic:  "order-violation",
+				BugDB:    "ordering",
+			},
+			hint: "close the epoch with SFence (or PersistBarrier) before the function returns",
+			run:  runMissedFence,
+		},
+		ruleDef{
+			RuleInfo: RuleInfo{
+				Name: "doubleflush",
+				Doc: "the same range is written back again with no intervening store — the second " +
+					"writeback is wasted work (the paper's unnecessary-writeback performance bug)",
+				Severity: "WARN",
+				Dynamic:  "duplicate-writeback",
+				BugDB:    "perf-writeback",
+			},
+			hint: "drop the redundant writeback, or restructure so each modified range is " +
+				"written back exactly once per epoch",
+			run: runDoubleFlush,
+		},
+	)
+}
+
+func runMissedFlush(f *fnInfo) []Finding {
+	r := ruleByName("missedflush")
+	var out []Finding
+	if f.forwarder() {
+		return nil
+	}
+	f.eachOp(func(n *node, i int, o *op) {
+		if o.kind != opStore {
+			return // non-temporal stores persist at the next fence
+		}
+		if f.mayBeInTx(n, i) {
+			return // inside a transaction the commit owns flushing (txnolog's domain)
+		}
+		_, exitReached := searchForward(f.g, n, i+1, pathQuery{
+			blockOp: func(b *op) bool {
+				switch b.kind {
+				case opFlush, opBarrier:
+					return f.covers(b, o)
+				case opFence:
+					return b.dfence // HOPS dfence drains every pending write
+				}
+				return false
+			},
+			matchEnd: true,
+		})
+		if exitReached {
+			out = append(out, f.finding(r, o,
+				fmt.Sprintf("store to %s can reach exit of %s without a covering writeback",
+					f.fp(o.addr), f.name)))
+		}
+	})
+	return out
+}
+
+func runMissedFence(f *fnInfo) []Finding {
+	r := ruleByName("missedfence")
+	var out []Finding
+	if f.forwarder() {
+		return nil
+	}
+	f.eachOp(func(n *node, i int, o *op) {
+		if o.kind != opFlush {
+			return // PersistBarrier fences itself
+		}
+		_, exitReached := searchForward(f.g, n, i+1, pathQuery{
+			blockOp: func(b *op) bool {
+				// TxEnd commits fence as part of the library protocol.
+				return b.kind == opFence || b.kind == opBarrier || b.kind == opTxEnd
+			},
+			matchEnd: true,
+		})
+		if exitReached {
+			out = append(out, f.finding(r, o,
+				fmt.Sprintf("writeback of %s is never completed by a fence on some path through %s",
+					f.fp(o.addr), f.name)))
+		}
+	})
+	return out
+}
+
+func runDoubleFlush(f *fnInfo) []Finding {
+	r := ruleByName("doubleflush")
+	var out []Finding
+	f.eachOp(func(n *node, i int, o *op) {
+		if o.kind != opFlush && o.kind != opBarrier {
+			return
+		}
+		addrFP, sizeFP := f.fp(o.addr), f.fp(o.size)
+		ids := identsOf(o.addr)
+		hit, _ := searchForward(f.g, n, i+1, pathQuery{
+			matchOp: func(b *op) bool {
+				return (b.kind == opFlush || b.kind == opBarrier) &&
+					f.fp(b.addr) == addrFP && f.fp(b.size) == sizeFP &&
+					b.fixed == o.fixed
+			},
+			blockOp: func(b *op) bool {
+				// A store into the range legitimizes the next writeback.
+				return (b.kind == opStore || b.kind == opStoreNT) && f.covers(o, b)
+			},
+			blockNode: func(nd *node) bool {
+				for id := range nd.assigned {
+					if ids[id] {
+						return true // fingerprint variable reassigned
+					}
+				}
+				return false
+			},
+		})
+		if hit != nil {
+			out = append(out, f.finding(r, hit,
+				fmt.Sprintf("%s is written back again with no intervening store in %s",
+					f.fp(hit.addr), f.name)))
+		}
+	})
+	return out
+}

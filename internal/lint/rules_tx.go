@@ -1,0 +1,55 @@
+package lint
+
+import "fmt"
+
+// Transaction-logging rule: the paper's "missing/misplaced backup" class
+// (Table 5, the largest class — 19 of 42 synthetic bugs, plus two of the
+// three real-world finds of Table 6).
+
+func init() {
+	allRules = append(allRules, ruleDef{
+		RuleInfo: RuleInfo{
+			Name: "txnolog",
+			Doc: "a store inside a TxBegin/TxEnd (or TxCheckerStart/End) region has no " +
+				"preceding TxAdd backing up its range on some path — after a crash the " +
+				"undo log cannot restore the old value",
+			Severity: "FAIL",
+			Dynamic:  "missing-backup",
+			BugDB:    "backup",
+		},
+		hint: "call TxAdd(addr, size) for the range before the first store that modifies it",
+		run:  runTxNoLog,
+	})
+}
+
+func runTxNoLog(f *fnInfo) []Finding {
+	r := ruleByName("txnolog")
+	var out []Finding
+	f.eachOp(func(n *node, i int, o *op) {
+		if o.kind != opStore && o.kind != opStoreNT {
+			return
+		}
+		// Walk backward from the store: reaching a region opener without
+		// first crossing a covering TxAdd means some execution modifies
+		// the range unlogged. Leaving the region backward (TxEnd) or
+		// reaching function entry means the store is outside the
+		// transaction on that path, which is missedflush's domain.
+		begin, _ := searchBackward(f.g, n, i, pathQuery{
+			matchOp: func(b *op) bool {
+				return b.kind == opTxBegin || b.kind == opTxCheckerStart
+			},
+			blockOp: func(b *op) bool {
+				if b.kind == opTxAdd {
+					return f.covers(b, o)
+				}
+				return b.kind == opTxEnd || b.kind == opTxCheckerEnd
+			},
+		})
+		if begin != nil {
+			out = append(out, f.finding(r, o,
+				fmt.Sprintf("store to %s inside a transaction in %s has no preceding TxAdd backup",
+					f.fp(o.addr), f.name)))
+		}
+	})
+	return out
+}

@@ -1,0 +1,72 @@
+package lint
+
+// Self-check snippets: one canonical known-bad program fragment per rule,
+// used by `bughunt -lint` to print the static verdict for a catalog
+// bug's class next to the dynamic one, and by tests as a liveness floor
+// for every rule. Each snippet is the smallest program that exhibits the
+// rule's bug class.
+var selfCheckSrc = map[string]string{
+	"missedflush": `package p
+
+func f(dev *Device) {
+	dev.Store64(0x40, 1) // modified …
+	dev.SFence()         // … fenced, but never written back
+}
+`,
+	"missedfence": `package p
+
+func f(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8) // written back, but the epoch is never closed
+}
+`,
+	"doubleflush": `package p
+
+func f(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8)
+	dev.CLWB(0x40, 8) // same line written back twice
+	dev.SFence()
+}
+`,
+	"txnolog": `package p
+
+func f(th *Thread) {
+	th.TxBegin()
+	th.TxAdd(0x00, 8)
+	th.Write(0x00, 8)
+	th.Write(0x40, 8) // modified without an undo-log backup
+	th.TxEnd()
+}
+`,
+	"checkermisuse": `package p
+
+func f(th *Thread) {
+	th.Write(0x40, 8)
+	th.Flush(0x40, 8)
+	th.Fence()
+	th.IsOrderedBefore(0x40, 8, 0x40, 8) // a range ordered before itself
+	th.SendTrace()
+}
+`,
+}
+
+// SelfCheck lints the rule's canonical known-bad snippet and reports
+// whether the rule fires on it — the static analyzer's liveness probe
+// for one bug class.
+func SelfCheck(rule string) bool {
+	src, ok := selfCheckSrc[rule]
+	if !ok {
+		return false
+	}
+	findings, err := LintSource("selfcheck.go", src)
+	if err != nil {
+		return false
+	}
+	for _, f := range findings {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

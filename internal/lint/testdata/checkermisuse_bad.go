@@ -1,0 +1,19 @@
+// Known-bad fixture for the checkermisuse rule: a vacuous self-compare,
+// contradictory ordering assertions, an unclosed checker region, and a
+// checker that can escape without SendTrace shipping it.
+package fixture
+
+func checkerMisuseBad(th *Thread, ok bool) {
+	th.Write(0x40, 8)
+	th.Flush(0x40, 8)
+	th.Fence()
+	th.IsOrderedBefore(0x40, 8, 0x40, 8) // a range ordered before itself
+	th.IsOrderedBefore(0x10, 8, 0x20, 8)
+	th.IsOrderedBefore(0x20, 8, 0x10, 8) // contradicts the line above
+	th.TxCheckerStart()
+	if ok {
+		return // region left open, checkers never shipped
+	}
+	th.TxCheckerEnd()
+	th.SendTrace()
+}

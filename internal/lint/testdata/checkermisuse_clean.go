@@ -1,0 +1,16 @@
+// Known-clean fixture for the checkermisuse rule: balanced regions,
+// distinct consistently-ordered ranges, and every checker shipped.
+package fixture
+
+func checkerMisuseClean(th *Thread) {
+	th.Write(0x10, 8)
+	th.Flush(0x10, 8)
+	th.Write(0x20, 8)
+	th.Flush(0x20, 8)
+	th.Fence()
+	th.TxCheckerStart()
+	th.TxCheckerEnd()
+	th.IsOrderedBefore(0x10, 8, 0x20, 8)
+	th.IsPersist(0x20, 8)
+	th.SendTrace()
+}

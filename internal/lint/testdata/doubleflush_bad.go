@@ -1,0 +1,10 @@
+// Known-bad fixture for the doubleflush rule: the same range written
+// back twice with no intervening store.
+package fixture
+
+func doubleFlushBad(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8)
+	dev.CLWB(0x40, 8) // redundant: nothing dirtied the line in between
+	dev.SFence()
+}

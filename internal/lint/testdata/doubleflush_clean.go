@@ -1,0 +1,12 @@
+// Known-clean fixture for the doubleflush rule: a second writeback of
+// the same range is fine once a store has re-dirtied it.
+package fixture
+
+func doubleFlushClean(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+	dev.Store64(0x40, 2) // re-dirtied: the next writeback is earned
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+}

@@ -1,0 +1,12 @@
+// Known-bad fixture for the missedfence rule: a writeback whose epoch is
+// never closed on some path.
+package fixture
+
+func missedFenceBad(dev *Device, ok bool) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8) // the early return leaves the epoch open
+	if ok {
+		return
+	}
+	dev.SFence()
+}

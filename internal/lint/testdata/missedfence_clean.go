@@ -1,0 +1,14 @@
+// Known-clean fixture for the missedfence rule: every writeback is
+// completed by a fence (or a self-fencing barrier) on every path.
+package fixture
+
+func missedFenceClean(dev *Device, ok bool) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+	if ok {
+		return
+	}
+	dev.Store64(0x80, 2)
+	dev.PersistBarrier(0x80, 8)
+}

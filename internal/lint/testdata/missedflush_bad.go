@@ -1,0 +1,18 @@
+// Known-bad fixture for the missedflush rule: stores that can reach
+// function exit without a covering writeback. Parse-only — Device is the
+// pmem device shape, never resolved.
+package fixture
+
+func missedFlushBad(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.Store64(0x80, 2) // never written back
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+}
+
+func missedFlushBranch(dev *Device, ok bool) {
+	dev.Store64(0xC0, 3) // written back on only one branch
+	if ok {
+		dev.PersistBarrier(0xC0, 8)
+	}
+}

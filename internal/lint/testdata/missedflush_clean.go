@@ -1,0 +1,27 @@
+// Known-clean fixture for the missedflush rule: every store is covered
+// by a writeback on every path, including coverage that only constant
+// folding can prove.
+package fixture
+
+const (
+	cleanHdrOff  = 0x00
+	cleanHdrSize = 16
+	cleanValOff  = 0x10
+)
+
+func missedFlushClean(dev *Device, ok bool) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+	dev.Store64(0xC0, 3)
+	dev.PersistBarrier(0xC0, 8)
+	dev.StoreNT(0x100, buf) // non-temporal: persists at the next fence
+	dev.SFence()
+}
+
+func missedFlushConstCover(dev *Device) {
+	dev.Store64(cleanHdrOff, 1)
+	dev.Store64(cleanValOff, 2)
+	// One barrier covers both stores: [0x00,0x18) ⊇ {[0,8), [16,24)}.
+	dev.PersistBarrier(cleanHdrOff, cleanHdrSize+8)
+}

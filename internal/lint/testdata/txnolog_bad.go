@@ -1,0 +1,11 @@
+// Known-bad fixture for the txnolog rule: a transactional store whose
+// range was never snapshotted with TxAdd.
+package fixture
+
+func txNoLogBad(th *Thread) {
+	th.TxBegin()
+	th.TxAdd(0x00, 8)
+	th.Write(0x00, 8)
+	th.Write(0x40, 8) // modified without an undo-log backup
+	th.TxEnd()
+}

@@ -1,0 +1,12 @@
+// Known-clean fixture for the txnolog rule: every transactional store is
+// preceded by a TxAdd covering its range — including coverage by a
+// single snapshot spanning several stores.
+package fixture
+
+func txNoLogClean(th *Thread) {
+	th.TxBegin()
+	th.TxAdd(0x00, 16) // one snapshot covers both words
+	th.Write(0x00, 8)
+	th.Write(0x08, 8)
+	th.TxEnd()
+}

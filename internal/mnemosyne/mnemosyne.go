@@ -201,6 +201,8 @@ func (r *Region) Begin() error {
 // LogAppend records a transactional write of data at off: the new value
 // goes to the redo log now and in place at commit (Fig. 2a's
 // log_append).
+//
+//pmlint:ignore missedflush,missedfence the fence is LogFlush/Commit's job (split-phase protocol); SkipLogFlush is an injected bug
 func (r *Region) LogAppend(off uint64, data []byte) error {
 	if !r.inTx {
 		return errors.New("mnemosyne: LogAppend outside transaction")
@@ -235,6 +237,8 @@ func (r *Region) LogFlush() {
 //  1. entries durable (LogFlush) before the seal,
 //  2. seal durable (fence) before Commit returns,
 //  3. in-place writes flushed afterwards so the log can be truncated.
+//
+//pmlint:ignore missedflush,doubleflush,checkermisuse SkipApplyFlush/DoubleApplyFlush are injected bugs; the matching TxBegin lives in Begin
 func (r *Region) Commit() error {
 	if !r.inTx {
 		return errors.New("mnemosyne: Commit outside transaction")

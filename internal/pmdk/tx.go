@@ -75,6 +75,8 @@ func (p *Pool) txBegin() {
 // transaction emits the TX_ADD event (so PMTest's duplicate-log checker
 // sees the call, paper Fig. 13c) but skips the redundant snapshot, like
 // real pmemobj.
+//
+//pmlint:ignore missedflush SkipLogEntryFlush is an injected bug; with it off the entry is flushed and fenced
 func (tx *Tx) Add(off, size uint64) {
 	p := tx.p
 	if p.depth == 0 {
@@ -193,9 +195,9 @@ func (p *Pool) txCommit() {
 		// is exactly what must persist.
 		flushRange := func(r logRng) {
 			p.written.Visit(r.off, r.off+r.size, func(seg interval.Seg[struct{}]) bool {
-				p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3)
+				p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3) //pmlint:ignore missedfence the commit fence follows outside this visit closure
 				if p.bugs.DoubleCommitFlush {
-					p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3)
+					p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3) //pmlint:ignore missedfence,doubleflush DoubleCommitFlush is an injected bug
 				}
 				return true
 			})

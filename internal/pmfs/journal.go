@@ -50,6 +50,8 @@ func (fs *FS) beginTx() *journalTx {
 
 // logRange appends undo entries covering [addr, addr+size) (split into
 // 48-byte chunks, one LE each) — pmfs_add_logentry.
+//
+//pmlint:ignore missedflush,missedfence publish() fences the entries (split-phase); SkipLogEntryFlush is an injected bug
 func (tx *journalTx) logRange(addr, size uint64) {
 	fs := tx.fs
 	for off := uint64(0); off < size; off += LEDataSize {
@@ -92,6 +94,8 @@ func (tx *journalTx) publish() {
 }
 
 // modify performs an in-place journaled update and writes it back.
+//
+//pmlint:ignore missedflush,missedfence commit() fences the in-place updates (split-phase); SkipInodeFlush is an injected bug
 func (tx *journalTx) modify(addr uint64, data []byte) {
 	fs := tx.fs
 	fs.dev.StoreSkip(addr, data, 1)

@@ -88,12 +88,12 @@ func (fs *FS) WriteFile(ino uint64, off uint64, data []byte) error {
 			n = uint64(len(rem))
 		}
 		addr := blkAddr(b) + inBlk
-		fs.dev.StoreSkip(addr, rem[:n], 1)
+		fs.dev.StoreSkip(addr, rem[:n], 1) //pmlint:ignore missedflush SkipDataFlush is an injected bug; with it off the chunk is flushed
 		if !fs.bugs.SkipDataFlush {
 			fs.dev.CLWBSkip(addr, n, 1)
 			if fs.bugs.DoubleFlushData {
 				// xips.c:207/262 — the same buffer is flushed twice.
-				fs.dev.CLWBSkip(addr, n, 1)
+				fs.dev.CLWBSkip(addr, n, 1) //pmlint:ignore doubleflush DoubleFlushData is an injected bug
 			}
 		}
 		chunks = append(chunks, struct{ addr, n uint64 }{addr, n})

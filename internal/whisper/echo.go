@@ -140,6 +140,8 @@ func (e *Echo) Device() *pmem.Device { return e.dev }
 func (e *Echo) SetCheckers(on bool) { e.check = on }
 
 // Set appends key→val to the WAL and commits it.
+//
+//pmlint:ignore missedflush,missedfence BugEchoSkipEntryFlush/BugEchoSkipCommitFence are injected bugs
 func (e *Echo) Set(key uint64, val []byte) error {
 	need := align8(echoHdr + uint64(len(val)))
 	if e.tail+need > e.cap {
@@ -235,7 +237,7 @@ func (e *Echo) Compact() error {
 		binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(val))
 		copy(buf[echoHdr:], val)
 		e.dev.Store(rec, buf)
-		e.dev.CLWB(rec, uint64(len(buf)))
+		e.dev.CLWB(rec, uint64(len(buf))) //pmlint:ignore missedfence the ErrEchoFull return abandons the compaction; nothing is published
 		newIndex[key] = echoLoc{off: rec + echoHdr, vlen: uint32(len(val))}
 		pos += need
 	}

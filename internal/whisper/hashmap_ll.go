@@ -173,7 +173,7 @@ func (h *HashmapLL) fill(slot, key uint64, val []byte) error {
 		if !h.bugs.On(BugHMLLSkipUpdateFlush) {
 			dev.CLWB(slot+slotKey, 16+uint64(len(val)))
 			if h.bugs.On(BugHMLLDoubleSlotFlush) {
-				dev.CLWB(slot+slotKey, 16+uint64(len(val)))
+				dev.CLWB(slot+slotKey, 16+uint64(len(val))) //pmlint:ignore doubleflush BugHMLLDoubleSlotFlush is an injected bug
 			}
 		}
 		if h.bugs.On(BugHMLLFlushWrongSlot) {
@@ -204,6 +204,8 @@ func (h *HashmapLL) fill(slot, key uint64, val []byte) error {
 
 // update overwrites an existing slot's value using the backup slot
 // (Fig. 1a's undo idiom).
+//
+//pmlint:ignore missedflush BugHMLLSkipUpdateFlush deliberately omits the in-place writeback
 func (h *HashmapLL) update(idx, slot uint64, val []byte) error {
 	dev := h.dev
 	bk := h.backupOff()

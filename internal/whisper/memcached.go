@@ -158,10 +158,10 @@ probe:
 			binary.LittleEndian.PutUint64(hdr[0:8], memUsed)
 			binary.LittleEndian.PutUint64(hdr[8:16], key)
 			binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(val)))
-			if err := w.Write(off, hdr[:]); err != nil {
+			if err := w.Write(off, hdr[:]); err != nil { //pmlint:ignore missedflush transactional write: Commit applies and flushes it
 				return err
 			}
-			return w.Write(off+24, val)
+			return w.Write(off+24, val) //pmlint:ignore missedflush transactional write: Commit applies and flushes it
 		})
 	}
 	return fmt.Errorf("whisper: memcached shard full")

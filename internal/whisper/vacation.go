@@ -85,7 +85,7 @@ func NewVacation(dev *pmem.Device, nRes, nCust, capacity uint64) (*Vacation, err
 		}
 		d.PersistBarrier(off, nRes*resSize)
 		v.tables[k] = off
-		pool.Device().Store64(root+uint64(k)*8, off)
+		pool.Device().Store64(root+uint64(k)*8, off) //pmlint:ignore missedflush the error returns abandon construction; the success path hits the root barrier
 	}
 	custOff, err := pool.Alloc(nCust * 8)
 	if err != nil {

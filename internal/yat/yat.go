@@ -108,6 +108,8 @@ func Run(initial []byte, ops []trace.Op, validate func(img []byte) error, lim Li
 }
 
 // applyOp executes one traced PM operation against the replay device.
+//
+//pmlint:ignore missedflush,missedfence the interpreter replays one traced op per call; pairing lives in the trace, not here
 func applyOp(dev *pmem.Device, op trace.Op) {
 	switch op.Kind {
 	case trace.KindWrite:
@@ -176,6 +178,8 @@ func (r *RecordingDevice) SFence() {
 }
 
 // RunWithData is Run for traces that carry write data.
+//
+//pmlint:ignore missedflush,missedfence the interpreter replays one traced op per iteration; pairing lives in the trace, not here
 func RunWithData(initial []byte, ops []DataOp, validate func(img []byte) error, lim Limits) Result {
 	lim = lim.withDefaults()
 	dev := pmem.FromImage(initial, nil)
