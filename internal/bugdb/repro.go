@@ -1,0 +1,132 @@
+package bugdb
+
+// This file extends the catalog beyond the paper's hand-written bugs:
+// fault-injection campaigns (internal/faultinject) deposit the bugs they
+// *find and demonstrate* here as minimized, replayable reproducers. Where
+// a catalog Bug re-runs a whole workload with a source-level defect
+// switched on, a Repro is the delta-debugged trace itself — replaying it
+// through the checking rules must reproduce the verdict bit-for-bit, from
+// any process, with no workload or device required.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pmtest/internal/core"
+	"pmtest/internal/trace"
+)
+
+// Repro is one minimized reproducer discovered by a fault-injection
+// campaign: the smallest op subsequence of the faulted trace section that
+// still triggers the diagnostic, plus the crash-state evidence that the
+// flagged bug is real (a concrete durable state whose recovery failed).
+type Repro struct {
+	// ID is the campaign-assigned identifier,
+	// e.g. "campaign/ctree/drop-flush@3".
+	ID string `json:"id"`
+	// Workload names the campaign target the fault was injected into.
+	Workload string `json:"workload"`
+	// FaultClass is the injected fault taxonomy name
+	// (faultinject.Class.String()).
+	FaultClass string `json:"fault_class"`
+	// Seed and Site make the finding reproducible: re-running the
+	// campaign with this seed re-injects the same fault at the same
+	// primitive occurrence.
+	Seed int64 `json:"seed"`
+	Site int   `json:"site"`
+	// Code is the diagnostic the engine reported and the minimized trace
+	// must still reproduce.
+	Code core.Code `json:"code"`
+	// Ops is the minimized trace section.
+	Ops []trace.Op `json:"ops"`
+	// OrigOps is the length of the un-minimized faulted section.
+	OrigOps int `json:"orig_ops"`
+	// ImageHash identifies the concrete crash state whose recovery
+	// failed (hex sha256 prefix), tying the diagnostic to ground truth.
+	ImageHash string `json:"image_hash"`
+	// StatesExplored counts crash states validated while searching for
+	// the failing one.
+	StatesExplored uint64 `json:"states_explored"`
+}
+
+// Replay runs the minimized trace through the checking rules and returns
+// the report. Rules defaults to X86 when nil.
+func (r Repro) Replay(rules core.RuleSet) core.Report {
+	if rules == nil {
+		rules = core.X86{}
+	}
+	return core.CheckTrace(rules, &trace.Trace{Ops: r.Ops})
+}
+
+// Reproduces reports whether replaying the minimized trace still yields
+// the recorded diagnostic code.
+func (r Repro) Reproduces(rules core.RuleSet) bool {
+	return r.Replay(rules).HasCode(r.Code)
+}
+
+// Category maps the reproducer's fault class onto the paper's Table 5 bug
+// classes, so campaign findings slot into the same taxonomy as the
+// hand-written catalog.
+func (r Repro) Category() Category { return FaultClassCategory(r.FaultClass) }
+
+// FaultClassCategory maps a faultinject class name to the Table 5
+// category it most resembles ("" for classes that model legal hardware
+// behaviour rather than bugs).
+func FaultClassCategory(class string) Category {
+	switch class {
+	case "drop-flush", "delay-flush":
+		return CatWriteback
+	case "drop-fence", "weaken-fence":
+		return CatOrdering
+	case "torn-store":
+		return CatCompletion
+	}
+	return ""
+}
+
+// String renders a one-line summary of the reproducer.
+func (r Repro) String() string {
+	return fmt.Sprintf("%s: %s → %s, %d ops (from %d), failing state %s",
+		r.ID, r.FaultClass, r.Code, len(r.Ops), r.OrigOps, r.ImageHash)
+}
+
+// ReproDB collects the reproducers of one campaign run. It is safe for
+// concurrent use (campaign workers may add from several goroutines).
+type ReproDB struct {
+	mu     sync.Mutex
+	repros []Repro
+}
+
+// Add records one reproducer.
+func (db *ReproDB) Add(r Repro) {
+	db.mu.Lock()
+	db.repros = append(db.repros, r)
+	db.mu.Unlock()
+}
+
+// Len returns the number of recorded reproducers.
+func (db *ReproDB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.repros)
+}
+
+// All returns the reproducers sorted by ID.
+func (db *ReproDB) All() []Repro {
+	db.mu.Lock()
+	out := append([]Repro(nil), db.repros...)
+	db.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Summary renders one line per reproducer.
+func (db *ReproDB) Summary() string {
+	var b strings.Builder
+	for _, r := range db.All() {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package bugdb
+
+import (
+	"strings"
+	"testing"
+
+	"pmtest/internal/core"
+	"pmtest/internal/trace"
+)
+
+func sampleRepro() Repro {
+	return Repro{
+		ID: "campaign/test/drop-flush@0", Workload: "test", FaultClass: "drop-flush",
+		Seed: 1, Site: 0, Code: core.CodeNotPersisted,
+		Ops: []trace.Op{
+			{Kind: trace.KindWrite, Addr: 0, Size: 8},
+			{Kind: trace.KindIsPersist, Addr: 0, Size: 8},
+		},
+		OrigOps: 10, ImageHash: "deadbeef", StatesExplored: 4,
+	}
+}
+
+func TestReproReplayReproduces(t *testing.T) {
+	r := sampleRepro()
+	if !r.Reproduces(nil) {
+		t.Fatalf("minimized trace does not reproduce %s: %v", r.Code, r.Replay(nil).Diags)
+	}
+	// A repaired trace must stop reproducing.
+	fixed := r
+	fixed.Ops = []trace.Op{
+		{Kind: trace.KindWrite, Addr: 0, Size: 8},
+		{Kind: trace.KindFlush, Addr: 0, Size: 8},
+		{Kind: trace.KindFence},
+		{Kind: trace.KindIsPersist, Addr: 0, Size: 8},
+	}
+	if fixed.Reproduces(nil) {
+		t.Fatal("repaired trace still reproduces")
+	}
+}
+
+func TestFaultClassCategory(t *testing.T) {
+	cases := map[string]Category{
+		"drop-flush":   CatWriteback,
+		"delay-flush":  CatWriteback,
+		"drop-fence":   CatOrdering,
+		"weaken-fence": CatOrdering,
+		"torn-store":   CatCompletion,
+		"evict":        "", // legal hardware behaviour, not a bug class
+	}
+	for class, want := range cases {
+		if got := FaultClassCategory(class); got != want {
+			t.Errorf("FaultClassCategory(%q) = %q, want %q", class, got, want)
+		}
+	}
+}
+
+func TestReproDB(t *testing.T) {
+	var db ReproDB
+	b := sampleRepro()
+	b.ID = "campaign/test/z@9"
+	db.Add(b)
+	db.Add(sampleRepro())
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+	all := db.All()
+	if all[0].ID != "campaign/test/drop-flush@0" {
+		t.Fatalf("All not sorted by ID: %v", []string{all[0].ID, all[1].ID})
+	}
+	if s := db.Summary(); !strings.Contains(s, "drop-flush → not-persisted") {
+		t.Fatalf("Summary missing detail:\n%s", s)
+	}
+}

@@ -73,6 +73,11 @@ const (
 	// CodeTruncated: the per-trace diagnostic cap was reached and the
 	// remainder of the trace was not checked.
 	CodeTruncated Code = "diagnostics-truncated"
+	// CodeCheckerPanic: the checking rules panicked on this trace. The
+	// engine converts the panic into this stored diagnostic instead of
+	// killing the process, so a hostile or malformed trace produces a
+	// partial report rather than taking down the run.
+	CodeCheckerPanic Code = "checker-panic"
 )
 
 // Diagnostic is one finding, tied to the trace operation that exposed it.

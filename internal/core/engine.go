@@ -31,12 +31,35 @@ const maxDiagsPerTrace = 1000
 // seeded into the fresh state of every trace (library metadata regions —
 // undo logs, allocator headers — are excluded for the whole run rather
 // than re-announced in each trace section).
-func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) Report {
+//
+// A panic inside the checking rules — a hostile trace, a malformed op, a
+// buggy custom RuleSet — is recovered into a CodeCheckerPanic diagnostic
+// and the report produced so far is returned, so one poisoned trace
+// cannot kill the engine's worker (or the whole process).
+func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) (rep Report) {
 	s := NewState()
+	tracked := 0
+	defer func() {
+		if r := recover(); r != nil {
+			op := trace.Op{}
+			if s.opIndex < len(t.Ops) {
+				op = t.Ops[s.opIndex]
+			}
+			s.diags = append(s.diags, Diagnostic{
+				Severity: SeverityFail,
+				Code:     CodeCheckerPanic,
+				Message: fmt.Sprintf("checking rules panicked at op %d (%s): %v; %d of %d ops checked",
+					s.opIndex, op, r, s.opIndex, len(t.Ops)),
+				Site:    opSite(op),
+				OpIndex: s.opIndex,
+			})
+			rep = Report{TraceID: t.ID, Thread: t.Thread, Ops: len(t.Ops),
+				TrackedOps: tracked, Diags: s.diags}
+		}
+	}()
 	for _, r := range excludes {
 		s.Excluded.Set(r.Addr, r.Addr+r.Size, struct{}{})
 	}
-	tracked := 0
 	for i, op := range t.Ops {
 		if !op.Kind.IsChecker() {
 			tracked++

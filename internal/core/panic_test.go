@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pmtest/internal/trace"
+)
+
+// panicRules panics when it meets a fence — a stand-in for a buggy custom
+// RuleSet or a trace malformed enough to break interval arithmetic.
+type panicRules struct{ X86 }
+
+func (panicRules) Name() string { return "panic" }
+
+func (p panicRules) Apply(s *State, op trace.Op) {
+	if op.Kind == trace.KindFence {
+		panic("rules exploded")
+	}
+	p.X86.Apply(s, op)
+}
+
+func poisonTrace() *trace.Trace {
+	return &trace.Trace{Ops: []trace.Op{
+		{Kind: trace.KindWrite, Addr: 0, Size: 8},
+		{Kind: trace.KindFlush, Addr: 0, Size: 8},
+		{Kind: trace.KindFence},
+		{Kind: trace.KindWrite, Addr: 64, Size: 8},
+	}}
+}
+
+// TestCheckerPanicBecomesDiagnostic: a panic inside the rules produces a
+// stored checker-panic FAIL with the partial findings, not a crash.
+func TestCheckerPanicBecomesDiagnostic(t *testing.T) {
+	r := CheckTrace(panicRules{}, poisonTrace())
+	if !r.HasCode(CodeCheckerPanic) {
+		t.Fatalf("expected checker-panic diagnostic, got %v", r.Diags)
+	}
+	if r.Fails() == 0 {
+		t.Fatal("checker panic must be FAIL severity")
+	}
+	var d Diagnostic
+	for _, x := range r.Diags {
+		if x.Code == CodeCheckerPanic {
+			d = x
+		}
+	}
+	if !strings.Contains(d.Message, "rules exploded") || !strings.Contains(d.Message, "op 2") {
+		t.Fatalf("diagnostic lacks panic context: %q", d.Message)
+	}
+	if r.Ops != 4 {
+		t.Fatalf("report lost trace metadata: %+v", r)
+	}
+}
+
+// TestCheckerPanicAddressOverflow: a trace with addr+size wrapping around
+// is the classic hostile input; whatever the rules do with it, the engine
+// must return a report.
+func TestCheckerPanicAddressOverflow(t *testing.T) {
+	tr := &trace.Trace{Ops: []trace.Op{
+		{Kind: trace.KindWrite, Addr: ^uint64(0) - 4, Size: 32},
+		{Kind: trace.KindFlush, Addr: ^uint64(0) - 4, Size: 32},
+		{Kind: trace.KindFence},
+		{Kind: trace.KindIsPersist, Addr: ^uint64(0) - 4, Size: 32},
+	}}
+	_ = CheckTrace(X86{}, tr) // must not panic out
+}
+
+// TestEngineSurvivesCheckerPanic: workers recover, later traces still get
+// checked, and Wait/Close complete normally.
+func TestEngineSurvivesCheckerPanic(t *testing.T) {
+	e := NewEngine(Options{Rules: panicRules{}, Workers: 2})
+	e.Submit(poisonTrace())
+	e.Submit(poisonTrace())
+	// A trace the panicking rules can survive (no fence).
+	e.Submit(&trace.Trace{Ops: []trace.Op{{Kind: trace.KindWrite, Addr: 0, Size: 8}}})
+	reports := e.Close()
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	panics := 0
+	for _, r := range reports {
+		if r.HasCode(CodeCheckerPanic) {
+			panics++
+		}
+	}
+	if panics != 2 {
+		t.Fatalf("%d checker-panic reports, want 2", panics)
+	}
+}

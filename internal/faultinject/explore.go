@@ -1,0 +1,57 @@
+package faultinject
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Schedule is one fault-injection plan: inject class at the site-th
+// occurrence of its primitive.
+type Schedule struct {
+	Class Class
+	Site  int
+}
+
+// Explore picks the schedules to run for one class. When the census
+// exposes at most budget sites the exploration is exhaustive (every site
+// is tried, so the campaign's per-class verdict is complete); beyond
+// that, budget distinct sites are drawn from the seeded rng. The result
+// is sorted by site either way, so schedule order — and therefore every
+// downstream artifact — depends only on the seed.
+func Explore(class Class, sites, budget int, rng *rand.Rand) []Schedule {
+	if sites <= 0 {
+		return nil
+	}
+	picked := make([]int, 0, sites)
+	if budget <= 0 || sites <= budget {
+		for i := 0; i < sites; i++ {
+			picked = append(picked, i)
+		}
+	} else {
+		picked = append(picked, rng.Perm(sites)[:budget]...)
+		sort.Ints(picked)
+	}
+	out := make([]Schedule, len(picked))
+	for i, s := range picked {
+		out[i] = Schedule{Class: class, Site: s}
+	}
+	return out
+}
+
+// subSeed derives a stable per-purpose seed from the campaign seed, so
+// each (target, class, schedule) consumes an independent random stream
+// and adding a schedule never shifts another's randomness.
+func subSeed(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64())
+}

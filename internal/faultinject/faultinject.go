@@ -1,0 +1,272 @@
+// Package faultinject perturbs the primitive stream of a running PM
+// program to answer the question the bug catalog (internal/bugdb) cannot:
+// does the checking engine flag *machine-level* persistency faults — a
+// writeback that silently never happened, a fence that did not drain, a
+// store torn across a power cut — and is every flag backed by ground
+// truth, a concrete crash state whose recovery actually fails?
+//
+// The layer attaches to the simulated device through the pmem.FaultHook
+// seam, so a suppressed primitive changes neither device state nor the
+// trace: the engine judges exactly the execution whose crash states the
+// device can materialize. A campaign (campaign.go) then explores fault
+// schedules — exhaustively when the site count is small, seeded-random
+// beyond — and for each injected fault cross-checks the engine's verdict
+// against recovery of enumerated/sampled crash states, delta-debugging
+// every confirmed finding to a minimal reproducer (minimize.go) recorded
+// in the bug catalog as a bugdb.Repro.
+//
+// Everything is reproducible from a single int64 seed: the same seed
+// replays the same schedules, the same crash states, and the same
+// minimized traces, bit for bit.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmtest/internal/pmem"
+)
+
+// Class is a fault taxonomy entry: one way the path from store buffer to
+// persistence domain can misbehave. All classes except Evict model bugs
+// (the engine must flag them and a failing crash state must exist); Evict
+// models *legal* hardware behaviour — a clean program must stay clean
+// under it and recover from every crash state.
+type Class int
+
+// The fault taxonomy.
+const (
+	// DropFlush silently discards one clwb: its line never becomes
+	// flush-pending, so no later fence persists it.
+	DropFlush Class = iota
+	// DropFence silently discards one sfence: lines flushed before it
+	// stay volatile past the supposed ordering point.
+	DropFence
+	// WeakenFence keeps the target sfence but discards every clwb in the
+	// window it guards — the fence drains nothing, modelling a fence that
+	// lost its preceding writebacks.
+	WeakenFence
+	// TornStore splits a store wider than 8 bytes at the x86 atomicity
+	// boundary: the first 8 bytes land now, the tail only after the next
+	// fence — so a crash at the ordering point observes a torn value.
+	TornStore
+	// DelayFlush defers one clwb until after the next fence: the line is
+	// eventually written back, but on the wrong side of the ordering
+	// point that was supposed to cover it.
+	DelayFlush
+	// Evict spontaneously evicts one random dirty line before a store —
+	// always-legal hardware behaviour used as the adversarial control:
+	// it must produce neither diagnostics nor recovery failures.
+	Evict
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"drop-flush", "drop-fence", "weaken-fence",
+	"torn-store", "delay-flush", "evict",
+}
+
+// String returns the hyphenated taxonomy name.
+func (c Class) String() string {
+	if c >= 0 && c < numClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// ParseClass maps a taxonomy name back to its Class.
+func ParseClass(s string) (Class, error) {
+	for c, name := range classNames {
+		if s == name {
+			return Class(c), nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault class %q", s)
+}
+
+// IsBug reports whether the class models a bug (engine must flag it)
+// rather than legal hardware behaviour.
+func (c Class) IsBug() bool { return c != Evict }
+
+// AllClasses returns the full taxonomy in declaration order.
+func AllClasses() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Census counts the injectable sites one workload run exposes. It is
+// taken by a dry run (site -1) and drives schedule exploration: class X
+// has Sites(X) distinct places a fault can land.
+type Census struct {
+	Stores    int `json:"stores"`
+	BigStores int `json:"big_stores"` // stores wider than 8 bytes (tearable)
+	Flushes   int `json:"flushes"`
+	Fences    int `json:"fences"`
+}
+
+// Sites returns how many injection sites the census exposes for a class.
+func (c Census) Sites(class Class) int {
+	switch class {
+	case DropFlush, DelayFlush:
+		return c.Flushes
+	case DropFence, WeakenFence:
+		return c.Fences
+	case TornStore:
+		return c.BigStores
+	case Evict:
+		return c.Stores
+	}
+	return 0
+}
+
+// Injector implements pmem.FaultHook: it counts primitive occurrences
+// and, when the occurrence index for its class reaches the target site,
+// injects exactly one fault. Site -1 never injects (census-only). The
+// injector is deterministic: the same (class, site, rng seed) against the
+// same workload perturbs the same primitive.
+type Injector struct {
+	dev   *pmem.Device
+	class Class
+	site  int
+	rng   *rand.Rand
+
+	census   Census
+	injected bool
+
+	// passthru marks primitives the injector itself re-issues from
+	// AfterFence; they must bypass both counting and injection.
+	passthru bool
+
+	// Deferred effects released after the next *executed* fence.
+	tailAddr             uint64
+	tailData             []byte
+	flushAddr, flushSize uint64
+	hasTail, hasFlush    bool
+}
+
+// NewInjector builds an injector for one (class, site) schedule. rng is
+// consulted only by classes with a random choice (Evict picks the line);
+// it may be nil for a census-only injector.
+func NewInjector(dev *pmem.Device, class Class, site int, rng *rand.Rand) *Injector {
+	return &Injector{dev: dev, class: class, site: site, rng: rng}
+}
+
+// NewCensus builds a counting-only hook: attach it, run the workload
+// once, and read Census().
+func NewCensus(dev *pmem.Device) *Injector {
+	return &Injector{dev: dev, site: -1}
+}
+
+// Census returns the occurrence counts observed so far.
+func (in *Injector) Census() Census { return in.census }
+
+// Injected reports whether the fault has fired.
+func (in *Injector) Injected() bool { return in.injected }
+
+// BeforeStore implements pmem.FaultHook.
+func (in *Injector) BeforeStore(addr uint64, data []byte) int {
+	if in.passthru {
+		return len(data)
+	}
+	storeSite, bigSite := in.census.Stores, in.census.BigStores
+	in.census.Stores++
+	if len(data) > 8 {
+		in.census.BigStores++
+	}
+	if in.site < 0 || in.injected {
+		return len(data)
+	}
+	switch in.class {
+	case TornStore:
+		if len(data) > 8 && bigSite == in.site {
+			in.injected = true
+			in.tailAddr = addr + 8
+			in.tailData = append([]byte(nil), data[8:]...)
+			in.hasTail = true
+			return 8
+		}
+	case Evict:
+		if storeSite == in.site {
+			if bases := in.dev.DirtyBases(); len(bases) > 0 {
+				in.injected = true
+				in.dev.EvictLine(bases[in.rng.Intn(len(bases))])
+			}
+		}
+	}
+	return len(data)
+}
+
+// BeforeFlush implements pmem.FaultHook.
+func (in *Injector) BeforeFlush(addr, size uint64) bool {
+	if in.passthru {
+		return true
+	}
+	site := in.census.Flushes
+	in.census.Flushes++
+	if in.site < 0 {
+		return true
+	}
+	switch in.class {
+	case DropFlush:
+		if site == in.site && !in.injected {
+			in.injected = true
+			return false
+		}
+	case DelayFlush:
+		if site == in.site && !in.injected {
+			in.injected = true
+			in.flushAddr, in.flushSize, in.hasFlush = addr, size, true
+			return false
+		}
+	case WeakenFence:
+		// Drop every writeback in the window the target fence guards;
+		// injected only records that at least one was actually dropped.
+		if in.census.Fences == in.site {
+			in.injected = true
+			return false
+		}
+	}
+	return true
+}
+
+// BeforeFence implements pmem.FaultHook.
+func (in *Injector) BeforeFence() bool {
+	if in.passthru {
+		return true
+	}
+	site := in.census.Fences
+	in.census.Fences++
+	if in.site < 0 {
+		return true
+	}
+	if in.class == DropFence && site == in.site && !in.injected {
+		in.injected = true
+		return false
+	}
+	return true
+}
+
+// AfterFence implements pmem.FaultHook: it releases deferred effects on
+// the far side of the ordering point. The re-issued primitives are real —
+// they mutate the device and appear in the trace — which is exactly what
+// makes the fault both flaggable by the engine and demonstrable as a
+// failing crash state.
+func (in *Injector) AfterFence() {
+	if in.passthru || (!in.hasTail && !in.hasFlush) {
+		return
+	}
+	in.passthru = true
+	if in.hasTail {
+		in.hasTail = false
+		in.dev.Store(in.tailAddr, in.tailData) //pmlint:ignore missedflush the torn tail lands after the fence uncovered on purpose — that IS the injected fault
+	}
+	if in.hasFlush {
+		in.hasFlush = false
+		in.dev.CLWB(in.flushAddr, in.flushSize) //pmlint:ignore missedfence the delayed writeback deliberately misses its ordering point — that IS the injected fault
+	}
+	in.passthru = false
+}

@@ -1,0 +1,47 @@
+package faultinject
+
+import "pmtest/internal/trace"
+
+// Minimize delta-debugs ops down to a 1-minimal subsequence that still
+// satisfies pred (Zeller & Hildebrandt's ddmin). If pred does not hold on
+// the full input, ops is returned unchanged. The result is deterministic:
+// same input, same predicate, same minimized trace.
+func Minimize(ops []trace.Op, pred func([]trace.Op) bool) []trace.Op {
+	if len(ops) == 0 || !pred(ops) {
+		return ops
+	}
+	cur := append([]trace.Op(nil), ops...)
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			// Try the complement of [start, end).
+			cand := make([]trace.Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && pred(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"testing"
+
+	"pmtest/internal/core"
+	"pmtest/internal/trace"
+)
+
+func TestMinimizeToKnownCore(t *testing.T) {
+	// A not-persisted bug buried in unrelated, correctly-persisted
+	// traffic: the minimal reproducer is just the unflushed write and
+	// the checker that catches it.
+	var ops []trace.Op
+	for i := 0; i < 6; i++ {
+		a := uint64(i) * 64
+		ops = append(ops,
+			trace.Op{Kind: trace.KindWrite, Addr: a, Size: 8},
+			trace.Op{Kind: trace.KindFlush, Addr: a, Size: 8},
+			trace.Op{Kind: trace.KindFence},
+			trace.Op{Kind: trace.KindIsPersist, Addr: a, Size: 8})
+	}
+	ops = append(ops,
+		trace.Op{Kind: trace.KindWrite, Addr: 0x1000, Size: 8},
+		trace.Op{Kind: trace.KindIsPersist, Addr: 0x1000, Size: 8})
+
+	pred := func(o []trace.Op) bool {
+		return core.CheckTrace(core.X86{}, &trace.Trace{Ops: o}).HasCode(core.CodeNotPersisted)
+	}
+	min := Minimize(ops, pred)
+	if len(min) != 2 {
+		t.Fatalf("minimized to %d ops, want 2:\n%v", len(min), (&trace.Trace{Ops: min}).String())
+	}
+	if min[0].Addr != 0x1000 || min[1].Kind != trace.KindIsPersist {
+		t.Fatalf("wrong core: %v", min)
+	}
+	if !pred(min) {
+		t.Fatal("minimized trace no longer reproduces")
+	}
+
+	// Determinism: same input, same output.
+	again := Minimize(ops, pred)
+	if len(again) != len(min) || again[0] != min[0] || again[1] != min[1] {
+		t.Fatalf("minimization not deterministic: %v vs %v", again, min)
+	}
+}
+
+func TestMinimizePredFalseReturnsInput(t *testing.T) {
+	ops := []trace.Op{{Kind: trace.KindWrite, Addr: 0, Size: 8}}
+	got := Minimize(ops, func([]trace.Op) bool { return false })
+	if len(got) != 1 {
+		t.Fatalf("pred-false input mangled: %v", got)
+	}
+	if got := Minimize(nil, func([]trace.Op) bool { return true }); len(got) != 0 {
+		t.Fatalf("empty input mangled: %v", got)
+	}
+}
+
+// TestMinimizeSurvivesCheckerPanic: ddmin explores op subsequences that
+// can be malformed for the rules; the engine's panic recovery turns
+// those into checker-panic diagnostics instead of killing minimization.
+func TestMinimizeSurvivesCheckerPanic(t *testing.T) {
+	ops := []trace.Op{
+		{Kind: trace.KindWrite, Addr: ^uint64(0) - 4, Size: 8}, // overflowing range
+		{Kind: trace.KindWrite, Addr: 0x40, Size: 8},
+		{Kind: trace.KindIsPersist, Addr: 0x40, Size: 8},
+	}
+	pred := func(o []trace.Op) bool {
+		return core.CheckTrace(core.X86{}, &trace.Trace{Ops: o}).HasCode(core.CodeNotPersisted)
+	}
+	if !pred(ops) {
+		t.Skip("input does not reproduce on this rule set")
+	}
+	min := Minimize(ops, pred)
+	if !pred(min) || len(min) > 2 {
+		t.Fatalf("minimization failed: %v", min)
+	}
+}

@@ -1,0 +1,285 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+
+	"pmtest/internal/pmem"
+	"pmtest/internal/pmfs"
+	"pmtest/internal/whisper"
+)
+
+// Stepper drives one campaign workload run: Do performs operation i
+// under full checker annotation, and Verify replays recovery against a
+// crash image — the campaign's ground truth.
+type Stepper interface {
+	// Do performs operation i. Operations are deterministic functions of
+	// i, so Verify can recompute what each one wrote.
+	Do(i int) error
+	// Verify opens the crash image through the workload's own recovery
+	// path and checks that every operation in [0, completed) — which
+	// returned success before the crash — is intact: its key readable
+	// with exactly the written value. Any mismatch (missing, stale, or
+	// torn) is a recovery failure.
+	Verify(img []byte, completed int) error
+}
+
+// Target is one campaign workload: a fresh device of DevSize bytes plus
+// a constructor that formats it and returns the stepper. Construction
+// runs before the fault hook attaches, so setup is never perturbed.
+type Target struct {
+	Name    string
+	DevSize uint64
+	New     func(dev *pmem.Device) (Stepper, error)
+}
+
+// stepKey and stepVal are the deterministic operation payloads. Keys are
+// distinct (no updates), so "present with exactly this value" is
+// well-defined; values are 24 bytes so every operation issues tearable
+// (>8-byte) stores.
+func stepKey(i int) uint64 { return uint64(i)*17 + 3 }
+
+func stepVal(i int) []byte {
+	v := make([]byte, 24)
+	for j := range v {
+		v[j] = byte(i*31 + j*7 + 0x41)
+	}
+	return v
+}
+
+// storeStepper adapts a whisper.Store-shaped workload.
+type storeStepper struct {
+	insert func(key uint64, val []byte) error
+	open   func(dev *pmem.Device) (func(key uint64) ([]byte, bool), error)
+}
+
+func (s *storeStepper) Do(i int) error { return s.insert(stepKey(i), stepVal(i)) }
+
+func (s *storeStepper) Verify(img []byte, completed int) error {
+	get, err := s.open(pmem.FromImage(img, nil))
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	for i := 0; i < completed; i++ {
+		v, ok := get(stepKey(i))
+		if !ok {
+			return fmt.Errorf("op %d: key %d lost", i, stepKey(i))
+		}
+		if !bytes.Equal(v, stepVal(i)) {
+			return fmt.Errorf("op %d: key %d corrupt (got %x)", i, stepKey(i), v)
+		}
+	}
+	return nil
+}
+
+func storeTarget(name string, devSize uint64,
+	mk func(dev *pmem.Device) (whisper.Store, error),
+	reopen func(dev *pmem.Device) (whisper.Store, error)) Target {
+	return Target{Name: name, DevSize: devSize,
+		New: func(dev *pmem.Device) (Stepper, error) {
+			s, err := mk(dev)
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := s.(whisper.Checkered); ok {
+				c.SetCheckers(true)
+			}
+			return &storeStepper{
+				insert: s.Insert,
+				open: func(dev *pmem.Device) (func(uint64) ([]byte, bool), error) {
+					r, err := reopen(dev)
+					if err != nil {
+						return nil, err
+					}
+					return r.Get, nil
+				},
+			}, nil
+		}}
+}
+
+// pmdkDev is the device size for pmdk-pooled targets: the pool's default
+// undo log occupies the first MiB, the heap lives above it.
+const pmdkDev = 1 << 21
+
+// Targets returns the campaign workload suite: the pmdk-backed WHISPER
+// stores, the low-level hashmap, the Echo WAL store, the Redis cache, and
+// the journaling file system.
+func Targets() []Target {
+	return []Target{
+		storeTarget("ctree", pmdkDev,
+			func(dev *pmem.Device) (whisper.Store, error) {
+				c, err := whisper.NewCTree(dev, nil)
+				if err != nil {
+					return nil, err
+				}
+				c.Pool().SetAnnotations(true)
+				return c, nil
+			},
+			func(dev *pmem.Device) (whisper.Store, error) { return whisper.OpenCTree(dev) }),
+		storeTarget("btree", pmdkDev,
+			func(dev *pmem.Device) (whisper.Store, error) {
+				b, err := whisper.NewBTree(dev, nil)
+				if err != nil {
+					return nil, err
+				}
+				b.Pool().SetAnnotations(true)
+				return b, nil
+			},
+			func(dev *pmem.Device) (whisper.Store, error) { return whisper.OpenBTree(dev) }),
+		storeTarget("rbtree", pmdkDev,
+			func(dev *pmem.Device) (whisper.Store, error) {
+				r, err := whisper.NewRBTree(dev, nil)
+				if err != nil {
+					return nil, err
+				}
+				r.Pool().SetAnnotations(true)
+				return r, nil
+			},
+			func(dev *pmem.Device) (whisper.Store, error) { return whisper.OpenRBTree(dev) }),
+		storeTarget("hashmap-tx", pmdkDev,
+			func(dev *pmem.Device) (whisper.Store, error) {
+				h, err := whisper.NewHashmapTX(dev, 16, nil)
+				if err != nil {
+					return nil, err
+				}
+				h.Pool().SetAnnotations(true)
+				return h, nil
+			},
+			func(dev *pmem.Device) (whisper.Store, error) { return whisper.OpenHashmapTX(dev) }),
+		storeTarget("hashmap-ll", 1<<18,
+			func(dev *pmem.Device) (whisper.Store, error) {
+				return whisper.NewHashmapLL(dev, 16, 64, nil)
+			},
+			func(dev *pmem.Device) (whisper.Store, error) { return whisper.OpenHashmapLL(dev) }),
+		echoTarget(),
+		redisTarget(),
+		pmfsTarget(),
+	}
+}
+
+// TargetByName resolves one suite entry.
+func TargetByName(name string) (Target, bool) {
+	for _, t := range Targets() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Target{}, false
+}
+
+// TargetNames lists the suite in order.
+func TargetNames() []string {
+	all := Targets()
+	names := make([]string, len(all))
+	for i, t := range all {
+		names[i] = t.Name
+	}
+	return names
+}
+
+func echoTarget() Target {
+	return Target{Name: "echo", DevSize: 1 << 18,
+		New: func(dev *pmem.Device) (Stepper, error) {
+			e, err := whisper.NewEcho(dev, 1<<15, nil)
+			if err != nil {
+				return nil, err
+			}
+			e.SetCheckers(true)
+			return &storeStepper{
+				insert: e.Set,
+				open: func(dev *pmem.Device) (func(uint64) ([]byte, bool), error) {
+					r, err := whisper.OpenEcho(dev)
+					if err != nil {
+						return nil, err
+					}
+					return r.Get, nil
+				},
+			}, nil
+		}}
+}
+
+func redisTarget() Target {
+	const capacity = 64
+	return Target{Name: "redis", DevSize: pmdkDev,
+		New: func(dev *pmem.Device) (Stepper, error) {
+			r, err := whisper.NewRedis(dev, 16, capacity)
+			if err != nil {
+				return nil, err
+			}
+			r.Pool().SetAnnotations(true)
+			r.SetCheckers(true)
+			return &storeStepper{
+				insert: r.Set,
+				open: func(dev *pmem.Device) (func(uint64) ([]byte, bool), error) {
+					rr, err := whisper.OpenRedis(dev, capacity)
+					if err != nil {
+						return nil, err
+					}
+					return rr.Get, nil
+				},
+			}, nil
+		}}
+}
+
+// pmfsStepper appends fixed-size records to one file: operation i writes
+// record i at offset i*recSize, then fsyncs (which also emits the
+// isPersist annotations over the file's data blocks).
+type pmfsStepper struct {
+	fs  *pmfs.FS
+	ino uint64
+}
+
+const pmfsRec = 128
+
+func pmfsRecord(i int) []byte {
+	b := make([]byte, pmfsRec)
+	for j := range b {
+		b[j] = byte(i*13 + j*3 + 1)
+	}
+	return b
+}
+
+func (p *pmfsStepper) Do(i int) error {
+	if err := p.fs.WriteFile(p.ino, uint64(i)*pmfsRec, pmfsRecord(i)); err != nil {
+		return err
+	}
+	return p.fs.Fsync(p.ino)
+}
+
+func (p *pmfsStepper) Verify(img []byte, completed int) error {
+	fs, _, err := pmfs.Mount(pmem.FromImage(img, nil))
+	if err != nil {
+		return fmt.Errorf("mount: %w", err)
+	}
+	ino, err := fs.Lookup("data")
+	if err != nil {
+		return fmt.Errorf("lookup: %w", err)
+	}
+	buf := make([]byte, pmfsRec)
+	for i := 0; i < completed; i++ {
+		n, err := fs.ReadFile(ino, uint64(i)*pmfsRec, buf)
+		if err != nil || n != pmfsRec {
+			return fmt.Errorf("op %d: read failed (%d bytes, %v)", i, n, err)
+		}
+		if !bytes.Equal(buf, pmfsRecord(i)) {
+			return fmt.Errorf("op %d: record corrupt", i)
+		}
+	}
+	return nil
+}
+
+func pmfsTarget() Target {
+	return Target{Name: "pmfs", DevSize: 1 << 17,
+		New: func(dev *pmem.Device) (Stepper, error) {
+			fs, err := pmfs.Mkfs(dev, 16, 32)
+			if err != nil {
+				return nil, err
+			}
+			fs.SetAnnotations(true)
+			ino, err := fs.CreateFile("data")
+			if err != nil {
+				return nil, err
+			}
+			return &pmfsStepper{fs: fs, ino: ino}, nil
+		}}
+}

@@ -56,6 +56,12 @@ func writeProm(w http.ResponseWriter, s Snapshot) {
 	fmt.Fprintf(w, "pmtest_backpressure_stall_seconds_total %g\n", s.BackpressureStall.Seconds())
 	counter("pmtest_sharing_traces_fed_total", "Traces fed to the sharing analyzer.", s.SharingTracesFed)
 	counter("pmtest_sharing_writes_tracked_total", "PM writes tracked by the sharing analyzer.", s.SharingWritesTracked)
+	counter("pmtest_campaign_schedules_total", "Fault-injection schedules executed.", s.CampaignSchedules)
+	counter("pmtest_faults_injected_total", "Faults injected into workload runs.", s.FaultsInjected)
+	counter("pmtest_crash_states_explored_total", "Crash states materialized and validated.", s.CrashStatesExplored)
+	counter("pmtest_crash_states_possible_total", "Crash states the explored dirty sets could produce (clamped per probe).", s.CrashStatesPossible)
+	counter("pmtest_recovery_failures_total", "Crash states whose recovery failed (demonstrated bugs).", s.RecoveryFailures)
+	counter("pmtest_campaign_deadline_hits_total", "Campaigns cut short by their deadline.", s.CampaignDeadlineHits)
 
 	if len(s.DiagsBySeverity) > 0 {
 		fmt.Fprintf(w, "# HELP pmtest_diagnostics_total Diagnostics reported, by severity.\n# TYPE pmtest_diagnostics_total counter\n")

@@ -273,6 +273,19 @@ type Metrics struct {
 	SharingTracesFed     Counter
 	SharingWritesTracked Counter
 
+	// Fault-injection campaign activity (filled by internal/faultinject).
+	// CrashStatesExplored counts the crash states actually materialized
+	// and validated; CrashStatesPossible counts the states each probe's
+	// dirty set could have produced (clamped per probe so a huge 2^d does
+	// not saturate the counter) — together they give the campaign's
+	// explicit "explored N of M states" accounting.
+	CampaignSchedules    Counter
+	FaultsInjected       Counter
+	CrashStatesExplored  Counter
+	CrashStatesPossible  Counter
+	RecoveryFailures     Counter
+	CampaignDeadlineHits Counter
+
 	mu           sync.Mutex
 	codes        map[string]uint64
 	perWorker    []uint64
@@ -374,6 +387,13 @@ type Snapshot struct {
 	SharingTracesFed     uint64 `json:"sharing_traces_fed"`
 	SharingWritesTracked uint64 `json:"sharing_writes_tracked"`
 
+	CampaignSchedules    uint64 `json:"campaign_schedules,omitempty"`
+	FaultsInjected       uint64 `json:"faults_injected,omitempty"`
+	CrashStatesExplored  uint64 `json:"crash_states_explored,omitempty"`
+	CrashStatesPossible  uint64 `json:"crash_states_possible,omitempty"`
+	RecoveryFailures     uint64 `json:"recovery_failures,omitempty"`
+	CampaignDeadlineHits uint64 `json:"campaign_deadline_hits,omitempty"`
+
 	PerWorkerChecked []uint64 `json:"per_worker_checked,omitempty"`
 	QueueDepths      []int    `json:"queue_depths,omitempty"`
 
@@ -408,6 +428,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		EncodeErrors:         m.EncodeErrors.Load(),
 		SharingTracesFed:     m.SharingTracesFed.Load(),
 		SharingWritesTracked: m.SharingWritesTracked.Load(),
+		CampaignSchedules:    m.CampaignSchedules.Load(),
+		FaultsInjected:       m.FaultsInjected.Load(),
+		CrashStatesExplored:  m.CrashStatesExplored.Load(),
+		CrashStatesPossible:  m.CrashStatesPossible.Load(),
+		RecoveryFailures:     m.RecoveryFailures.Load(),
+		CampaignDeadlineHits: m.CampaignDeadlineHits.Load(),
 	}
 	if secs := s.Uptime.Seconds(); secs > 0 {
 		s.OpsPerSec = float64(s.OpsChecked) / secs
@@ -497,6 +523,15 @@ func (s Snapshot) Format() string {
 	if s.SharingTracesFed > 0 {
 		fmt.Fprintf(&b, "sharing  %d traces fed, %d writes tracked\n",
 			s.SharingTracesFed, s.SharingWritesTracked)
+	}
+	if s.CampaignSchedules > 0 {
+		fmt.Fprintf(&b, "campaign %d schedules, %d faults injected, crash states explored %d of %d possible, %d recovery failures",
+			s.CampaignSchedules, s.FaultsInjected,
+			s.CrashStatesExplored, s.CrashStatesPossible, s.RecoveryFailures)
+		if s.CampaignDeadlineHits > 0 {
+			fmt.Fprintf(&b, ", %d deadline expiries", s.CampaignDeadlineHits)
+		}
+		b.WriteByte('\n')
 	}
 	if s.EncodeErrors > 0 || s.Err != "" {
 		fmt.Fprintf(&b, "errors   encode failures %d: %s\n", s.EncodeErrors, s.Err)

@@ -211,10 +211,18 @@ func TestSnapshotFormat(t *testing.T) {
 	m.BytesEncoded.Add(123)
 	m.SubmitStalled(0, time.Millisecond)
 	m.SharingTracesFed.Add(2)
+	m.CampaignSchedules.Add(3)
+	m.FaultsInjected.Add(3)
+	m.CrashStatesExplored.Add(40)
+	m.CrashStatesPossible.Add(64)
+	m.RecoveryFailures.Add(2)
+	m.CampaignDeadlineHits.Add(1)
 	out := m.Snapshot().Format()
 	for _, want := range []string{
 		"observability snapshot", "checked 1", "ops/s", "p50", "p99",
 		"FAIL 1", "not-persisted", "encoded 123B", "backpressure", "sharing",
+		"campaign 3 schedules", "explored 40 of 64 possible",
+		"2 recovery failures", "1 deadline expiries",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Format() missing %q:\n%s", want, out)

@@ -1,6 +1,7 @@
 package pmem
 
 import (
+	"crypto/sha256"
 	"math/rand"
 	"sort"
 )
@@ -30,10 +31,14 @@ func (d *Device) Image() []byte {
 
 // SampleCrash returns one possible durable state after a crash at this
 // moment: the persisted image plus a random subset of the dirty lines
-// (hardware may have evicted any of them before the failure).
+// (hardware may have evicted any of them before the failure). Dirty lines
+// are visited in ascending address order, so the same seed produces the
+// same crash state — iterating the cache map directly would let Go's
+// randomized map order break seed reproducibility.
 func (d *Device) SampleCrash(rng *rand.Rand, opt CrashOptions) []byte {
 	img := d.Image()
-	for base, ln := range d.cache {
+	for _, base := range d.dirtyBases() {
+		ln := d.cache[base]
 		if !opt.TearLines {
 			if rng.Intn(2) == 1 {
 				copy(img[base:base+LineSize], ln.data[:])
@@ -108,26 +113,35 @@ func (d *Device) EnumerateCrashStates(limit int, visit func(img []byte) bool) bo
 }
 
 // RecoveryCheck runs validate against up to samples random crash states
-// (plus the no-eviction and all-evicted extremes) and returns the first
-// error, or nil if every sampled state recovers. validate receives a
-// private copy of the image.
+// (plus the no-eviction and all-evicted extremes). It returns how many
+// *distinct* states were actually tested — deduplicated by image hash, so
+// a small dirty set that keeps re-sampling the same image is visible to
+// the caller — and the first validation error, or nil if every distinct
+// state recovers. validate receives a private copy of the image.
 func (d *Device) RecoveryCheck(rng *rand.Rand, samples int, opt CrashOptions,
-	validate func(img []byte) error) error {
+	validate func(img []byte) error) (distinct int, err error) {
 	states := make([][]byte, 0, samples+2)
 	states = append(states, d.Image())
 	// All dirty lines persisted.
 	all := d.Image()
-	for base, ln := range d.cache {
-		copy(all[base:base+LineSize], ln.data[:])
+	for _, base := range d.dirtyBases() {
+		copy(all[base:base+LineSize], d.cache[base].data[:])
 	}
 	states = append(states, all)
 	for i := 0; i < samples; i++ {
 		states = append(states, d.SampleCrash(rng, opt))
 	}
+	seen := make(map[[sha256.Size]byte]bool, len(states))
 	for _, img := range states {
+		h := sha256.Sum256(img)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		distinct++
 		if err := validate(img); err != nil {
-			return err
+			return distinct, err
 		}
 	}
-	return nil
+	return distinct, nil
 }

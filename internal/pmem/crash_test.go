@@ -1,0 +1,319 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pmtest/internal/trace"
+)
+
+// TestSampleCrashSeedReproducible: the same seed must produce the same
+// crash state, byte for byte. SampleCrash iterates the dirty set in
+// address order; iterating the cache map directly would let Go's
+// randomized map iteration consume the rng in a different order per run.
+func TestSampleCrashSeedReproducible(t *testing.T) {
+	mkDev := func() *Device {
+		d := New(1<<14, nil)
+		// Enough dirty lines that a map-order shuffle would almost surely
+		// permute the coin flips.
+		for i := uint64(0); i < 40; i++ {
+			d.Store(i*128, []byte{byte(i), byte(i + 1), byte(i + 2)})
+		}
+		return d
+	}
+	for _, opt := range []CrashOptions{{}, {TearLines: true}} {
+		a := mkDev().SampleCrash(rand.New(rand.NewSource(7)), opt)
+		b := mkDev().SampleCrash(rand.New(rand.NewSource(7)), opt)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("TearLines=%v: same seed produced different crash states", opt.TearLines)
+		}
+	}
+}
+
+// TestEnumerateLimitSemantics pins the limit contract: visit sees at most
+// `limit` states, the return value reports whether the space was covered,
+// and limit==space is a complete enumeration.
+func TestEnumerateLimitSemantics(t *testing.T) {
+	mk := func() *Device {
+		d := New(1024, nil)
+		for i := uint64(0); i < 3; i++ { // 2^3 = 8 states
+			d.Store(i*64, []byte{byte(i + 1)})
+		}
+		return d
+	}
+	cases := []struct {
+		limit        int
+		wantN        int
+		wantComplete bool
+	}{
+		{limit: 4, wantN: 4, wantComplete: false},
+		{limit: 8, wantN: 8, wantComplete: true}, // exactly the state count
+		{limit: 9, wantN: 8, wantComplete: true},
+		{limit: 0, wantN: 8, wantComplete: true}, // 0 = unlimited
+	}
+	for _, tc := range cases {
+		n := 0
+		complete := mk().EnumerateCrashStates(tc.limit, func([]byte) bool {
+			n++
+			return true
+		})
+		if n != tc.wantN || complete != tc.wantComplete {
+			t.Fatalf("limit %d: visited %d complete=%v, want %d/%v",
+				tc.limit, n, complete, tc.wantN, tc.wantComplete)
+		}
+	}
+}
+
+// TestEnumerateEarlyStop: visit returning false stops the enumeration
+// immediately, and the early stop still reports complete=true (the caller
+// chose to stop; the space did not overflow).
+func TestEnumerateEarlyStop(t *testing.T) {
+	d := New(1024, nil)
+	for i := uint64(0); i < 4; i++ { // 16 states
+		d.Store(i*64, []byte{1})
+	}
+	n := 0
+	complete := d.EnumerateCrashStates(0, func([]byte) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 || !complete {
+		t.Fatalf("early stop: visited %d complete=%v, want 3/true", n, complete)
+	}
+}
+
+// TestTearLinesGranularity is the hand-computed torn-store case of the
+// issue: one dirty line whose every byte differs from the durable
+// contents. Under TearLines each 8-byte word must persist atomically —
+// entirely old or entirely new — and a mixed outcome must be reachable,
+// so the tear granularity is exactly 8 bytes, never finer or line-wide.
+func TestTearLinesGranularity(t *testing.T) {
+	// Durable contents: 0x11 everywhere. Cached line: 0x22 everywhere.
+	d := New(LineSize, nil)
+	old := bytes.Repeat([]byte{0x11}, LineSize)
+	d.Store(0, old)
+	d.PersistBarrier(0, LineSize)
+	d.Store(0, bytes.Repeat([]byte{0x22}, LineSize))
+
+	sawOld, sawNew := false, false
+	for seed := int64(0); seed < 32; seed++ {
+		img := d.SampleCrash(rand.New(rand.NewSource(seed)), CrashOptions{TearLines: true})
+		for w := 0; w < LineSize; w += 8 {
+			word := img[w : w+8]
+			switch {
+			case bytes.Equal(word, old[:8]):
+				sawOld = true
+			case bytes.Equal(word, bytes.Repeat([]byte{0x22}, 8)):
+				sawNew = true
+			default:
+				t.Fatalf("seed %d: word at %d torn inside 8-byte granularity: % x", seed, w, word)
+			}
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("32 seeds never produced a torn mix (old=%v new=%v)", sawOld, sawNew)
+	}
+
+	// Hand-computed spot check: with source 1, rand.Intn(2) begins
+	// 1,1,0,... so under the fixed ascending word order the first two
+	// words persist new and the third stays old.
+	img := d.SampleCrash(rand.New(rand.NewSource(1)), CrashOptions{TearLines: true})
+	want := rand.New(rand.NewSource(1))
+	for w := 0; w < LineSize; w += 8 {
+		expect := byte(0x11)
+		if want.Intn(2) == 1 {
+			expect = 0x22
+		}
+		if img[w] != expect {
+			t.Fatalf("seed 1: word %d = %#x, want %#x", w/8, img[w], expect)
+		}
+	}
+}
+
+// TestRecoveryCheckReportsDistinctStates: dedupe by image hash means a
+// tiny dirty set cannot silently re-test the same image over and over.
+func TestRecoveryCheckReportsDistinctStates(t *testing.T) {
+	d := New(1024, nil)
+	d.Store(0, []byte{9})
+	d.Store(64, []byte{8}) // two dirty lines → 4 possible states
+	validations := 0
+	distinct, err := d.RecoveryCheck(rand.New(rand.NewSource(3)), 100, CrashOptions{},
+		func([]byte) error { validations++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct != 4 {
+		t.Fatalf("distinct = %d, want 4", distinct)
+	}
+	if validations != distinct {
+		t.Fatalf("validate ran %d times for %d distinct states", validations, distinct)
+	}
+}
+
+func TestEvictLine(t *testing.T) {
+	var ops []trace.Op
+	d := New(1024, recSink{&ops})
+	d.Store(64, []byte{7})
+	if d.EvictLine(0) {
+		t.Fatal("evicted a clean line")
+	}
+	nOps := len(ops)
+	if !d.EvictLine(64) {
+		t.Fatal("failed to evict the dirty line")
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("line still dirty after eviction")
+	}
+	if d.Image()[64] != 7 {
+		t.Fatal("evicted content not durable")
+	}
+	if len(ops) != nOps {
+		t.Fatal("eviction emitted a trace op; hardware evictions are invisible")
+	}
+	// A later store to the evicted line re-dirties it from durable state.
+	d.Store(65, []byte{8})
+	if got := d.LoadBytes(64, 2); got[0] != 7 || got[1] != 8 {
+		t.Fatalf("post-eviction store lost data: % x", got)
+	}
+}
+
+type recSink struct{ ops *[]trace.Op }
+
+func (r recSink) Record(op trace.Op, _ int) { *r.ops = append(*r.ops, op) }
+
+// hookFuncs adapts closures to FaultHook for tests.
+type hookFuncs struct {
+	store func(addr uint64, data []byte) int
+	flush func(addr, size uint64) bool
+	fence func() bool
+	after func()
+}
+
+func (h hookFuncs) BeforeStore(addr uint64, data []byte) int {
+	if h.store == nil {
+		return len(data)
+	}
+	return h.store(addr, data)
+}
+func (h hookFuncs) BeforeFlush(addr, size uint64) bool { return h.flush == nil || h.flush(addr, size) }
+func (h hookFuncs) BeforeFence() bool                  { return h.fence == nil || h.fence() }
+func (h hookFuncs) AfterFence() {
+	if h.after != nil {
+		h.after()
+	}
+}
+
+// TestFaultHookSuppression: a suppressed primitive leaves no trace op and
+// no device-state change, keeping trace and crash semantics consistent.
+func TestFaultHookSuppression(t *testing.T) {
+	var ops []trace.Op
+	d := New(1024, recSink{&ops})
+	d.SetFaultHook(hookFuncs{flush: func(uint64, uint64) bool { return false }})
+	d.Store(0, []byte{1})
+	d.CLWB(0, 1)
+	d.SFence()
+	if d.Image()[0] != 0 {
+		t.Fatal("dropped clwb still persisted the line")
+	}
+	for _, op := range ops {
+		if op.Kind == trace.KindFlush {
+			t.Fatal("dropped clwb was recorded in the trace")
+		}
+	}
+
+	ops = ops[:0]
+	d2 := New(1024, recSink{&ops})
+	afterFired := false
+	d2.SetFaultHook(hookFuncs{fence: func() bool { return false }, after: func() { afterFired = true }})
+	d2.Store(0, []byte{1})
+	d2.CLWB(0, 1)
+	d2.SFence()
+	if d2.Image()[0] != 0 {
+		t.Fatal("dropped fence still persisted")
+	}
+	if afterFired {
+		t.Fatal("AfterFence fired for a suppressed fence")
+	}
+	for _, op := range ops {
+		if op.Kind == trace.KindFence {
+			t.Fatal("dropped fence was recorded in the trace")
+		}
+	}
+}
+
+// TestFaultHookTearsStore: BeforeStore returning a prefix length executes
+// (and records) only the prefix.
+func TestFaultHookTearsStore(t *testing.T) {
+	var ops []trace.Op
+	d := New(1024, recSink{&ops})
+	d.SetFaultHook(hookFuncs{store: func(addr uint64, data []byte) int { return 8 }})
+	d.Store(0, bytes.Repeat([]byte{0x33}, 16))
+	got := d.LoadBytes(0, 16)
+	if !bytes.Equal(got[:8], bytes.Repeat([]byte{0x33}, 8)) || got[8] != 0 {
+		t.Fatalf("torn store applied wrong bytes: % x", got)
+	}
+	if len(ops) != 1 || ops[0].Kind != trace.KindWrite || ops[0].Size != 8 {
+		t.Fatalf("torn store recorded %v, want one 8-byte write", ops)
+	}
+}
+
+// TestFaultHookAfterFenceReissue: a hook may re-issue a deferred primitive
+// from AfterFence; the re-issued op lands after the fence in the trace.
+func TestFaultHookAfterFenceReissue(t *testing.T) {
+	var ops []trace.Op
+	d := New(1024, recSink{&ops})
+	h := &reissueHook{}
+	h.d = d
+	d.SetFaultHook(h)
+	d.Store(0, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	d.CLWB(0, 16)
+	d.SFence()
+	var kinds []trace.Kind
+	for _, op := range ops {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []trace.Kind{trace.KindWrite, trace.KindFlush, trace.KindFence, trace.KindWrite}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("ops %v, want %v", kinds, want)
+		}
+	}
+	// The deferred tail is volatile again: dirty line after the fence.
+	if d.DirtyLines() != 1 {
+		t.Fatalf("deferred tail should re-dirty its line (dirty=%d)", d.DirtyLines())
+	}
+}
+
+// reissueHook tears the first large store and re-issues the tail after
+// the next fence (the torn-store fault shape used by faultinject).
+type reissueHook struct {
+	d        *Device
+	deferred []byte
+	addr     uint64
+	passthru bool
+	done     bool
+}
+
+func (h *reissueHook) BeforeStore(addr uint64, data []byte) int {
+	if h.passthru || h.done || len(data) < 16 {
+		return len(data)
+	}
+	h.done = true
+	h.addr = addr + 8
+	h.deferred = append([]byte(nil), data[8:]...)
+	return 8
+}
+func (h *reissueHook) BeforeFlush(addr, size uint64) bool { return true }
+func (h *reissueHook) BeforeFence() bool                  { return true }
+func (h *reissueHook) AfterFence() {
+	if h.deferred != nil {
+		h.passthru = true
+		h.d.Store(h.addr, h.deferred)
+		h.passthru = false
+		h.deferred = nil
+	}
+}

@@ -25,6 +25,32 @@ import (
 // LineSize is the cache-line granularity of writebacks and persistence.
 const LineSize = 64
 
+// FaultHook intercepts device primitives before they take effect; it is
+// the seam the fault-injection layer (internal/faultinject) attaches to.
+// A suppressed primitive neither changes device state nor records a trace
+// op — exactly as if the program had never issued it — which keeps the
+// trace the checking engine sees consistent with the durable states a
+// crash can produce.
+//
+// The hook runs synchronously on the program thread; implementations may
+// call back into the Device (e.g. to re-issue a deferred primitive from
+// AfterFence) but are responsible for avoiding unbounded recursion.
+type FaultHook interface {
+	// BeforeStore is consulted before a store of data at addr. It returns
+	// how many leading bytes of data to execute: len(data) passes the
+	// store through, 0 drops it entirely, and 0 < n < len(data) tears it —
+	// only the prefix executes (the hook may re-issue the tail later).
+	BeforeStore(addr uint64, data []byte) int
+	// BeforeFlush is consulted before a clwb; returning false drops it.
+	BeforeFlush(addr, size uint64) bool
+	// BeforeFence is consulted before an sfence; returning false drops it.
+	BeforeFence() bool
+	// AfterFence fires after an sfence executed (it does not fire for a
+	// fence BeforeFence suppressed), so deferred effects can be released
+	// on the far side of the ordering point.
+	AfterFence()
+}
+
 // line is one dirty cache line: the volatile content of the full line and
 // whether a writeback has been issued for it since its last store.
 type line struct {
@@ -39,6 +65,7 @@ type Device struct {
 	persisted []byte
 	cache     map[uint64]*line
 	sink      trace.Sink
+	hook      FaultHook
 
 	// stats for the benchmark harness
 	stores  uint64
@@ -80,6 +107,15 @@ func (d *Device) SetSink(s trace.Sink) trace.Sink {
 		s = trace.Discard
 	}
 	d.sink = s
+	return old
+}
+
+// SetFaultHook attaches (or, with nil, detaches) a fault-injection hook
+// and returns the previous one. With no hook attached the primitive paths
+// are identical to the unhooked ones.
+func (d *Device) SetFaultHook(h FaultHook) FaultHook {
+	old := d.hook
+	d.hook = h
 	return old
 }
 
@@ -130,6 +166,16 @@ func (d *Device) storeInternal(addr uint64, data []byte, kind trace.Kind, skip i
 		return
 	}
 	d.check(addr, size)
+	if d.hook != nil {
+		n := d.hook.BeforeStore(addr, data)
+		if n <= 0 {
+			return
+		}
+		if uint64(n) < size {
+			data = data[:n]
+			size = uint64(n)
+		}
+	}
 	d.stores++
 	off := uint64(0)
 	for off < size {
@@ -158,6 +204,9 @@ func (d *Device) clwbInternal(addr, size uint64, skip int) {
 		return
 	}
 	d.check(addr, size)
+	if d.hook != nil && !d.hook.BeforeFlush(addr, size) {
+		return
+	}
 	d.flushes++
 	for base := addr &^ (LineSize - 1); base < addr+size; base += LineSize {
 		if ln := d.cache[base]; ln != nil {
@@ -175,6 +224,9 @@ func (d *Device) SFence() { d.sfenceInternal(1) }
 func (d *Device) SFenceSkip(skip int) { d.sfenceInternal(skip + 1) }
 
 func (d *Device) sfenceInternal(skip int) {
+	if d.hook != nil && !d.hook.BeforeFence() {
+		return
+	}
 	d.fences++
 	for base, ln := range d.cache {
 		if ln.flushPending {
@@ -183,6 +235,9 @@ func (d *Device) sfenceInternal(skip int) {
 		}
 	}
 	d.sink.Record(trace.Op{Kind: trace.KindFence}, skip+1)
+	if d.hook != nil {
+		d.hook.AfterFence()
+	}
 }
 
 // PersistBarrier is the paper's persist_barrier(): clwb of the range
@@ -277,6 +332,25 @@ func (d *Device) LoadBytes(addr, size uint64) []byte {
 // DirtyLines returns the number of cache lines whose content is not yet
 // guaranteed durable.
 func (d *Device) DirtyLines() int { return len(d.cache) }
+
+// DirtyBases returns the base addresses of the dirty cache lines in
+// ascending order — the deterministic iteration order crash sampling and
+// fault injection depend on.
+func (d *Device) DirtyBases() []uint64 { return d.dirtyBases() }
+
+// EvictLine models a spontaneous hardware eviction of one dirty line: its
+// content becomes durable immediately and the line leaves the cache. This
+// is always legal behaviour (any dirty line may be evicted at any moment),
+// so it emits no trace op. It returns false if base is not a dirty line.
+func (d *Device) EvictLine(base uint64) bool {
+	ln := d.cache[base]
+	if ln == nil {
+		return false
+	}
+	copy(d.persisted[base:base+LineSize], ln.data[:])
+	delete(d.cache, base)
+	return true
+}
 
 // DrainAll makes every cached line durable — a clean shutdown. It emits
 // no trace ops (it models power-down completion, not program behaviour).

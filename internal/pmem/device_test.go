@@ -232,7 +232,7 @@ func TestRecoveryCheckFindsBrokenState(t *testing.T) {
 	d := New(4096, nil)
 	d.Store(0, []byte{42}) // data
 	d.Store(64, []byte{1}) // valid flag (separate line, unordered!)
-	err := d.RecoveryCheck(rand.New(rand.NewSource(1)), 32, CrashOptions{}, func(img []byte) error {
+	_, err := d.RecoveryCheck(rand.New(rand.NewSource(1)), 32, CrashOptions{}, func(img []byte) error {
 		if img[64] == 1 && img[0] != 42 {
 			return errString("valid flag set but data missing")
 		}
@@ -248,7 +248,7 @@ func TestRecoveryCheckPassesWhenOrdered(t *testing.T) {
 	d.Store(0, []byte{42})
 	d.PersistBarrier(0, 1) // data durable before flag is written
 	d.Store(64, []byte{1})
-	err := d.RecoveryCheck(rand.New(rand.NewSource(1)), 64, CrashOptions{}, func(img []byte) error {
+	distinct, err := d.RecoveryCheck(rand.New(rand.NewSource(1)), 64, CrashOptions{}, func(img []byte) error {
 		if img[64] == 1 && img[0] != 42 {
 			return errString("valid flag set but data missing")
 		}
@@ -256,6 +256,11 @@ func TestRecoveryCheckPassesWhenOrdered(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("correctly ordered program failed recovery: %v", err)
+	}
+	// One dirty line → only two possible states, however many samples were
+	// requested.
+	if distinct != 2 {
+		t.Fatalf("distinct = %d, want 2 (one dirty line)", distinct)
 	}
 }
 
