@@ -1,0 +1,140 @@
+// Command pmbench is the deterministic benchmark runner and
+// perf-regression gate. `pmbench run` (the default) executes a fixed
+// suite — WHISPER micro stores under full PMTest checking, the
+// synchronous CheckTrace hot path, the engine Submit→Wait pipeline with
+// p50/p99 check latency, the trace wire codec, and a bounded crashmc
+// campaign — for a named op budget and writes a schema-versioned JSON
+// result. `pmbench compare` diffs two such files and exits non-zero
+// when any metric regresses beyond tolerance; CI runs it against the
+// checked-in BENCH_pmbench.json on every push.
+//
+// Usage:
+//
+//	go run ./cmd/pmbench -count 3 -budget small           # run, write BENCH_pmbench.json
+//	go run ./cmd/pmbench run -budget medium -o new.json   # explicit run subcommand
+//	go run ./cmd/pmbench compare -tolerance 30% old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmtest/internal/perf"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "compare":
+			os.Exit(runCompare(args[1:]))
+		case "run":
+			args = args[1:]
+		}
+	}
+	os.Exit(runSuite(args))
+}
+
+func runSuite(args []string) int {
+	fs := flag.NewFlagSet("pmbench run", flag.ExitOnError)
+	budget := fs.String("budget", "small", "suite budget: tiny, small, medium, large")
+	count := fs.Int("count", 1, "run the suite this many times and keep the best value per metric")
+	seed := fs.Int64("seed", 1, "seed for the bounded fault-injection campaign entry")
+	out := fs.String("o", "BENCH_pmbench.json", "output file ('-' for stdout)")
+	quiet := fs.Bool("q", false, "suppress per-entry progress on stderr")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "pmbench run: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	b, ok := perf.Budgets(*budget)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pmbench: unknown budget %q (want tiny, small, medium, or large)\n", *budget)
+		return 2
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	res, err := perf.Run(b, *count, *seed, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench:", err)
+		return 1
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench:", err)
+		return 1
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d metrics (budget %s, count %d) to %s\n",
+			len(res.Metrics), b.Name, *count, *out)
+	}
+	return 0
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("pmbench compare", flag.ExitOnError)
+	tol := fs.String("tolerance", "10%", "regression gate floor, e.g. 30% or 0.3; per-metric tolerances can only widen it")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: pmbench compare [-tolerance 30%] baseline.json new.json")
+		return 2
+	}
+	flagTol, err := parseTolerance(*tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench compare:", err)
+		return 2
+	}
+
+	base, err := perf.ReadResult(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench compare:", err)
+		return 1
+	}
+	cur, err := perf.ReadResult(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench compare:", err)
+		return 1
+	}
+	deltas, err := perf.Compare(base, cur, flagTol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench compare:", err)
+		return 1
+	}
+	perf.WriteReport(os.Stdout, deltas)
+	if perf.Regressions(deltas) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseTolerance accepts "30%" or a bare fraction like "0.3".
+func parseTolerance(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad tolerance %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 || v > 10 {
+		return 0, fmt.Errorf("tolerance %q out of range", s)
+	}
+	return v, nil
+}

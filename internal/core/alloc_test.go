@@ -1,0 +1,78 @@
+//go:build !race
+
+package core
+
+// Allocation-regression tests: the checking hot path is pooled
+// (statePool + interval-tree node freelists + scratch buffers), so a
+// steady stream of clean traces must check without per-trace
+// allocations. These ceilings fail `go test` locally the moment a
+// change reintroduces per-op allocation — the bench job's compare gate
+// is the second, coarser line of defense. Excluded under -race: the
+// race runtime randomly drops sync.Pool items to widen interleaving
+// coverage, which makes allocation counts meaningless.
+
+import (
+	"testing"
+
+	"pmtest/internal/trace"
+)
+
+// cleanMicroOps builds the clean transactional section the micro suite
+// ships per insert: logged, written, flushed lines closed by one fence.
+func cleanMicroOps(writes int) []trace.Op {
+	ops := []trace.Op{{Kind: trace.KindTxCheckerStart}, {Kind: trace.KindTxBegin}}
+	for i := 0; i < writes; i++ {
+		addr := uint64(0x1000 + i*64)
+		ops = append(ops,
+			trace.Op{Kind: trace.KindTxAdd, Addr: addr, Size: 64},
+			trace.Op{Kind: trace.KindWrite, Addr: addr, Size: 64},
+			trace.Op{Kind: trace.KindFlush, Addr: addr, Size: 64})
+	}
+	return append(ops, trace.Op{Kind: trace.KindFence},
+		trace.Op{Kind: trace.KindTxEnd}, trace.Op{Kind: trace.KindTxCheckerEnd})
+}
+
+// TestCheckTraceAllocCeiling pins allocs per checked trace. The pre-pool
+// baseline for this trace shape was ~1286 allocs; steady state is now 0.
+// The ceiling leaves slack for a GC clearing the pool mid-measurement,
+// while still failing loudly on any real regression.
+func TestCheckTraceAllocCeiling(t *testing.T) {
+	tr := &trace.Trace{Ops: cleanMicroOps(256)}
+	const ceiling = 64.0
+	allocs := testing.AllocsPerRun(100, func() {
+		rep := CheckTrace(X86{}, tr)
+		if !rep.Clean() {
+			t.Fatal("clean trace flagged")
+		}
+	})
+	if allocs > ceiling {
+		t.Fatalf("CheckTrace on a clean 256-write section: %.1f allocs/op, ceiling %v (pre-optimization baseline ~1286)",
+			allocs, ceiling)
+	}
+}
+
+// TestCheckTraceAllocCeilingOrdered covers the isOrderedBefore path,
+// whose operand collection used to allocate two slices per checker.
+func TestCheckTraceAllocCeilingOrdered(t *testing.T) {
+	ops := []trace.Op{
+		{Kind: trace.KindWrite, Addr: 0x1000, Size: 64},
+		{Kind: trace.KindFlush, Addr: 0x1000, Size: 64},
+		{Kind: trace.KindFence},
+		{Kind: trace.KindWrite, Addr: 0x2000, Size: 64},
+		{Kind: trace.KindFlush, Addr: 0x2000, Size: 64},
+		{Kind: trace.KindFence},
+		{Kind: trace.KindIsOrderedBefore, Addr: 0x1000, Size: 64, Addr2: 0x2000, Size2: 64},
+		{Kind: trace.KindIsPersist, Addr: 0x2000, Size: 64},
+	}
+	tr := &trace.Trace{Ops: ops}
+	const ceiling = 16.0
+	allocs := testing.AllocsPerRun(100, func() {
+		rep := CheckTrace(X86{}, tr)
+		if !rep.Clean() {
+			t.Fatal("clean ordered trace flagged")
+		}
+	})
+	if allocs > ceiling {
+		t.Fatalf("CheckTrace with checkers: %.1f allocs/op, ceiling %v", allocs, ceiling)
+	}
+}

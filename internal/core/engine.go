@@ -27,17 +27,37 @@ func CheckTrace(rules RuleSet, t *trace.Trace) Report {
 // in the final diagnostic.
 const maxDiagsPerTrace = 1000
 
+// statePool recycles checking states across traces. A trace still gets a
+// logically fresh shadow memory (§4.4) — Reset restores the pristine
+// condition — but the State allocation, its four interval trees, their
+// node freelists and the scratch buffers are all reused, which removes
+// the dominant per-trace allocation cost on the checking hot path.
+var statePool = sync.Pool{New: func() any { return NewState() }}
+
 // CheckTraceExcluding is CheckTrace with session-wide static exclusions
 // seeded into the fresh state of every trace (library metadata regions —
 // undo logs, allocator headers — are excluded for the whole run rather
 // than re-announced in each trace section).
 //
+// The checking state is drawn from an internal pool; CheckTraceInto is
+// the same computation against a caller-managed State.
+func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) Report {
+	s := statePool.Get().(*State)
+	rep := CheckTraceInto(s, rules, t, excludes)
+	s.Reset() // detaches rep's diagnostics before the state is reused
+	statePool.Put(s)
+	return rep
+}
+
+// CheckTraceInto runs the checking rules over t using s, which must be
+// freshly constructed or Reset. The returned Report owns the accumulated
+// diagnostics slice; s may be Reset and reused afterwards.
+//
 // A panic inside the checking rules — a hostile trace, a malformed op, a
 // buggy custom RuleSet — is recovered into a CodeCheckerPanic diagnostic
 // and the report produced so far is returned, so one poisoned trace
 // cannot kill the engine's worker (or the whole process).
-func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) (rep Report) {
-	s := NewState()
+func CheckTraceInto(s *State, rules RuleSet, t *trace.Trace, excludes []Range) (rep Report) {
 	tracked := 0
 	defer func() {
 		if r := recover(); r != nil {

@@ -80,7 +80,8 @@ func (X86) Apply(s *State, op trace.Op) {
 func x86Flush(s *State, op trace.Op) {
 	lo, hi := op.Addr, op.Addr+op.Size
 	quiet := s.excluded(lo, hi)
-	segs := s.Mem.ExtractOverlap(lo, hi)
+	s.segScratch = s.Mem.ExtractOverlapAppend(s.segScratch[:0], lo, hi)
+	segs := s.segScratch
 	warned := false
 	// Gaps in the shadow memory are ranges never written (and never
 	// flushed): writing them back is unnecessary.

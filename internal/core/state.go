@@ -88,6 +88,13 @@ type State struct {
 
 	diags   []Diagnostic
 	opIndex int
+
+	// Scratch buffers reused across operations (and, via the state pool,
+	// across traces) so the checking hot path performs no per-op slice
+	// allocations. segScratch serves x86Flush and the first operand of
+	// isOrderedBefore; segScratch2 serves the second operand.
+	segScratch  []interval.Seg[status]
+	segScratch2 []interval.Seg[status]
 }
 
 // NewState returns the empty checking state for a fresh trace.
@@ -100,8 +107,30 @@ func NewState() *State {
 	}
 }
 
+// Reset returns the state to its freshly-constructed condition while
+// keeping allocated capacity — tree node freelists and scratch buffers —
+// so a pooled State checks its next trace without reallocating. The
+// diagnostics slice is detached, not truncated: the previous trace's
+// Report owns it.
+func (s *State) Reset() {
+	s.T = 0
+	s.Mem.Clear()
+	s.Log.Clear()
+	s.Written.Clear()
+	s.Excluded.Clear()
+	s.TxDepth = 0
+	s.TxCheckActive = false
+	s.diags = nil
+	s.opIndex = 0
+}
+
 // report appends a diagnostic anchored at the current operation.
 func (s *State) report(sev Severity, code Code, site, related, format string, args ...any) {
+	if s.diags == nil {
+		// Most traces are clean; size the first growth for the common
+		// several-findings case instead of the append 1→2→4 ramp.
+		s.diags = make([]Diagnostic, 0, 8)
+	}
 	s.diags = append(s.diags, Diagnostic{
 		Severity: sev,
 		Code:     code,
@@ -216,12 +245,12 @@ func (s *State) applyTxCheckerEnd(op trace.Op) {
 			"TX_CHECKER_END without matching TX_CHECKER_START")
 		return
 	}
-	for _, seg := range s.Written.All() {
-		if s.excluded(seg.Lo, seg.Hi) {
-			continue
+	s.Written.Visit(0, ^uint64(0), func(seg interval.Seg[writeInfo]) bool {
+		if !s.excluded(seg.Lo, seg.Hi) {
+			s.checkPersistRange(seg.Lo, seg.Hi, op, CodeIncompleteTx)
 		}
-		s.checkPersistRange(seg.Lo, seg.Hi, op, CodeIncompleteTx)
-	}
+		return true
+	})
 	s.TxCheckActive = false
 	s.Written.Clear()
 }
@@ -256,17 +285,16 @@ func (s *State) applyIsPersist(op trace.Op) {
 	s.checkPersistRange(op.Addr, op.Addr+op.Size, op, CodeNotPersisted)
 }
 
-// persistIntervals collects the persist intervals (and their write sites)
-// overlapping [lo, hi).
-func (s *State) persistIntervals(lo, hi uint64) []interval.Seg[status] {
-	var out []interval.Seg[status]
+// persistIntervals appends the persist intervals (and their write sites)
+// overlapping [lo, hi) to dst, which callers recycle as scratch.
+func (s *State) persistIntervals(dst []interval.Seg[status], lo, hi uint64) []interval.Seg[status] {
 	s.Mem.Visit(lo, hi, func(seg interval.Seg[status]) bool {
 		if seg.Val.HasPI {
-			out = append(out, seg)
+			dst = append(dst, seg)
 		}
 		return true
 	})
-	return out
+	return dst
 }
 
 // applyIsOrderedBefore handles the isOrderedBefore checker. Under a strict
@@ -274,8 +302,9 @@ func (s *State) persistIntervals(lo, hi uint64) []interval.Seg[status] {
 // relaxed, fence-ordered model (HOPS) interval starts are compared
 // (§4.4 vs §5.2). byStart selects the latter.
 func (s *State) applyIsOrderedBefore(op trace.Op, byStart bool) {
-	as := s.persistIntervals(op.Addr, op.Addr+op.Size)
-	bs := s.persistIntervals(op.Addr2, op.Addr2+op.Size2)
+	s.segScratch = s.persistIntervals(s.segScratch[:0], op.Addr, op.Addr+op.Size)
+	s.segScratch2 = s.persistIntervals(s.segScratch2[:0], op.Addr2, op.Addr2+op.Size2)
+	as, bs := s.segScratch, s.segScratch2
 	for _, a := range as {
 		for _, b := range bs {
 			if byStart {

@@ -581,6 +581,40 @@ type opsRecorder struct{ ops []trace.Op }
 
 func (r *opsRecorder) Record(op trace.Op, _ int) { r.ops = append(r.ops, op) }
 
+// RecordMicroSections runs n checkered insertions of txSize-byte values
+// into the named store and returns the recorded operations of each
+// per-transaction section (the cut points PMTest_SEND_TRACE would use).
+// The run is deterministic: same arguments, same sections. It is the raw
+// material for offline checking, the pooled-state golden tests, and the
+// perf suite's check/encode benchmarks.
+func RecordMicroSections(store string, txSize uint64, n int) ([][]trace.Op, error) {
+	rec := &opsRecorder{}
+	dev := pmem.New(deviceSize(n, txSize), rec)
+	s, err := newStore(store, dev, txSize, n)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := s.(whisper.Checkered); ok {
+		c.SetCheckers(true)
+	}
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 16
+	}
+	val := make([]byte, txSize)
+	rng.Read(val)
+	sections := make([][]trace.Op, 0, n)
+	for _, k := range keys {
+		rec.ops = nil
+		if err := s.Insert(k, val); err != nil {
+			return nil, err
+		}
+		sections = append(sections, rec.ops)
+	}
+	return sections, nil
+}
+
 // SparseFenceStateSpace sizes Yat's crash-state space for a synthetic
 // trace of nWrites line writes with a fence every `window` writes —
 // the fence-sparse pattern (PMFS-style batched metadata updates) whose

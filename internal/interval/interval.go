@@ -35,6 +35,10 @@ type node[V any] struct {
 type Tree[V any] struct {
 	root *node[V]
 	rng  uint64
+	// free is a chain of recycled nodes (linked through left). Extraction
+	// and Clear push removed nodes here; newNode pops before allocating,
+	// so steady-state mutation of a long-lived tree is allocation-free.
+	free *node[V]
 }
 
 // New returns an empty interval tree.
@@ -51,6 +55,40 @@ func (t *Tree[V]) nextPri() uint32 {
 	x ^= x >> 27
 	t.rng = x
 	return uint32((x * 0x2545F4914F6CDD1D) >> 32)
+}
+
+// newNode returns a node for [lo, hi) → v, reusing a recycled one when
+// available.
+func (t *Tree[V]) newNode(lo, hi uint64, v V) *node[V] {
+	if n := t.free; n != nil {
+		t.free = n.left
+		n.lo, n.hi, n.val = lo, hi, v
+		n.pri = t.nextPri()
+		n.left, n.right = nil, nil
+		n.count = 1
+		return n
+	}
+	return &node[V]{lo: lo, hi: hi, val: v, pri: t.nextPri(), count: 1}
+}
+
+// recycle pushes one node onto the freelist, zeroing its value so the
+// freelist does not retain anything the value referenced.
+func (t *Tree[V]) recycle(n *node[V]) {
+	var zero V
+	n.val = zero
+	n.right = nil
+	n.left = t.free
+	t.free = n
+}
+
+// recycleAll recycles an entire subtree.
+func (t *Tree[V]) recycleAll(n *node[V]) {
+	if n == nil {
+		return
+	}
+	t.recycleAll(n.left)
+	t.recycleAll(n.right)
+	t.recycle(n)
 }
 
 func count[V any](n *node[V]) int {
@@ -98,15 +136,18 @@ func merge[V any](a, b *node[V]) *node[V] {
 // Len returns the number of stored segments.
 func (t *Tree[V]) Len() int { return count(t.root) }
 
-// Clear removes all segments.
-func (t *Tree[V]) Clear() { t.root = nil }
+// Clear removes all segments, recycling their nodes for reuse.
+func (t *Tree[V]) Clear() {
+	t.recycleAll(t.root)
+	t.root = nil
+}
 
 // insertNode adds a segment that is known not to overlap anything stored.
 func (t *Tree[V]) insertNode(lo, hi uint64, v V) {
 	if lo >= hi {
 		return
 	}
-	n := &node[V]{lo: lo, hi: hi, val: v, pri: t.nextPri(), count: 1}
+	n := t.newNode(lo, hi, v)
 	a, b := split(t.root, lo)
 	t.root = merge(merge(a, n), b)
 }
@@ -117,8 +158,21 @@ func (t *Tree[V]) insertNode(lo, hi uint64, v V) {
 // range. This is the workhorse primitive: read-modify-write a sub-range by
 // extracting it, transforming the segments, and re-inserting them.
 func (t *Tree[V]) ExtractOverlap(lo, hi uint64) []Seg[V] {
+	return t.extract(lo, hi, nil, true)
+}
+
+// ExtractOverlapAppend is ExtractOverlap appending into dst, so callers
+// on the checking hot path can reuse a scratch buffer across calls.
+func (t *Tree[V]) ExtractOverlapAppend(dst []Seg[V], lo, hi uint64) []Seg[V] {
+	return t.extract(lo, hi, dst, true)
+}
+
+// extract implements ExtractOverlap; when collect is false the removed
+// segments are recycled without being copied out, which keeps Set and
+// Delete allocation-free.
+func (t *Tree[V]) extract(lo, hi uint64, dst []Seg[V], collect bool) []Seg[V] {
 	if lo >= hi || t.root == nil {
-		return nil
+		return dst
 	}
 	// Step 1: everything strictly left of lo, except a segment that begins
 	// before lo may spill into [lo, hi).
@@ -136,40 +190,45 @@ func (t *Tree[V]) ExtractOverlap(lo, hi uint64) []Seg[V] {
 	}
 	mid, right := split(rest, hi)
 
-	var out []Seg[V]
 	if spill != nil {
-		// Keep [spill.lo, lo) on the left with the original value.
-		t2 := spill.hi
-		leftPart := &node[V]{lo: spill.lo, hi: lo, val: spill.val, pri: t.nextPri(), count: 1}
-		left = merge(left, leftPart)
-		end := t2
+		end := spill.hi
 		if end > hi {
 			end = hi
 			// Keep [hi, spill.hi) on the right.
-			rightPart := &node[V]{lo: hi, hi: t2, val: spill.val, pri: t.nextPri(), count: 1}
+			rightPart := t.newNode(hi, spill.hi, spill.val)
 			a, b := split(right, hi)
 			right = merge(merge(a, rightPart), b)
 		}
-		out = append(out, Seg[V]{Lo: lo, Hi: end, Val: spill.val})
+		if collect {
+			dst = append(dst, Seg[V]{Lo: lo, Hi: end, Val: spill.val})
+		}
+		// Reuse the spill node for its remainder [spill.lo, lo) on the left.
+		spill.hi = lo
+		spill.left, spill.right = nil, nil
+		spill.count = 1
+		left = merge(left, spill)
 	}
 	// Step 2: segments starting in [lo, hi); only the max can extend past hi.
 	if mid != nil {
 		var max *node[V]
 		mid, max = popMax(mid)
 		if max.hi > hi {
-			rightPart := &node[V]{lo: hi, hi: max.hi, val: max.val, pri: t.nextPri(), count: 1}
+			rightPart := t.newNode(hi, max.hi, max.val)
 			a, b := split(right, hi)
 			right = merge(merge(a, rightPart), b)
 			max.hi = hi
 		}
 		mid = merge(mid, max.update())
-		inorder(mid, func(n *node[V]) { out = append(out, Seg[V]{Lo: n.lo, Hi: n.hi, Val: n.val}) })
+		if collect {
+			inorder(mid, func(n *node[V]) { dst = append(dst, Seg[V]{Lo: n.lo, Hi: n.hi, Val: n.val}) })
+		}
+		t.recycleAll(mid)
 	}
 	t.root = merge(left, right)
-	// out currently may have the spill first then mid segments — already in
+	// dst may have the spill first then mid segments — already in
 	// ascending order because spill starts exactly at lo and mid segments
 	// start at or after lo and do not overlap the spill.
-	return out
+	return dst
 }
 
 func popMax[V any](n *node[V]) (rest, max *node[V]) {
@@ -197,7 +256,7 @@ func (t *Tree[V]) Set(lo, hi uint64, v V) {
 	if lo >= hi {
 		return
 	}
-	t.ExtractOverlap(lo, hi)
+	t.extract(lo, hi, nil, false)
 	t.insertNode(lo, hi, v)
 }
 
@@ -206,7 +265,7 @@ func (t *Tree[V]) Set(lo, hi uint64, v V) {
 func (t *Tree[V]) Insert(lo, hi uint64, v V) { t.insertNode(lo, hi, v) }
 
 // Delete removes [lo, hi) from the map, trimming partial overlaps.
-func (t *Tree[V]) Delete(lo, hi uint64) { t.ExtractOverlap(lo, hi) }
+func (t *Tree[V]) Delete(lo, hi uint64) { t.extract(lo, hi, nil, false) }
 
 // Visit calls f for every stored segment overlapping [lo, hi), clipped to
 // the range, in ascending order. f returning false stops the walk.

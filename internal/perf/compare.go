@@ -1,0 +1,116 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Delta is one metric's old-vs-new comparison.
+type Delta struct {
+	Name     string
+	Old, New float64
+	Unit     string
+	Better   Direction
+	// Pct is the signed relative change, positive when the value grew.
+	Pct float64
+	// Tol is the gate actually applied: max(baseline metric tolerance,
+	// the compare-wide tolerance flag).
+	Tol       float64
+	Regressed bool
+	// MissingNew marks a baseline metric absent from the new run — a
+	// renamed or dropped benchmark, treated as a regression so the
+	// baseline gets consciously regenerated.
+	MissingNew bool
+	// NewMetric marks a metric absent from the baseline; informational.
+	NewMetric bool
+}
+
+func (d Delta) String() string {
+	switch {
+	case d.MissingNew:
+		return fmt.Sprintf("%-44s MISSING from new run (baseline %.4g %s)", d.Name, d.Old, d.Unit)
+	case d.NewMetric:
+		return fmt.Sprintf("%-44s new metric: %.4g %s", d.Name, d.New, d.Unit)
+	}
+	verdict := "ok"
+	if d.Regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%-44s %12.4g -> %12.4g %-10s %+7.1f%% (tol %.0f%%, %s is better) %s",
+		d.Name, d.Old, d.New, d.Unit, d.Pct*100, d.Tol*100, d.Better, verdict)
+}
+
+// Compare diffs a new run against a baseline. A metric regresses when it
+// moves against its direction by more than max(flagTol, its baseline
+// tolerance). Schema mismatches are errors, not comparisons.
+func Compare(base, cur *Result, flagTol float64) ([]Delta, error) {
+	if base.SchemaVersion != cur.SchemaVersion {
+		return nil, fmt.Errorf("schema mismatch: baseline v%d vs new v%d",
+			base.SchemaVersion, cur.SchemaVersion)
+	}
+	if base.Budget != cur.Budget {
+		return nil, fmt.Errorf("budget mismatch: baseline %q vs new %q — results are not comparable",
+			base.Budget, cur.Budget)
+	}
+	var deltas []Delta
+	for _, bm := range base.Metrics {
+		d := Delta{Name: bm.Name, Old: bm.Value, Unit: bm.Unit, Better: bm.Better,
+			Tol: math.Max(flagTol, bm.Tolerance)}
+		cm, ok := cur.Get(bm.Name)
+		if !ok {
+			d.MissingNew, d.Regressed = true, true
+			deltas = append(deltas, d)
+			continue
+		}
+		d.New = cm.Value
+		if bm.Value != 0 {
+			d.Pct = (cm.Value - bm.Value) / bm.Value
+		} else if cm.Value != 0 {
+			d.Pct = math.Inf(1)
+		}
+		switch bm.Better {
+		case HigherIsBetter:
+			d.Regressed = d.Pct < -d.Tol
+		default: // lower is better; also the safe reading of an unknown direction
+			d.Regressed = d.Pct > d.Tol
+		}
+		// A zero-baseline cost metric (e.g. 0 allocs/op) has no relative
+		// scale; allow an absolute slack of one tolerance-unit-per-op
+		// before flagging, so a GC-cleared pool does not fail CI.
+		if bm.Value == 0 && bm.Better != HigherIsBetter {
+			d.Regressed = cm.Value > 64
+		}
+		deltas = append(deltas, d)
+	}
+	for _, cm := range cur.Metrics {
+		if _, ok := base.Get(cm.Name); !ok {
+			deltas = append(deltas, Delta{Name: cm.Name, New: cm.Value, Unit: cm.Unit,
+				Better: cm.Better, NewMetric: true})
+		}
+	}
+	return deltas, nil
+}
+
+// Regressions counts gating deltas.
+func Regressions(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteReport renders the comparison table.
+func WriteReport(w io.Writer, deltas []Delta) {
+	for _, d := range deltas {
+		fmt.Fprintln(w, d.String())
+	}
+	if n := Regressions(deltas); n > 0 {
+		fmt.Fprintf(w, "\n%d metric(s) regressed beyond tolerance\n", n)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond tolerance\n")
+	}
+}

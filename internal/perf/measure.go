@@ -1,0 +1,38 @@
+package perf
+
+import (
+	"runtime"
+	"time"
+)
+
+// Sample is one fixed-iteration measurement in `go test -bench` units.
+type Sample struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	Elapsed     time.Duration
+}
+
+// measure runs f iters times and reports per-iteration cost. One
+// warm-up run primes pools and lazily-built state (mirroring
+// testing.AllocsPerRun), and a GC before the timed loop keeps earlier
+// garbage from being collected on our clock.
+func measure(iters int, f func()) Sample {
+	f()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return Sample{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		Elapsed:     elapsed,
+	}
+}

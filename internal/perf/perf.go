@@ -1,0 +1,136 @@
+// Package perf is the deterministic benchmark harness behind cmd/pmbench
+// and the CI perf-regression gate. Unlike `go test -bench`, which
+// auto-calibrates iteration counts, every suite entry runs a fixed op
+// budget chosen by name ("small", "medium", "large"), so two runs of the
+// same budget measure exactly the same work and their JSON results are
+// directly comparable.
+//
+// A Result is a flat list of named metrics. Each metric carries its
+// direction (whether lower or higher is better) and a per-metric noise
+// tolerance, so Compare can gate on regressions without a config file:
+// allocation counts are near-deterministic and tolerate little, wall
+// -clock throughput on shared CI runners tolerates more.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_pmbench.json layout. Compare
+// refuses to diff results with mismatched schemas rather than silently
+// comparing renamed metrics.
+const SchemaVersion = 1
+
+// Direction says which way a metric improves.
+type Direction string
+
+const (
+	// LowerIsBetter marks costs: ns/op, B/op, allocs/op, latency.
+	LowerIsBetter Direction = "lower"
+	// HigherIsBetter marks throughputs: inserts/sec, traces/sec.
+	HigherIsBetter Direction = "higher"
+)
+
+// Default per-metric tolerances, as fractions. Allocation counts only
+// move when code changes (modulo a GC clearing a sync.Pool mid-run);
+// timing on shared runners is noisy.
+const (
+	TolAllocs  = 0.10
+	TolTiming  = 0.35
+	TolLatency = 0.50
+)
+
+// Metric is one measured quantity.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Better is the improvement direction, used by Compare.
+	Better Direction `json:"better"`
+	// Tolerance is the metric's own noise allowance (fraction); Compare
+	// gates on max(Tolerance, its -tolerance flag).
+	Tolerance float64 `json:"tolerance"`
+}
+
+// Result is one pmbench run: the whole suite at one budget.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Budget        string `json:"budget"`
+	Count         int    `json:"count"`
+	Seed          int64  `json:"seed"`
+	GoVersion     string `json:"go_version,omitempty"`
+	// GeneratedAt is informational only; Compare ignores it.
+	GeneratedAt string   `json:"generated_at,omitempty"`
+	Metrics     []Metric `json:"metrics"`
+}
+
+// Get returns the named metric.
+func (r *Result) Get(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// add appends a metric, keeping the list sorted by name so the JSON
+// diffs cleanly between runs.
+func (r *Result) add(m Metric) {
+	r.Metrics = append(r.Metrics, m)
+	sort.Slice(r.Metrics, func(i, j int) bool { return r.Metrics[i].Name < r.Metrics[j].Name })
+}
+
+// merge folds another run of the same suite into r, keeping the best
+// value per metric (min for costs, max for throughputs) — the same
+// noise-rejection `go test -bench -count N` users apply with benchstat,
+// built in because the CI gate consumes a single number.
+func (r *Result) merge(other Result) {
+	for _, m := range other.Metrics {
+		cur, ok := r.Get(m.Name)
+		if !ok {
+			r.add(m)
+			continue
+		}
+		better := m.Value < cur.Value
+		if m.Better == HigherIsBetter {
+			better = m.Value > cur.Value
+		}
+		if better {
+			for i := range r.Metrics {
+				if r.Metrics[i].Name == m.Name {
+					r.Metrics[i].Value = m.Value
+				}
+			}
+		}
+	}
+}
+
+// WriteJSON writes the result with stable formatting.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadResult loads a pmbench JSON file and validates its schema.
+func ReadResult(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r Result
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema_version %d, this pmbench speaks %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}

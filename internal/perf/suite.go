@@ -1,0 +1,262 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pmtest/internal/core"
+	"pmtest/internal/faultinject"
+	"pmtest/internal/harness"
+	"pmtest/internal/obs"
+	"pmtest/internal/trace"
+)
+
+// Budget fixes how much work each suite entry does, so two runs of the
+// same budget are directly comparable. "small" is the CI gate; "medium"
+// and "large" are for local before/after measurement.
+type Budget struct {
+	Name string
+	// Micro-suite shape: each store × tx size runs Inserts insertions
+	// end-to-end under full PMTest checking.
+	Stores  []string
+	TxSizes []uint64
+	Inserts int
+	// CheckSections is how many recorded sections feed the engine and
+	// direct-check entries.
+	CheckSections int
+	// CheckIters is the fixed iteration count for the direct
+	// CheckTrace and codec entries.
+	CheckIters int
+	// Campaign bounds the crashmc entry.
+	CampaignTargets int
+	CampaignBudget  int
+	CampaignOps     int
+}
+
+// Budgets returns the named budget, or false.
+func Budgets(name string) (Budget, bool) {
+	switch name {
+	case "tiny": // test-sized; not meant for checked-in baselines
+		return Budget{Name: "tiny", Stores: []string{"ctree"}, TxSizes: []uint64{64},
+			Inserts: 60, CheckSections: 40, CheckIters: 5,
+			CampaignTargets: 1, CampaignBudget: 1, CampaignOps: 2}, true
+	case "small": // the CI gate: ~seconds per pass
+		return Budget{Name: "small", Stores: []string{"ctree", "hashmap-ll"}, TxSizes: []uint64{64, 256},
+			Inserts: 400, CheckSections: 300, CheckIters: 20,
+			CampaignTargets: 2, CampaignBudget: 2, CampaignOps: 2}, true
+	case "medium":
+		return Budget{Name: "medium", Stores: []string{"ctree", "btree", "hashmap-ll"},
+			TxSizes: []uint64{64, 256, 1024},
+			Inserts: 2000, CheckSections: 1000, CheckIters: 50,
+			CampaignTargets: 3, CampaignBudget: 4, CampaignOps: 3}, true
+	case "large":
+		return Budget{Name: "large", Stores: harness.MicroStores, TxSizes: []uint64{64, 256, 1024, 4096},
+			Inserts: 8000, CheckSections: 4000, CheckIters: 100,
+			CampaignTargets: 5, CampaignBudget: 8, CampaignOps: 3}, true
+	}
+	return Budget{}, false
+}
+
+// Run executes the whole suite count times and returns the merged
+// (best-of) result. progress, when non-nil, receives one line per suite
+// entry.
+func Run(b Budget, count int, seed int64, progress io.Writer) (*Result, error) {
+	if count < 1 {
+		count = 1
+	}
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+	res := &Result{SchemaVersion: SchemaVersion, Budget: b.Name, Count: count,
+		Seed: seed, GoVersion: runtime.Version()}
+	for pass := 0; pass < count; pass++ {
+		logf("pass %d/%d", pass+1, count)
+		one := &Result{SchemaVersion: SchemaVersion, Budget: b.Name}
+		if err := runOnce(b, seed, one, logf); err != nil {
+			return nil, err
+		}
+		res.merge(*one)
+	}
+	return res, nil
+}
+
+func runOnce(b Budget, seed int64, res *Result, logf func(string, ...any)) error {
+	if err := runMicro(b, res, logf); err != nil {
+		return err
+	}
+	if err := runCheckAndEngine(b, res, logf); err != nil {
+		return err
+	}
+	if err := runCodec(b, res, logf); err != nil {
+		return err
+	}
+	return runCampaign(b, seed, res, logf)
+}
+
+// runMicro measures the whisper micro stores end-to-end under full
+// PMTest checking: wall-clock insert throughput plus the allocator cost
+// of the whole tool stack per insert.
+func runMicro(b Budget, res *Result, logf func(string, ...any)) error {
+	for _, store := range b.Stores {
+		for _, tx := range b.TxSizes {
+			var mr harness.MicroResult
+			var err error
+			s := measure(1, func() {
+				mr, err = harness.MicroBench(store, tx, b.Inserts, harness.ToolPMTest, 1)
+			})
+			if err != nil {
+				return fmt.Errorf("micro %s/tx%d: %w", store, tx, err)
+			}
+			if mr.Fails > 0 {
+				return fmt.Errorf("micro %s/tx%d: %d FAILs on a clean workload", store, tx, mr.Fails)
+			}
+			n := float64(b.Inserts)
+			prefix := fmt.Sprintf("micro/%s/tx%d/", store, tx)
+			res.add(Metric{Name: prefix + "inserts_per_sec",
+				Value: n / mr.Elapsed.Seconds(), Unit: "inserts/s",
+				Better: HigherIsBetter, Tolerance: TolTiming})
+			res.add(Metric{Name: prefix + "allocs_per_insert",
+				Value: s.AllocsPerOp / n, Unit: "allocs/op",
+				Better: LowerIsBetter, Tolerance: TolAllocs})
+			res.add(Metric{Name: prefix + "b_per_insert",
+				Value: s.BytesPerOp / n, Unit: "B/op",
+				Better: LowerIsBetter, Tolerance: TolTiming})
+			logf("  %s: %.0f inserts/s, %.0f allocs/insert",
+				prefix, n/mr.Elapsed.Seconds(), s.AllocsPerOp/n)
+		}
+	}
+	return nil
+}
+
+// runCheckAndEngine records one store's sections once, then measures
+// (a) the synchronous CheckTrace hot path and (b) the full engine
+// Submit→Wait pipeline with the observability registry attached, which
+// yields the p50/p99 per-trace check latency.
+func runCheckAndEngine(b Budget, res *Result, logf func(string, ...any)) error {
+	sections, err := harness.RecordMicroSections(b.Stores[0], 256, b.CheckSections)
+	if err != nil {
+		return err
+	}
+	traces := make([]*trace.Trace, len(sections))
+	totalOps := 0
+	for i, ops := range sections {
+		traces[i] = &trace.Trace{Ops: ops}
+		totalOps += len(ops)
+	}
+
+	s := measure(b.CheckIters, func() {
+		for _, tr := range traces {
+			core.CheckTrace(core.X86{}, tr)
+		}
+	})
+	n := float64(len(traces))
+	res.add(Metric{Name: "check/traces_per_sec",
+		Value: n / (s.NsPerOp / 1e9), Unit: "traces/s",
+		Better: HigherIsBetter, Tolerance: TolTiming})
+	res.add(Metric{Name: "check/allocs_per_trace",
+		Value: s.AllocsPerOp / n, Unit: "allocs/op",
+		Better: LowerIsBetter, Tolerance: TolAllocs})
+	res.add(Metric{Name: "check/ns_per_op",
+		Value: s.NsPerOp / float64(totalOps), Unit: "ns/op",
+		Better: LowerIsBetter, Tolerance: TolTiming})
+	logf("  check: %.0f traces/s, %.1f allocs/trace", n/(s.NsPerOp/1e9), s.AllocsPerOp/n)
+
+	m := obs.NewMetrics(0)
+	var elapsed time.Duration
+	measure(1, func() {
+		eng := core.NewEngine(core.Options{Workers: 2, Observer: m})
+		start := time.Now()
+		for _, tr := range traces {
+			eng.Submit(tr)
+		}
+		eng.Wait()
+		elapsed = time.Since(start)
+		eng.Close()
+	})
+	snap := m.Snapshot()
+	res.add(Metric{Name: "engine/traces_per_sec",
+		Value: n / elapsed.Seconds(), Unit: "traces/s",
+		Better: HigherIsBetter, Tolerance: TolTiming})
+	res.add(Metric{Name: "engine/check_p50_ns",
+		Value: float64(snap.CheckDur.P50), Unit: "ns",
+		Better: LowerIsBetter, Tolerance: TolLatency})
+	res.add(Metric{Name: "engine/check_p99_ns",
+		Value: float64(snap.CheckDur.P99), Unit: "ns",
+		Better: LowerIsBetter, Tolerance: TolLatency})
+	logf("  engine: %.0f traces/s, p50 %v, p99 %v",
+		n/elapsed.Seconds(), snap.CheckDur.P50, snap.CheckDur.P99)
+	return nil
+}
+
+// runCodec measures trace wire encode and decode on a representative
+// recorded section.
+func runCodec(b Budget, res *Result, logf func(string, ...any)) error {
+	sections, err := harness.RecordMicroSections(b.Stores[0], 256, 8)
+	if err != nil {
+		return err
+	}
+	tr := &trace.Trace{Ops: sections[len(sections)-1]}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		return err
+	}
+	wire := buf.Bytes()
+
+	iters := b.CheckIters * 50
+	enc := measure(iters, func() {
+		if err := trace.Encode(io.Discard, tr); err != nil {
+			panic(err)
+		}
+	})
+	res.add(Metric{Name: "encode/ns_per_trace", Value: enc.NsPerOp, Unit: "ns/op",
+		Better: LowerIsBetter, Tolerance: TolTiming})
+	res.add(Metric{Name: "encode/allocs_per_trace", Value: enc.AllocsPerOp, Unit: "allocs/op",
+		Better: LowerIsBetter, Tolerance: TolAllocs})
+
+	dec := measure(iters, func() {
+		if _, err := trace.Decode(bytes.NewReader(wire)); err != nil {
+			panic(err)
+		}
+	})
+	res.add(Metric{Name: "decode/ns_per_trace", Value: dec.NsPerOp, Unit: "ns/op",
+		Better: LowerIsBetter, Tolerance: TolTiming})
+	logf("  codec: encode %.0f ns (%.1f allocs), decode %.0f ns",
+		enc.NsPerOp, enc.AllocsPerOp, dec.NsPerOp)
+	return nil
+}
+
+// runCampaign runs a bounded crashmc fault-injection campaign — the
+// heaviest consumer of the checking engine — and reports schedule and
+// crash-state throughput.
+func runCampaign(b Budget, seed int64, res *Result, logf func(string, ...any)) error {
+	cfg := faultinject.Defaults()
+	cfg.Seed = seed
+	cfg.Budget = b.CampaignBudget
+	cfg.Ops = b.CampaignOps
+	targets := faultinject.Targets()
+	if len(targets) > b.CampaignTargets {
+		targets = targets[:b.CampaignTargets]
+	}
+	var cr *faultinject.Result
+	var err error
+	s := measure(1, func() {
+		cr, err = faultinject.Run(cfg, targets)
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	sec := s.Elapsed.Seconds()
+	res.add(Metric{Name: "crashmc/schedules_per_sec",
+		Value: float64(cr.SchedulesRun) / sec, Unit: "schedules/s",
+		Better: HigherIsBetter, Tolerance: TolTiming})
+	res.add(Metric{Name: "crashmc/states_per_sec",
+		Value: float64(cr.StatesExplored) / sec, Unit: "states/s",
+		Better: HigherIsBetter, Tolerance: TolTiming})
+	logf("  crashmc: %d schedules, %d states in %v", cr.SchedulesRun, cr.StatesExplored, s.Elapsed)
+	return nil
+}

@@ -1,0 +1,54 @@
+// Excluded under -race: the race runtime perturbs sync.Pool retention,
+// making allocation counts meaningless.
+
+//go:build !race
+
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+// TestEncodeAllocCeiling pins allocs per serialized section: Encode
+// builds the frame in a pooled buffer and issues one Write, so steady
+// state is allocation-free (the pre-pool baseline paid a bufio.Writer
+// plus escape-analysis scratch per call).
+func TestEncodeAllocCeiling(t *testing.T) {
+	tr := sampleTrace()
+	const ceiling = 2.0
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := Encode(io.Discard, tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > ceiling {
+		t.Fatalf("Encode: %.1f allocs/op, ceiling %v", allocs, ceiling)
+	}
+}
+
+// TestBuilderSectionBatching: after one section has been shipped, the
+// next same-shaped section costs a single batched op-slice allocation
+// instead of the append grow ramp.
+func TestBuilderSectionBatching(t *testing.T) {
+	b := NewBuilder(0, false)
+	record := func(n int) {
+		for i := 0; i < n; i++ {
+			b.Record(Op{Kind: KindWrite, Addr: uint64(i) * 64, Size: 64}, 0)
+		}
+	}
+	record(100)
+	if got := b.Take(); len(got.Ops) != 100 {
+		t.Fatalf("first section: %d ops", len(got.Ops))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		record(100)
+		if got := b.Take(); len(got.Ops) != 100 {
+			t.Fatal("short section")
+		}
+	})
+	// One allocation for the op slice, one for the Trace header.
+	if allocs > 2 {
+		t.Fatalf("steady-state section: %.1f allocs, want <= 2", allocs)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // encMagic identifies a serialized trace stream ("PMTR", version 1 in
@@ -26,56 +27,44 @@ var ErrBadTrace = errors.New("trace: malformed serialized trace")
 // allocations.
 const maxDecodeOps = 64 << 20
 
+// opWireSize is the fixed per-op wire size: kind byte, four 64-bit
+// fields, the 32-bit line and the 16-bit file-length prefix.
+const opWireSize = 1 + 4*8 + 4 + 2
+
+// encBufPool recycles encode buffers. Serialization happens once per
+// shipped section on the program thread (Config.RecordTo), so building
+// the whole frame in a reused buffer and issuing a single Write keeps
+// recording allocation-free at steady state.
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // Encode writes the trace to w in the binary format.
 func Encode(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	var scratch [8]byte
-	put32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := bw.Write(scratch[:4])
-		return err
+	bp := encBufPool.Get().(*[]byte)
+	defer encBufPool.Put(bp)
+	b := (*bp)[:0]
+	if need := 4 + 3*8 + len(t.Ops)*opWireSize; cap(b) < need {
+		b = make([]byte, 0, need)
 	}
-	put64 := func(v uint64) error {
-		binary.LittleEndian.PutUint64(scratch[:8], v)
-		_, err := bw.Write(scratch[:8])
-		return err
-	}
-	if err := put32(encMagic); err != nil {
-		return err
-	}
-	if err := put64(uint64(t.ID)); err != nil {
-		return err
-	}
-	if err := put64(uint64(t.Thread)); err != nil {
-		return err
-	}
-	if err := put64(uint64(len(t.Ops))); err != nil {
-		return err
-	}
+	b = binary.LittleEndian.AppendUint32(b, encMagic)
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.ID))
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.Thread))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(t.Ops)))
 	for _, op := range t.Ops {
-		if err := bw.WriteByte(byte(op.Kind)); err != nil {
-			return err
-		}
-		for _, v := range [...]uint64{op.Addr, op.Size, op.Addr2, op.Size2} {
-			if err := put64(v); err != nil {
-				return err
-			}
-		}
-		if err := put32(uint32(op.Line)); err != nil {
-			return err
-		}
 		if len(op.File) > 0xFFFF {
 			return fmt.Errorf("trace: file name too long (%d bytes)", len(op.File))
 		}
-		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(op.File)))
-		if _, err := bw.Write(scratch[:2]); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(op.File); err != nil {
-			return err
-		}
+		b = append(b, byte(op.Kind))
+		b = binary.LittleEndian.AppendUint64(b, op.Addr)
+		b = binary.LittleEndian.AppendUint64(b, op.Size)
+		b = binary.LittleEndian.AppendUint64(b, op.Addr2)
+		b = binary.LittleEndian.AppendUint64(b, op.Size2)
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.Line))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(op.File)))
+		b = append(b, op.File...)
 	}
-	return bw.Flush()
+	*bp = b
+	_, err := w.Write(b)
+	return err
 }
 
 // Decode reads one trace in the Encode format.

@@ -188,6 +188,11 @@ type Builder struct {
 	ops     []Op
 	skip    int  // extra runtime.Caller frames to skip for location capture
 	capture bool // whether to capture file:line (costs a runtime.Caller)
+	// sizeHint is the largest section shipped so far; each new section's
+	// op slice is preallocated to it, so a steady stream of same-shaped
+	// sections (one per transaction, §4.2) costs one batch allocation per
+	// section instead of the append grow ramp.
+	sizeHint int
 }
 
 // NewBuilder returns a Builder for the given program thread id.
@@ -219,6 +224,9 @@ func (b *Builder) Record(op Op, callerSkip int) {
 			op.Line = line
 		}
 	}
+	if b.ops == nil && b.sizeHint > 0 {
+		b.ops = make([]Op, 0, b.sizeHint)
+	}
 	b.ops = append(b.ops, op)
 }
 
@@ -226,8 +234,11 @@ func (b *Builder) Record(op Op, callerSkip int) {
 // for the next section (PMTest_SEND_TRACE starts a new trace).
 func (b *Builder) Take() *Trace {
 	t := &Trace{Thread: b.thread, Ops: b.ops}
-	// Keep amortized allocation behaviour: hand off the backing array and
-	// start fresh, as the engine owns the trace once sent.
+	if n := len(b.ops); n > b.sizeHint {
+		b.sizeHint = n
+	}
+	// Hand off the backing array and start fresh — the engine owns the
+	// trace once sent; the next section preallocates from sizeHint.
 	b.ops = nil
 	return t
 }
