@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"pmtest/internal/faultinject"
+	"pmtest/internal/flight"
 	"pmtest/internal/obs"
 )
 
@@ -44,6 +45,7 @@ var (
 	flagStrict     = flag.Bool("strict", false, "exit non-zero on soundness violations")
 	flagList       = flag.Bool("list", false, "list workloads and fault classes, then exit")
 	flagBench      = flag.String("bench", "", "write campaign throughput JSON to this file")
+	flagFlight     = flag.String("flight-out", "", "write the campaign's span timeline (one span per schedule) as Chrome trace-event JSON to this file")
 	flagV          = flag.Bool("v", false, "print every schedule outcome")
 )
 
@@ -69,11 +71,15 @@ func main() {
 	}
 
 	metrics := obs.NewMetrics(1)
+	var rec *flight.Recorder
+	if *flagFlight != "" {
+		rec = flight.NewRecorder(4096)
+	}
 	cfg := faultinject.Config{
 		Seed: *flagSeed, Budget: *flagBudget, Ops: *flagOps,
 		StateLimit: *flagStateLimit, Samples: *flagSamples,
 		TearLines: *flagTear, Deadline: *flagDeadline,
-		Classes: classes, Metrics: metrics,
+		Classes: classes, Metrics: metrics, Flight: rec,
 	}
 	start := time.Now()
 	res, err := faultinject.Run(cfg, targets)
@@ -84,6 +90,12 @@ func main() {
 
 	if *flagBench != "" {
 		if err := writeBench(*flagBench, res, elapsed); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *flagFlight != "" {
+		if err := writeFlight(*flagFlight, rec); err != nil {
 			fatal(err)
 		}
 	}
@@ -219,6 +231,18 @@ func writeBench(path string, res *faultinject.Result, elapsed time.Duration) err
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeFlight(path string, rec *flight.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.WriteChrome(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

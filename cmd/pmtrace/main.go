@@ -9,6 +9,7 @@
 //	go run ./cmd/pmtrace            # the paper's Fig. 7 trace
 //	go run ./cmd/pmtrace -fig4      # the paper's Fig. 4 trace
 //	go run ./cmd/pmtrace -store btree
+//	go run ./cmd/pmtrace timeline flight.json   # text gantt of a -flight-out export
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"text/tabwriter"
 
 	"pmtest/internal/core"
+	"pmtest/internal/flight"
 	"pmtest/internal/obs"
 	"pmtest/internal/pmem"
 	"pmtest/internal/trace"
@@ -34,6 +36,10 @@ var (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		runTimeline(os.Args[2:])
+		return
+	}
 	flag.Parse()
 	rules, ok := core.Models()[*flagModel]
 	if !ok {
@@ -86,6 +92,39 @@ func main() {
 	dump(rules, ops)
 	if *flagStats {
 		printStats(rules, []*trace.Trace{{Ops: ops}})
+	}
+}
+
+// runTimeline renders a flight-recorder export (Chrome trace-event JSON
+// written by repro/crashmc -flight-out) as a text gantt: one bar per
+// span, errors marked with "!".
+func runTimeline(args []string) {
+	fs := flag.NewFlagSet("pmtrace timeline", flag.ExitOnError)
+	width := fs.Int("width", 60, "gantt bar area width in columns")
+	category := fs.String("category", "", "only spans of one category (session|tx|checker|engine|campaign)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pmtrace timeline [-width N] [-category C] <flight.json>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := flight.ReadChrome(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+	if err := flight.WriteTimeline(os.Stdout, tr, *width, *category); err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
 	}
 }
 

@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"pmtest/internal/bugdb"
+	"pmtest/internal/flight"
 	"pmtest/internal/harness"
 	"pmtest/internal/obs"
 )
@@ -40,7 +43,8 @@ var (
 	flagStores = flag.String("stores", "", "comma-separated store subset (default: all five)")
 	flagCSV    = flag.String("csv", "", "path prefix for machine-readable CSV output (writes <prefix>-fig10a.csv and <prefix>-fig11.csv)")
 	flagStats  = flag.Bool("stats", false, "print an observability snapshot (throughput, check-latency quantiles, diag histogram) after the run")
-	flagObs    = flag.String("obs-listen", "", "serve the live observability endpoint (Prometheus text + JSON) at this address, e.g. :8081")
+	flagObs    = flag.String("obs-listen", "", "serve the live observability endpoint (Prometheus text + JSON at /, span browse at /flight) at this address, e.g. :8081")
+	flagFlight = flag.String("flight-out", "", "write the run's span timeline as Chrome trace-event JSON (Perfetto-loadable; browse with 'pmtrace timeline') to this file")
 )
 
 // csvOut opens a CSV file for one figure when -csv is set; the returned
@@ -79,10 +83,24 @@ func main() {
 		metrics = obs.NewMetrics(256)
 		harness.ObserveWith(metrics)
 	}
+	var rec *flight.Recorder
+	if *flagFlight != "" || *flagObs != "" {
+		rec = flight.NewRecorder(1024)
+		harness.FlightWith(rec)
+		// The bug catalog checks sections synchronously (no engine), so it
+		// has its own observer seam; point it at the same recorder so the
+		// Table 5/6 sweeps produce checker spans too.
+		bugdb.ObserveChecks(flight.EngineObserver(rec))
+	}
+	var srv *http.Server
 	if *flagObs != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(metrics))
+		mux.Handle("/flight", flight.Handler(rec))
+		srv = &http.Server{Addr: *flagObs, Handler: mux}
+		fmt.Printf("observability endpoint on http://%s/metrics (add ?format=json for JSON; span browse at /flight)\n", *flagObs)
 		go func() {
-			fmt.Printf("observability endpoint on http://%s/metrics (add ?format=json for JSON)\n", *flagObs)
-			if err := http.ListenAndServe(*flagObs, obs.Handler(metrics)); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "repro: obs endpoint:", err)
 			}
 		}()
@@ -116,6 +134,26 @@ func main() {
 	}
 	if *flagStats {
 		fmt.Print(metrics.Snapshot().Format())
+	}
+	if *flagFlight != "" {
+		f, err := os.Create(*flagFlight)
+		die(err)
+		if err := flight.WriteChrome(f, rec); err != nil {
+			f.Close()
+			die(err)
+		}
+		die(f.Close())
+		fmt.Printf("(flight timeline written to %s — load in Perfetto or run 'pmtrace timeline %s')\n",
+			*flagFlight, *flagFlight)
+	}
+	if srv != nil {
+		// The run is over: shut the endpoint down cleanly rather than
+		// letting process exit tear down the listener mid-request.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "repro: obs endpoint shutdown:", err)
+		}
 	}
 }
 

@@ -11,9 +11,11 @@ package bugdb
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"pmtest/internal/core"
 	"pmtest/internal/mnemosyne"
+	"pmtest/internal/obs"
 	"pmtest/internal/pmdk"
 	"pmtest/internal/pmem"
 	"pmtest/internal/pmfs"
@@ -104,6 +106,29 @@ func (b Bug) Detected(reports []core.Report) bool {
 
 const devSize = 1 << 24
 
+// checkObs, when set, receives a TraceChecked event for every section the
+// catalog checks. The catalog checks synchronously (no engine), so this
+// is its only observer seam; cmd/repro points it at the flight recorder
+// so Table 5/6 sweeps produce checker spans too.
+var checkObs obs.Observer
+
+// ObserveChecks installs (or, with nil, removes) the observer notified
+// of every section checked by catalog runs. Not safe to change while
+// runs are in flight.
+func ObserveChecks(o obs.Observer) { checkObs = o }
+
+// check validates one section and notifies the observer, if any. All
+// catalog run helpers funnel through it.
+func check(ops []trace.Op) core.Report {
+	tr := &trace.Trace{Ops: append([]trace.Op(nil), ops...)}
+	start := time.Now()
+	rep := core.CheckTrace(core.X86{}, tr)
+	if checkObs != nil {
+		checkObs.TraceChecked(core.ReportEvent(tr, rep, 0, 0, time.Since(start)))
+	}
+	return rep
+}
+
 // recorder buffers ops (one section at a time).
 type recorder struct{ ops []trace.Op }
 
@@ -147,8 +172,7 @@ func runStore(mk func(dev *pmem.Device, bugs whisper.BugSet) (whisper.Store, err
 			if err := s.Insert(pattern(i), val); err != nil {
 				return nil, fmt.Errorf("insert %d: %w", i, err)
 			}
-			reports = append(reports, core.CheckTrace(core.X86{},
-				&trace.Trace{Ops: append([]trace.Op(nil), rec.ops...)}))
+			reports = append(reports, check(rec.ops))
 		}
 		return reports, nil
 	}
@@ -183,8 +207,7 @@ func runRedis(pool pmdk.Bugs, n int) func() ([]core.Report, error) {
 			if err := r.Set(uint64(i)*3, []byte("redis-value")); err != nil {
 				return nil, err
 			}
-			reports = append(reports, core.CheckTrace(core.X86{},
-				&trace.Trace{Ops: append([]trace.Op(nil), rec.ops...)}))
+			reports = append(reports, check(rec.ops))
 		}
 		return reports, nil
 	}
@@ -205,8 +228,7 @@ func runMemcached(region mnemosyne.Bugs, n int) func() ([]core.Report, error) {
 		var reports []core.Report
 		m.SetSectionHook(0, func() {
 			if len(rec.ops) > 0 {
-				reports = append(reports, core.CheckTrace(core.X86{},
-					&trace.Trace{Ops: append([]trace.Op(nil), rec.ops...)}))
+				reports = append(reports, check(rec.ops))
 				rec.ops = rec.ops[:0]
 			}
 		})
@@ -233,8 +255,7 @@ func runPMFS(bugs pmfs.Bugs, ops func(fs *pmfs.FS) error) func() ([]core.Report,
 		var reports []core.Report
 		fs.SetSectionHook(func() {
 			if len(rec.ops) > 0 {
-				reports = append(reports, core.CheckTrace(core.X86{},
-					&trace.Trace{Ops: append([]trace.Op(nil), rec.ops...)}))
+				reports = append(reports, check(rec.ops))
 				rec.ops = rec.ops[:0]
 			}
 		})
@@ -260,8 +281,7 @@ func runEcho(bugs whisper.BugSet, n int) func() ([]core.Report, error) {
 			if err := e.Set(uint64(i), []byte("echo-value")); err != nil {
 				return nil, err
 			}
-			reports = append(reports, core.CheckTrace(core.X86{},
-				&trace.Trace{Ops: append([]trace.Op(nil), rec.ops...)}))
+			reports = append(reports, check(rec.ops))
 		}
 		return reports, nil
 	}

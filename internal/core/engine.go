@@ -215,30 +215,7 @@ func (e *Engine) worker(id int, q <-chan task) {
 			r = CheckTraceExcluding(e.opts.Rules, t, e.opts.StaticExcludes)
 		}
 		if ob != nil {
-			ev := obs.TraceEvent{
-				TraceID:    t.ID,
-				Thread:     t.Thread,
-				Worker:     id,
-				Ops:        r.Ops,
-				TrackedOps: r.TrackedOps,
-				QueueWait:  start.Sub(tk.enq),
-				CheckDur:   time.Since(start),
-			}
-			for _, d := range r.Diags {
-				switch d.Severity {
-				case SeverityFail:
-					ev.Fails++
-				case SeverityWarn:
-					ev.Warns++
-				default:
-					ev.Infos++
-				}
-				if ev.Codes == nil {
-					ev.Codes = make(map[string]int)
-				}
-				ev.Codes[string(d.Code)]++
-			}
-			ob.TraceChecked(ev)
+			ob.TraceChecked(ReportEvent(t, r, id, start.Sub(tk.enq), time.Since(start)))
 		}
 		e.mu.Lock()
 		e.reports = append(e.reports, r)
@@ -248,6 +225,49 @@ func (e *Engine) worker(id int, q <-chan task) {
 		}
 		e.mu.Unlock()
 	}
+}
+
+// ReportEvent builds the observer event for a checked trace: counters,
+// the section's span identity, and — only when the trace is not clean —
+// the detailed diagnostics, so the clean path allocates nothing. The
+// engine worker emits one per trace; synchronous checkers (bugdb, the
+// inline ablation) can build the same event for their own observers.
+func ReportEvent(t *trace.Trace, r Report, worker int, queueWait, checkDur time.Duration) obs.TraceEvent {
+	ev := obs.TraceEvent{
+		TraceID:    t.ID,
+		Thread:     t.Thread,
+		Worker:     worker,
+		Ops:        r.Ops,
+		TrackedOps: r.TrackedOps,
+		QueueWait:  queueWait,
+		CheckDur:   checkDur,
+		SpanID:     t.SpanID,
+		TxSpans:    t.TxSpans,
+	}
+	if len(r.Diags) == 0 {
+		return ev
+	}
+	ev.Codes = make(map[string]int)
+	ev.Diags = make([]obs.DiagInfo, len(r.Diags))
+	for i, d := range r.Diags {
+		switch d.Severity {
+		case SeverityFail:
+			ev.Fails++
+		case SeverityWarn:
+			ev.Warns++
+		default:
+			ev.Infos++
+		}
+		ev.Codes[string(d.Code)]++
+		ev.Diags[i] = obs.DiagInfo{
+			Severity: d.Severity.String(),
+			Code:     string(d.Code),
+			OpIndex:  d.OpIndex,
+			Message:  d.Message,
+			Site:     d.Site,
+		}
+	}
+	return ev
 }
 
 // Submit hands a trace to the engine (PMTest_SEND_TRACE). The master

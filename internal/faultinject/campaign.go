@@ -10,6 +10,7 @@ import (
 
 	"pmtest/internal/bugdb"
 	"pmtest/internal/core"
+	"pmtest/internal/flight"
 	"pmtest/internal/obs"
 	"pmtest/internal/pmem"
 	"pmtest/internal/trace"
@@ -50,6 +51,9 @@ type Config struct {
 	Rules core.RuleSet
 	// Metrics, when non-nil, receives campaign counters.
 	Metrics *obs.Metrics
+	// Flight, when non-nil, records one campaign span per schedule with
+	// fault-site and crash-state annotations (failed = recovery broke).
+	Flight *flight.Recorder
 }
 
 // Defaults returns a small, CI-friendly configuration.
@@ -248,7 +252,26 @@ func Run(cfg Config, targets []Target) (*Result, error) {
 					}
 					break
 				}
+				// One campaign span per schedule; nil-safe throughout, so
+				// an unset recorder costs only the call.
+				sp := c.cfg.Flight.Start(flight.CatCampaign, "schedule", 0)
 				out := c.runSchedule(tgt, sc)
+				sp.SetStr("workload", tgt.Name).
+					SetStr("class", out.Class).
+					SetInt("site", int64(out.Site)).
+					SetInt("op_index", int64(out.OpIndex)).
+					SetInt("injected", int64(b2u(out.Injected))).
+					SetInt("flagged", int64(b2u(out.Flagged))).
+					SetInt("states_explored", int64(out.StatesExplored)).
+					SetInt("states_possible", int64(out.StatesPossible)).
+					SetErr(out.Demonstrated)
+				if out.ImageHash != "" {
+					sp.SetStr("image_hash", out.ImageHash)
+				}
+				if out.RecoveryErr != "" {
+					sp.SetStr("recovery_err", out.RecoveryErr)
+				}
+				sp.Finish()
 				tr.Outcomes = append(tr.Outcomes, out)
 				c.res.SchedulesRun++
 			}

@@ -1,0 +1,170 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ChromeEvent is one Chrome trace-event ("X" complete events only).
+// Timestamps and durations are microseconds, as the format requires;
+// sub-microsecond precision is preserved in the fractional part.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of the trace-event format, which
+// both about://tracing and Perfetto load directly.
+type ChromeTrace struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// ToChrome converts recorded spans into a Chrome trace. Timestamps are
+// rebased to the earliest span so the viewer opens at t=0. Span
+// identity and parentage ride in args (span_id/parent_span_id), along
+// with every annotation and the error flag.
+func ToChrome(spans []Span) ChromeTrace {
+	tr := ChromeTrace{TraceEvents: []ChromeEvent{}, DisplayUnit: "ns"}
+	var base time.Time
+	for i := range spans {
+		if base.IsZero() || spans[i].Start.Before(base) {
+			base = spans[i].Start
+		}
+	}
+	for i := range spans {
+		s := &spans[i]
+		args := map[string]any{
+			"span_id": s.ID,
+		}
+		if s.Parent != 0 {
+			args["parent_span_id"] = s.Parent
+		}
+		if s.Err {
+			args["error"] = true
+		}
+		for _, a := range s.Attrs() {
+			args[a.Key] = a.Value()
+		}
+		for j, e := range s.Events() {
+			args[fmt.Sprintf("event_%d", j)] = fmt.Sprintf("+%v %s", e.At.Sub(s.Start), e.Msg)
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: s.Name,
+			Cat:  s.Category.String(),
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(base).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur().Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.TID,
+			Args: args,
+		})
+	}
+	return tr
+}
+
+// WriteChrome writes the recorder's spans as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, rec *Recorder) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ToChrome(rec.Export()))
+}
+
+// ReadChrome parses a Chrome trace-event JSON document produced by
+// WriteChrome (object form with a traceEvents array).
+func ReadChrome(r io.Reader) (ChromeTrace, error) {
+	var tr ChromeTrace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return ChromeTrace{}, fmt.Errorf("flight: parse trace-event JSON: %w", err)
+	}
+	return tr, nil
+}
+
+// WriteTimeline renders a Chrome trace as a text gantt, one row per
+// event ordered by start time, bars scaled to width columns. category
+// filters to one span category when non-empty ("" = all).
+func WriteTimeline(w io.Writer, tr ChromeTrace, width int, category string) error {
+	if width <= 0 {
+		width = 60
+	}
+	evs := make([]ChromeEvent, 0, len(tr.TraceEvents))
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if category != "" && e.Cat != category {
+			continue
+		}
+		evs = append(evs, e)
+	}
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "no spans")
+		return err
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	t0, t1 := evs[0].TS, evs[0].TS+evs[0].Dur
+	for _, e := range evs {
+		if e.TS < t0 {
+			t0 = e.TS
+		}
+		if end := e.TS + e.Dur; end > t1 {
+			t1 = end
+		}
+	}
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	labelW := 0
+	for _, e := range evs {
+		if l := len(label(e)); l > labelW {
+			labelW = l
+		}
+	}
+	if labelW > 32 {
+		labelW = 32
+	}
+	total := time.Duration((t1 - t0) * 1e3)
+	if _, err := fmt.Fprintf(w, "%d spans over %v\n", len(evs), total.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, e := range evs {
+		l := label(e)
+		if len(l) > labelW {
+			l = l[:labelW]
+		}
+		lo := int(float64(width) * (e.TS - t0) / span)
+		hi := int(float64(width) * (e.TS + e.Dur - t0) / span)
+		if hi >= width {
+			hi = width - 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("█", hi-lo+1) +
+			strings.Repeat(" ", width-hi-1)
+		mark := " "
+		if err, _ := e.Args["error"].(bool); err {
+			mark = "!"
+		}
+		dur := time.Duration(e.Dur * 1e3)
+		if _, err := fmt.Fprintf(w, "%-*s %s|%s| %v\n", labelW, l, mark, bar, dur.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func label(e ChromeEvent) string {
+	return fmt.Sprintf("%s/%s t%d", e.Cat, e.Name, e.TID)
+}

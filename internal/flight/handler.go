@@ -1,0 +1,109 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// spanJSON is the browse representation of a recorded span.
+type spanJSON struct {
+	ID       uint64         `json:"id"`
+	Parent   uint64         `json:"parent,omitempty"`
+	Category string         `json:"category"`
+	Name     string         `json:"name"`
+	TID      int            `json:"tid"`
+	Start    time.Time      `json:"start"`
+	DurNS    int64          `json:"dur_ns"`
+	Err      bool           `json:"err,omitempty"`
+	Dropped  uint8          `json:"dropped_attrs,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Events   []eventJSON    `json:"events,omitempty"`
+}
+
+type eventJSON struct {
+	At  time.Time `json:"at"`
+	Msg string    `json:"msg"`
+}
+
+func toJSON(s *Span) spanJSON {
+	out := spanJSON{
+		ID:       s.ID,
+		Parent:   s.Parent,
+		Category: s.Category.String(),
+		Name:     s.Name,
+		TID:      s.TID,
+		Start:    s.Start,
+		DurNS:    s.Dur().Nanoseconds(),
+		Err:      s.Err,
+		Dropped:  s.Dropped,
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value()
+		}
+	}
+	for _, e := range s.Events() {
+		out.Events = append(out.Events, eventJSON{At: e.At, Msg: e.Msg})
+	}
+	return out
+}
+
+// Handler serves the live span browse as JSON: the newest spans first,
+// filtered by query parameters:
+//
+//	category  session|tx|checker|engine|campaign (default: all)
+//	min_dur   Go duration, e.g. 1ms — drop shorter spans
+//	err       1/true — only failed spans
+//	name      substring match on the span name
+//	limit     max spans returned (default 100)
+//
+// Mount it beside obs.Handler on the -obs-listen address.
+func Handler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var f Filter
+		q := r.URL.Query()
+		if c := q.Get("category"); c != "" {
+			cat, ok := ParseCategory(c)
+			if !ok {
+				http.Error(w, fmt.Sprintf("unknown category %q", c), http.StatusBadRequest)
+				return
+			}
+			f.Category, f.HasCategory = cat, true
+		}
+		if d := q.Get("min_dur"); d != "" {
+			dur, err := time.ParseDuration(d)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad min_dur: %v", err), http.StatusBadRequest)
+				return
+			}
+			f.MinDur = dur
+		}
+		if e := q.Get("err"); e == "1" || e == "true" {
+			f.ErrOnly = true
+		}
+		f.Name = q.Get("name")
+		if l := q.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n <= 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", l), http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		spans := rec.Search(f)
+		out := struct {
+			Spans []spanJSON `json:"spans"`
+		}{Spans: make([]spanJSON, len(spans))}
+		for i := range spans {
+			out.Spans[i] = toJSON(&spans[i])
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}

@@ -1,0 +1,84 @@
+package flight
+
+import (
+	"time"
+
+	"pmtest/internal/obs"
+)
+
+// EngineObserver adapts a Recorder to the obs.Observer seam: each
+// checked trace becomes one engine span (reconstructed retroactively
+// from the durations the event carries, parented under the section span
+// the trace rode in with), and each diagnostic becomes a checker child
+// span. A checker finding anchored inside a transaction's op range is
+// parented under that transaction's span, which is what lets the
+// timeline answer "which tx did this FAIL come from".
+//
+// Returns nil when rec is nil, so obs.Multi drops it and the engine
+// keeps its no-observer fast path.
+func EngineObserver(rec *Recorder) obs.Observer {
+	if rec == nil {
+		return nil
+	}
+	return engineObserver{rec}
+}
+
+type engineObserver struct {
+	rec *Recorder
+}
+
+// TraceSubmitted implements obs.Observer. Submission is a point on the
+// section span's own timeline, already covered by it; no span here.
+func (engineObserver) TraceSubmitted(id, thread, ops int) {}
+
+// TraceDequeued implements obs.Observer. Queue wait is carried as an
+// attribute on the engine span instead of its own span.
+func (engineObserver) TraceDequeued(id, worker int, wait time.Duration) {}
+
+// TraceChecked implements obs.Observer: emits the engine span for the
+// check and one checker child span per diagnostic.
+func (o engineObserver) TraceChecked(ev obs.TraceEvent) {
+	end := time.Now()
+	start := end.Add(-ev.CheckDur)
+	es := o.rec.StartAt(CatEngine, "check", ev.SpanID, start).
+		SetTID(ev.Thread).
+		SetInt("trace_id", int64(ev.TraceID)).
+		SetInt("worker", int64(ev.Worker)).
+		SetInt("ops", int64(ev.Ops)).
+		SetInt("tracked_ops", int64(ev.TrackedOps)).
+		SetInt("queue_wait_ns", ev.QueueWait.Nanoseconds()).
+		SetErr(ev.Fails > 0)
+	if ev.Fails > 0 {
+		es.SetInt("fails", int64(ev.Fails))
+	}
+	if ev.Warns > 0 {
+		es.SetInt("warns", int64(ev.Warns))
+	}
+	engineID := es.ID
+	es.FinishAt(end)
+
+	for _, d := range ev.Diags {
+		// Parent under the innermost transaction covering the finding's
+		// op index; ranges can nest after a section cut resets an open
+		// tx's begin to 0, so prefer the latest-starting match.
+		parent := engineID
+		best := -1
+		for _, r := range ev.TxSpans {
+			if r.Contains(d.OpIndex) && r.Begin > best {
+				best = r.Begin
+				parent = r.SpanID
+			}
+		}
+		cs := o.rec.StartAt(CatChecker, d.Code, parent, start).
+			SetTID(ev.Thread).
+			SetInt("trace_id", int64(ev.TraceID)).
+			SetInt("op_index", int64(d.OpIndex)).
+			SetStr("severity", d.Severity).
+			SetStr("message", d.Message).
+			SetErr(d.Severity == "FAIL")
+		if d.Site != "" && d.Site != "?" {
+			cs.SetStr("site", d.Site)
+		}
+		cs.FinishAt(end)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"pmtest"
 	"pmtest/internal/core"
+	"pmtest/internal/flight"
 	"pmtest/internal/obs"
 	"pmtest/internal/pmem"
 	"pmtest/internal/pmemcheck"
@@ -32,6 +33,16 @@ var metrics *obs.Metrics
 // harness runs (nil uninstalls). Not safe to call concurrently with a
 // running benchmark.
 func ObserveWith(m *obs.Metrics) { metrics = m }
+
+// flightRec, when set via FlightWith, is installed into every PMTest
+// session the harness creates, so cmd/repro's -flight-out / -obs-listen
+// flags capture a span timeline across a whole experiment run.
+var flightRec *flight.Recorder
+
+// FlightWith installs a flight recorder for all subsequent harness runs
+// (nil uninstalls). Not safe to call concurrently with a running
+// benchmark.
+func FlightWith(r *flight.Recorder) { flightRec = r }
 
 // Tool selects the testing tool attached to a run.
 type Tool int
@@ -177,6 +188,7 @@ func MicroBench(store string, txSize uint64, n int, tool Tool, workers int) (Mic
 			Workers:   workers,
 			TrackOnly: tool == ToolPMTestTrack,
 			Metrics:   metrics,
+			Flight:    flightRec,
 		})
 		th := sess.ThreadInit()
 		dev := pmem.New(devSize, th)
@@ -248,7 +260,7 @@ func MicroBench(store string, txSize uint64, n int, tool Tool, workers int) (Mic
 		// Ablation: one giant trace section checked at the end. The
 		// shadow memory grows with the whole run and checking cannot
 		// overlap execution.
-		sess := pmtest.Init(pmtest.Config{Metrics: metrics})
+		sess := pmtest.Init(pmtest.Config{Metrics: metrics, Flight: flightRec})
 		th := sess.ThreadInit()
 		dev := pmem.New(devSize, th)
 		s, err := newStore(store, dev, txSize, n)
@@ -329,6 +341,7 @@ func memcachedBench(name string, ops []whisper.KVOp, threads, workers int, tool 
 			Workers:   workers,
 			TrackOnly: tool == ToolPMTestTrack,
 			Metrics:   metrics,
+			Flight:    flightRec,
 		})
 		for i := 0; i < threads; i++ {
 			th := sess.ThreadInit()
@@ -416,7 +429,7 @@ func redisBench(nOps int, tool Tool) (RealResult, error) {
 	var chk *pmemcheck.Checker
 	switch tool {
 	case ToolPMTest, ToolPMTestTrack:
-		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics})
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics, Flight: flightRec})
 		th = sess.ThreadInit()
 		th.Start()
 		sink = th
@@ -468,7 +481,7 @@ func pmfsBench(name string, ops []whisper.FSOp, tool Tool) (RealResult, error) {
 	var chk *pmemcheck.Checker
 	switch tool {
 	case ToolPMTest, ToolPMTestTrack:
-		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics})
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics, Flight: flightRec})
 		th = sess.ThreadInit()
 		th.Start()
 		sink = th

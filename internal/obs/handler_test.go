@@ -93,3 +93,44 @@ func TestHandlerJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestHandlerContentNegotiation pins the negotiation edges: JSON is
+// selected by ?format=json OR by any Accept header mentioning
+// application/json (including multi-type lists with q-values);
+// everything else gets Prometheus text.
+func TestHandlerContentNegotiation(t *testing.T) {
+	h := Handler(testMetrics())
+	do := func(target, accept string) string {
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			r.Header.Set("Accept", accept)
+		}
+		h.ServeHTTP(rec, r)
+		return rec.Header().Get("Content-Type")
+	}
+	cases := []struct {
+		target, accept string
+		wantJSON       bool
+	}{
+		{"/metrics", "", false},
+		{"/metrics", "*/*", false},
+		{"/metrics", "text/plain", false},
+		{"/metrics", "application/xml", false},
+		{"/metrics", "application/json", true},
+		// A browser-style list still negotiates JSON when it appears.
+		{"/metrics", "text/html,application/json;q=0.9,*/*;q=0.8", true},
+		// The query parameter wins regardless of Accept.
+		{"/metrics?format=json", "text/plain", true},
+		// Other format values fall back to text.
+		{"/metrics?format=prometheus", "", false},
+	}
+	for _, c := range cases {
+		ct := do(c.target, c.accept)
+		gotJSON := ct == "application/json"
+		if gotJSON != c.wantJSON {
+			t.Errorf("GET %s Accept=%q: content type %q, want JSON=%v",
+				c.target, c.accept, ct, c.wantJSON)
+		}
+	}
+}

@@ -9,9 +9,9 @@
 // costs nothing when no observer is installed, so the instrumented hot
 // path stays as fast as the uninstrumented one.
 //
-// The package is self-contained (no dependency on the engine or trace
-// packages); the engine reports events in plain ints, strings and
-// durations.
+// The package depends only on the trace data types (for the span ranges
+// a section carries), never on the engine; the engine reports events in
+// plain ints, strings and durations.
 package obs
 
 import (
@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pmtest/internal/trace"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -168,6 +170,27 @@ type TraceEvent struct {
 	// trace; CheckDur is the time spent checking it.
 	QueueWait time.Duration `json:"queue_wait_ns"`
 	CheckDur  time.Duration `json:"check_dur_ns"`
+	// SpanID and TxSpans carry the section's flight-recorder identity
+	// through the engine (zero/nil when no recorder is attached): SpanID
+	// is the section span, TxSpans the transaction spans with the op
+	// ranges they cover, so a span-building observer can parent checker
+	// findings under the transaction that contains the guilty op.
+	SpanID  uint64            `json:"span_id,omitempty"`
+	TxSpans []trace.SpanRange `json:"tx_spans,omitempty"`
+	// Diags details each diagnostic of a non-clean trace (nil for clean
+	// traces, keeping the common path allocation-free).
+	Diags []DiagInfo `json:"diags,omitempty"`
+}
+
+// DiagInfo is the observer-facing view of one engine diagnostic: enough
+// to annotate a span or a log line without importing the engine package.
+type DiagInfo struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	// OpIndex is the index of the op the finding is anchored at.
+	OpIndex int    `json:"op_index"`
+	Message string `json:"message"`
+	Site    string `json:"site,omitempty"`
 }
 
 // Observer receives per-trace lifecycle events from the checking
@@ -289,7 +312,7 @@ type Metrics struct {
 	mu           sync.Mutex
 	codes        map[string]uint64
 	perWorker    []uint64
-	recent       *ring[TraceEvent]
+	recent       *Ring[TraceEvent]
 	queueDepthFn func() []int
 }
 
@@ -302,7 +325,7 @@ func NewMetrics(recentN int) *Metrics {
 	return &Metrics{
 		start:  time.Now(),
 		codes:  make(map[string]uint64),
-		recent: newRing[TraceEvent](recentN),
+		recent: NewRing[TraceEvent](recentN),
 	}
 }
 
@@ -346,7 +369,7 @@ func (m *Metrics) TraceChecked(ev TraceEvent) {
 	}
 	m.perWorker[ev.Worker]++
 	m.mu.Unlock()
-	m.recent.add(ev)
+	m.recent.Add(ev)
 }
 
 // SubmitStalled implements StallObserver.
@@ -461,7 +484,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if fn != nil {
 		s.QueueDepths = fn()
 	}
-	s.RecentTraces = m.recent.snapshot()
+	s.RecentTraces = m.recent.Snapshot()
 	return s
 }
 

@@ -89,33 +89,112 @@ func TestHistogramNegativeAndHuge(t *testing.T) {
 	}
 }
 
+// TestHistogramOverflowQuantiles pins the open-bucket interpolation:
+// the last bucket has no upper bound and quantile() assumes one more
+// doubling, so observations far beyond the final bound (256<<24 ns ≈
+// 4.29s) yield quantiles clamped into [lastBound, 2*lastBound] — large
+// but finite, never the raw 30s outlier.
+func TestHistogramOverflowQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 4; i++ {
+		h.Observe(30 * time.Second) // all land in the overflow bucket
+	}
+	s := h.Snapshot()
+	lo := histBound(histBuckets - 2) // inclusive lower bound of the open bucket
+	hi := 2 * lo
+	for _, q := range []struct {
+		name string
+		v    time.Duration
+	}{{"p50", s.P50}, {"p90", s.P90}, {"p99", s.P99}} {
+		if q.v < lo || q.v > hi {
+			t.Errorf("%s = %v, want within open-bucket range [%v, %v]", q.name, q.v, lo, hi)
+		}
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Errorf("quantiles not monotonic: p50=%v p90=%v p99=%v", s.P50, s.P90, s.P99)
+	}
+	// The mean uses the exact sum, so unlike the quantiles it reports
+	// the true 30s.
+	if s.Mean != 30*time.Second {
+		t.Errorf("mean = %v, want 30s", s.Mean)
+	}
+	// Mixed case: half tiny, half overflow — p50 stays in the first
+	// bucket, p99 moves to the open one.
+	var m Histogram
+	for i := 0; i < 50; i++ {
+		m.Observe(100 * time.Nanosecond)
+	}
+	for i := 0; i < 50; i++ {
+		m.Observe(time.Minute)
+	}
+	ms := m.Snapshot()
+	// rank 50 exhausts exactly the first bucket, so interpolation lands
+	// on its upper edge.
+	if ms.P50 > histBound(0) {
+		t.Errorf("mixed p50 = %v, want within first bucket (<= %v)", ms.P50, histBound(0))
+	}
+	if ms.P99 < lo || ms.P99 > hi {
+		t.Errorf("mixed p99 = %v, want in open bucket [%v, %v]", ms.P99, lo, hi)
+	}
+}
+
 func TestRing(t *testing.T) {
-	r := newRing[int](3)
-	if got := r.snapshot(); len(got) != 0 {
+	r := NewRing[int](3)
+	if got := r.Snapshot(); len(got) != 0 {
 		t.Fatalf("fresh ring snapshot = %v, want empty", got)
 	}
-	r.add(1)
-	r.add(2)
-	if got := r.snapshot(); got[0] != 2 || got[1] != 1 {
+	r.Add(1)
+	r.Add(2)
+	if got := r.Snapshot(); got[0] != 2 || got[1] != 1 {
 		t.Fatalf("snapshot = %v, want [2 1]", got)
 	}
-	r.add(3)
-	r.add(4) // evicts 1
-	got := r.snapshot()
+	r.Add(3)
+	r.Add(4) // evicts 1
+	got := r.Snapshot()
 	if len(got) != 3 || got[0] != 4 || got[1] != 3 || got[2] != 2 {
 		t.Fatalf("snapshot = %v, want [4 3 2]", got)
 	}
-	if r.len() != 3 {
-		t.Fatalf("len = %d, want 3", r.len())
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
 	}
 }
 
 func TestRingZeroCapacity(t *testing.T) {
-	r := newRing[int](0) // clamped to 1
-	r.add(7)
-	r.add(8)
-	if got := r.snapshot(); len(got) != 1 || got[0] != 8 {
+	r := NewRing[int](0) // clamped to 1
+	r.Add(7)
+	r.Add(8)
+	if got := r.Snapshot(); len(got) != 1 || got[0] != 8 {
 		t.Fatalf("snapshot = %v, want [8]", got)
+	}
+}
+
+func TestRingDo(t *testing.T) {
+	r := NewRing[int](3)
+	for i := 1; i <= 5; i++ { // ring holds [5 4 3]
+		r.Add(i)
+	}
+	var seen []int
+	r.Do(func(v int) bool {
+		seen = append(seen, v)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != 5 || seen[1] != 4 || seen[2] != 3 {
+		t.Fatalf("Do order = %v, want [5 4 3]", seen)
+	}
+	// Early stop: fn returning false halts the walk.
+	seen = seen[:0]
+	r.Do(func(v int) bool {
+		seen = append(seen, v)
+		return false
+	})
+	if len(seen) != 1 || seen[0] != 5 {
+		t.Fatalf("Do with early stop = %v, want [5]", seen)
+	}
+	// Allocation-free filtering is the point of Do over Snapshot.
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.Do(func(int) bool { return true })
+	}); allocs != 0 {
+		t.Fatalf("Do allocates %v per run, want 0", allocs)
 	}
 }
 

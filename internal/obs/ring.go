@@ -2,26 +2,29 @@ package obs
 
 import "sync"
 
-// ring is a fixed-capacity overwrite-oldest buffer holding the most
+// Ring is a fixed-capacity overwrite-oldest buffer holding the most
 // recent values added. It is safe for concurrent use; the lock is held
 // only for an index update and one copy per add, so the cost per event
-// is far below the cost of checking a trace.
-type ring[T any] struct {
+// is far below the cost of checking a trace. Metrics uses it for the
+// recent-trace ring; the flight recorder keeps one per span category.
+type Ring[T any] struct {
 	mu  sync.Mutex
 	buf []T // fully allocated at construction
 	cur int // index of the next write; reads walk backwards from it
 	n   int // number of live values (<= len(buf))
 }
 
-func newRing[T any](capacity int) *ring[T] {
+// NewRing returns a ring holding the most recent capacity values
+// (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &ring[T]{buf: make([]T, capacity)}
+	return &Ring[T]{buf: make([]T, capacity)}
 }
 
-// add stores v, evicting the oldest value once the ring is full.
-func (r *ring[T]) add(v T) {
+// Add stores v, evicting the oldest value once the ring is full.
+func (r *Ring[T]) Add(v T) {
 	r.mu.Lock()
 	r.buf[r.cur] = v
 	if r.n < len(r.buf) {
@@ -34,15 +37,33 @@ func (r *ring[T]) add(v T) {
 	r.mu.Unlock()
 }
 
-// len returns the number of live values.
-func (r *ring[T]) len() int {
+// Len returns the number of live values.
+func (r *Ring[T]) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.n
 }
 
-// snapshot returns the live values, newest first.
-func (r *ring[T]) snapshot() []T {
+// Do calls fn for each live value, newest first, stopping early when fn
+// returns false. Unlike Snapshot it does not copy the buffer, so
+// filtering a large ring allocates nothing. fn runs with the ring lock
+// held: it must be quick and must not call back into the ring.
+func (r *Ring[T]) Do(fn func(T) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.n; i++ {
+		j := r.cur - 1 - i
+		if j < 0 {
+			j += len(r.buf)
+		}
+		if !fn(r.buf[j]) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the live values, newest first.
+func (r *Ring[T]) Snapshot() []T {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]T, r.n)

@@ -9,6 +9,7 @@ import (
 
 	"pmtest/internal/core"
 	"pmtest/internal/faultinject"
+	"pmtest/internal/flight"
 	"pmtest/internal/harness"
 	"pmtest/internal/obs"
 	"pmtest/internal/trace"
@@ -190,6 +191,31 @@ func runCheckAndEngine(b Budget, res *Result, logf func(string, ...any)) error {
 		Better: LowerIsBetter, Tolerance: TolLatency})
 	logf("  engine: %.0f traces/s, p50 %v, p99 %v",
 		n/elapsed.Seconds(), snap.CheckDur.P50, snap.CheckDur.P99)
+
+	// Same engine pipeline with the flight recorder observing: the
+	// compare gate pins the recorder's overhead on the checking path
+	// (span pooling should keep it within tolerance of engine/*).
+	rec := flight.NewRecorder(256)
+	fo := flight.EngineObserver(rec)
+	var flElapsed time.Duration
+	fl := measure(1, func() {
+		eng := core.NewEngine(core.Options{Workers: 2, Observer: fo})
+		start := time.Now()
+		for _, tr := range traces {
+			eng.Submit(tr)
+		}
+		eng.Wait()
+		flElapsed = time.Since(start)
+		eng.Close()
+	})
+	res.add(Metric{Name: "flight_on/traces_per_sec",
+		Value: n / flElapsed.Seconds(), Unit: "traces/s",
+		Better: HigherIsBetter, Tolerance: TolTiming})
+	res.add(Metric{Name: "flight_on/allocs_per_trace",
+		Value: fl.AllocsPerOp / n, Unit: "allocs/op",
+		Better: LowerIsBetter, Tolerance: TolAllocs})
+	logf("  flight_on: %.0f traces/s, %.1f allocs/trace",
+		n/flElapsed.Seconds(), fl.AllocsPerOp/n)
 	return nil
 }
 

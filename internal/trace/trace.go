@@ -129,6 +129,19 @@ func (o Op) String() string {
 	return b.String()
 }
 
+// SpanRange ties a flight-recorder span to the op range it covers: the
+// transaction spans a section carries use it so checker findings (which
+// are anchored at op indices) can be parented under the transaction that
+// contains them. Begin and End are inclusive op indices.
+type SpanRange struct {
+	Begin  int    `json:"begin"`
+	End    int    `json:"end"`
+	SpanID uint64 `json:"span_id"`
+}
+
+// Contains reports whether op index i falls inside the range.
+func (r SpanRange) Contains(i int) bool { return i >= r.Begin && i <= r.End }
+
 // Trace is one unit of checking work: the operations recorded between two
 // PMTest_SEND_TRACE calls on one thread. Traces are independent — each
 // gets its own shadow memory in the engine (paper §4.4).
@@ -139,6 +152,14 @@ type Trace struct {
 	// Thread is the program thread that produced the trace.
 	Thread int
 	Ops    []Op
+
+	// SpanID and TxSpans are the section's flight-recorder identity —
+	// the span covering the whole section and the transaction spans with
+	// the op ranges they cover. They ride along to the engine in memory
+	// only (the wire codec does not serialize them) and are zero/nil
+	// when no recorder is attached.
+	SpanID  uint64
+	TxSpans []SpanRange
 }
 
 // String renders a compact multi-line dump of the trace.

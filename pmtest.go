@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"pmtest/internal/core"
+	"pmtest/internal/flight"
 	"pmtest/internal/obs"
 	"pmtest/internal/trace"
 )
@@ -129,6 +130,13 @@ type Config struct {
 	// the pluggable hook for custom collectors. It may be combined with
 	// Metrics; both then see every event.
 	Observer obs.Observer
+	// Flight, when non-nil, records a span timeline of the run: one span
+	// per trace section, per library transaction (TxBegin/TxEnd pairs),
+	// per engine check, and one checker child span per diagnostic,
+	// parented under the transaction whose op range contains it. Browse
+	// live via flight.Handler, or export with flight.WriteChrome. When
+	// nil the tracking hot path gains only a nil check per op.
+	Flight *flight.Recorder
 }
 
 // Stats is the observability snapshot returned by (*Session).Stats.
@@ -184,6 +192,9 @@ func Init(cfg Config) *Session {
 	}
 	if cfg.Observer != nil {
 		observers = append(observers, cfg.Observer)
+	}
+	if cfg.Flight != nil {
+		observers = append(observers, flight.EngineObserver(cfg.Flight))
 	}
 	if cfg.Metrics != nil && cfg.RecordTo != nil {
 		cfg.RecordTo = &countingWriter{w: cfg.RecordTo, n: &cfg.Metrics.BytesEncoded}
@@ -279,6 +290,7 @@ func (s *Session) ThreadInit() *Thread {
 	return &Thread{
 		sess:    s,
 		builder: trace.NewBuilder(id, s.cfg.CaptureSites),
+		fl:      s.cfg.Flight,
 	}
 }
 
@@ -312,6 +324,22 @@ type Thread struct {
 	sess    *Session
 	builder *trace.Builder
 	enabled bool
+
+	// Flight-recorder state (nil/empty when no recorder is attached).
+	// secSpan covers the section being built; openTx tracks live
+	// transactions; txRanges accumulates the op ranges of transactions
+	// closed in this section, attached to the trace at SendTrace.
+	fl       *flight.Recorder
+	secSpan  *flight.Span
+	openTx   []openTx
+	txRanges []trace.SpanRange
+}
+
+// openTx is a transaction span still awaiting its TxEnd, with the op
+// index of its TxBegin in the current section.
+type openTx struct {
+	span  *flight.Span
+	begin int
 }
 
 // Start enables tracking (PMTest_START). Operations recorded while
@@ -333,6 +361,9 @@ func (t *Thread) Record(op trace.Op, callerSkip int) {
 	// +1 accounts for this method's own frame, preserving the Sink
 	// contract that callerSkip=0 attributes our immediate caller.
 	t.builder.Record(op, callerSkip+1)
+	if t.fl != nil {
+		t.flightOp(op.Kind)
+	}
 }
 
 // record is the internal entry point for the methods below: two wrapper
@@ -343,6 +374,37 @@ func (t *Thread) record(op trace.Op) {
 		return
 	}
 	t.builder.Record(op, 2)
+	if t.fl != nil {
+		t.flightOp(op.Kind)
+	}
+}
+
+// flightOp maintains the section and transaction spans as operations are
+// recorded: the section span opens lazily at the first op, TxBegin opens
+// a child transaction span, TxEnd closes it and remembers the op range
+// it covered so checker findings can later be parented under it.
+func (t *Thread) flightOp(k trace.Kind) {
+	if t.secSpan == nil {
+		t.secSpan = t.fl.Start(flight.CatSession, "section", 0).
+			SetTID(t.builder.Thread())
+	}
+	switch k {
+	case trace.KindTxBegin:
+		sp := t.fl.Start(flight.CatTx, "tx", t.secSpan.ID).
+			SetTID(t.builder.Thread())
+		t.openTx = append(t.openTx, openTx{span: sp, begin: t.builder.Len() - 1})
+	case trace.KindTxEnd:
+		if n := len(t.openTx); n > 0 {
+			ot := t.openTx[n-1]
+			t.openTx = t.openTx[:n-1]
+			end := t.builder.Len() - 1
+			t.txRanges = append(t.txRanges,
+				trace.SpanRange{Begin: ot.begin, End: end, SpanID: ot.span.ID})
+			ot.span.SetInt("begin_op", int64(ot.begin)).
+				SetInt("end_op", int64(end)).
+				Finish()
+		}
+	}
 }
 
 // Pending returns the number of operations buffered in the current
@@ -357,6 +419,27 @@ func (t *Thread) SendTrace() {
 		return
 	}
 	tr := t.builder.Take()
+	if t.secSpan != nil {
+		// A transaction still open at the section cut covers the tail of
+		// this section and (if it ever ends) the head of the next one:
+		// record the partial range and restart it at op 0.
+		for i := range t.openTx {
+			t.txRanges = append(t.txRanges, trace.SpanRange{
+				Begin: t.openTx[i].begin, End: len(tr.Ops) - 1,
+				SpanID: t.openTx[i].span.ID,
+			})
+			t.openTx[i].begin = 0
+		}
+		tr.SpanID = t.secSpan.ID
+		if len(t.txRanges) > 0 {
+			// The engine owns the trace once sent; hand it a fresh copy
+			// and keep the scratch slice for the next section.
+			tr.TxSpans = append([]trace.SpanRange(nil), t.txRanges...)
+			t.txRanges = t.txRanges[:0]
+		}
+		t.secSpan.SetInt("ops", int64(len(tr.Ops))).Finish()
+		t.secSpan = nil
+	}
 	if m := t.sess.metrics; m != nil {
 		m.SectionsShipped.Add(1)
 		m.OpsRecorded.Add(uint64(len(tr.Ops)))
