@@ -9,6 +9,7 @@
 //	go run ./cmd/bughunt -real      # only Table 6 (known + new)
 //	go run ./cmd/bughunt -v         # print each finding
 //	go run ./cmd/bughunt -lint      # add the static (pmlint) verdict column
+//	go run ./cmd/bughunt -obs-listen :8081  # live observability endpoint (pmtop-pollable)
 package main
 
 import (
@@ -18,18 +19,50 @@ import (
 	"text/tabwriter"
 
 	"pmtest/internal/bugdb"
+	"pmtest/internal/flight"
 	"pmtest/internal/lint"
+	"pmtest/internal/obs"
+	"pmtest/internal/obsserve"
 )
 
 var (
-	flagReal = flag.Bool("real", false, "run only the Table 6 known/new bugs")
-	flagCat  = flag.String("category", "", "run only one Table 5 category")
-	flagV    = flag.Bool("v", false, "print the diagnostics each bug produced")
-	flagLint = flag.Bool("lint", false, "also print whether the bug's class is caught statically by pmlint")
+	flagReal  = flag.Bool("real", false, "run only the Table 6 known/new bugs")
+	flagCat   = flag.String("category", "", "run only one Table 5 category")
+	flagV     = flag.Bool("v", false, "print the diagnostics each bug produced")
+	flagLint  = flag.Bool("lint", false, "also print whether the bug's class is caught statically by pmlint")
+	flagObs   = flag.String("obs-listen", "", "serve the live observability endpoint (versioned snapshot at /obs/v1/snapshot, span browse at /flight) at this address, e.g. :8081")
+	flagPProf = flag.Bool("pprof", false, "additionally mount net/http/pprof under /debug/pprof/ on the -obs-listen address")
+	logOpts   obs.LogOptions
 )
+
+func init() { logOpts.RegisterFlags(flag.CommandLine) }
 
 func main() {
 	flag.Parse()
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bughunt:", err)
+		os.Exit(1)
+	}
+	var srv *obsserve.Server
+	if *flagObs != "" {
+		// The catalog checks synchronously through bugdb's observer seam:
+		// feed the same metrics registry and flight recorder the engine
+		// would, so the endpoint serves real counters and spans.
+		metrics := obs.NewMetrics(256)
+		rec := flight.NewRecorder(1024)
+		bugdb.ObserveChecks(obs.Multi(metrics, flight.EngineObserver(rec)))
+		srv, err = obsserve.Start(obsserve.Config{
+			Addr: *flagObs, Source: "bughunt", Metrics: metrics,
+			Flight: rec, PProf: *flagPProf, Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bughunt:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/\n", srv.Addr())
+	}
 	bugs := bugdb.Catalog()
 	if *flagReal {
 		bugs = append(bugdb.ByOrigin(bugs, bugdb.OriginKnown),

@@ -15,6 +15,7 @@
 //	go run ./cmd/crashmc -json                    # machine-readable result
 //	go run ./cmd/crashmc -strict                  # exit 1 on soundness violations
 //	go run ./cmd/crashmc -bench out.json          # write campaign throughput
+//	go run ./cmd/crashmc -obs-listen :8081        # live observability endpoint (pmtop-pollable)
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"pmtest/internal/faultinject"
 	"pmtest/internal/flight"
 	"pmtest/internal/obs"
+	"pmtest/internal/obsserve"
 )
 
 var (
@@ -46,8 +48,13 @@ var (
 	flagList       = flag.Bool("list", false, "list workloads and fault classes, then exit")
 	flagBench      = flag.String("bench", "", "write campaign throughput JSON to this file")
 	flagFlight     = flag.String("flight-out", "", "write the campaign's span timeline (one span per schedule) as Chrome trace-event JSON to this file")
+	flagObs        = flag.String("obs-listen", "", "serve the live observability endpoint (versioned snapshot at /obs/v1/snapshot, span browse at /flight) at this address, e.g. :8081")
+	flagPProf      = flag.Bool("pprof", false, "additionally mount net/http/pprof under /debug/pprof/ on the -obs-listen address")
 	flagV          = flag.Bool("v", false, "print every schedule outcome")
+	logOpts        obs.LogOptions
 )
+
+func init() { logOpts.RegisterFlags(flag.CommandLine) }
 
 func main() {
 	flag.Parse()
@@ -70,16 +77,33 @@ func main() {
 		fatal(err)
 	}
 
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	metrics := obs.NewMetrics(1)
 	var rec *flight.Recorder
-	if *flagFlight != "" {
+	if *flagFlight != "" || *flagObs != "" {
 		rec = flight.NewRecorder(4096)
+	}
+	var srv *obsserve.Server
+	if *flagObs != "" {
+		srv, err = obsserve.Start(obsserve.Config{
+			Addr: *flagObs, Source: "crashmc", Metrics: metrics,
+			Flight: rec, PProf: *flagPProf, Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/\n", srv.Addr())
 	}
 	cfg := faultinject.Config{
 		Seed: *flagSeed, Budget: *flagBudget, Ops: *flagOps,
 		StateLimit: *flagStateLimit, Samples: *flagSamples,
 		TearLines: *flagTear, Deadline: *flagDeadline,
 		Classes: classes, Metrics: metrics, Flight: rec,
+		Logger: logger,
 	}
 	start := time.Now()
 	res, err := faultinject.Run(cfg, targets)

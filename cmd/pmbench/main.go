@@ -22,6 +22,8 @@ import (
 	"strconv"
 	"strings"
 
+	"pmtest/internal/harness"
+	"pmtest/internal/obs"
 	"pmtest/internal/perf"
 )
 
@@ -45,11 +47,22 @@ func runSuite(args []string) int {
 	seed := fs.Int64("seed", 1, "seed for the bounded fault-injection campaign entry")
 	out := fs.String("o", "BENCH_pmbench.json", "output file ('-' for stdout)")
 	quiet := fs.Bool("q", false, "suppress per-entry progress on stderr")
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "pmbench run: unexpected arguments %v\n", fs.Args())
 		return 2
 	}
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench:", err)
+		return 2
+	}
+	// The micro entries run through the harness; at the default "warn"
+	// level this costs nothing, and -log-level debug traces every session
+	// the suite creates.
+	harness.LogWith(logger)
 
 	b, ok := perf.Budgets(*budget)
 	if !ok {

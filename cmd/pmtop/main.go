@@ -1,0 +1,184 @@
+// Command pmtop is the fleet dashboard of the observability plane: it
+// polls the /obs/v1/snapshot endpoint of every named node concurrently,
+// merges the results bucket-exactly, and renders a live terminal view —
+// or, with -once, prints the merged document as JSON for scripts and CI.
+//
+// Usage:
+//
+//	pmtop [flags] node [node...]
+//
+// Each node is a host:port (the -obs-listen address of a repro, crashmc
+// or bughunt run) or a full http(s) URL. Nodes that are down or slow
+// only mark the merged snapshot partial; the dashboard keeps rendering
+// from whoever answered.
+//
+// Exit status in -once mode: 0 when at least one node responded, 1 when
+// every node failed (or on usage errors).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"pmtest/internal/obs"
+	"pmtest/internal/obs/collect"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("pmtop", flag.ExitOnError)
+	once := fs.Bool("once", false, "collect one merged snapshot, print it as JSON, exit")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period of the live view")
+	timeout := fs.Duration("timeout", collect.DefaultTimeout, "per-node poll timeout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pmtop [flags] node [node...]\n\n"+
+			"Polls each node's /obs/v1/snapshot and renders the merged fleet view.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	nodes := fs.Args()
+	if len(nodes) == 0 {
+		fs.Usage()
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opt := collect.Options{Timeout: *timeout}
+
+	if *once {
+		merged, err := collect.Collect(ctx, nodes, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmtop: %v\n", err)
+			return 1
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(merged)
+		if failedAll(merged) {
+			fmt.Fprintf(os.Stderr, "pmtop: no node responded\n")
+			return 1
+		}
+		return 0
+	}
+
+	// Live mode: redraw on every tick until interrupted. The first pass
+	// runs immediately so the dashboard is never blank for an interval.
+	for {
+		merged, err := collect.Collect(ctx, nodes, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmtop: %v\n", err)
+			return 1
+		}
+		// ANSI home + clear-to-end keeps the redraw flicker-free without
+		// dropping scrollback the way a full clear would.
+		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Print(render(merged, nodes))
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return 0
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// failedAll reports whether no polled node produced a snapshot.
+func failedAll(m obs.MergedSnapshot) bool {
+	for _, s := range m.Sources {
+		if s.Err == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// render draws the fleet view: headline totals, latency quantiles, the
+// per-source table (including failed nodes and their errors), and the
+// flight-recorder span summary.
+func render(m obs.MergedSnapshot, nodes []string) string {
+	var b strings.Builder
+	up := 0
+	for _, s := range m.Sources {
+		if s.Err == "" {
+			up++
+		}
+	}
+	status := "complete"
+	if m.Partial {
+		status = "PARTIAL"
+	}
+	fmt.Fprintf(&b, "pmtop — %d/%d nodes up — %s — schema v%d — %s\n\n",
+		up, len(nodes), status, m.SchemaVersion, time.Now().Format("15:04:05"))
+
+	s := m.Metrics
+	fmt.Fprintf(&b, "fleet    %.0f ops/s, traces checked %d, ops checked %d\n",
+		s.OpsPerSec, s.TracesChecked, s.OpsChecked)
+	fmt.Fprintf(&b, "diags    FAIL %d, WARN %d, INFO %d\n",
+		s.DiagsBySeverity["FAIL"], s.DiagsBySeverity["WARN"], s.DiagsBySeverity["INFO"])
+	fmt.Fprintf(&b, "latency  check p50 %v / p99 %v, queue wait p50 %v / p99 %v\n",
+		s.CheckDur.P50, s.CheckDur.P99, s.QueueWait.P50, s.QueueWait.P99)
+	fmt.Fprintf(&b, "runtime  %d goroutines, heap %s, GC pause p99 %v (%d cycles)\n",
+		m.Runtime.Goroutines, fmtBytes(m.Runtime.HeapBytes), m.Runtime.GCPause.P99, m.Runtime.GCCycles)
+	if r := s.Resources; r.StatePoolGets > 0 {
+		fmt.Fprintf(&b, "checker  state pool %.1f%% hit (%d gets), shadow intervals live %d / max %d\n",
+			100*r.StatePoolHitRate, r.StatePoolGets, r.ShadowIntervalsLive, r.ShadowIntervalsMax)
+	}
+
+	fmt.Fprintf(&b, "\n%-28s %-10s %12s %10s %8s %10s  %s\n",
+		"SOURCE", "UPTIME", "TRACES", "OPS/S", "FAILS", "HEAP", "STATUS")
+	for _, src := range m.Sources {
+		if src.Err != "" {
+			fmt.Fprintf(&b, "%-28s %-10s %12s %10s %8s %10s  DOWN: %s\n",
+				clip(src.Source, 28), "-", "-", "-", "-", "-", src.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %-10s %12d %10.0f %8d %10s  ok\n",
+			clip(src.Source, 28), src.Uptime.Round(time.Second),
+			src.TracesChecked, src.OpsPerSec, src.Fails, fmtBytes(src.HeapBytes))
+	}
+
+	if m.Flight != nil && len(m.Flight.Categories) > 0 {
+		cats := append([]obs.FlightCategorySummary(nil), m.Flight.Categories...)
+		sort.Slice(cats, func(i, j int) bool { return cats[i].Category < cats[j].Category })
+		fmt.Fprintf(&b, "\nflight   ")
+		for i, c := range cats {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%s %d spans (%d err, max %v)", c.Category, c.Spans, c.Errs, c.MaxDur.Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -11,19 +11,17 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"runtime"
 	"text/tabwriter"
-	"time"
 
 	"pmtest/internal/bugdb"
 	"pmtest/internal/flight"
 	"pmtest/internal/harness"
 	"pmtest/internal/obs"
+	"pmtest/internal/obsserve"
 )
 
 var (
@@ -43,9 +41,13 @@ var (
 	flagStores = flag.String("stores", "", "comma-separated store subset (default: all five)")
 	flagCSV    = flag.String("csv", "", "path prefix for machine-readable CSV output (writes <prefix>-fig10a.csv and <prefix>-fig11.csv)")
 	flagStats  = flag.Bool("stats", false, "print an observability snapshot (throughput, check-latency quantiles, diag histogram) after the run")
-	flagObs    = flag.String("obs-listen", "", "serve the live observability endpoint (Prometheus text + JSON at /, span browse at /flight) at this address, e.g. :8081")
+	flagObs    = flag.String("obs-listen", "", "serve the live observability endpoint (Prometheus text + JSON at /, versioned snapshot at /obs/v1/snapshot, span browse at /flight) at this address, e.g. :8081")
+	flagPProf  = flag.Bool("pprof", false, "additionally mount net/http/pprof under /debug/pprof/ on the -obs-listen address")
 	flagFlight = flag.String("flight-out", "", "write the run's span timeline as Chrome trace-event JSON (Perfetto-loadable; browse with 'pmtrace timeline') to this file")
+	logOpts    obs.LogOptions
 )
+
+func init() { logOpts.RegisterFlags(flag.CommandLine) }
 
 // csvOut opens a CSV file for one figure when -csv is set; the returned
 // emit function is a no-op otherwise.
@@ -78,6 +80,9 @@ func main() {
 		*fig10a, *fig10b, *fig11, *fig12 = true, true, true, true
 		*table4, *table5, *table6, *flagYat, *flagHost = true, true, true, true, true
 	}
+	logger, err := logOpts.Logger(os.Stderr)
+	die(err)
+	harness.LogWith(logger)
 	var metrics *obs.Metrics
 	if *flagStats || *flagObs != "" {
 		metrics = obs.NewMetrics(256)
@@ -92,18 +97,14 @@ func main() {
 		// Table 5/6 sweeps produce checker spans too.
 		bugdb.ObserveChecks(flight.EngineObserver(rec))
 	}
-	var srv *http.Server
+	var srv *obsserve.Server
 	if *flagObs != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/", obs.Handler(metrics))
-		mux.Handle("/flight", flight.Handler(rec))
-		srv = &http.Server{Addr: *flagObs, Handler: mux}
-		fmt.Printf("observability endpoint on http://%s/metrics (add ?format=json for JSON; span browse at /flight)\n", *flagObs)
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "repro: obs endpoint:", err)
-			}
-		}()
+		srv, err = obsserve.Start(obsserve.Config{
+			Addr: *flagObs, Source: "repro", Metrics: metrics,
+			Flight: rec, PProf: *flagPProf, Logger: logger,
+		})
+		die(err)
+		fmt.Printf("observability endpoint on http://%s/ (versioned snapshot at /obs/v1/snapshot; span browse at /flight)\n", srv.Addr())
 	}
 	if *flagHost {
 		printHost()
@@ -146,15 +147,9 @@ func main() {
 		fmt.Printf("(flight timeline written to %s — load in Perfetto or run 'pmtrace timeline %s')\n",
 			*flagFlight, *flagFlight)
 	}
-	if srv != nil {
-		// The run is over: shut the endpoint down cleanly rather than
-		// letting process exit tear down the listener mid-request.
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "repro: obs endpoint shutdown:", err)
-		}
-	}
+	// The run is over: shut the endpoint down cleanly rather than letting
+	// process exit tear down the listener mid-request. Nil-safe.
+	srv.Close()
 }
 
 func tab() *tabwriter.Writer {

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmtest/internal/obs"
@@ -32,7 +35,52 @@ const maxDiagsPerTrace = 1000
 // condition — but the State allocation, its four interval trees, their
 // node freelists and the scratch buffers are all reused, which removes
 // the dominant per-trace allocation cost on the checking hot path.
-var statePool = sync.Pool{New: func() any { return NewState() }}
+var statePool = sync.Pool{New: func() any { statePoolMisses.Add(1); return NewState() }}
+
+// Pool and shadow-memory accounting for the observability plane. The
+// counters are process-global like the pool itself: two atomic adds per
+// checked trace, nothing on the per-op path.
+var (
+	statePoolGets   atomic.Uint64
+	statePoolMisses atomic.Uint64
+	// shadowIntervalsLast/Max track the interval population of the most
+	// recently checked trace's shadow memory and its high-water mark —
+	// the "is shadow memory growing without bound?" gauge a long-lived
+	// session needs.
+	shadowIntervalsLast atomic.Uint64
+	shadowIntervalsMax  atomic.Uint64
+)
+
+// ResourceStats reports checking-tier resource accounting for the
+// observability snapshot: state-pool hit/miss traffic and live
+// shadow-memory interval counts. Sessions wire it into their metrics
+// registry via obs.(*Metrics).SetResourceFn.
+func ResourceStats() obs.Resources {
+	gets, misses := statePoolGets.Load(), statePoolMisses.Load()
+	r := obs.Resources{
+		StatePoolGets:       gets,
+		StatePoolMisses:     misses,
+		ShadowIntervalsLive: shadowIntervalsLast.Load(),
+		ShadowIntervalsMax:  shadowIntervalsMax.Load(),
+	}
+	if gets > 0 {
+		r.StatePoolHitRate = float64(gets-misses) / float64(gets)
+	}
+	return r
+}
+
+// recordShadowStats publishes the interval population of a just-checked
+// state before it is Reset for the pool.
+func recordShadowStats(s *State) {
+	n := uint64(s.Mem.Len() + s.Log.Len() + s.Written.Len() + s.Excluded.Len())
+	shadowIntervalsLast.Store(n)
+	for {
+		old := shadowIntervalsMax.Load()
+		if n <= old || shadowIntervalsMax.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
 
 // CheckTraceExcluding is CheckTrace with session-wide static exclusions
 // seeded into the fresh state of every trace (library metadata regions —
@@ -42,8 +90,10 @@ var statePool = sync.Pool{New: func() any { return NewState() }}
 // The checking state is drawn from an internal pool; CheckTraceInto is
 // the same computation against a caller-managed State.
 func CheckTraceExcluding(rules RuleSet, t *trace.Trace, excludes []Range) Report {
+	statePoolGets.Add(1)
 	s := statePool.Get().(*State)
 	rep := CheckTraceInto(s, rules, t, excludes)
+	recordShadowStats(s)
 	s.Reset() // detaches rep's diagnostics before the state is reused
 	statePool.Put(s)
 	return rep
@@ -140,6 +190,12 @@ type Options struct {
 	// engine takes no timestamps and the hot path is identical to the
 	// uninstrumented one.
 	Observer obs.Observer
+	// Logger, when non-nil, receives structured engine log records:
+	// flagged traces at Warn, per-trace completions at Debug (gated by
+	// the handler's level, so a quiet logger costs one Enabled check per
+	// trace). Records carry trace_id/span_id/worker, correlating log
+	// lines with flight spans.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -201,6 +257,7 @@ func NewEngine(opts Options) *Engine {
 func (e *Engine) worker(id int, q <-chan task) {
 	defer e.done.Done()
 	ob := e.opts.Observer
+	lg := e.opts.Logger
 	for tk := range q {
 		t := tk.tr
 		var start time.Time
@@ -217,6 +274,9 @@ func (e *Engine) worker(id int, q <-chan task) {
 		if ob != nil {
 			ob.TraceChecked(ReportEvent(t, r, id, start.Sub(tk.enq), time.Since(start)))
 		}
+		if lg != nil {
+			e.logTrace(lg, t, r, id)
+		}
 		e.mu.Lock()
 		e.reports = append(e.reports, r)
 		e.completed++
@@ -225,6 +285,38 @@ func (e *Engine) worker(id int, q <-chan task) {
 		}
 		e.mu.Unlock()
 	}
+}
+
+// logTrace emits the structured record for one checked trace: flagged
+// traces at Warn (with the first finding inline), clean ones at Debug.
+// span_id ties the record to the section's flight span, so a log line
+// found by grep leads straight to the timeline.
+func (e *Engine) logTrace(lg *slog.Logger, t *trace.Trace, r Report, worker int) {
+	fails, warns := r.Fails(), r.Warns()
+	level := slog.LevelDebug
+	msg := "trace checked"
+	if fails > 0 {
+		level, msg = slog.LevelWarn, "trace flagged"
+	}
+	if !lg.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := []any{
+		"trace_id", t.ID, "thread", t.Thread, "worker", worker,
+		"ops", len(t.Ops), "fails", fails, "warns", warns,
+	}
+	if t.SpanID != 0 {
+		attrs = append(attrs, "span_id", t.SpanID)
+	}
+	if fails > 0 {
+		for _, d := range r.Diags {
+			if d.Severity == SeverityFail {
+				attrs = append(attrs, "code", string(d.Code), "finding", d.Message, "site", d.Site)
+				break
+			}
+		}
+	}
+	lg.Log(context.Background(), level, msg, attrs...)
 }
 
 // ReportEvent builds the observer event for a checked trace: counters,

@@ -1,9 +1,11 @@
 package faultinject
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"time"
@@ -54,6 +56,11 @@ type Config struct {
 	// Flight, when non-nil, records one campaign span per schedule with
 	// fault-site and crash-state annotations (failed = recovery broke).
 	Flight *flight.Recorder
+	// Logger, when non-nil, receives structured campaign records: start
+	// and completion at Info, workload failures, soundness-relevant
+	// findings and deadline expiry at Warn, per-schedule outcomes at
+	// Debug. Records carry the schedule's flight span_id for correlation.
+	Logger *slog.Logger
 }
 
 // Defaults returns a small, CI-friendly configuration.
@@ -227,6 +234,11 @@ func Run(cfg Config, targets []Target) (*Result, error) {
 	for _, cl := range classes {
 		c.res.Classes = append(c.res.Classes, cl.String())
 	}
+	if lg := cfg.Logger; lg != nil {
+		lg.Info("campaign started",
+			"seed", cfg.Seed, "budget", cfg.Budget, "ops", cfg.Ops,
+			"targets", len(targets), "classes", len(classes))
+	}
 
 	for _, tgt := range targets {
 		if c.res.DeadlineExpired {
@@ -236,6 +248,9 @@ func Run(cfg Config, targets []Target) (*Result, error) {
 		census, err := c.takeCensus(tgt)
 		if err != nil {
 			tr.Err = err.Error()
+			if lg := cfg.Logger; lg != nil {
+				lg.Error("workload census failed", "workload", tgt.Name, "err", err)
+			}
 			c.res.Targets = append(c.res.Targets, tr)
 			continue
 		}
@@ -250,12 +265,17 @@ func Run(cfg Config, targets []Target) (*Result, error) {
 					if cfg.Metrics != nil {
 						cfg.Metrics.CampaignDeadlineHits.Add(1)
 					}
+					if lg := cfg.Logger; lg != nil {
+						lg.Warn("campaign deadline expired; results are partial",
+							"deadline", cfg.Deadline, "schedules_run", c.res.SchedulesRun)
+					}
 					break
 				}
 				// One campaign span per schedule; nil-safe throughout, so
 				// an unset recorder costs only the call.
 				sp := c.cfg.Flight.Start(flight.CatCampaign, "schedule", 0)
 				out := c.runSchedule(tgt, sc)
+				c.logOutcome(tgt.Name, sp, out)
 				sp.SetStr("workload", tgt.Name).
 					SetStr("class", out.Class).
 					SetInt("site", int64(out.Site)).
@@ -283,7 +303,50 @@ func Run(cfg Config, targets []Target) (*Result, error) {
 		c.res.Targets = append(c.res.Targets, tr)
 	}
 	c.res.Repros = c.repros.All()
+	if lg := cfg.Logger; lg != nil {
+		lg.Info("campaign finished",
+			"schedules_run", c.res.SchedulesRun, "planned", c.res.SchedulesPlanned,
+			"faults_injected", c.res.FaultsInjected,
+			"states_explored", c.res.StatesExplored,
+			"recovery_failures", c.res.RecoveryFailures,
+			"repros", len(c.res.Repros), "partial", c.res.DeadlineExpired)
+	}
 	return c.res, nil
+}
+
+// logOutcome emits the per-schedule log record: demonstrated recovery
+// failures at Warn (they are the campaign's findings), everything else
+// at Debug, both carrying the schedule's flight span_id so a log line
+// leads straight to its span in /flight.
+func (c *campaign) logOutcome(workload string, sp *flight.Span, out Outcome) {
+	lg := c.cfg.Logger
+	if lg == nil {
+		return
+	}
+	level := slog.LevelDebug
+	msg := "schedule checked"
+	if out.Demonstrated {
+		level, msg = slog.LevelWarn, "recovery failure demonstrated"
+	}
+	if !lg.Enabled(context.Background(), level) {
+		return
+	}
+	var spanID uint64
+	if sp != nil {
+		spanID = sp.ID
+	}
+	attrs := []any{
+		"workload", workload, "class", out.Class, "site", out.Site,
+		"injected", out.Injected, "flagged", out.Flagged,
+		"states_explored", out.StatesExplored,
+	}
+	if spanID != 0 {
+		attrs = append(attrs, "span_id", spanID)
+	}
+	if out.RecoveryErr != "" {
+		attrs = append(attrs, "recovery_err", out.RecoveryErr)
+	}
+	lg.Log(context.Background(), level, msg, attrs...)
 }
 
 // takeCensus dry-runs the target to count injectable sites.

@@ -248,6 +248,39 @@ func TestHandler(t *testing.T) {
 	}
 }
 
+// TestHandlerBadRequestJSON pins the malformed-query contract: every
+// rejected parameter — including negative min_dur and a limit that
+// overflows int — yields a 400 with a parseable {"error": ...} body.
+func TestHandlerBadRequestJSON(t *testing.T) {
+	rec := NewRecorder(4)
+	for _, url := range []string{
+		"/flight?category=nope",
+		"/flight?min_dur=xyz",
+		"/flight?min_dur=-5ms",
+		"/flight?limit=0",
+		"/flight?limit=-1",
+		"/flight?limit=99999999999999999999", // overflows int64 → Atoi error
+		"/flight?limit=1000001",              // beyond the browse cap
+	} {
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		Handler(rec).ServeHTTP(w, req)
+		if w.Code != 400 {
+			t.Errorf("GET %s = %d, want 400", url, w.Code)
+			continue
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s Content-Type = %q", url, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body.Error == "" {
+			t.Errorf("GET %s body = %q, want JSON error", url, w.Body.String())
+		}
+	}
+}
+
 func TestChromeExportRoundTrip(t *testing.T) {
 	rec := NewRecorder(16)
 	base := time.Now()

@@ -52,6 +52,22 @@ func toJSON(s *Span) spanJSON {
 	return out
 }
 
+// maxBrowseLimit caps the limit query parameter: the rings hold at most
+// a few thousand spans, so anything beyond this is a malformed request,
+// not a bigger browse.
+const maxBrowseLimit = 100_000
+
+// badRequest rejects a malformed query with a structured JSON error —
+// machine clients (the collect fan-out, CI smoke scripts) parse the
+// body, so even errors speak JSON.
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: fmt.Sprintf(format, args...)})
+}
+
 // Handler serves the live span browse as JSON: the newest spans first,
 // filtered by query parameters:
 //
@@ -59,7 +75,12 @@ func toJSON(s *Span) spanJSON {
 //	min_dur   Go duration, e.g. 1ms — drop shorter spans
 //	err       1/true — only failed spans
 //	name      substring match on the span name
-//	limit     max spans returned (default 100)
+//	limit     max spans returned (default 100, max 100000)
+//
+// Malformed parameters — an unknown category, a negative or unparseable
+// min_dur, a limit that is negative, zero, overflowing or beyond the cap
+// — are rejected with a 400 and a JSON {"error": ...} body rather than
+// silently clamped.
 //
 // Mount it beside obs.Handler on the -obs-listen address.
 func Handler(rec *Recorder) http.Handler {
@@ -69,7 +90,7 @@ func Handler(rec *Recorder) http.Handler {
 		if c := q.Get("category"); c != "" {
 			cat, ok := ParseCategory(c)
 			if !ok {
-				http.Error(w, fmt.Sprintf("unknown category %q", c), http.StatusBadRequest)
+				badRequest(w, "unknown category %q", c)
 				return
 			}
 			f.Category, f.HasCategory = cat, true
@@ -77,7 +98,11 @@ func Handler(rec *Recorder) http.Handler {
 		if d := q.Get("min_dur"); d != "" {
 			dur, err := time.ParseDuration(d)
 			if err != nil {
-				http.Error(w, fmt.Sprintf("bad min_dur: %v", err), http.StatusBadRequest)
+				badRequest(w, "bad min_dur %q: %v", d, err)
+				return
+			}
+			if dur < 0 {
+				badRequest(w, "bad min_dur %q: must not be negative", d)
 				return
 			}
 			f.MinDur = dur
@@ -88,8 +113,12 @@ func Handler(rec *Recorder) http.Handler {
 		f.Name = q.Get("name")
 		if l := q.Get("limit"); l != "" {
 			n, err := strconv.Atoi(l)
-			if err != nil || n <= 0 {
-				http.Error(w, fmt.Sprintf("bad limit %q", l), http.StatusBadRequest)
+			if err != nil {
+				badRequest(w, "bad limit %q: %v", l, err)
+				return
+			}
+			if n <= 0 || n > maxBrowseLimit {
+				badRequest(w, "bad limit %q: want 1..%d", l, maxBrowseLimit)
 				return
 			}
 			f.Limit = n

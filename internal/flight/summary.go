@@ -1,0 +1,31 @@
+package flight
+
+import "pmtest/internal/obs"
+
+// Summarize condenses the recorder's rings into the mergeable
+// per-category tallies the /obs/v1/snapshot document carries: resident
+// span and error counts plus the longest resident span per category.
+// Wire it into obs.SnapshotSource.FlightFn. Nil recorder, nil summary.
+func Summarize(r *Recorder) *obs.FlightSummary {
+	if r == nil {
+		return nil
+	}
+	out := &obs.FlightSummary{}
+	for cat := Category(0); cat < numCategories; cat++ {
+		cs := obs.FlightCategorySummary{Category: cat.String()}
+		r.rings[cat].Do(func(s Span) bool {
+			cs.Spans++
+			if s.Err {
+				cs.Errs++
+			}
+			if d := s.Dur(); d > cs.MaxDur {
+				cs.MaxDur = d
+			}
+			return true
+		})
+		if cs.Spans > 0 {
+			out.Categories = append(out.Categories, cs)
+		}
+	}
+	return out
+}

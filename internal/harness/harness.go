@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
@@ -43,6 +44,16 @@ var flightRec *flight.Recorder
 // (nil uninstalls). Not safe to call concurrently with a running
 // benchmark.
 func FlightWith(r *flight.Recorder) { flightRec = r }
+
+// logger, when set via LogWith, is installed into every PMTest session
+// the harness creates, so cmd/repro's -log-level flag correlates
+// session/engine log records across a whole experiment run.
+var logger *slog.Logger
+
+// LogWith installs a structured logger for all subsequent harness runs
+// (nil uninstalls). Not safe to call concurrently with a running
+// benchmark.
+func LogWith(lg *slog.Logger) { logger = lg }
 
 // Tool selects the testing tool attached to a run.
 type Tool int
@@ -189,6 +200,7 @@ func MicroBench(store string, txSize uint64, n int, tool Tool, workers int) (Mic
 			TrackOnly: tool == ToolPMTestTrack,
 			Metrics:   metrics,
 			Flight:    flightRec,
+			Logger:    logger,
 		})
 		th := sess.ThreadInit()
 		dev := pmem.New(devSize, th)
@@ -260,7 +272,7 @@ func MicroBench(store string, txSize uint64, n int, tool Tool, workers int) (Mic
 		// Ablation: one giant trace section checked at the end. The
 		// shadow memory grows with the whole run and checking cannot
 		// overlap execution.
-		sess := pmtest.Init(pmtest.Config{Metrics: metrics, Flight: flightRec})
+		sess := pmtest.Init(pmtest.Config{Metrics: metrics, Flight: flightRec, Logger: logger})
 		th := sess.ThreadInit()
 		dev := pmem.New(devSize, th)
 		s, err := newStore(store, dev, txSize, n)
@@ -342,6 +354,7 @@ func memcachedBench(name string, ops []whisper.KVOp, threads, workers int, tool 
 			TrackOnly: tool == ToolPMTestTrack,
 			Metrics:   metrics,
 			Flight:    flightRec,
+			Logger:    logger,
 		})
 		for i := 0; i < threads; i++ {
 			th := sess.ThreadInit()
@@ -429,7 +442,7 @@ func redisBench(nOps int, tool Tool) (RealResult, error) {
 	var chk *pmemcheck.Checker
 	switch tool {
 	case ToolPMTest, ToolPMTestTrack:
-		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics, Flight: flightRec})
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics, Flight: flightRec, Logger: logger})
 		th = sess.ThreadInit()
 		th.Start()
 		sink = th
@@ -481,7 +494,7 @@ func pmfsBench(name string, ops []whisper.FSOp, tool Tool) (RealResult, error) {
 	var chk *pmemcheck.Checker
 	switch tool {
 	case ToolPMTest, ToolPMTestTrack:
-		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics, Flight: flightRec})
+		sess = pmtest.Init(pmtest.Config{TrackOnly: tool == ToolPMTestTrack, Metrics: metrics, Flight: flightRec, Logger: logger})
 		th = sess.ThreadInit()
 		th.Start()
 		sink = th

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogOptions is the structured-logging flag set shared by the CLIs
+// (repro, crashmc, pmbench, pmtop): one -log-level and one -log-json
+// flag, the same names and semantics everywhere. Register it on a
+// FlagSet (or flag.CommandLine) and build the logger after Parse.
+type LogOptions struct {
+	Level string
+	JSON  bool
+}
+
+// RegisterFlags installs -log-level and -log-json on fs.
+func (o *LogOptions) RegisterFlags(fs *flag.FlagSet) {
+	if o.Level == "" {
+		o.Level = "warn"
+	}
+	fs.StringVar(&o.Level, "log-level", o.Level,
+		"structured log level: debug, info, warn, error (records carry session/trace/span IDs)")
+	fs.BoolVar(&o.JSON, "log-json", o.JSON,
+		"emit structured logs as JSON lines instead of text")
+}
+
+// ParseLevel maps a level name to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Logger builds the configured logger writing to w (typically
+// os.Stderr, keeping stdout clean for the tool's own output).
+func (o LogOptions) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if o.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}

@@ -95,19 +95,29 @@ type HistBucket struct {
 // interpolation inside the owning bucket.
 func (h *Histogram) Snapshot() HistSnapshot {
 	var counts [histBuckets]uint64
-	var total uint64
 	for i := range counts {
 		counts[i] = h.buckets[i].Load()
-		total += counts[i]
 	}
-	s := HistSnapshot{Count: total, Sum: time.Duration(h.sum.Load())}
+	return histFromCounts(&counts, time.Duration(h.sum.Load()))
+}
+
+// histFromCounts builds the snapshot representation from raw per-bucket
+// counts — shared by live Histogram capture and by MergeHist, so a
+// merged histogram is indistinguishable from one observed on a single
+// node.
+func histFromCounts(counts *[histBuckets]uint64, sum time.Duration) HistSnapshot {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	s := HistSnapshot{Count: total, Sum: sum}
 	if total == 0 {
 		return s
 	}
 	s.Mean = s.Sum / time.Duration(total)
-	s.P50 = quantile(&counts, total, 0.50)
-	s.P90 = quantile(&counts, total, 0.90)
-	s.P99 = quantile(&counts, total, 0.99)
+	s.P50 = quantile(counts, total, 0.50)
+	s.P90 = quantile(counts, total, 0.90)
+	s.P99 = quantile(counts, total, 0.99)
 	cum := uint64(0)
 	for i, c := range counts {
 		cum += c
@@ -314,6 +324,25 @@ type Metrics struct {
 	perWorker    []uint64
 	recent       *Ring[TraceEvent]
 	queueDepthFn func() []int
+	resourceFn   func() Resources
+}
+
+// Resources is per-process resource accounting for the checking tier:
+// how well the core.State pool is recycling shadow memory, and how many
+// live shadow-memory intervals the checker is carrying. The session
+// wires the callback to the engine's gauges via SetResourceFn.
+type Resources struct {
+	// StatePoolGets / StatePoolMisses count checking-state pool
+	// traffic; a miss allocates a fresh State (four interval trees).
+	StatePoolGets   uint64 `json:"state_pool_gets"`
+	StatePoolMisses uint64 `json:"state_pool_misses"`
+	// StatePoolHitRate is gets-that-hit / gets (0 when no traffic).
+	StatePoolHitRate float64 `json:"state_pool_hit_rate"`
+	// ShadowIntervalsLive is the interval count of the most recently
+	// checked trace's shadow memory; ShadowIntervalsMax is the high
+	// water mark — the "is this session's shadow memory growing?" gauge.
+	ShadowIntervalsLive uint64 `json:"shadow_intervals_live"`
+	ShadowIntervalsMax  uint64 `json:"shadow_intervals_max"`
 }
 
 // NewMetrics returns an empty registry keeping the last recentN trace
@@ -337,6 +366,18 @@ func (m *Metrics) SetQueueDepthFn(fn func() []int) {
 	}
 	m.mu.Lock()
 	m.queueDepthFn = fn
+	m.mu.Unlock()
+}
+
+// SetResourceFn installs a callback reporting checking-tier resource
+// accounting (state-pool hit rates, live shadow-memory intervals); the
+// session wires it to the engine.
+func (m *Metrics) SetResourceFn(fn func() Resources) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.resourceFn = fn
 	m.mu.Unlock()
 }
 
@@ -420,6 +461,10 @@ type Snapshot struct {
 	PerWorkerChecked []uint64 `json:"per_worker_checked,omitempty"`
 	QueueDepths      []int    `json:"queue_depths,omitempty"`
 
+	// Resources carries state-pool and shadow-memory accounting (zero
+	// unless SetResourceFn was wired, as (*pmtest.Session).Stats does).
+	Resources Resources `json:"resources"`
+
 	RecentTraces []TraceEvent `json:"recent_traces,omitempty"`
 
 	// Err is the session's stored deferred error, if any (e.g. a
@@ -480,9 +525,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	s.PerWorkerChecked = append([]uint64(nil), m.perWorker...)
 	fn := m.queueDepthFn
+	rfn := m.resourceFn
 	m.mu.Unlock()
 	if fn != nil {
 		s.QueueDepths = fn()
+	}
+	if rfn != nil {
+		s.Resources = rfn()
 	}
 	s.RecentTraces = m.recent.Snapshot()
 	return s

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeSnapshot is the process-health section of a node snapshot,
+// polled from runtime/metrics at capture time: is this node leaking
+// memory, piling up goroutines, or stalling in GC? All fields are
+// mergeable: counters and gauges sum across nodes (a fleet total) and
+// the GC pause histogram merges bucket-exactly like every other
+// histogram in the schema.
+type RuntimeSnapshot struct {
+	Goroutines  int    `json:"goroutines"`
+	HeapBytes   uint64 `json:"heap_bytes"`
+	HeapObjects uint64 `json:"heap_objects"`
+	// TotalAllocBytes is cumulative allocation since process start.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	GCCycles        uint64 `json:"gc_cycles"`
+	// GCPause is the stop-the-world pause distribution, rebucketed from
+	// runtime/metrics' native histogram into the schema's fixed
+	// exponential layout (each native bucket lands at its lower bound,
+	// so cross-node merging stays exact; sub-bucket placement is
+	// conservative). Sum is estimated the same way.
+	GCPause HistSnapshot `json:"gc_pause"`
+}
+
+// runtimeSampleNames are the runtime/metrics series the collector polls.
+// All five exist since Go 1.16; Read leaves unknown names as KindBad,
+// which capture treats as zero rather than failing.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/objects:objects",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+// CaptureRuntime polls runtime/metrics once and returns the process
+// health section. It is cheap enough to run per scrape (microseconds, a
+// handful of allocations).
+func CaptureRuntime() RuntimeSnapshot {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	u64 := func(i int) uint64 {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			return samples[i].Value.Uint64()
+		default:
+			return 0
+		}
+	}
+	rs := RuntimeSnapshot{
+		Goroutines:      int(u64(0)),
+		HeapBytes:       u64(1),
+		HeapObjects:     u64(2),
+		TotalAllocBytes: u64(3),
+		GCCycles:        u64(4),
+	}
+	if samples[5].Value.Kind() == metrics.KindFloat64Histogram {
+		rs.GCPause = rebucket(samples[5].Value.Float64Histogram())
+	}
+	return rs
+}
+
+// rebucket converts a runtime/metrics histogram (float64 second bounds)
+// into the schema's fixed exponential duration buckets. Every native
+// bucket's count is attributed to its lower bound — a deterministic,
+// conservative placement; once in the fixed layout, cross-node merges
+// are exact.
+func rebucket(h *metrics.Float64Histogram) HistSnapshot {
+	var counts [histBuckets]uint64
+	var sum time.Duration
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.Buckets[i]
+		if lo < 0 { // the first bucket's bound can be -Inf
+			lo = 0
+		}
+		d := time.Duration(lo * float64(time.Second))
+		idx := 0
+		for idx < histBuckets-1 && d >= histBound(idx) {
+			idx++
+		}
+		counts[idx] += c
+		sum += time.Duration(c) * d
+	}
+	return histFromCounts(&counts, sum)
+}
+
+// mergeRuntime folds one node's runtime section into the accumulator:
+// everything sums (fleet totals) and the pause histogram merges exactly.
+func mergeRuntime(acc *RuntimeSnapshot, r RuntimeSnapshot) error {
+	gp, err := MergeHist(acc.GCPause, r.GCPause)
+	if err != nil {
+		return fmt.Errorf("gc pause histogram: %w", err)
+	}
+	acc.GCPause = gp
+	acc.Goroutines += r.Goroutines
+	acc.HeapBytes += r.HeapBytes
+	acc.HeapObjects += r.HeapObjects
+	acc.TotalAllocBytes += r.TotalAllocBytes
+	acc.GCCycles += r.GCCycles
+	return nil
+}

@@ -2,8 +2,10 @@ package perf
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"runtime"
 	"time"
 
@@ -12,6 +14,8 @@ import (
 	"pmtest/internal/flight"
 	"pmtest/internal/harness"
 	"pmtest/internal/obs"
+	"pmtest/internal/obs/collect"
+	"pmtest/internal/obsserve"
 	"pmtest/internal/trace"
 )
 
@@ -96,7 +100,64 @@ func runOnce(b Budget, seed int64, res *Result, logf func(string, ...any)) error
 	if err := runCodec(b, res, logf); err != nil {
 		return err
 	}
+	if err := runObsPlane(b, res, logf); err != nil {
+		return err
+	}
 	return runCampaign(b, seed, res, logf)
+}
+
+// runObsPlane measures the observability plane itself: building one
+// node's versioned snapshot document from a warmed registry, and one
+// pmtop-style fan-out collection over three live local endpoints. Both
+// sit on monitoring paths (a scrape per poll interval), so they are
+// gated like any other metric — a snapshot build that starts allocating
+// per bucket or a collection that serializes node polls shows up here.
+func runObsPlane(b Budget, res *Result, logf func(string, ...any)) error {
+	m := obs.NewMetrics(64)
+	for i := 0; i < 512; i++ {
+		m.TraceSubmitted(i, i%4, 16)
+		m.TraceDequeued(i, i%2, time.Duration(i)*time.Microsecond)
+		m.TraceChecked(obs.TraceEvent{TraceID: i, Thread: i % 4, Worker: i % 2,
+			Ops: 16, CheckDur: time.Duration(i) * 100 * time.Nanosecond})
+	}
+	src := &obs.SnapshotSource{Source: "pmbench", Metrics: m}
+	sb := measure(b.CheckIters*10, func() { _ = src.Capture() })
+	res.add(Metric{Name: "snapshot_build/ns_per_snapshot", Value: sb.NsPerOp, Unit: "ns/op",
+		Better: LowerIsBetter, Tolerance: TolTiming})
+	res.add(Metric{Name: "snapshot_build/allocs_per_snapshot", Value: sb.AllocsPerOp, Unit: "allocs/op",
+		Better: LowerIsBetter, Tolerance: TolAllocs})
+
+	var servers []*obsserve.Server
+	var nodes []string
+	for i := 0; i < 3; i++ {
+		srv, err := obsserve.Start(obsserve.Config{Addr: "127.0.0.1:0", Metrics: m})
+		if err != nil {
+			return fmt.Errorf("obs plane: %w", err)
+		}
+		servers = append(servers, srv)
+		nodes = append(nodes, srv.Addr())
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	client := &http.Client{}
+	cf := measure(b.CheckIters, func() {
+		merged, err := collect.Collect(context.Background(), nodes,
+			collect.Options{Client: client})
+		if err != nil {
+			panic(err)
+		}
+		if merged.Partial {
+			panic("obs plane: local collection came back partial")
+		}
+	})
+	res.add(Metric{Name: "collect_fanout/ns_per_collect", Value: cf.NsPerOp, Unit: "ns/op",
+		Better: LowerIsBetter, Tolerance: TolLatency})
+	logf("  obs: snapshot %.0f ns (%.1f allocs), collect(3 nodes) %.0f ns",
+		sb.NsPerOp, sb.AllocsPerOp, cf.NsPerOp)
+	return nil
 }
 
 // runMicro measures the whisper micro stores end-to-end under full

@@ -37,6 +37,7 @@ package pmtest
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
@@ -137,6 +138,11 @@ type Config struct {
 	// live via flight.Handler, or export with flight.WriteChrome. When
 	// nil the tracking hot path gains only a nil check per op.
 	Flight *flight.Recorder
+	// Logger, when non-nil, receives structured leveled log records from
+	// the session and its engine. Every record carries the session ID;
+	// engine records add trace_id/span_id, correlating log lines with
+	// flight spans. When nil nothing is logged and nothing is paid.
+	Logger *slog.Logger
 }
 
 // Stats is the observability snapshot returned by (*Session).Stats.
@@ -150,9 +156,11 @@ type SharedRange = core.SharedRange
 // one per program under test with Init; release it with Exit.
 type Session struct {
 	cfg     Config
+	id      uint64
 	engine  *core.Engine
 	sharing *core.SharingAnalyzer
 	metrics *obs.Metrics // nil when observability is off
+	logger  *slog.Logger // nil when logging is off; carries the session ID
 	// recording mirrors cfg.RecordTo != nil so the SendTrace fast path
 	// can skip the session lock entirely; it flips off permanently after
 	// an encode failure.
@@ -171,6 +179,10 @@ type Var struct {
 	Size uint64
 }
 
+// sessionIDs hands out process-unique session identifiers for log
+// correlation.
+var sessionIDs atomic.Uint64
+
 // Init creates a session and starts its checking engine (PMTest_INIT).
 func Init(cfg Config) *Session {
 	if cfg.Model == nil {
@@ -178,6 +190,11 @@ func Init(cfg Config) *Session {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
+	}
+	id := sessionIDs.Add(1)
+	var logger *slog.Logger
+	if cfg.Logger != nil {
+		logger = cfg.Logger.With("session", id)
 	}
 	excludes := make([]core.Range, len(cfg.StaticExcludes))
 	for i, v := range cfg.StaticExcludes {
@@ -201,19 +218,28 @@ func Init(cfg Config) *Session {
 	}
 	s := &Session{
 		cfg:     cfg,
+		id:      id,
 		metrics: cfg.Metrics,
+		logger:  logger,
 		engine: core.NewEngine(core.Options{
 			Rules:          cfg.Model,
 			Workers:        cfg.Workers,
 			TrackOnly:      cfg.TrackOnly,
 			StaticExcludes: excludes,
 			Observer:       obs.Multi(observers...),
+			Logger:         logger,
 		}),
 		vars: make(map[string]Var),
 	}
 	s.recording.Store(cfg.RecordTo != nil)
 	if cfg.Metrics != nil {
 		cfg.Metrics.SetQueueDepthFn(s.engine.QueueDepths)
+		cfg.Metrics.SetResourceFn(core.ResourceStats)
+	}
+	if logger != nil {
+		logger.Info("pmtest session started",
+			"model", fmt.Sprintf("%T", cfg.Model), "workers", cfg.Workers,
+			"track_only", cfg.TrackOnly, "recording", cfg.RecordTo != nil)
 	}
 	if cfg.DetectSharing {
 		s.sharing = core.NewSharingAnalyzer(excludes)
@@ -234,11 +260,27 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// ID returns the session's process-unique identifier — the "session"
+// attribute on every log record the session and its engine emit.
+func (s *Session) ID() uint64 { return s.id }
+
 // Exit drains outstanding traces, stops the engine and returns all
 // reports (PMTest_EXIT). Deferred session errors — such as a RecordTo
 // encode failure — do not abort the run; retrieve them afterwards with
 // Err or from the Stats snapshot.
-func (s *Session) Exit() []Report { return s.engine.Close() }
+func (s *Session) Exit() []Report {
+	reports := s.engine.Close()
+	if s.logger != nil {
+		fails, warns := 0, 0
+		for _, r := range reports {
+			fails += r.Fails()
+			warns += r.Warns()
+		}
+		s.logger.Info("pmtest session exited",
+			"traces", len(reports), "fails", fails, "warns", warns)
+	}
+	return reports
+}
 
 // GetResult blocks until every trace sent so far has been checked and
 // returns the reports accumulated so far (PMTest_GET_RESULT).
@@ -462,6 +504,10 @@ func (t *Thread) SendTrace() {
 				t.sess.recording.Store(false)
 				if m := t.sess.metrics; m != nil {
 					m.EncodeErrors.Add(1)
+				}
+				if lg := t.sess.logger; lg != nil {
+					lg.Error("trace recording failed; recording disabled",
+						"thread", t.builder.Thread(), "span_id", tr.SpanID, "err", err)
 				}
 			}
 		}
