@@ -78,8 +78,12 @@ func main() {
 	}
 	fmt.Fprintln(w, header)
 	// The static verdict is per bug class, not per injected instance:
-	// SelfCheck lints the class's canonical known-bad fragment, so one
-	// probe per rule is cached across the catalog.
+	// SelfCheck runs the full interprocedural analysis — call graph,
+	// summaries, call-site expansion — on the class's canonical known-bad
+	// program, whose bug is split across a call boundary precisely so the
+	// verdict exercises cross-function reasoning rather than a
+	// single-function CFG. One probe per rule is cached across the
+	// catalog.
 	lintVerdict := map[string]string{}
 	staticVerdict := func(rule string) string {
 		if rule == "" {

@@ -12,6 +12,8 @@
 //	go run ./cmd/crashmc -seed 7 -budget 16       # wider exploration
 //	go run ./cmd/crashmc -workload echo,pmfs      # subset of targets
 //	go run ./cmd/crashmc -classes drop-flush      # one fault class
+//	go run ./cmd/crashmc -static-rank internal/pmfs,internal/whisper
+//	                                              # pmlint findings order the classes
 //	go run ./cmd/crashmc -json                    # machine-readable result
 //	go run ./cmd/crashmc -strict                  # exit 1 on soundness violations
 //	go run ./cmd/crashmc -bench out.json          # write campaign throughput
@@ -29,6 +31,7 @@ import (
 
 	"pmtest/internal/faultinject"
 	"pmtest/internal/flight"
+	"pmtest/internal/lint"
 	"pmtest/internal/obs"
 	"pmtest/internal/obsserve"
 )
@@ -39,6 +42,7 @@ var (
 	flagOps        = flag.Int("ops", 3, "workload operations per schedule")
 	flagWorkload   = flag.String("workload", "", "comma-separated workloads (default: all; see -list)")
 	flagClasses    = flag.String("classes", "", "comma-separated fault classes (default: all)")
+	flagRank       = flag.String("static-rank", "", "comma-separated package dirs to lint; pmlint's findings rank the fault classes so statically suspicious ones spend the budget first")
 	flagStateLimit = flag.Int("state-limit", 64, "exhaustively enumerate crash states when 2^dirty fits this limit")
 	flagSamples    = flag.Int("samples", 12, "sampled crash states per fault beyond the enumeration limit")
 	flagTear       = flag.Bool("tear", true, "let sampled crash states tear lines at 8-byte granularity")
@@ -76,6 +80,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rank, err := staticRank(*flagRank)
+	if err != nil {
+		fatal(err)
+	}
 
 	logger, err := logOpts.Logger(os.Stderr)
 	if err != nil {
@@ -102,7 +110,7 @@ func main() {
 		Seed: *flagSeed, Budget: *flagBudget, Ops: *flagOps,
 		StateLimit: *flagStateLimit, Samples: *flagSamples,
 		TearLines: *flagTear, Deadline: *flagDeadline,
-		Classes: classes, Metrics: metrics, Flight: rec,
+		Classes: classes, Rank: rank, Metrics: metrics, Flight: rec,
 		Logger: logger,
 	}
 	start := time.Now()
@@ -162,6 +170,29 @@ func pickTargets(spec string) ([]faultinject.Target, error) {
 	return out, nil
 }
 
+// staticRank lints the given package dirs with the interprocedural
+// analyzer and folds the per-rule finding counts into a class rank.
+func staticRank(spec string) (*faultinject.StaticRank, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	byRule := map[string]int{}
+	total := 0
+	for _, dir := range strings.Split(spec, ",") {
+		dir = strings.TrimSpace(dir)
+		census, err := lint.Census(dir, false)
+		if err != nil {
+			return nil, fmt.Errorf("static-rank %s: %w", dir, err)
+		}
+		for rule, n := range census.ByRule {
+			byRule[rule] += n
+			total += n
+		}
+	}
+	fmt.Fprintf(os.Stderr, "static rank: %d findings across %s\n", total, spec)
+	return faultinject.RankFromFindings(byRule), nil
+}
+
 func pickClasses(spec string) ([]faultinject.Class, error) {
 	if spec == "" {
 		return nil, nil
@@ -207,10 +238,10 @@ func printHuman(res *faultinject.Result, elapsed time.Duration) {
 		}
 	}
 
-	fmt.Printf("\n%d/%d schedules, %d faults injected, %d crash states explored (of %d reachable), %d recovery failures, %v\n",
+	fmt.Printf("\n%d/%d schedules, %d faults injected, %d crash states explored (of %d reachable), %d recovery failures, discovery AUC %.3f, %v\n",
 		res.SchedulesRun, res.SchedulesPlanned, res.FaultsInjected,
 		res.StatesExplored, res.StatesPossible, res.RecoveryFailures,
-		elapsed.Round(time.Millisecond))
+		res.DiscoveryAUC, elapsed.Round(time.Millisecond))
 	if res.DeadlineExpired {
 		fmt.Println("DEADLINE EXPIRED — results above are partial")
 	}

@@ -1,22 +1,27 @@
 // Command pmlint statically checks PM programs written against the
 // pmtest/pmem APIs for the paper's crash-consistency and performance bug
 // classes — before any trace is recorded. It parses Go source (stdlib
-// go/ast only, no build or type-check step), builds an intra-function CFG
-// and reports path-sensitive findings; each finding names the dynamic
+// go/ast only, no build or type-check step) and analyzes each package
+// interprocedurally: a call graph over the linted files, a fixed-point
+// persist-effect summary per function, and rules that see call sites
+// expanded with their callees' effects. Each finding names the dynamic
 // diagnostic code and bugdb catalog category that would confirm it at
 // runtime.
 //
 // Usage:
 //
-//	go run ./cmd/pmlint ./...                # whole module
-//	go run ./cmd/pmlint internal/whisper     # one directory
-//	go run ./cmd/pmlint -json file.go        # machine-readable output
-//	go run ./cmd/pmlint -rules               # list the rules
+//	go run ./cmd/pmlint ./...                   # whole module
+//	go run ./cmd/pmlint internal/whisper        # one directory
+//	go run ./cmd/pmlint -format json file.go    # machine-readable output
+//	go run ./cmd/pmlint -format sarif -o out.sarif ./...
+//	go run ./cmd/pmlint -rules                  # list the rules
 //
 // Directories named testdata, hidden directories and _test.go files are
 // skipped (pass -tests to include test files). Suppress a finding with a
 // "//pmlint:ignore <rules> <reason>" comment on the offending line, the
-// line above, or before the enclosing function declaration.
+// line above, or before the enclosing function declaration. With
+// -strict-ignores, a directive that suppresses nothing is itself a
+// finding — CI runs in this mode so fixed bugs shed their annotations.
 //
 // Exit status: 0 when clean, 1 when findings remain, 2 on usage or parse
 // errors.
@@ -38,10 +43,13 @@ import (
 )
 
 var (
-	flagJSON  = flag.Bool("json", false, "emit findings as a JSON array")
-	flagTests = flag.Bool("tests", false, "also lint _test.go files")
-	flagRule  = flag.String("rule", "", "comma-separated rule names to run (default: all)")
-	flagRules = flag.Bool("rules", false, "print the rule catalog and exit")
+	flagJSON   = flag.Bool("json", false, "emit findings as a JSON array (alias for -format json)")
+	flagFormat = flag.String("format", "text", "output format: text, json or sarif")
+	flagOut    = flag.String("o", "", "write output to this file instead of stdout")
+	flagTests  = flag.Bool("tests", false, "also lint _test.go files")
+	flagRule   = flag.String("rule", "", "comma-separated rule names to run (default: all)")
+	flagRules  = flag.Bool("rules", false, "print the rule catalog and exit")
+	flagStrict = flag.Bool("strict-ignores", false, "report //pmlint:ignore directives that suppress nothing")
 )
 
 func fatalf(format string, args ...any) {
@@ -55,15 +63,23 @@ func main() {
 		printRules()
 		return
 	}
+	format := *flagFormat
+	if *flagJSON {
+		format = "json"
+	}
+	if format != "text" && format != "json" && format != "sarif" {
+		fatalf("unknown -format %q (want text, json or sarif)", format)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
+	opt := lint.Options{StrictIgnores: *flagStrict}
 
 	dirs, singles := expandArgs(args)
 	var findings []lint.Finding
 	for _, d := range dirs {
-		found, err := lint.LintDir(d, *flagTests)
+		found, err := lint.LintDirOpt(d, *flagTests, opt)
 		if err != nil {
 			fatalf("%s: %v", d, err)
 		}
@@ -76,13 +92,24 @@ func main() {
 			if err != nil {
 				fatalf("%v", err)
 			}
-			findings = append(findings, lint.LintFiles(fset, []*ast.File{f})...)
+			findings = append(findings, lint.LintFilesOpt(fset, []*ast.File{f}, opt)...)
 		}
 	}
 	findings = filterRules(findings)
 
-	if *flagJSON {
-		enc := json.NewEncoder(os.Stdout)
+	out := os.Stdout
+	if *flagOut != "" {
+		f, err := os.Create(*flagOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{}
@@ -90,8 +117,12 @@ func main() {
 		if err := enc.Encode(findings); err != nil {
 			fatalf("%v", err)
 		}
-	} else {
-		fmt.Print(lint.Render(findings))
+	case "sarif":
+		if err := lint.WriteSARIF(out, findings); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fmt.Fprint(out, lint.Render(findings))
 		if len(findings) > 0 {
 			fails, warns := 0, 0
 			for _, f := range findings {
@@ -101,7 +132,7 @@ func main() {
 					fails++
 				}
 			}
-			fmt.Printf("pmlint: %d finding(s): %d FAIL, %d WARN\n", len(findings), fails, warns)
+			fmt.Fprintf(out, "pmlint: %d finding(s): %d FAIL, %d WARN\n", len(findings), fails, warns)
 		}
 	}
 	if len(findings) > 0 {

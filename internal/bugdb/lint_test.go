@@ -7,18 +7,22 @@ import (
 )
 
 // TestLintRuleCoverage ties the static and dynamic halves of the
-// framework together: every pmlint rule targets at least one executable
-// catalog entry, every populated LintRule names a registered rule, and
-// the per-category mapping is total except for the duplicate-log class
-// (which needs runtime undo-log state to detect).
+// framework together: every populated LintRule names a registered rule
+// and matches its category's canonical rule, and every pmlint rule
+// targets a bug category with at least one executable catalog entry.
+// (Several rules can share a category — the interprocedural rules
+// crossflush/recoveryread are the cross-function faces of writeback,
+// redundantflush of perf-writeback — so coverage is per category, not
+// per rule name.)
 func TestLintRuleCoverage(t *testing.T) {
 	registered := map[string]bool{}
 	for _, r := range lint.Rules() {
 		registered[r.Name] = true
 	}
 
-	byRule := map[string]int{}
+	byCategory := map[string]int{}
 	for _, b := range Catalog() {
+		byCategory[string(b.Category)]++
 		if b.LintRule == "" {
 			if b.Category != CatPerfLog {
 				t.Errorf("bug %s (category %s) has no lint rule", b.ID, b.Category)
@@ -31,11 +35,10 @@ func TestLintRuleCoverage(t *testing.T) {
 		if want := LintRuleForCategory(b.Category); b.LintRule != want {
 			t.Errorf("bug %s: LintRule %q, want %q for category %s", b.ID, b.LintRule, want, b.Category)
 		}
-		byRule[b.LintRule]++
 	}
-	for name := range registered {
-		if byRule[name] == 0 {
-			t.Errorf("lint rule %s maps to no catalog entry", name)
+	for _, r := range lint.Rules() {
+		if byCategory[r.BugDB] == 0 {
+			t.Errorf("lint rule %s targets category %s with no catalog entry", r.Name, r.BugDB)
 		}
 	}
 }

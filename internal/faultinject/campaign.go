@@ -49,6 +49,10 @@ type Config struct {
 	Deadline time.Duration
 	// Classes selects the fault classes; nil means the full taxonomy.
 	Classes []Class
+	// Rank, when non-nil, reorders the selected classes so statically
+	// suspicious ones (RankFromFindings over pmlint's census) spend the
+	// schedule budget first. Result.DiscoveryAUC measures the effect.
+	Rank *StaticRank
 	// Rules is the checking rule set; nil means core.X86.
 	Rules core.RuleSet
 	// Metrics, when non-nil, receives campaign counters.
@@ -131,6 +135,12 @@ type Result struct {
 
 	Targets []TargetResult `json:"targets"`
 	Repros  []bugdb.Repro  `json:"repros,omitempty"`
+
+	// DiscoveryAUC is the bugs-found-per-schedule-prefix metric: the mean,
+	// over schedules in run order, of the fraction of demonstrated
+	// (workload, class) bugs already discovered. Higher means the
+	// exploration order front-loaded the bugs (see StaticRank).
+	DiscoveryAUC float64 `json:"discovery_auc"`
 
 	SchedulesPlanned int    `json:"schedules_planned"`
 	SchedulesRun     int    `json:"schedules_run"`
@@ -222,6 +232,7 @@ func Run(cfg Config, targets []Target) (*Result, error) {
 	if len(classes) == 0 {
 		classes = AllClasses()
 	}
+	classes = cfg.Rank.Order(classes)
 	rules := cfg.Rules
 	if rules == nil {
 		rules = core.X86{}
@@ -303,6 +314,7 @@ func Run(cfg Config, targets []Target) (*Result, error) {
 		c.res.Targets = append(c.res.Targets, tr)
 	}
 	c.res.Repros = c.repros.All()
+	c.res.DiscoveryAUC = discoveryAUC(c.res.Targets)
 	if lg := cfg.Logger; lg != nil {
 		lg.Info("campaign finished",
 			"schedules_run", c.res.SchedulesRun, "planned", c.res.SchedulesPlanned,

@@ -262,11 +262,11 @@ func (in *Injector) AfterFence() {
 	in.passthru = true
 	if in.hasTail {
 		in.hasTail = false
-		in.dev.Store(in.tailAddr, in.tailData) //pmlint:ignore missedflush the torn tail lands after the fence uncovered on purpose — that IS the injected fault
+		in.dev.Store(in.tailAddr, in.tailData) // the torn tail lands after the fence uncovered on purpose — that IS the injected fault
 	}
 	if in.hasFlush {
 		in.hasFlush = false
-		in.dev.CLWB(in.flushAddr, in.flushSize) //pmlint:ignore missedfence the delayed writeback deliberately misses its ordering point — that IS the injected fault
+		in.dev.CLWB(in.flushAddr, in.flushSize) // the delayed writeback deliberately misses its ordering point — that IS the injected fault
 	}
 	in.passthru = false
 }

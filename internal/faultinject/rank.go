@@ -1,0 +1,103 @@
+package faultinject
+
+import "sort"
+
+// Static-guided exploration (WITCHER's thesis applied to scheduling):
+// pmlint's interprocedural findings say which persistency obligations the
+// program already gets wrong on some path, and those are exactly the
+// mechanisms a machine-level fault is most likely to turn into a
+// demonstrable recovery failure. A StaticRank turns per-rule finding
+// counts into per-class weights and reorders the campaign's class
+// iteration so the statically suspicious classes spend the schedule
+// budget first. The payoff is measured, not assumed: Result.DiscoveryAUC
+// is the bugs-found-per-schedule-prefix metric, and a rank is worth
+// shipping only if it raises it.
+
+// StaticRank weights fault classes by static suspicion. The zero value
+// and nil are both valid (no reordering).
+type StaticRank struct {
+	Weight map[Class]float64 `json:"weight"`
+}
+
+// ruleClasses maps each pmlint rule to the fault classes its findings
+// implicate. Writeback bugs (a store some path never flushes) are the
+// ones a dropped flush — or a legal eviction — turns into data loss;
+// ordering bugs pair with the fence faults; redundant-writeback findings
+// mark code whose flush discipline is loose enough that a delayed flush
+// slips an ordering point; unlogged tx writes are where a torn store
+// defeats recovery's undo log. checkermisuse is annotation hygiene with
+// no machine-level counterpart, so it carries no weight.
+var ruleClasses = map[string][]Class{
+	"missedflush":    {DropFlush, Evict},
+	"crossflush":     {DropFlush, Evict},
+	"recoveryread":   {DropFlush, Evict},
+	"missedfence":    {DropFence, WeakenFence},
+	"doubleflush":    {DelayFlush},
+	"redundantflush": {DelayFlush},
+	"txnolog":        {TornStore},
+}
+
+// RankFromFindings builds a rank from per-rule finding counts — the
+// shape of lint's CensusResult.ByRule. Rules the mapping does not know
+// (including staleignore) contribute nothing.
+func RankFromFindings(byRule map[string]int) *StaticRank {
+	r := &StaticRank{Weight: map[Class]float64{}}
+	for rule, n := range byRule {
+		for _, cl := range ruleClasses[rule] {
+			r.Weight[cl] += float64(n)
+		}
+	}
+	return r
+}
+
+// Order returns classes sorted by descending weight. Ties — and a nil or
+// empty rank — preserve the input order, so the declaration-order
+// taxonomy remains the baseline. The input slice is not mutated.
+func (r *StaticRank) Order(classes []Class) []Class {
+	out := append([]Class(nil), classes...)
+	if r == nil || len(r.Weight) == 0 {
+		return out
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return r.Weight[out[i]] > r.Weight[out[j]]
+	})
+	return out
+}
+
+// discoveryAUC computes the bugs-found-per-schedule-prefix metric over
+// the campaign's outcomes in the order they ran. A "bug" is a distinct
+// (workload, class) pair demonstrated by a failing crash state; after
+// each schedule the fraction of all such bugs discovered so far is
+// taken, and the metric is the mean of those fractions. 1.0 means every
+// bug fell out of the very first schedules; a campaign that finds its
+// bugs only at the end scores near 0. Deterministic given the outcomes.
+func discoveryAUC(targets []TargetResult) float64 {
+	type bug struct{ workload, class string }
+	total := map[bug]bool{}
+	type step struct {
+		b    bug
+		demo bool
+	}
+	var steps []step
+	for _, tr := range targets {
+		for _, o := range tr.Outcomes {
+			b := bug{tr.Workload, o.Class}
+			steps = append(steps, step{b, o.Demonstrated})
+			if o.Demonstrated {
+				total[b] = true
+			}
+		}
+	}
+	if len(steps) == 0 || len(total) == 0 {
+		return 0
+	}
+	found := map[bug]bool{}
+	sum := 0.0
+	for _, s := range steps {
+		if s.demo {
+			found[s.b] = true
+		}
+		sum += float64(len(found)) / float64(len(total))
+	}
+	return sum / float64(len(steps))
+}

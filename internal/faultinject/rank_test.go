@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRankFromFindings(t *testing.T) {
+	r := RankFromFindings(map[string]int{
+		"missedflush":  2,
+		"crossflush":   1,
+		"missedfence":  4,
+		"txnolog":      1,
+		"staleignore":  9, // unmapped: hygiene, not a machine fault
+		"no-such-rule": 9,
+	})
+	want := map[Class]float64{
+		DropFlush: 3, Evict: 3,
+		DropFence: 4, WeakenFence: 4,
+		TornStore: 1,
+	}
+	if !reflect.DeepEqual(r.Weight, want) {
+		t.Fatalf("weights = %v, want %v", r.Weight, want)
+	}
+}
+
+func TestRankOrder(t *testing.T) {
+	all := AllClasses()
+	r := RankFromFindings(map[string]int{"missedfence": 3, "doubleflush": 1})
+	got := r.Order(all)
+	// Fence faults (weight 3) first, then DelayFlush (1), then the
+	// zero-weight classes in declaration order.
+	want := []Class{DropFence, WeakenFence, DelayFlush, DropFlush, TornStore, Evict}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(all, AllClasses()) {
+		t.Fatal("Order mutated its input")
+	}
+
+	// Nil and empty ranks preserve the input order.
+	var nilRank *StaticRank
+	if got := nilRank.Order(all); !reflect.DeepEqual(got, all) {
+		t.Fatalf("nil rank reordered: %v", got)
+	}
+	if got := (&StaticRank{}).Order(all); !reflect.DeepEqual(got, all) {
+		t.Fatalf("empty rank reordered: %v", got)
+	}
+}
+
+func TestDiscoveryAUC(t *testing.T) {
+	mk := func(class string, demo ...bool) []Outcome {
+		out := make([]Outcome, len(demo))
+		for i, d := range demo {
+			out[i] = Outcome{Class: class, Demonstrated: d}
+		}
+		return out
+	}
+
+	// One bug found on the first of four schedules: fractions 1,1,1,1.
+	early := []TargetResult{{Workload: "w", Outcomes: mk("drop-flush", true, false, false, false)}}
+	if got := discoveryAUC(early); got != 1.0 {
+		t.Fatalf("early AUC = %v, want 1.0", got)
+	}
+	// Same bug found only on the last schedule: fractions 0,0,0,1.
+	late := []TargetResult{{Workload: "w", Outcomes: mk("drop-flush", false, false, false, true)}}
+	if got := discoveryAUC(late); got != 0.25 {
+		t.Fatalf("late AUC = %v, want 0.25", got)
+	}
+	// Re-demonstrating the same (workload, class) is not a new bug.
+	repeat := []TargetResult{{Workload: "w", Outcomes: mk("drop-flush", true, true)}}
+	if got := discoveryAUC(repeat); got != 1.0 {
+		t.Fatalf("repeat AUC = %v, want 1.0", got)
+	}
+	// Two bugs across targets, found at steps 1 and 3 of 4: 1/2, 1/2, 1, 1.
+	two := []TargetResult{
+		{Workload: "a", Outcomes: mk("drop-flush", true, false)},
+		{Workload: "b", Outcomes: mk("drop-flush", true, false)},
+	}
+	if got := discoveryAUC(two); got != 0.75 {
+		t.Fatalf("two-bug AUC = %v, want 0.75", got)
+	}
+	// No schedules, or no demonstrated bugs: 0 by definition.
+	if got := discoveryAUC(nil); got != 0 {
+		t.Fatalf("empty AUC = %v, want 0", got)
+	}
+	none := []TargetResult{{Workload: "w", Outcomes: mk("drop-flush", false, false)}}
+	if got := discoveryAUC(none); got != 0 {
+		t.Fatalf("no-bug AUC = %v, want 0", got)
+	}
+}
+
+// TestCampaignRankReorders: a ranked campaign records its classes in
+// rank order and remains seed-reproducible schedule for schedule.
+func TestCampaignRankReorders(t *testing.T) {
+	tgt, ok := TargetByName("echo")
+	if !ok {
+		t.Fatal("target echo missing")
+	}
+	cfg := Defaults()
+	cfg.Seed = 7
+	cfg.Ops = 2
+	cfg.Budget = 2
+	cfg.Rank = RankFromFindings(map[string]int{"missedfence": 5, "missedflush": 1})
+	res, err := Run(cfg, []Target{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"drop-fence", "weaken-fence", "drop-flush", "evict", "torn-store", "delay-flush"}
+	if !reflect.DeepEqual(res.Classes, want) {
+		t.Fatalf("ranked classes = %v, want %v", res.Classes, want)
+	}
+	if len(res.Targets) != 1 || len(res.Targets[0].Outcomes) == 0 {
+		t.Fatal("ranked campaign produced no outcomes")
+	}
+	// Outcomes must follow the ranked class order.
+	idx := map[string]int{}
+	for i, cl := range want {
+		idx[cl] = i
+	}
+	last := -1
+	for _, o := range res.Targets[0].Outcomes {
+		if idx[o.Class] < last {
+			t.Fatalf("outcome for %s ran before a lower-ranked class finished", o.Class)
+		}
+		last = idx[o.Class]
+	}
+	if res.DiscoveryAUC < 0 || res.DiscoveryAUC > 1 {
+		t.Fatalf("DiscoveryAUC = %v out of [0,1]", res.DiscoveryAUC)
+	}
+
+	res2, err := Run(cfg, []Target{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiscoveryAUC != res2.DiscoveryAUC {
+		t.Fatalf("DiscoveryAUC not reproducible: %v vs %v", res.DiscoveryAUC, res2.DiscoveryAUC)
+	}
+}

@@ -1,0 +1,611 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Call-graph construction. The analyzer stays purely syntactic: calls are
+// resolved by name within the linted file set, method calls via a small
+// single-assignment type-hint pass (receiver and parameter declarations,
+// `x := T{...}` / `&T{...}` / `new(T)` locals, and results of package
+// functions with a declared result type). Method values bound to locals
+// (`st := dev.Store64; st(a, v)`) resolve through the same binding table:
+// a binding to a recognized primitive becomes an op at the call site, a
+// binding to a package function or func literal becomes a call edge.
+// Unresolved calls stay opaque, exactly as every call did before this
+// analysis existed.
+
+// resolvedCall is one call site wired to a function of the package.
+type resolvedCall struct {
+	call   *ast.CallExpr
+	callee *fnInfo
+	recv   ast.Expr // receiver expression for method calls; nil otherwise
+	args   []ast.Expr
+}
+
+// origin is the real op an interprocedural obligation chains back to.
+// The final sweep (summary.go) records whether any call site on any path
+// discharged it and whether it escaped the exit of a call-graph root;
+// crossflush and recoveryread read those bits.
+type origin struct {
+	fn          *fnInfo
+	o           *op
+	covered     bool // some interprocedural path discharges the obligation
+	escapedRoot bool // the obligation reaches the exit of some root
+}
+
+// pkgInfo is one package directory under whole-package analysis.
+type pkgInfo struct {
+	fset    *token.FileSet
+	env     constEnv
+	pkgVars map[string]bool
+	fns     []*fnInfo // declaration order across files, literals after their enclosing decl
+
+	funcsByName   map[string]*fnInfo            // plain functions, unique names only
+	methodsByType map[string]map[string]*fnInfo // recv type → method name → fn
+	methodsByName map[string][]*fnInfo          // method name → candidates
+
+	origins    map[*ast.CallExpr]*origin
+	originList []*origin
+}
+
+func (p *pkgInfo) isPkgName(name string) bool {
+	if p.pkgVars[name] {
+		return true
+	}
+	if _, ok := p.env[name]; ok {
+		return true
+	}
+	switch name {
+	case "true", "false", "iota", "nil":
+		return true
+	}
+	return false
+}
+
+// originFor returns (creating on first use) the origin record for a real
+// op, keyed by its call expression — stable across fixpoint passes.
+func (p *pkgInfo) originFor(f *fnInfo, o *op) *origin {
+	if g, ok := p.origins[o.call]; ok {
+		return g
+	}
+	g := &origin{fn: f, o: o}
+	p.origins[o.call] = g
+	p.originList = append(p.originList, g)
+	return g
+}
+
+// buildPkg parses the shared analysis state for a set of files: function
+// index, type hints, resolved call edges, and call-graph roots. Summaries
+// are computed afterwards by computeFixpoint (summary.go).
+func buildPkg(fset *token.FileSet, files []*ast.File) *pkgInfo {
+	p := &pkgInfo{
+		fset:          fset,
+		env:           buildConstEnv(files),
+		pkgVars:       map[string]bool{},
+		funcsByName:   map[string]*fnInfo{},
+		methodsByType: map[string]map[string]*fnInfo{},
+		methodsByName: map[string][]*fnInfo{},
+		origins:       map[*ast.CallExpr]*origin{},
+	}
+	dupFuncs := map[string]bool{}
+
+	for _, file := range files {
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					for _, spec := range d.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, name := range vs.Names {
+								p.pkgVars[name.Name] = true
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fn := &fnInfo{
+					name: d.Name.Name,
+					g:    buildGraph(d.Body),
+					fset: fset,
+					env:  p.env,
+					pkg:  p,
+					decl: d,
+				}
+				fn.initSignature()
+				p.fns = append(p.fns, fn)
+				if d.Recv != nil {
+					if fn.recvType != "" {
+						m := p.methodsByType[fn.recvType]
+						if m == nil {
+							m = map[string]*fnInfo{}
+							p.methodsByType[fn.recvType] = m
+						}
+						m[fn.name] = fn
+					}
+					p.methodsByName[fn.name] = append(p.methodsByName[fn.name], fn)
+				} else {
+					if _, dup := p.funcsByName[fn.name]; dup {
+						dupFuncs[fn.name] = true
+					}
+					p.funcsByName[fn.name] = fn
+				}
+				// Nested func literals are functions of their own, exactly
+				// as before; they resolve as callees through bindings.
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						lf := &fnInfo{
+							name: "func literal",
+							g:    buildGraph(lit.Body),
+							fset: fset,
+							env:  p.env,
+							pkg:  p,
+							lit:  lit,
+						}
+						lf.initLitSignature(lit)
+						p.fns = append(p.fns, lf)
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Same-named plain functions (build-tag variants) are ambiguous; drop
+	// them from resolution rather than pick one.
+	for name := range dupFuncs {
+		delete(p.funcsByName, name)
+	}
+
+	litByNode := map[*ast.FuncLit]*fnInfo{}
+	for _, fn := range p.fns {
+		if fn.lit != nil {
+			litByNode[fn.lit] = fn
+		}
+	}
+	for _, fn := range p.fns {
+		p.resolveCalls(fn, litByNode)
+	}
+	p.markRoots()
+	return p
+}
+
+// initSignature records receiver/parameter names and syntactic type hints
+// from a function declaration.
+func (f *fnInfo) initSignature() {
+	f.params = map[string]bool{}
+	f.typeHints = map[string]string{}
+	d := f.decl
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		fld := d.Recv.List[0]
+		f.recvType = typeBaseName(fld.Type)
+		if len(fld.Names) == 1 {
+			f.recvName = fld.Names[0].Name
+			f.params[f.recvName] = true
+			if f.recvType != "" {
+				f.typeHints[f.recvName] = f.recvType
+			}
+		}
+	}
+	if d.Type.Params != nil {
+		for _, fld := range d.Type.Params.List {
+			t := typeBaseName(fld.Type)
+			for _, name := range fld.Names {
+				f.params[name.Name] = true
+				f.paramNames = append(f.paramNames, name.Name)
+				if t != "" {
+					f.typeHints[name.Name] = t
+				}
+			}
+		}
+	}
+}
+
+func (f *fnInfo) initLitSignature(lit *ast.FuncLit) {
+	f.params = map[string]bool{}
+	f.typeHints = map[string]string{}
+	if lit.Type.Params != nil {
+		for _, fld := range lit.Type.Params.List {
+			t := typeBaseName(fld.Type)
+			for _, name := range fld.Names {
+				f.params[name.Name] = true
+				f.paramNames = append(f.paramNames, name.Name)
+				if t != "" {
+					f.typeHints[name.Name] = t
+				}
+			}
+		}
+	}
+}
+
+// typeBaseName reduces a type expression to its base named type: *T → T,
+// []T → T (an element store through an index expression still hits T's
+// methods), pkg.T → "" (cross-package, unresolvable here).
+func typeBaseName(t ast.Expr) string {
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.ArrayType:
+			t = v.Elt
+		case *ast.ParenExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// localBindings walks a function body (excluding nested literals) and
+// records single-assignment bindings of locals: to composite literals and
+// new(T) for type hints, to func literals / method values / function
+// names for call resolution. Re-bound names are dropped.
+type binding struct {
+	sel  *ast.SelectorExpr // method value: st := dev.Store64
+	lit  *ast.FuncLit      // fl := func(...){...}
+	fn   string            // alias: g := helper
+	typ  string            // type hint: d := &Device{...}
+	dead bool              // multiply assigned
+}
+
+func (f *fnInfo) localBindings() map[string]*binding {
+	b := map[string]*binding{}
+	set := func(name string, nb binding) {
+		if name == "" || name == "_" {
+			return
+		}
+		if old, ok := b[name]; ok {
+			old.dead = true
+			return
+		}
+		nb2 := nb
+		b[name] = &nb2
+	}
+	var body ast.Node
+	if f.decl != nil {
+		body = f.decl.Body
+	} else if f.lit != nil {
+		body = f.lit.Body
+	}
+	if body == nil {
+		return b
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != f.lit {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				for _, l := range s.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						set(id.Name, binding{dead: true})
+					}
+				}
+				return true
+			}
+			for i, l := range s.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				set(id.Name, bindingFor(s.Rhs[i]))
+			}
+		case *ast.GenDecl:
+			if s.Tok == token.VAR {
+				for _, spec := range s.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							set(name.Name, bindingFor(vs.Values[i]))
+						} else if t := typeBaseName(vs.Type); t != "" {
+							set(name.Name, binding{typ: t})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return b
+}
+
+func bindingFor(rhs ast.Expr) binding {
+	switch v := rhs.(type) {
+	case *ast.SelectorExpr:
+		return binding{sel: v}
+	case *ast.FuncLit:
+		return binding{lit: v}
+	case *ast.Ident:
+		return binding{fn: v.Name}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if cl, ok := v.X.(*ast.CompositeLit); ok {
+				return binding{typ: typeBaseName(cl.Type)}
+			}
+		}
+	case *ast.CompositeLit:
+		return binding{typ: typeBaseName(v.Type)}
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			if id.Name == "new" && len(v.Args) == 1 {
+				return binding{typ: typeBaseName(v.Args[0])}
+			}
+			return binding{fn: id.Name} // result type resolved at lookup time
+		}
+	}
+	return binding{dead: true}
+}
+
+// typeHint resolves the syntactic type of a receiver expression.
+func (p *pkgInfo) typeHint(f *fnInfo, binds map[string]*binding, e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if t, ok := f.typeHints[v.Name]; ok {
+			return t
+		}
+		if b, ok := binds[v.Name]; ok && !b.dead {
+			if b.typ != "" {
+				return b.typ
+			}
+			if b.fn != "" {
+				if callee, ok := p.funcsByName[b.fn]; ok {
+					return callee.resultType()
+				}
+			}
+		}
+	case *ast.ParenExpr:
+		return p.typeHint(f, binds, v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return p.typeHint(f, binds, v.X)
+		}
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			if callee, ok := p.funcsByName[id.Name]; ok {
+				return callee.resultType()
+			}
+		}
+	}
+	return ""
+}
+
+// resultType is the base name of a declaration's single result type.
+func (f *fnInfo) resultType() string {
+	if f.decl == nil || f.decl.Type.Results == nil || len(f.decl.Type.Results.List) != 1 {
+		return ""
+	}
+	return typeBaseName(f.decl.Type.Results.List[0].Type)
+}
+
+// resolveCalls walks one function's CFG nodes, resolving call expressions
+// to package functions (filling node.calls) and method-value invocations
+// to primitive ops (appended to node.ops).
+func (p *pkgInfo) resolveCalls(f *fnInfo, litByNode map[*ast.FuncLit]*fnInfo) {
+	binds := f.localBindings()
+	for _, n := range f.g.nodes {
+		changedOps := false
+		for _, part := range n.parts {
+			ast.Inspect(part, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				c, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, prim := classifyCall(c); prim {
+					return true // already an op at this site
+				}
+				switch fun := c.Fun.(type) {
+				case *ast.Ident:
+					if b, ok := binds[fun.Name]; ok && !b.dead {
+						switch {
+						case b.sel != nil:
+							// Method value: classify as if called directly.
+							if o, ok := classifyCall(&ast.CallExpr{Fun: b.sel, Args: c.Args}); ok {
+								o.call = c // report at the invocation site
+								n.ops = append(n.ops, o)
+								changedOps = true
+								return true
+							}
+						case b.lit != nil:
+							if callee := litByNode[b.lit]; callee != nil {
+								p.addCall(f, n, c, callee, nil)
+								return true
+							}
+						case b.fn != "":
+							if callee, ok := p.funcsByName[b.fn]; ok {
+								p.addCall(f, n, c, callee, nil)
+								return true
+							}
+						}
+						return true
+					}
+					if callee, ok := p.funcsByName[fun.Name]; ok {
+						p.addCall(f, n, c, callee, nil)
+					}
+				case *ast.SelectorExpr:
+					name := fun.Sel.Name
+					if t := p.typeHint(f, binds, fun.X); t != "" {
+						if m, ok := p.methodsByType[t]; ok {
+							if callee, ok := m[name]; ok {
+								p.addCall(f, n, c, callee, fun.X)
+								return true
+							}
+						}
+						return true // typed receiver, no such method here
+					}
+					// Untyped receiver: resolve iff the method name is
+					// unique across the package (and not an import access,
+					// which a package-level function name would shadow).
+					if cands := p.methodsByName[name]; len(cands) == 1 {
+						if _, isImport := fun.X.(*ast.Ident); !isImport || !p.looksLikeImport(f, fun.X.(*ast.Ident).Name) {
+							p.addCall(f, n, c, cands[0], fun.X)
+						}
+					}
+				case *ast.FuncLit:
+					if callee := litByNode[fun]; callee != nil {
+						p.addCall(f, n, c, callee, nil)
+					}
+				}
+				return true
+			})
+		}
+		if changedOps {
+			sort.SliceStable(n.ops, func(i, j int) bool { return n.ops[i].call.Pos() < n.ops[j].call.Pos() })
+		}
+		sort.SliceStable(n.calls, func(i, j int) bool { return n.calls[i].call.Pos() < n.calls[j].call.Pos() })
+	}
+}
+
+// looksLikeImport reports whether name is plausibly a file-scope import
+// alias rather than a value: it is not a parameter, local binding, or
+// package-level name.
+func (p *pkgInfo) looksLikeImport(f *fnInfo, name string) bool {
+	if f.params[name] || p.isPkgName(name) {
+		return false
+	}
+	if _, ok := f.typeHints[name]; ok {
+		return false
+	}
+	// Conservative: if it is assigned anywhere in the function it is a
+	// value, not an import.
+	for _, n := range f.g.nodes {
+		if n.assigned[name] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *pkgInfo) addCall(f *fnInfo, n *node, c *ast.CallExpr, callee *fnInfo, recv ast.Expr) {
+	n.calls = append(n.calls, resolvedCall{call: c, callee: callee, recv: recv, args: c.Args})
+	if callee.callers == nil {
+		callee.callers = map[*fnInfo]bool{}
+	}
+	callee.callers[f] = true
+	f.callees = append(f.callees, callee)
+}
+
+// markRoots computes strongly connected components of the call graph and
+// flags every function whose SCC has no incoming edge from outside it.
+// Roots are where escaping obligations are finally reported; a mutually
+// recursive cycle nobody else calls is its own root set.
+func (p *pkgInfo) markRoots() {
+	index := map[*fnInfo]int{}
+	low := map[*fnInfo]int{}
+	onStack := map[*fnInfo]bool{}
+	comp := map[*fnInfo]int{}
+	var stack []*fnInfo
+	next, ncomps := 0, 0
+
+	var strongconnect func(v *fnInfo)
+	strongconnect = func(v *fnInfo) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomps
+				if w == v {
+					break
+				}
+			}
+			ncomps++
+		}
+	}
+	for _, f := range p.fns {
+		if _, seen := index[f]; !seen {
+			strongconnect(f)
+		}
+	}
+	external := map[int]bool{}
+	for _, f := range p.fns {
+		for caller := range f.callers {
+			if comp[caller] != comp[f] {
+				external[comp[f]] = true
+			}
+		}
+	}
+	for _, f := range p.fns {
+		f.rootFn = !external[comp[f]]
+		f.scc = comp[f]
+	}
+}
+
+// recoverySet returns the functions reachable from recovery entry points
+// (Open*/Mount*/Recover*/Replay*/Restore*/Reopen* declarations) through
+// resolved calls — the domain of the recoveryread rule.
+func (p *pkgInfo) recoverySet() map[*fnInfo]bool {
+	set := map[*fnInfo]bool{}
+	var queue []*fnInfo
+	for _, f := range p.fns {
+		if f.decl != nil && isRecoveryName(f.name) {
+			set[f] = true
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, callee := range f.callees {
+			if !set[callee] {
+				set[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return set
+}
+
+func isRecoveryName(name string) bool {
+	l := strings.ToLower(name)
+	for _, p := range []string{"open", "mount", "recover", "replay", "restore", "reopen"} {
+		if strings.HasPrefix(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// describe renders a function for diagnostics: name plus position.
+func (f *fnInfo) describe() string {
+	var pos token.Pos
+	if f.decl != nil {
+		pos = f.decl.Pos()
+	} else if f.lit != nil {
+		pos = f.lit.Pos()
+	}
+	if !pos.IsValid() {
+		return f.name
+	}
+	pp := f.fset.Position(pos)
+	return fmt.Sprintf("%s (%s:%d)", f.name, pp.Filename, pp.Line)
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// FuncCensus is the static profile of one analyzed function: how many PM
+// primitives it executes directly, what it hands to its callers, and how
+// many findings anchor inside it. Fault-injection campaigns use these
+// profiles to decide which fault classes to explore first.
+type FuncCensus struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Root is true when no other analyzed function calls this one — the
+	// obligations that escape it are real, not summarized away.
+	Root bool `json:"root"`
+	// Direct primitive counts (the function's own ops, not expanded
+	// call-site effects).
+	Stores  int `json:"stores"`
+	Flushes int `json:"flushes"`
+	Fences  int `json:"fences"`
+	Loads   int `json:"loads"`
+	TxOps   int `json:"tx_ops"`
+	// Calls counts intra-package call sites resolved by the call graph.
+	Calls int `json:"calls"`
+	// EscStores/EscFlushes count obligations the function's summary
+	// transfers to callers (stores that escape unflushed, writebacks
+	// that escape unfenced).
+	EscStores  int `json:"esc_stores"`
+	EscFlushes int `json:"esc_flushes"`
+	// Findings counts the findings whose position falls in this function.
+	Findings int `json:"findings"`
+}
+
+// CensusResult is the package-level static profile pmlint exposes to the
+// rest of the framework: per-function primitive counts plus the findings
+// themselves, aggregated per rule.
+type CensusResult struct {
+	Funcs    []FuncCensus   `json:"funcs"`
+	ByRule   map[string]int `json:"by_rule"`
+	Findings []Finding      `json:"findings"`
+}
+
+// Census analyzes one directory (non-recursively, like LintDir) and
+// returns its static profile. The analysis is the same interprocedural
+// pass the rules run on, so per-function summaries reflect the whole
+// package's call graph.
+func Census(dir string, includeTests bool) (*CensusResult, error) {
+	fset, files, err := parseDir(dir, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	findings, pkg := analyzeFiles(fset, files, Options{})
+	return censusOf(fset, pkg, findings), nil
+}
+
+func censusOf(fset *token.FileSet, pkg *pkgInfo, findings []Finding) *CensusResult {
+	res := &CensusResult{ByRule: map[string]int{}, Findings: findings}
+	for _, f := range findings {
+		res.ByRule[f.Rule]++
+	}
+	for _, fn := range pkg.fns {
+		var pos token.Pos
+		if fn.decl != nil {
+			pos = fn.decl.Pos()
+		} else if fn.lit != nil {
+			pos = fn.lit.Pos()
+		}
+		p := fset.Position(pos)
+		fc := FuncCensus{Name: fn.name, File: p.Filename, Line: p.Line, Root: fn.rootFn}
+		for _, n := range fn.g.nodes {
+			fc.Calls += len(n.calls)
+			for i := range n.ops {
+				switch n.ops[i].kind {
+				case opStore, opStoreNT:
+					fc.Stores++
+				case opFlush:
+					fc.Flushes++
+				case opFence, opBarrier:
+					fc.Fences++
+				case opLoad:
+					fc.Loads++
+				case opTxBegin, opTxEnd, opTxAdd, opTxCheckerStart, opTxCheckerEnd:
+					fc.TxOps++
+				}
+			}
+		}
+		if fn.sum != nil {
+			fc.EscStores = len(fn.sum.escStores)
+			fc.EscFlushes = len(fn.sum.escFlushes)
+		}
+		res.Funcs = append(res.Funcs, fc)
+	}
+	// Anchor findings to functions by position range.
+	for _, f := range findings {
+		for i := range res.Funcs {
+			fn := pkg.fns[i]
+			var lo, hi token.Position
+			if fn.decl != nil {
+				lo, hi = fset.Position(fn.decl.Pos()), fset.Position(fn.decl.End())
+			} else if fn.lit != nil {
+				lo, hi = fset.Position(fn.lit.Pos()), fset.Position(fn.lit.End())
+			} else {
+				continue
+			}
+			if f.File == lo.Filename && f.Line >= lo.Line && f.Line <= hi.Line {
+				res.Funcs[i].Findings++
+				break
+			}
+		}
+	}
+	sort.Slice(res.Funcs, func(i, j int) bool {
+		a, b := res.Funcs[i], res.Funcs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Name < b.Name
+	})
+	return res
+}

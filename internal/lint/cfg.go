@@ -15,6 +15,24 @@ type node struct {
 	succs    []*node
 	preds    []*node
 	assigned map[string]bool
+
+	// calls are the call sites in this node that resolved to functions of
+	// the linted package (callgraph.go); xops is ops with each resolved
+	// call expanded into the synthetic effects of its callee's summary
+	// (summary.go). When xops is nil the node has no expansion and cur()
+	// falls back to the parsed ops.
+	calls []resolvedCall
+	xops  []op
+}
+
+// cur returns the op sequence every path query iterates: the expanded
+// view when interprocedural analysis has populated it, the parsed ops
+// otherwise.
+func (n *node) cur() []op {
+	if n.xops != nil {
+		return n.xops
+	}
+	return n.ops
 }
 
 // graph is the CFG of one function body. entry and exit are synthetic.
@@ -415,8 +433,9 @@ func searchForward(g *graph, start *node, from int, q pathQuery) (*op, bool) {
 	found := false
 	var visit func(n *node, opStart int) bool
 	visit = func(n *node, opStart int) bool {
-		for i := opStart; i < len(n.ops); i++ {
-			o := &n.ops[i]
+		ops := n.cur()
+		for i := opStart; i < len(ops); i++ {
+			o := &ops[i]
 			if q.matchOp != nil && q.matchOp(o) {
 				hit, found = o, true
 				return true
@@ -458,8 +477,9 @@ func searchBackward(g *graph, start *node, before int, q pathQuery) (*op, bool) 
 	found := false
 	var visit func(n *node, opEnd int) bool
 	visit = func(n *node, opEnd int) bool {
+		ops := n.cur()
 		for i := opEnd - 1; i >= 0; i-- {
-			o := &n.ops[i]
+			o := &ops[i]
 			if q.matchOp != nil && q.matchOp(o) {
 				hit, found = o, true
 				return true
@@ -483,7 +503,7 @@ func searchBackward(g *graph, start *node, before int, q pathQuery) (*op, bool) 
 				continue
 			}
 			seen[p] = true
-			if visit(p, len(p.ops)) {
+			if visit(p, len(p.cur())) {
 				return true
 			}
 		}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInterprocBadGolden locks the analyzer's output on a two-file
+// package whose five legacy bug classes are each split across a call
+// boundary (and across files). A single-function analysis sees nothing
+// here.
+func TestInterprocBadGolden(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "interproc", "bad"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"missedflush":   false,
+		"missedfence":   false,
+		"doubleflush":   false,
+		"txnolog":       false,
+		"checkermisuse": false,
+	}
+	for _, f := range findings {
+		if _, ok := want[f.Rule]; !ok {
+			t.Errorf("unexpected rule %s: %s", f.Rule, f)
+			continue
+		}
+		want[f.Rule] = true
+	}
+	for rule, hit := range want {
+		if !hit {
+			t.Errorf("cross-function variant of %s not caught", rule)
+		}
+	}
+	got := Render(findings)
+	goldenPath := filepath.Join("testdata", "interproc", "bad.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantGolden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run go test -update to create it)", err)
+	}
+	if got != string(wantGolden) {
+		t.Errorf("golden mismatch\n--- got ---\n%s--- want ---\n%s", got, wantGolden)
+	}
+}
+
+// TestInterprocClean asserts the discharged versions of the same five
+// protocols produce zero findings — the interprocedural analysis must
+// credit the caller-side (and callee-side) halves of each protocol.
+func TestInterprocClean(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "interproc", "clean"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean interproc package produced findings:\n%s", Render(findings))
+	}
+}
+
+// TestFixpointConvergence: the summary fixpoint must terminate on
+// recursive and mutually-recursive call graphs, and obligations must
+// still propagate out of the cycle.
+func TestFixpointConvergence(t *testing.T) {
+	t.Run("self-recursive", func(t *testing.T) {
+		src := `package p
+
+func fill(dev *Device, addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	dev.Store64(addr, n)
+	fill(dev, addr, n-1)
+}
+
+func seed(dev *Device) {
+	fill(dev, 0x40, 4) // nothing ever written back
+}
+`
+		findings, err := LintSource("rec.go", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasRule(findings, "crossflush") {
+			t.Errorf("recursive store never persisted, want crossflush:\n%s", Render(findings))
+		}
+	})
+	t.Run("mutually-recursive", func(t *testing.T) {
+		src := `package p
+
+func even(dev *Device, n uint64) {
+	if n == 0 {
+		return
+	}
+	dev.Store64(0x40, n)
+	odd(dev, n-1)
+}
+
+func odd(dev *Device, n uint64) {
+	if n == 0 {
+		return
+	}
+	even(dev, n-1)
+}
+
+func run(dev *Device) {
+	even(dev, 4)
+}
+`
+		findings, err := LintSource("mutrec.go", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasRule(findings, "crossflush") {
+			t.Errorf("store in a mutual-recursion cycle never persisted, want crossflush:\n%s", Render(findings))
+		}
+	})
+	t.Run("cycle-discharged", func(t *testing.T) {
+		src := `package p
+
+func fill(dev *Device, addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	dev.Store64(addr, n)
+	fill(dev, addr, n-1)
+}
+
+func seed(dev *Device) {
+	fill(dev, 0x40, 4)
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+}
+`
+		findings, err := LintSource("recok.go", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("discharged recursive store still reported:\n%s", Render(findings))
+		}
+	})
+}
+
+func hasRule(findings []Finding, rule string) bool {
+	for _, f := range findings {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDeterministicOutput: linting the same package repeatedly must be
+// byte-identical — findings are sorted by position then rule, with no
+// map-iteration order leaking through.
+func TestDeterministicOutput(t *testing.T) {
+	dir := filepath.Join("testdata", "interproc", "bad")
+	first, err := LintDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Render(first)
+	for i := 0; i < 10; i++ {
+		findings, err := LintDir(dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Render(findings); got != base {
+			t.Fatalf("lint run %d differs from run 0\n--- run %d ---\n%s--- run 0 ---\n%s", i+1, i+1, got, base)
+		}
+	}
+}
+
+// TestStrictIgnores: a directive that suppresses nothing is itself a
+// finding under Options.StrictIgnores, and silent otherwise.
+func TestStrictIgnores(t *testing.T) {
+	stale := `package p
+
+func f(dev *Device) {
+	dev.Store64(0x40, 1) //pmlint:ignore missedflush long since fixed
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+}
+`
+	used := strings.Replace(stale, "\tdev.CLWB(0x40, 8)\n", "", 1)
+
+	t.Run("stale directive flagged", func(t *testing.T) {
+		findings, err := LintSourceOpt("stale.go", stale, Options{StrictIgnores: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 1 || findings[0].Rule != StaleIgnoreRule {
+			t.Fatalf("want exactly one %s finding, got:\n%s", StaleIgnoreRule, Render(findings))
+		}
+		if !strings.Contains(findings[0].Message, "missedflush") {
+			t.Errorf("staleignore message should name the suppressed rule: %s", findings[0].Message)
+		}
+	})
+	t.Run("used directive silent", func(t *testing.T) {
+		findings, err := LintSourceOpt("used.go", used, Options{StrictIgnores: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("directive is load-bearing, want no findings:\n%s", Render(findings))
+		}
+	})
+	t.Run("lenient by default", func(t *testing.T) {
+		findings, err := LintSource("stale.go", stale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("without StrictIgnores a stale directive is not a finding:\n%s", Render(findings))
+		}
+	})
+}
+
+// TestSummaryCaps: a function with more escaping stores than the summary
+// cap must not panic or loop; findings beyond the cap may be dropped but
+// analysis still terminates.
+func TestSummaryCaps(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("package p\n\nfunc burst(dev *Device) {\n")
+	for i := 0; i < 3*maxSummaryList; i++ {
+		fmt.Fprintf(&b, "\tdev.Store64(0x%x, 1)\n", 0x1000+16*i)
+	}
+	b.WriteString("}\n\nfunc run(dev *Device) { burst(dev) }\n")
+	if _, err := LintSource("burst.go", b.String()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -54,6 +54,12 @@ type Finding struct {
 	// BugDB is the bug-catalog category (bugdb.Category spelling) whose
 	// entries exercise this bug class dynamically.
 	BugDB string `json:"bugdb"`
+	// OriginFile/OriginLine point at the op a cross-function finding is
+	// really about (the helper's store or flush) when it differs from the
+	// reported position (the guilty call site). Suppression directives at
+	// either position apply.
+	OriginFile string `json:"origin_file,omitempty"`
+	OriginLine int    `json:"origin_line,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -72,8 +78,9 @@ type RuleInfo struct {
 
 type ruleDef struct {
 	RuleInfo
-	hint string
-	run  func(f *fnInfo) []Finding
+	hint   string
+	run    func(f *fnInfo) []Finding  // per-function rule
+	runPkg func(p *pkgInfo) []Finding // whole-package rule (crossflush, recoveryread)
 }
 
 // Rules returns the registered rules in reporting order.
@@ -100,13 +107,51 @@ type fnInfo struct {
 	g    *graph
 	fset *token.FileSet
 	env  constEnv
+
+	// Interprocedural state (callgraph.go / summary.go).
+	pkg        *pkgInfo
+	decl       *ast.FuncDecl // nil for literals
+	lit        *ast.FuncLit  // nil for declarations
+	recvName   string
+	recvType   string
+	params     map[string]bool   // parameter and receiver names
+	paramNames []string          // positional parameter names (receiver excluded)
+	typeHints  map[string]string // ident → syntactic type guess
+	callers    map[*fnInfo]bool
+	callees    []*fnInfo
+	rootFn     bool // no callers outside this function's SCC
+	scc        int
+	sum        *summary
 }
 
 func (f *fnInfo) fp(e ast.Expr) string   { return exprString(f.fset, e) }
 func (f *fnInfo) root(e ast.Expr) string { return exprString(f.fset, rootExpr(e)) }
 func (f *fnInfo) covers(w, s *op) bool   { return covers(f.fset, f.env, w, s) }
 
+// fpAddr is the range fingerprint of an op, falling back to the opaque
+// tag for synthetic effects whose range has no caller-scope expression.
+func (f *fnInfo) fpAddr(o *op) string {
+	if o.addr == nil && o.opaqueFP != "" {
+		return o.opaqueFP
+	}
+	return exprString(f.fset, o.addr)
+}
+
 func (f *fnInfo) pos(o *op) token.Position { return f.fset.Position(o.call.Pos()) }
+
+// originate stamps a finding with the position of the op it is really
+// about, when that op lives somewhere other than the reported position.
+func originate(fd Finding, fn *fnInfo, o *op) Finding {
+	if fn == nil || o == nil {
+		return fd
+	}
+	p := fn.pos(o)
+	if p.Filename == fd.File && p.Line == fd.Line {
+		return fd
+	}
+	fd.OriginFile, fd.OriginLine = p.Filename, p.Line
+	return fd
+}
 
 func (f *fnInfo) finding(r *ruleDef, o *op, msg string) Finding {
 	p := f.pos(o)
@@ -123,24 +168,15 @@ func (f *fnInfo) finding(r *ruleDef, o *op, msg string) Finding {
 	}
 }
 
-// eachOp invokes fn for every op of every node.
+// eachOp invokes fn for every op of every node, in the expanded
+// interprocedural view when one has been computed.
 func (f *fnInfo) eachOp(fn func(n *node, i int, o *op)) {
 	for _, n := range f.g.nodes {
-		for i := range n.ops {
-			fn(n, i, &n.ops[i])
+		ops := n.cur()
+		for i := range ops {
+			fn(n, i, &ops[i])
 		}
 	}
-}
-
-// forwarder reports whether the function's entire PM interaction is a
-// single op — a wrapper that forwards one primitive (a recording device's
-// Store, a helper emitting one checker event). Persistency and pairing
-// obligations for such functions belong to the caller, so the
-// path-to-exit rules skip them.
-func (f *fnInfo) forwarder() bool {
-	n := 0
-	f.eachOp(func(*node, int, *op) { n++ })
-	return n <= 1
 }
 
 // mayBeInTx reports whether some backward path from (n, i) reaches an
@@ -157,36 +193,107 @@ func (f *fnInfo) mayBeInTx(n *node, i int) bool {
 
 // --- Entry points -----------------------------------------------------------
 
+// Options tunes an analysis run.
+type Options struct {
+	// StrictIgnores reports //pmlint:ignore directives that suppressed
+	// nothing as findings of the pseudo-rule "staleignore" (WARN). CI runs
+	// with this on so suppressions cannot outlive the bugs they excuse.
+	StrictIgnores bool
+}
+
+// StaleIgnoreRule is the pseudo-rule name used for unmatched suppression
+// directives under Options.StrictIgnores. It is not part of Rules(): it
+// has no dynamic counterpart and cannot itself be suppressed.
+const StaleIgnoreRule = "staleignore"
+
 // LintFiles analyzes a set of parsed files that share one constant
 // namespace (typically one package directory) and returns the findings,
 // with ignore directives already applied, sorted by position.
 func LintFiles(fset *token.FileSet, files []*ast.File) []Finding {
-	env := buildConstEnv(files)
-	var findings []Finding
+	return LintFilesOpt(fset, files, Options{})
+}
+
+// LintFilesOpt is LintFiles with explicit options.
+func LintFilesOpt(fset *token.FileSet, files []*ast.File, opt Options) []Finding {
+	findings, _ := analyzeFiles(fset, files, opt)
+	return findings
+}
+
+// analyzeFiles runs the whole-package pipeline: call graph, summary
+// fixpoint, per-function and package-wide rules, suppression filtering.
+// It returns the surviving findings and the package state (for Census).
+func analyzeFiles(fset *token.FileSet, files []*ast.File, opt Options) ([]Finding, *pkgInfo) {
+	p := buildPkg(fset, files)
+	computeFixpoint(p)
+
+	supByFile := map[string]*suppressions{}
 	for _, file := range files {
-		sup := buildSuppressions(fset, file)
-		var fns []*fnInfo
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch d := n.(type) {
-			case *ast.FuncDecl:
-				if d.Body != nil {
-					fns = append(fns, &fnInfo{name: d.Name.Name, g: buildGraph(d.Body), fset: fset, env: env})
-				}
-			case *ast.FuncLit:
-				fns = append(fns, &fnInfo{name: "func literal", g: buildGraph(d.Body), fset: fset, env: env})
+		supByFile[fset.Position(file.Pos()).Filename] = buildSuppressions(fset, file)
+	}
+	var findings []Finding
+	emit := func(fd Finding) {
+		// Evaluate both positions unconditionally so a directive at either
+		// end of a cross-function finding is marked used.
+		atPos := false
+		if sup := supByFile[fd.File]; sup != nil && sup.suppressed(fd.Rule, fd.Line) {
+			atPos = true
+		}
+		atOrigin := false
+		if fd.OriginFile != "" {
+			if sup := supByFile[fd.OriginFile]; sup != nil && sup.suppressed(fd.Rule, fd.OriginLine) {
+				atOrigin = true
 			}
-			return true
-		})
-		for _, fn := range fns {
-			for i := range allRules {
-				for _, fd := range allRules[i].run(fn) {
-					if !sup.suppressed(fd.Rule, fd.Line) {
-						findings = append(findings, fd)
-					}
-				}
+		}
+		if atPos || atOrigin {
+			return
+		}
+		findings = append(findings, fd)
+	}
+	for _, fn := range p.fns {
+		for i := range allRules {
+			if allRules[i].run == nil {
+				continue
+			}
+			for _, fd := range allRules[i].run(fn) {
+				emit(fd)
 			}
 		}
 	}
+	for i := range allRules {
+		if allRules[i].runPkg == nil {
+			continue
+		}
+		for _, fd := range allRules[i].runPkg(p) {
+			emit(fd)
+		}
+	}
+	if opt.StrictIgnores {
+		for _, file := range files {
+			name := fset.Position(file.Pos()).Filename
+			for _, sp := range supByFile[name].byLine {
+				if sp.used {
+					continue
+				}
+				findings = append(findings, Finding{
+					Rule:     StaleIgnoreRule,
+					File:     name,
+					Line:     sp.directiveLine,
+					Col:      1,
+					Severity: "WARN",
+					Message: fmt.Sprintf("//pmlint:ignore %s suppresses nothing — the finding it excused is gone",
+						sp.describe()),
+					Hint:    "delete the stale directive (or fix its rule list) so suppressions keep matching real findings",
+					Dynamic: "none",
+					BugDB:   "none",
+				})
+			}
+		}
+	}
+	// Dedupe in emission order (rule sections emit their most specific
+	// finding first), then sort: after dedupe the (File, Line, Col, Rule)
+	// key is unique, with Message as a belt-and-braces tiebreak, so two
+	// runs over the same tree are byte-identical.
+	findings = dedupe(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -198,9 +305,12 @@ func LintFiles(fset *token.FileSet, files []*ast.File) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return dedupe(findings)
+	return findings, p
 }
 
 func dedupe(in []Finding) []Finding {
@@ -219,20 +329,38 @@ func dedupe(in []Finding) []Finding {
 
 // LintSource analyzes a single in-memory file.
 func LintSource(filename, src string) ([]Finding, error) {
+	return LintSourceOpt(filename, src, Options{})
+}
+
+// LintSourceOpt is LintSource with explicit options.
+func LintSourceOpt(filename, src string, opt Options) ([]Finding, error) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
-	return LintFiles(fset, []*ast.File{file}), nil
+	return LintFilesOpt(fset, []*ast.File{file}, opt), nil
 }
 
 // LintDir parses every .go file directly inside dir (optionally including
 // _test.go files) and analyzes them together.
 func LintDir(dir string, includeTests bool) ([]Finding, error) {
-	entries, err := os.ReadDir(dir)
+	return LintDirOpt(dir, includeTests, Options{})
+}
+
+// LintDirOpt is LintDir with explicit options.
+func LintDirOpt(dir string, includeTests bool, opt Options) ([]Finding, error) {
+	fset, files, err := parseDir(dir, includeTests)
 	if err != nil {
 		return nil, err
+	}
+	return LintFilesOpt(fset, files, opt), nil
+}
+
+func parseDir(dir string, includeTests bool) (*token.FileSet, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -246,11 +374,11 @@ func LintDir(dir string, includeTests bool) ([]Finding, error) {
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
-	return LintFiles(fset, files), nil
+	return fset, files, nil
 }
 
 // --- Ignore directives ------------------------------------------------------
@@ -263,22 +391,37 @@ type suppression struct {
 	// line-targeted suppressions map line → rule set; range suppressions
 	// cover whole function declarations.
 	fromLine, toLine int
+	directiveLine    int // where the //pmlint:ignore comment itself sits
+	rulesArg         string
+	used             bool // matched at least one finding this run
+}
+
+func (sp *suppression) describe() string {
+	if sp.rulesArg == "" {
+		return "all"
+	}
+	return sp.rulesArg
 }
 
 type suppressions struct {
-	byLine []suppression
+	byLine []*suppression
 }
 
+// suppressed reports whether any directive covers (rule, line), marking
+// every matching directive used — staleness accounting must not blame a
+// directive merely because another one matched the same finding first.
 func (s *suppressions) suppressed(rule string, line int) bool {
+	hit := false
 	for _, sp := range s.byLine {
 		if line < sp.fromLine || line > sp.toLine {
 			continue
 		}
 		if sp.all || sp.rules[rule] {
-			return true
+			sp.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // buildSuppressions extracts //pmlint:ignore directives from a file. A
@@ -320,7 +463,7 @@ func buildSuppressions(fset *token.FileSet, file *ast.File) *suppressions {
 			if fields := strings.Fields(args); len(fields) > 0 {
 				rulesArg = fields[0]
 			}
-			sp := suppression{rules: map[string]bool{}}
+			sp := &suppression{rules: map[string]bool{}, rulesArg: rulesArg}
 			if rulesArg == "" || rulesArg == "all" || rulesArg == "*" {
 				sp.all = true
 			} else {
@@ -331,6 +474,7 @@ func buildSuppressions(fset *token.FileSet, file *ast.File) *suppressions {
 				}
 			}
 			line := fset.Position(c.Pos()).Line
+			sp.directiveLine = line
 			target := line
 			if !codeLines[line] {
 				target = line + 1
@@ -353,6 +497,9 @@ func Render(findings []Finding) string {
 	for _, f := range findings {
 		b.WriteString(f.String())
 		b.WriteByte('\n')
+		if f.OriginFile != "" {
+			fmt.Fprintf(&b, "    origin: %s:%d\n", f.OriginFile, f.OriginLine)
+		}
 		if f.Hint != "" {
 			b.WriteString("    hint: ")
 			b.WriteString(f.Hint)

@@ -30,9 +30,15 @@ const (
 	opIsPersist
 	opIsOrderedBefore
 	opSendTrace
+	opLoad // persistent read (Load/Load64/...); recoveryread's subject
 )
 
-// op is one recognized PM operation inside a function body.
+// op is one recognized PM operation inside a function body. Synthetic ops
+// are materialized at call sites from callee persist-effect summaries
+// (see summary.go): they behave like real ops in every path query, carry
+// the callee's obligations (needFlush/needFence/needLog), and point back
+// at the op they originate from so package-wide rules can tell whether an
+// obligation was discharged on any interprocedural path.
 type op struct {
 	kind   opKind
 	call   *ast.CallExpr
@@ -43,6 +49,15 @@ type op struct {
 	size2  ast.Expr
 	fixed  int64 // implicit size (Store64 → 8); 0 = none
 	dfence bool  // durability fence that drains every pending write
+
+	// Interprocedural fields (zero for ops parsed directly from source).
+	synthetic bool    // materialized from a callee summary at a call site
+	fromFn    string  // callee the effect came from (synthetic only)
+	needFlush bool    // store escaped the callee without a covering writeback
+	needFence bool    // flush escaped the callee without a fence
+	needLog   bool    // store reached from callee entry with no covering TxAdd
+	opaqueFP  string  // display fingerprint when the range has no caller-scope expression
+	origin    *origin // the real op this obligation chains back to
 }
 
 // classifyCall maps a method call to a PM operation by name and arity.
@@ -108,6 +123,16 @@ func classifyCall(c *ast.CallExpr) (op, bool) {
 		o.kind, o.addr, o.size, o.addr2, o.size2 = opIsOrderedBefore, arg(0), arg(1), arg(2), arg(3)
 	case name == "SendTrace" && n == 0:
 		o.kind = opSendTrace
+	case name == "Load" && n == 2:
+		o.kind, o.addr = opLoad, arg(0) // size = len(buf), unknown
+	case name == "LoadBytes" && n == 2:
+		o.kind, o.addr, o.size = opLoad, arg(0), arg(1)
+	case name == "Load64" && n == 1:
+		o.kind, o.addr, o.fixed = opLoad, arg(0), 8
+	case name == "Load32" && n == 1:
+		o.kind, o.addr, o.fixed = opLoad, arg(0), 4
+	case name == "Load8" && n == 1:
+		o.kind, o.addr, o.fixed = opLoad, arg(0), 1
 	case name == "RecordOp" && n >= 1:
 		return classifyRecordOp(c)
 	default:

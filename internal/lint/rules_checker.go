@@ -41,7 +41,7 @@ func runCheckerMisuse(f *fnInfo) []Finding {
 	f.eachOp(func(n *node, i int, o *op) {
 		switch o.kind {
 		case opIsOrderedBefore:
-			if o.addr != nil && o.addr2 != nil {
+			if !o.synthetic && o.addr != nil && o.addr2 != nil {
 				iobs = append(iobs, iobAt{n, i, o})
 				if f.fp(o.addr) == f.fp(o.addr2) {
 					out = append(out, f.finding(r, o,
@@ -71,10 +71,22 @@ func runCheckerMisuse(f *fnInfo) []Finding {
 		}
 	}
 
-	// Unbalanced begin/end pairs, in both directions. Single-op wrapper
-	// helpers (a func whose whole body emits one begin or one end for its
-	// caller) are the caller's responsibility and are skipped.
-	if f.forwarder() {
+	// Unbalanced begin/end pairs, in both directions. A pure emitter — a
+	// function whose entire PM interaction is the one begin (or end) it
+	// forwards for its callers — transfers the half-region through its
+	// summary (mustOpen/mustClose) and is checked at expanded call sites
+	// instead; flagging the helper itself would indict every Begin()
+	// wrapper in the package.
+	total := 0
+	var only *op
+	f.eachOp(func(_ *node, _ int, o *op) {
+		total++
+		only = o
+	})
+	pureEmitter := total == 1 && only != nil &&
+		(only.kind == opTxBegin || only.kind == opTxEnd ||
+			only.kind == opTxCheckerStart || only.kind == opTxCheckerEnd)
+	if pureEmitter {
 		return out
 	}
 	pairs := []struct {
@@ -94,9 +106,17 @@ func runCheckerMisuse(f *fnInfo) []Finding {
 					matchEnd: true,
 				})
 				if exitReached {
-					out = append(out, f.finding(r, o,
+					who := p.openName
+					if o.synthetic {
+						who = p.openName + " by " + o.fromFn
+					}
+					fd := f.finding(r, o,
 						fmt.Sprintf("%s in %s is never closed by %s on some path to exit",
-							p.openName, f.name, p.closeName)))
+							who, f.name, p.closeName))
+					if o.origin != nil {
+						fd = originate(fd, o.origin.fn, o.origin.o)
+					}
+					out = append(out, fd)
 				}
 			case p.close:
 				_, entryReached := searchBackward(f.g, n, i, pathQuery{
@@ -104,9 +124,17 @@ func runCheckerMisuse(f *fnInfo) []Finding {
 					matchEnd: true,
 				})
 				if entryReached {
-					out = append(out, f.finding(r, o,
+					who := p.closeName
+					if o.synthetic {
+						who = p.closeName + " by " + o.fromFn
+					}
+					fd := f.finding(r, o,
 						fmt.Sprintf("%s in %s has no preceding %s on some path from entry",
-							p.closeName, f.name, p.openName)))
+							who, f.name, p.openName))
+					if o.origin != nil {
+						fd = originate(fd, o.origin.fn, o.origin.o)
+					}
+					out = append(out, fd)
 				}
 			}
 		}

@@ -5,6 +5,16 @@ import "fmt"
 // Writeback and fence rules: the paper's "missing/misplaced writeback",
 // "missing/misplaced ordering enforcement" and "redundant writeback"
 // classes (Table 5), detected on syntactic paths instead of traces.
+//
+// All of them run over the interprocedural view: call sites carry the
+// callee's summarized effects as synthetic ops, so a store in f flushed
+// only inside g is provably covered — and a store g lets escape is
+// checked against f's paths. Reporting follows the obligation-transfer
+// model: a helper whose range is substitutable (rooted in a parameter,
+// receiver or package variable) hands the obligation to its callers;
+// ranges rooted in locals can only be discharged where they live; and in
+// call-graph roots a parameter-rooted range is an external caller's
+// contract, not a bug.
 
 func init() {
 	allRules = append(allRules,
@@ -46,39 +56,72 @@ func init() {
 				"written back exactly once per epoch",
 			run: runDoubleFlush,
 		},
+		ruleDef{
+			RuleInfo: RuleInfo{
+				Name: "redundantflush",
+				Doc: "a flush is provably preceded (or followed) across a call boundary by a " +
+					"flush of the same range with no intervening store — one of the two is " +
+					"wasted work that only whole-program analysis can see",
+				Severity: "WARN",
+				Dynamic:  "duplicate-writeback",
+				BugDB:    "perf-writeback",
+			},
+			hint: "let exactly one side of the call own the writeback: drop the caller's flush " +
+				"or the callee's, whichever does not also fence for other ranges",
+			run: runRedundantFlush,
+		},
 	)
+}
+
+// escapesWriteback reports whether some path from op o at (n, i) reaches
+// function exit with no covering writeback.
+func escapesWriteback(f *fnInfo, n *node, i int, o *op) bool {
+	_, exitReached := searchForward(f.g, n, i+1, pathQuery{
+		blockOp:  coveringWriteback(f, o),
+		matchEnd: true,
+	})
+	return exitReached
 }
 
 func runMissedFlush(f *fnInfo) []Finding {
 	r := ruleByName("missedflush")
 	var out []Finding
-	if f.forwarder() {
-		return nil
-	}
 	f.eachOp(func(n *node, i int, o *op) {
 		if o.kind != opStore {
 			return // non-temporal stores persist at the next fence
 		}
+		if o.synthetic && !o.needFlush {
+			return
+		}
 		if f.mayBeInTx(n, i) {
 			return // inside a transaction the commit owns flushing (txnolog's domain)
 		}
-		_, exitReached := searchForward(f.g, n, i+1, pathQuery{
-			blockOp: func(b *op) bool {
-				switch b.kind {
-				case opFlush, opBarrier:
-					return f.covers(b, o)
-				case opFence:
-					return b.dfence // HOPS dfence drains every pending write
-				}
-				return false
-			},
-			matchEnd: true,
-		})
-		if exitReached {
-			out = append(out, f.finding(r, o,
-				fmt.Sprintf("store to %s can reach exit of %s without a covering writeback",
-					f.fp(o.addr), f.name)))
+		if !escapesWriteback(f, n, i, o) {
+			return
 		}
+		if o.synthetic {
+			// A callee's store escaping through this call site. Report the
+			// path-specific miss only when some other interprocedural path
+			// does cover it (a placement bug at this site); stores no path
+			// covers anywhere are crossflush's finding, at their origin.
+			if f.rootFn && o.origin != nil && o.origin.covered && !f.isParamRooted(o.addr) {
+				out = append(out, originate(f.finding(r, o,
+					fmt.Sprintf("store to %s by %s can reach exit of %s without a covering writeback",
+						f.fpAddr(o), o.fromFn, f.name)), o.origin.fn, o.origin.o))
+			}
+			return
+		}
+		if f.substitutable(o.addr) {
+			if !f.rootFn {
+				return // obligation transfers to callers via the summary
+			}
+			if f.isParamRooted(o.addr) {
+				return // parametric contract: the external caller persists it
+			}
+		}
+		out = append(out, f.finding(r, o,
+			fmt.Sprintf("store to %s can reach exit of %s without a covering writeback",
+				f.fp(o.addr), f.name)))
 	})
 	return out
 }
@@ -86,12 +129,12 @@ func runMissedFlush(f *fnInfo) []Finding {
 func runMissedFence(f *fnInfo) []Finding {
 	r := ruleByName("missedfence")
 	var out []Finding
-	if f.forwarder() {
-		return nil
-	}
 	f.eachOp(func(n *node, i int, o *op) {
 		if o.kind != opFlush {
 			return // PersistBarrier fences itself
+		}
+		if o.synthetic && !o.needFence {
+			return
 		}
 		_, exitReached := searchForward(f.g, n, i+1, pathQuery{
 			blockOp: func(b *op) bool {
@@ -100,34 +143,61 @@ func runMissedFence(f *fnInfo) []Finding {
 			},
 			matchEnd: true,
 		})
-		if exitReached {
-			out = append(out, f.finding(r, o,
-				fmt.Sprintf("writeback of %s is never completed by a fence on some path through %s",
-					f.fp(o.addr), f.name)))
+		if !exitReached {
+			return
 		}
+		if o.synthetic {
+			if f.rootFn && o.origin != nil && o.origin.covered {
+				out = append(out, originate(f.finding(r, o,
+					fmt.Sprintf("writeback of %s by %s is never completed by a fence on some path through %s",
+						f.fpAddr(o), o.fromFn, f.name)), o.origin.fn, o.origin.o))
+			}
+			return
+		}
+		if !f.rootFn {
+			return // any caller's fence completes it; escapes are summarized
+		}
+		if o.addr != nil && f.isParamRooted(o.addr) {
+			return // flush-forwarding helper: the caller owns the fence
+		}
+		out = append(out, f.finding(r, o,
+			fmt.Sprintf("writeback of %s is never completed by a fence on some path through %s",
+				f.fp(o.addr), f.name)))
 	})
 	return out
+}
+
+// storeBlocks builds the blockOp used by the duplicate-writeback rules: a
+// store into the flushed range legitimizes the next writeback. For opaque
+// ranges any store blocks, keeping false pairs out.
+func storeBlocks(f *fnInfo, o *op) func(*op) bool {
+	return func(b *op) bool {
+		if b.kind != opStore && b.kind != opStoreNT {
+			return false
+		}
+		if o.addr == nil {
+			return true
+		}
+		return f.covers(o, b)
+	}
 }
 
 func runDoubleFlush(f *fnInfo) []Finding {
 	r := ruleByName("doubleflush")
 	var out []Finding
 	f.eachOp(func(n *node, i int, o *op) {
-		if o.kind != opFlush && o.kind != opBarrier {
-			return
+		if (o.kind != opFlush && o.kind != opBarrier) || o.synthetic {
+			return // pairs involving a call boundary are redundantflush's
 		}
 		addrFP, sizeFP := f.fp(o.addr), f.fp(o.size)
 		ids := identsOf(o.addr)
 		hit, _ := searchForward(f.g, n, i+1, pathQuery{
 			matchOp: func(b *op) bool {
-				return (b.kind == opFlush || b.kind == opBarrier) &&
+				return (b.kind == opFlush || b.kind == opBarrier) && !b.synthetic &&
 					f.fp(b.addr) == addrFP && f.fp(b.size) == sizeFP &&
 					b.fixed == o.fixed
 			},
-			blockOp: func(b *op) bool {
-				// A store into the range legitimizes the next writeback.
-				return (b.kind == opStore || b.kind == opStoreNT) && f.covers(o, b)
-			},
+			blockOp: storeBlocks(f, o),
 			blockNode: func(nd *node) bool {
 				for id := range nd.assigned {
 					if ids[id] {
@@ -142,6 +212,67 @@ func runDoubleFlush(f *fnInfo) []Finding {
 				fmt.Sprintf("%s is written back again with no intervening store in %s",
 					f.fp(hit.addr), f.name)))
 		}
+	})
+	return out
+}
+
+func runRedundantFlush(f *fnInfo) []Finding {
+	r := ruleByName("redundantflush")
+	var out []Finding
+	f.eachOp(func(n *node, i int, o *op) {
+		if o.kind != opFlush && o.kind != opBarrier {
+			return
+		}
+		// Opaque fingerprints name the callee, not the range: two calls to
+		// the same helper with different arguments would compare equal, so
+		// only substitutable (caller-scope) ranges can pair up.
+		if o.addr == nil {
+			return
+		}
+		addrFP, sizeFP := f.fpAddr(o), f.fp(o.size)
+		if addrFP == "" {
+			return
+		}
+		ids := identsOf(o.addr)
+		hit, _ := searchForward(f.g, n, i+1, pathQuery{
+			matchOp: func(b *op) bool {
+				return (b.kind == opFlush || b.kind == opBarrier) && b.addr != nil &&
+					(o.synthetic || b.synthetic) &&
+					f.fpAddr(b) == addrFP && f.fp(b.size) == sizeFP &&
+					b.fixed == o.fixed
+			},
+			blockOp: storeBlocks(f, o),
+			blockNode: func(nd *node) bool {
+				for id := range nd.assigned {
+					if ids[id] {
+						return true
+					}
+				}
+				return false
+			},
+		})
+		if hit == nil {
+			return
+		}
+		var msg string
+		switch {
+		case hit.synthetic && o.synthetic:
+			msg = fmt.Sprintf("%s flushes %s again after %s already wrote it back, with no intervening store in %s",
+				hit.fromFn, addrFP, o.fromFn, f.name)
+		case hit.synthetic:
+			msg = fmt.Sprintf("%s writes %s back again after the flush in %s, with no intervening store",
+				hit.fromFn, addrFP, f.name)
+		default:
+			msg = fmt.Sprintf("%s is written back again in %s after %s already wrote it back, with no intervening store",
+				addrFP, f.name, o.fromFn)
+		}
+		fd := f.finding(r, hit, msg)
+		if hit.synthetic && hit.origin != nil {
+			fd = originate(fd, hit.origin.fn, hit.origin.o)
+		} else if o.synthetic && o.origin != nil {
+			fd = originate(fd, o.origin.fn, o.origin.o)
+		}
+		out = append(out, fd)
 	})
 	return out
 }

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+)
+
+// Whole-package rules. These run once per package over the converged
+// summary state rather than per function: crossflush asks whether an
+// escaping obligation is discharged on *any* interprocedural path, and
+// recoveryread cross-references recovery-path reads against stores no
+// path persists — the static shadow of WITCHER-style "the recovery code
+// believes in an invariant no execution establishes".
+
+func init() {
+	allRules = append(allRules,
+		ruleDef{
+			RuleInfo: RuleInfo{
+				Name: "crossflush",
+				Doc: "a helper's store (or unfenced writeback) escapes it, and no caller on any " +
+					"interprocedural path ever covers it — the update is never durable no matter " +
+					"which call chain runs",
+				Severity: "FAIL",
+				Dynamic:  "not-persisted",
+				BugDB:    "writeback",
+			},
+			hint: "persist the range in the helper itself, or in every caller that can reach " +
+				"a return (the summaries track both directions)",
+			runPkg: runCrossFlush,
+		},
+		ruleDef{
+			RuleInfo: RuleInfo{
+				Name: "recoveryread",
+				Doc: "recovery-path code (Open*/Mount*/Recover*/Replay*/Restore*/Reopen* and their " +
+					"callees) reads persistent state that no interprocedural path writes back — " +
+					"after a crash the read observes whatever the cache evicted, not the store",
+				Severity: "FAIL",
+				Dynamic:  "not-persisted",
+				BugDB:    "writeback",
+			},
+			hint: "make the store durable (CLWB + SFence) on every path that precedes a crash " +
+				"the recovery code must survive",
+			runPkg: runRecoveryRead,
+		},
+	)
+}
+
+func runCrossFlush(p *pkgInfo) []Finding {
+	r := ruleByName("crossflush")
+	var out []Finding
+	for _, orig := range sortedOrigins(p) {
+		if orig.fn.rootFn || orig.covered || !orig.escapedRoot {
+			// Root-function obligations report as missedflush/missedfence
+			// right where they are; covered ones are at worst a
+			// path-specific miss (missedflush at the guilty call site).
+			continue
+		}
+		f, o := orig.fn, orig.o
+		switch o.kind {
+		case opStore:
+			out = append(out, f.finding(r, o,
+				fmt.Sprintf("store to %s in %s is written back on no interprocedural path",
+					f.fp(o.addr), f.name)))
+		case opFlush, opBarrier:
+			out = append(out, f.finding(r, o,
+				fmt.Sprintf("writeback of %s in %s is completed by a fence on no interprocedural path",
+					f.fp(o.addr), f.name)))
+		}
+	}
+	return out
+}
+
+// deadStore is a store no interprocedural path persists.
+type deadStore struct {
+	fn *fnInfo
+	o  *op
+}
+
+func runRecoveryRead(p *pkgInfo) []Finding {
+	r := ruleByName("recoveryread")
+
+	// Dead stores: crossflush's set (helper stores no caller covers) plus
+	// root-local escaping stores missedflush already reports — recovery
+	// code reading either is a second, independent bug.
+	var dead []deadStore
+	for _, orig := range sortedOrigins(p) {
+		if orig.fn.rootFn || orig.covered || !orig.escapedRoot || orig.o.kind != opStore {
+			continue
+		}
+		dead = append(dead, deadStore{orig.fn, orig.o})
+	}
+	for _, f := range p.fns {
+		if !f.rootFn {
+			continue
+		}
+		f.eachOp(func(n *node, i int, o *op) {
+			if o.kind != opStore || o.synthetic || f.mayBeInTx(n, i) {
+				return
+			}
+			if f.substitutable(o.addr) && f.isParamRooted(o.addr) {
+				return
+			}
+			if !escapesWriteback(f, n, i, o) {
+				return
+			}
+			// Weak coverage credit: a later writeback of the same object
+			// (same root expression, any offset) usually covers a store
+			// whose offset arithmetic defeats the interval prover — e.g. a
+			// loop-indexed slot followed by a whole-object PersistBarrier.
+			// recoveryread trades that recall for precision; the strict
+			// escape still reports through missedflush.
+			if base := f.root(o.addr); base != "" {
+				hit, _ := searchForward(f.g, n, i+1, pathQuery{
+					matchOp: func(b *op) bool {
+						return (b.kind == opFlush || b.kind == opBarrier) &&
+							b.addr != nil && f.root(b.addr) == base
+					},
+				})
+				if hit != nil {
+					return
+				}
+			}
+			dead = append(dead, deadStore{f, o})
+		})
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+
+	recov := p.recoverySet()
+	var out []Finding
+	for _, f := range p.fns {
+		if !recov[f] {
+			continue
+		}
+		f.eachOp(func(_ *node, _ int, o *op) {
+			if o.kind != opLoad || o.synthetic {
+				return
+			}
+			for _, d := range dead {
+				if !rangesMayAlias(f, o, d.fn, d.o) {
+					continue
+				}
+				out = append(out, originate(f.finding(r, o,
+					fmt.Sprintf("recovery path %s reads %s, but the store to %s in %s is persisted on no path",
+						f.name, f.fp(o.addr), d.fn.fp(d.o.addr), d.fn.name)), d.fn, d.o))
+				break
+			}
+		})
+	}
+	return out
+}
+
+// sortedOrigins returns the package's origin records in deterministic
+// source order.
+func sortedOrigins(p *pkgInfo) []*origin {
+	out := make([]*origin, len(p.originList))
+	copy(out, p.originList)
+	sort.SliceStable(out, func(i, j int) bool {
+		a := p.fset.Position(out[i].o.call.Pos())
+		b := p.fset.Position(out[j].o.call.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return out
+}
+
+// rangesMayAlias decides whether a recovery read and a dead store can
+// touch the same persistent object: exact interval overlap when both
+// addresses fold to constants, otherwise equality of root fingerprints
+// with parameter/receiver bases normalized — `c.head` stored through one
+// receiver and `t.head` loaded through another are the same field of the
+// same layout.
+func rangesMayAlias(lf *fnInfo, load *op, sf *fnInfo, store *op) bool {
+	la, laOK := evalConst(load.addr, lf.env, -1)
+	sa, saOK := evalConst(store.addr, sf.env, -1)
+	if laOK && saOK {
+		ls, lsOK := sizeVal(load, lf.env)
+		ss, ssOK := sizeVal(store, sf.env)
+		if !lsOK {
+			ls = 1
+		}
+		if !ssOK {
+			ss = 1
+		}
+		return la < sa+ss && la+ls > sa
+	}
+	lr, sr := normRoot(lf, load.addr), normRoot(sf, store.addr)
+	return lr != "" && lr == sr
+}
+
+// normRoot renders the root of a range expression with parameter and
+// receiver base identifiers replaced by "•", so field paths compare
+// across functions regardless of the local name of the object.
+func normRoot(f *fnInfo, e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	root := rootExpr(e)
+	var path []string
+	for {
+		switch v := root.(type) {
+		case *ast.Ident:
+			name := v.Name
+			if f.params[name] {
+				name = "•"
+			}
+			out := name
+			for i := len(path) - 1; i >= 0; i-- {
+				out += "." + path[i]
+			}
+			return out
+		case *ast.SelectorExpr:
+			path = append(path, v.Sel.Name)
+			root = v.X
+		case *ast.ParenExpr:
+			root = v.X
+		case *ast.StarExpr:
+			root = v.X
+		case *ast.UnaryExpr:
+			root = v.X
+		default:
+			return exprString(f.fset, root)
+		}
+	}
+}

@@ -29,11 +29,18 @@ func runTxNoLog(f *fnInfo) []Finding {
 		if o.kind != opStore && o.kind != opStoreNT {
 			return
 		}
+		if o.synthetic && !o.needLog {
+			return // the callee logged the range itself on every path
+		}
 		// Walk backward from the store: reaching a region opener without
 		// first crossing a covering TxAdd means some execution modifies
 		// the range unlogged. Leaving the region backward (TxEnd) or
 		// reaching function entry means the store is outside the
-		// transaction on that path, which is missedflush's domain.
+		// transaction on that path, which is missedflush's domain. The
+		// expanded view makes this cross-function: a Begin helper opens
+		// the region through its mustOpen effect, a logging helper covers
+		// stores through its mustTxAdd effect, and a store inside a helper
+		// arrives here as a synthetic op flagged needLog.
 		begin, _ := searchBackward(f.g, n, i, pathQuery{
 			matchOp: func(b *op) bool {
 				return b.kind == opTxBegin || b.kind == opTxCheckerStart
@@ -45,11 +52,22 @@ func runTxNoLog(f *fnInfo) []Finding {
 				return b.kind == opTxEnd || b.kind == opTxCheckerEnd
 			},
 		})
-		if begin != nil {
-			out = append(out, f.finding(r, o,
-				fmt.Sprintf("store to %s inside a transaction in %s has no preceding TxAdd backup",
-					f.fp(o.addr), f.name)))
+		if begin == nil {
+			return
 		}
+		if o.synthetic {
+			fd := f.finding(r, o,
+				fmt.Sprintf("store to %s by %s inside a transaction in %s has no preceding TxAdd backup",
+					f.fpAddr(o), o.fromFn, f.name))
+			if o.origin != nil {
+				fd = originate(fd, o.origin.fn, o.origin.o)
+			}
+			out = append(out, fd)
+			return
+		}
+		out = append(out, f.finding(r, o,
+			fmt.Sprintf("store to %s inside a transaction in %s has no preceding TxAdd backup",
+				f.fp(o.addr), f.name)))
 	})
 	return out
 }

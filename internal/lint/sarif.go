@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output, minimal but valid: one run, the rule catalog in the
+// tool.driver block, one result per finding. CI uploads this as an
+// artifact; any SARIF viewer can load it.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+	Help             sarifText `json:"help,omitempty"`
+	Properties       struct {
+		Dynamic string `json:"dynamic,omitempty"`
+		BugDB   string `json:"bugdb,omitempty"`
+	} `json:"properties"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF serializes findings as a SARIF 2.1.0 log. FAIL maps to
+// level "error", WARN to "warning". The rule catalog (including the
+// synthetic staleignore rule) rides along in the driver block so viewers
+// can show per-rule documentation.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{Name: "pmlint"}},
+		// An empty results array, not null, keeps strict viewers happy.
+		Results: []sarifResult{},
+	}
+	for _, r := range Rules() {
+		sr := sarifRule{ID: r.Name, ShortDescription: sarifText{Text: r.Doc}}
+		sr.Properties.Dynamic = r.Dynamic
+		sr.Properties.BugDB = r.BugDB
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sr)
+	}
+	run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+		ID:               StaleIgnoreRule,
+		ShortDescription: sarifText{Text: "a //pmlint:ignore directive suppresses nothing (strict-ignores mode)"},
+	})
+	for _, f := range findings {
+		level := "error"
+		if f.Severity == "WARN" {
+			level = "warning"
+		}
+		msg := f.Message
+		if f.Hint != "" {
+			msg += " — " + f.Hint
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   level,
+			Message: sarifText{Text: msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -3,21 +3,37 @@ package lint
 // Self-check snippets: one canonical known-bad program fragment per rule,
 // used by `bughunt -lint` to print the static verdict for a catalog
 // bug's class next to the dynamic one, and by tests as a liveness floor
-// for every rule. Each snippet is the smallest program that exhibits the
-// rule's bug class.
+// for every rule. Since the analyzer went interprocedural, each snippet
+// splits its bug across a call boundary: the probe now exercises the call
+// graph, summary substitution and call-site expansion, not just the
+// single-function CFG.
 var selfCheckSrc = map[string]string{
 	"missedflush": `package p
 
-func f(dev *Device) {
-	dev.Store64(0x40, 1) // modified …
-	dev.SFence()         // … fenced, but never written back
+func setVal(dev *Device, addr uint64) {
+	dev.Store64(addr, 1) // helper stores; persisting is the caller's job
+}
+
+func f(dev *Device, sync bool) {
+	setVal(dev, 0x40)
+	if sync {
+		dev.CLWB(0x40, 8) // … which the caller does on one path only
+	}
+	dev.SFence()
 }
 `,
 	"missedfence": `package p
 
-func f(dev *Device) {
+func flushVal(dev *Device, addr uint64) {
+	dev.CLWB(addr, 8) // helper writes back; closing the epoch is the caller's job
+}
+
+func f(dev *Device, sync bool) {
 	dev.Store64(0x40, 1)
-	dev.CLWB(0x40, 8) // written back, but the epoch is never closed
+	flushVal(dev, 0x40)
+	if sync {
+		dev.SFence() // … which the caller does on one path only
+	}
 }
 `,
 	"doubleflush": `package p
@@ -29,24 +45,77 @@ func f(dev *Device) {
 	dev.SFence()
 }
 `,
+	"redundantflush": `package p
+
+func persistHdr(dev *Device) {
+	dev.CLWB(0x40, 8) // the helper owns the header writeback…
+	dev.SFence()
+}
+
+func f(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8) // …so the caller's flush of the same range is wasted
+	dev.SFence()
+	persistHdr(dev)
+}
+`,
 	"txnolog": `package p
+
+func setVal(th *Thread, addr uint64) {
+	th.Write(addr, 8)
+}
 
 func f(th *Thread) {
 	th.TxBegin()
 	th.TxAdd(0x00, 8)
 	th.Write(0x00, 8)
-	th.Write(0x40, 8) // modified without an undo-log backup
+	setVal(th, 0x40) // helper modifies a range with no undo-log backup
 	th.TxEnd()
 }
 `,
 	"checkermisuse": `package p
 
+func begin(th *Thread) {
+	th.TxCheckerStart()
+}
+
 func f(th *Thread) {
+	begin(th) // region opened through the helper…
+	th.TxAdd(0x40, 8)
 	th.Write(0x40, 8)
-	th.Flush(0x40, 8)
-	th.Fence()
-	th.IsOrderedBefore(0x40, 8, 0x40, 8) // a range ordered before itself
-	th.SendTrace()
+	// …and no path ever closes it
+}
+`,
+	"crossflush": `package p
+
+const hdrOff = 0x40
+
+func setHeader(dev *Device) {
+	dev.Store64(hdrOff, 1) // no caller on any path writes this back
+}
+
+func update(dev *Device) {
+	setHeader(dev)
+	dev.Store64(0x80, 2)
+	dev.CLWB(0x80, 8)
+	dev.SFence()
+}
+`,
+	"recoveryread": `package p
+
+const hdrOff = 0x40
+
+func writeHdr(dev *Device) {
+	dev.Store64(hdrOff, 1) // persisted on no interprocedural path…
+}
+
+func Update(dev *Device) {
+	writeHdr(dev)
+	dev.SFence()
+}
+
+func OpenStore(dev *Device) uint64 {
+	return dev.Load64(hdrOff) // …yet recovery believes it survived the crash
 }
 `,
 }

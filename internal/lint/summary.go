@@ -1,0 +1,631 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Persist-effect summaries. Each function is summarized by the effects a
+// caller can observe: obligations that escape it (stores no path writes
+// back, flushes no path fences, checkers no path ships, net-open or
+// net-closed transaction regions) and discharges it guarantees (ranges
+// every path writes back or TX-logs, fences every path executes). Call
+// sites are expanded into synthetic ops carrying those effects, and the
+// whole package iterates to a fixed point so effects propagate through
+// arbitrary call chains, including recursive ones.
+//
+// Ranges cross function boundaries by substitution: a callee-scope
+// expression is rewritten into caller scope by replacing parameter and
+// receiver names with the call's argument expressions. Ranges rooted in
+// callee locals cannot be named by any caller, so their obligations are
+// reported in the callee itself and never transfer.
+
+const (
+	maxSummaryList  = 32 // per-list cap; keeps cyclic growth bounded
+	maxFixpointPass = 20
+)
+
+// absOp is one summarized effect in the owning function's scope.
+type absOp struct {
+	kind      opKind
+	addr      ast.Expr
+	size      ast.Expr
+	fixed     int64
+	dfence    bool
+	needFlush bool
+	needFence bool
+	needLog   bool
+	opaqueFP  string
+	origin    *origin
+}
+
+type summary struct {
+	escStores   []absOp // stores escaping unflushed and/or unlogged (substitutable ranges only)
+	escFlushes  []absOp // flushes executed by the callee; needFence set when unfenced there
+	escCheckers []absOp // checkers recorded but not shipped by SendTrace
+	mustTxAdds  []absOp // ranges every path TX-logs
+	mustFence   bool    // every path executes a fence (or barrier)
+	mustDFence  bool    // every path executes a durability fence
+	mustSend    bool    // every path ships recorded checkers
+	mustOpen    [2]bool // net region open: [0] TxBegin, [1] TxCheckerStart
+	mustClose   [2]bool // net region close: [0] TxEnd, [1] TxCheckerEnd
+}
+
+// fingerprint serializes a summary for change detection in the fixpoint.
+func (s *summary) fingerprint(f *fnInfo) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	part := func(tag string, list []absOp) {
+		keys := make([]string, len(list))
+		for i, a := range list {
+			keys[i] = fmt.Sprintf("%d|%s|%s|%d|%t%t%t|%s",
+				a.kind, exprString(f.fset, a.addr), exprString(f.fset, a.size),
+				a.fixed, a.needFlush, a.needFence, a.needLog, a.opaqueFP)
+		}
+		sort.Strings(keys)
+		b.WriteString(tag)
+		b.WriteString(strings.Join(keys, ";"))
+		b.WriteByte('\n')
+	}
+	part("es:", s.escStores)
+	part("ef:", s.escFlushes)
+	part("ec:", s.escCheckers)
+	part("ta:", s.mustTxAdds)
+	fmt.Fprintf(&b, "b:%t%t%t%v%v", s.mustFence, s.mustDFence, s.mustSend, s.mustOpen, s.mustClose)
+	return b.String()
+}
+
+// --- Expression substitution ------------------------------------------------
+
+// substExpr rewrites e, an expression in f's (callee) scope, into caller
+// scope using sub (parameter/receiver name → caller argument). With a nil
+// sub it is a dry run that answers "is this range substitutable at all":
+// every identifier must be a parameter, a package-level name, or a
+// builtin constant. Unsupported syntax and callee locals fail.
+func (f *fnInfo) substExpr(e ast.Expr, sub map[string]ast.Expr) (ast.Expr, bool) {
+	switch v := e.(type) {
+	case nil:
+		return nil, true
+	case *ast.Ident:
+		if f.params[v.Name] {
+			if sub == nil {
+				return v, true
+			}
+			r, ok := sub[v.Name]
+			return r, ok
+		}
+		if f.pkg != nil && f.pkg.isPkgName(v.Name) {
+			return v, true
+		}
+		return nil, false
+	case *ast.BasicLit:
+		return v, true
+	case *ast.ParenExpr:
+		x, ok := f.substExpr(v.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return &ast.ParenExpr{Lparen: v.Lparen, X: x, Rparen: v.Rparen}, true
+	case *ast.SelectorExpr:
+		x, ok := f.substExpr(v.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return &ast.SelectorExpr{X: x, Sel: v.Sel}, true
+	case *ast.StarExpr:
+		x, ok := f.substExpr(v.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return &ast.StarExpr{Star: v.Star, X: x}, true
+	case *ast.UnaryExpr:
+		x, ok := f.substExpr(v.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return &ast.UnaryExpr{OpPos: v.OpPos, Op: v.Op, X: x}, true
+	case *ast.BinaryExpr:
+		x, ok := f.substExpr(v.X, sub)
+		if !ok {
+			return nil, false
+		}
+		y, ok := f.substExpr(v.Y, sub)
+		if !ok {
+			return nil, false
+		}
+		return &ast.BinaryExpr{X: x, OpPos: v.OpPos, Op: v.Op, Y: y}, true
+	case *ast.IndexExpr:
+		x, ok := f.substExpr(v.X, sub)
+		if !ok {
+			return nil, false
+		}
+		i, ok := f.substExpr(v.Index, sub)
+		if !ok {
+			return nil, false
+		}
+		return &ast.IndexExpr{X: x, Lbrack: v.Lbrack, Index: i, Rbrack: v.Rbrack}, true
+	case *ast.CallExpr:
+		// Numeric conversions only; anything with behavior stays opaque.
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		switch id.Name {
+		case "int", "int8", "int16", "int32", "int64",
+			"uint", "uint8", "uint16", "uint32", "uint64", "uintptr", "byte", "len":
+		default:
+			return nil, false
+		}
+		args := make([]ast.Expr, len(v.Args))
+		for i, a := range v.Args {
+			na, ok := f.substExpr(a, sub)
+			if !ok {
+				return nil, false
+			}
+			args[i] = na
+		}
+		return &ast.CallExpr{Fun: id, Lparen: v.Lparen, Args: args, Rparen: v.Rparen}, true
+	}
+	return nil, false
+}
+
+// substitutable is the dry-run form: can this callee-scope range be
+// expressed by some caller at all?
+func (f *fnInfo) substitutable(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	_, ok := f.substExpr(e, nil)
+	return ok
+}
+
+// isParamRooted reports whether the range's base object is a parameter or
+// receiver — a parametric persist contract whose discharge belongs to the
+// (possibly out-of-package) caller.
+func (f *fnInfo) isParamRooted(e ast.Expr) bool {
+	root := rootExpr(e)
+	for {
+		switch v := root.(type) {
+		case *ast.Ident:
+			return f.params[v.Name]
+		case *ast.SelectorExpr:
+			root = v.X
+		case *ast.IndexExpr:
+			root = v.X
+		case *ast.StarExpr:
+			root = v.X
+		case *ast.ParenExpr:
+			root = v.X
+		case *ast.UnaryExpr:
+			root = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// --- Summary computation ----------------------------------------------------
+
+// coveringWriteback matches ops that make store o durable when followed
+// by a fence: a flush/barrier covering its range, or a durability fence.
+func coveringWriteback(f *fnInfo, o *op) func(*op) bool {
+	return func(b *op) bool {
+		switch b.kind {
+		case opFlush, opBarrier:
+			return f.covers(b, o)
+		case opFence:
+			return b.dfence
+		}
+		return false
+	}
+}
+
+// computeSummary derives f's summary from its current expanded CFG view.
+func computeSummary(f *fnInfo) *summary {
+	s := &summary{}
+	g := f.g
+
+	// Escaping stores: reach exit with no covering writeback, outside any
+	// local transaction region, with a range a caller could name.
+	f.eachOp(func(n *node, i int, o *op) {
+		if o.kind != opStore || (o.synthetic && !o.needFlush && !o.needLog) {
+			return
+		}
+		if len(s.escStores) >= maxSummaryList {
+			return
+		}
+		if f.mayBeInTx(n, i) {
+			return
+		}
+		if !f.substitutable(o.addr) {
+			return
+		}
+		_, escapes := searchForward(g, n, i+1, pathQuery{
+			blockOp:  coveringWriteback(f, o),
+			matchEnd: true,
+		})
+		_, unlogged := searchBackward(g, n, i, pathQuery{
+			blockOp: func(b *op) bool {
+				if b.kind == opTxAdd {
+					return f.covers(b, o)
+				}
+				return false
+			},
+			matchEnd: true,
+		})
+		needFlush := escapes
+		if o.synthetic {
+			needFlush = escapes && o.needFlush
+			unlogged = unlogged && o.needLog
+		}
+		if !needFlush && !unlogged {
+			return
+		}
+		size := o.size
+		if size != nil && !f.substitutable(size) {
+			size = nil
+		}
+		orig := o.origin
+		if !o.synthetic {
+			orig = f.pkg.originFor(f, o)
+		}
+		s.escStores = append(s.escStores, absOp{
+			kind: opStore, addr: o.addr, size: size, fixed: o.fixed,
+			needFlush: needFlush, needLog: unlogged, origin: orig,
+		})
+	})
+
+	// Flushes the callee executes. needFence marks the ones that can
+	// escape without a fence; the rest are guaranteed-complete writebacks
+	// callers may rely on for coverage. Only flushes every path executes
+	// transfer as coverage; path-dependent fenced flushes stay invisible.
+	seenFlush := map[string]bool{}
+	f.eachOp(func(n *node, i int, o *op) {
+		if (o.kind != opFlush && o.kind != opBarrier) || len(s.escFlushes) >= maxSummaryList {
+			return
+		}
+		_, unfenced := searchForward(g, n, i+1, pathQuery{
+			blockOp: func(b *op) bool {
+				return b.kind == opFence || b.kind == opBarrier || b.kind == opTxEnd
+			},
+			matchEnd: true,
+		})
+		if o.kind == opBarrier {
+			unfenced = false // a persist barrier is its own fence
+		}
+		if o.synthetic {
+			unfenced = unfenced && o.needFence
+		}
+		// Guaranteed execution: no path from entry to exit avoids a
+		// writeback covering this range.
+		_, avoidable := searchForward(g, g.entry, 0, pathQuery{
+			blockOp:  coveringWriteback(f, o),
+			matchEnd: true,
+		})
+		if !unfenced && avoidable {
+			return // fenced but path-dependent: nothing to transfer
+		}
+		key := fmt.Sprintf("%d|%s|%s|%d|%t", o.kind, f.fpAddr(o), f.fp(o.size), o.fixed, unfenced)
+		if seenFlush[key] {
+			return
+		}
+		seenFlush[key] = true
+		a := absOp{kind: o.kind, fixed: o.fixed, needFence: unfenced, opaqueFP: o.opaqueFP}
+		if o.synthetic {
+			a.origin = o.origin
+		} else {
+			a.origin = f.pkg.originFor(f, o)
+		}
+		if o.addr != nil && f.substitutable(o.addr) {
+			a.addr = o.addr
+			if o.size != nil && f.substitutable(o.size) {
+				a.size = o.size
+			}
+		} else if o.addr != nil || o.opaqueFP != "" {
+			a.opaqueFP = f.name + ":" + f.fpAddr(o)
+			if o.opaqueFP != "" {
+				a.opaqueFP = o.opaqueFP
+			}
+		}
+		s.escFlushes = append(s.escFlushes, a)
+	})
+
+	// Checkers that can escape unshipped.
+	f.eachOp(func(n *node, i int, o *op) {
+		if (o.kind != opIsPersist && o.kind != opIsOrderedBefore) || len(s.escCheckers) >= maxSummaryList {
+			return
+		}
+		_, unshipped := searchForward(g, n, i+1, pathQuery{
+			blockOp:  func(b *op) bool { return b.kind == opSendTrace },
+			matchEnd: true,
+		})
+		if unshipped {
+			s.escCheckers = append(s.escCheckers, absOp{kind: o.kind})
+		}
+	})
+
+	// Guaranteed TX backups.
+	seenAdd := map[string]bool{}
+	f.eachOp(func(n *node, i int, o *op) {
+		if o.kind != opTxAdd || len(s.mustTxAdds) >= maxSummaryList {
+			return
+		}
+		if o.addr == nil || !f.substitutable(o.addr) {
+			return
+		}
+		key := f.fpAddr(o) + "|" + f.fp(o.size)
+		if seenAdd[key] {
+			return
+		}
+		_, avoidable := searchForward(g, g.entry, 0, pathQuery{
+			blockOp: func(b *op) bool {
+				return b.kind == opTxAdd && f.covers(b, o)
+			},
+			matchEnd: true,
+		})
+		if avoidable {
+			return
+		}
+		seenAdd[key] = true
+		size := o.size
+		if size != nil && !f.substitutable(size) {
+			size = nil
+		}
+		s.mustTxAdds = append(s.mustTxAdds, absOp{kind: opTxAdd, addr: o.addr, size: size, fixed: o.fixed})
+	})
+
+	// Guaranteed fences / SendTrace.
+	avoids := func(match func(*op) bool) bool {
+		_, reached := searchForward(g, g.entry, 0, pathQuery{blockOp: match, matchEnd: true})
+		return reached
+	}
+	has := func(match func(*op) bool) bool {
+		found := false
+		f.eachOp(func(_ *node, _ int, o *op) {
+			if match(o) {
+				found = true
+			}
+		})
+		return found
+	}
+	isFence := func(o *op) bool { return o.kind == opFence || o.kind == opBarrier }
+	isDFence := func(o *op) bool { return o.kind == opFence && o.dfence }
+	isSend := func(o *op) bool { return o.kind == opSendTrace }
+	s.mustFence = has(isFence) && !avoids(isFence)
+	s.mustDFence = has(isDFence) && !avoids(isDFence)
+	s.mustSend = has(isSend) && !avoids(isSend)
+
+	// Net-open / net-closed transaction regions (pure emitters: a Begin
+	// helper, a Commit helper). Mixed functions manage their own regions
+	// and transfer nothing.
+	regionPairs := [2][2]opKind{
+		{opTxBegin, opTxEnd},
+		{opTxCheckerStart, opTxCheckerEnd},
+	}
+	for pi, pair := range regionPairs {
+		opener, closer := pair[0], pair[1]
+		isOpen := func(o *op) bool { return o.kind == opener }
+		isClose := func(o *op) bool { return o.kind == closer }
+		hasOpen, hasClose := has(isOpen), has(isClose)
+		switch {
+		case hasOpen && !hasClose:
+			s.mustOpen[pi] = !avoids(isOpen)
+		case hasClose && !hasOpen:
+			s.mustClose[pi] = !avoids(isClose)
+		}
+	}
+	return s
+}
+
+// expandCalls rebuilds every node's xops for f, materializing the current
+// callee summaries as synthetic ops at each resolved call site.
+func expandCalls(f *fnInfo) {
+	for _, n := range f.g.nodes {
+		if len(n.calls) == 0 {
+			n.xops = nil
+			continue
+		}
+		merged := make([]op, 0, len(n.ops)+4*len(n.calls))
+		oi := 0
+		for _, rc := range n.calls {
+			for oi < len(n.ops) && n.ops[oi].call.Pos() <= rc.call.Pos() {
+				merged = append(merged, n.ops[oi])
+				oi++
+			}
+			merged = append(merged, synthOps(f, rc)...)
+		}
+		merged = append(merged, n.ops[oi:]...)
+		n.xops = merged
+	}
+}
+
+// synthOps materializes one call's effects in caller scope. Order within
+// the call mirrors a canonical callee execution: region closes and trace
+// shipping happen "inside", then escaping checkers/stores, guaranteed TX
+// backups, the guaranteed fence (before its flushes, so an unfenced
+// escaping flush is not accidentally fenced by its own callee), the
+// callee's writebacks, and finally any region the callee leaves open.
+func synthOps(f *fnInfo, rc resolvedCall) []op {
+	sum := rc.callee.sum
+	if sum == nil {
+		return nil
+	}
+	callee := rc.callee
+	sub := map[string]ast.Expr{}
+	ok := true
+	if callee.recvName != "" {
+		if rc.recv != nil {
+			sub[callee.recvName] = rc.recv
+		} else {
+			ok = false
+		}
+	}
+	if len(callee.paramNames) == len(rc.args) {
+		for i, name := range callee.paramNames {
+			sub[name] = rc.args[i]
+		}
+	} else if len(callee.paramNames) > 0 {
+		ok = false // variadic / multi-value call: ranged effects do not transfer
+	}
+
+	var out []op
+	base := op{call: rc.call, synthetic: true, fromFn: callee.name, name: "call:" + callee.name}
+	add := func(o op) { out = append(out, o) }
+	subst := func(a absOp) (ast.Expr, ast.Expr, bool) {
+		if !ok {
+			return nil, nil, false
+		}
+		addr, aok := callee.substExpr(a.addr, sub)
+		if !aok {
+			return nil, nil, false
+		}
+		size, sok := callee.substExpr(a.size, sub)
+		if !sok {
+			size = nil
+		}
+		return addr, size, true
+	}
+
+	for pi, k := range [2]opKind{opTxEnd, opTxCheckerEnd} {
+		if sum.mustClose[pi] {
+			o := base
+			o.kind = k
+			add(o)
+		}
+	}
+	if sum.mustSend {
+		o := base
+		o.kind = opSendTrace
+		add(o)
+	}
+	for _, a := range sum.escCheckers {
+		o := base
+		o.kind = a.kind
+		add(o)
+	}
+	for _, a := range sum.escStores {
+		addr, size, aok := subst(a)
+		if !aok {
+			continue // range unnameable here; the origin keeps its local report
+		}
+		o := base
+		o.kind, o.addr, o.size, o.fixed = opStore, addr, size, a.fixed
+		o.needFlush, o.needLog, o.origin = a.needFlush, a.needLog, a.origin
+		add(o)
+	}
+	for _, a := range sum.mustTxAdds {
+		addr, size, aok := subst(a)
+		if !aok {
+			continue
+		}
+		o := base
+		o.kind, o.addr, o.size, o.fixed = opTxAdd, addr, size, a.fixed
+		add(o)
+	}
+	if sum.mustFence || sum.mustDFence {
+		o := base
+		o.kind, o.dfence = opFence, sum.mustDFence
+		add(o)
+	}
+	for _, a := range sum.escFlushes {
+		o := base
+		o.kind, o.fixed, o.dfence = a.kind, a.fixed, a.dfence
+		o.needFence, o.origin = a.needFence, a.origin
+		if addr, size, aok := subst(a); aok && addr != nil {
+			o.addr, o.size = addr, size
+		} else {
+			o.opaqueFP = a.opaqueFP
+			if o.opaqueFP == "" {
+				o.opaqueFP = callee.name + ":" + exprString(f.fset, a.addr)
+			}
+		}
+		add(o)
+	}
+	for pi, k := range [2]opKind{opTxBegin, opTxCheckerStart} {
+		if sum.mustOpen[pi] {
+			o := base
+			o.kind = k
+			add(o)
+		}
+	}
+	return out
+}
+
+// computeFixpoint expands calls and recomputes summaries until nothing
+// changes (or a pass bound is hit on pathological cycles), then sweeps
+// once more to mark each origin's interprocedural fate.
+func computeFixpoint(p *pkgInfo) {
+	// Callee-before-caller order converges in one pass for acyclic
+	// graphs: higher SCC numbers were completed first by Tarjan.
+	order := make([]*fnInfo, len(p.fns))
+	copy(order, p.fns)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].scc < order[j].scc })
+
+	prints := map[*fnInfo]string{}
+	for pass := 0; pass < maxFixpointPass; pass++ {
+		changed := false
+		for _, f := range order {
+			expandCalls(f)
+			f.sum = computeSummary(f)
+			if fp := f.sum.fingerprint(f); fp != prints[f] {
+				prints[f] = fp
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, f := range order {
+		expandCalls(f) // final view under converged summaries
+	}
+
+	// Sweep: decide, per origin, whether any interprocedural path
+	// discharges the obligation and whether it escapes any root.
+	for _, f := range p.fns {
+		f.eachOp(func(n *node, i int, o *op) {
+			orig := o.origin
+			if !o.synthetic {
+				orig = p.origins[o.call]
+			}
+			if orig == nil {
+				return
+			}
+			switch {
+			case o.kind == opStore && (o.needFlush || !o.synthetic):
+				if hit, _ := searchForward(f.g, n, i+1, pathQuery{matchOp: coveringWriteback(f, o)}); hit != nil {
+					orig.covered = true
+				}
+				if f.rootFn {
+					if _, esc := searchForward(f.g, n, i+1, pathQuery{
+						blockOp:  coveringWriteback(f, o),
+						matchEnd: true,
+					}); esc && !f.mayBeInTx(n, i) {
+						orig.escapedRoot = true
+					}
+				}
+			case o.kind == opBarrier && !o.synthetic:
+				orig.covered = true // a persist barrier is its own fence
+			case (o.kind == opFlush || o.kind == opBarrier) && (o.needFence || !o.synthetic):
+				fenceMatch := func(b *op) bool {
+					return b.kind == opFence || b.kind == opBarrier || b.kind == opTxEnd
+				}
+				if hit, _ := searchForward(f.g, n, i+1, pathQuery{matchOp: fenceMatch}); hit != nil {
+					orig.covered = true
+				}
+				if f.rootFn {
+					if _, esc := searchForward(f.g, n, i+1, pathQuery{
+						blockOp:  fenceMatch,
+						matchEnd: true,
+					}); esc {
+						orig.escapedRoot = true
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+package p
+
+// Two interprocedural never-persisted shapes. setHeader's store escapes
+// into a caller that flushes a different range — no path anywhere covers
+// the header. flushHeader's writeback escapes into a caller that never
+// fences — the epoch is never closed on any chain.
+
+const hdrOff = 0x40
+
+func setHeader(dev *Device) {
+	dev.Store64(hdrOff, 1)
+}
+
+func crossFlushBad(dev *Device) {
+	setHeader(dev)
+	dev.Store64(0x80, 2)
+	dev.CLWB(0x80, 8) // covers 0x80 only; the header store stays dirty
+	dev.SFence()
+}
+
+func flushHeader(dev *Device) {
+	dev.CLWB(hdrOff, 8)
+}
+
+func syncHeader(dev *Device) {
+	dev.Store64(hdrOff, 1)
+	flushHeader(dev) // written back, but no caller path ever fences
+}

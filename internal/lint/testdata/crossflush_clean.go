@@ -1,0 +1,22 @@
+package p
+
+// The same helper store escapes into two different callers, and both
+// cover it — one with an explicit CLWB+SFence, one with PersistBarrier.
+// The obligation is discharged on every interprocedural path.
+
+const hdrOff2 = 0x40
+
+func setHeader2(dev *Device) {
+	dev.Store64(hdrOff2, 1)
+}
+
+func crossFlushClean(dev *Device) {
+	setHeader2(dev)
+	dev.CLWB(hdrOff2, 8)
+	dev.SFence()
+}
+
+func crossFlushCleanAlt(dev *Device) {
+	setHeader2(dev)
+	dev.PersistBarrier(hdrOff2, 8)
+}

@@ -1,0 +1,52 @@
+package p
+
+// Cross-function variants of the five legacy bug classes, one caller per
+// class. The helpers live in helpers.go.
+
+// missedflush: the helper's store is written back on the sync path only.
+func commitRecord(dev *Device, sync bool) {
+	setRecord(dev, 0x100)
+	if sync {
+		dev.CLWB(0x100, 8)
+	}
+	dev.SFence()
+}
+
+// missedfence: the helper's writeback escapes on the non-sync path.
+func publishRecord(dev *Device, sync bool) {
+	dev.Store64(0x200, 1)
+	flushRecord(dev, 0x200)
+	if sync {
+		dev.SFence()
+	}
+}
+
+// doubleflush through a method-value binding: the same line is written
+// back twice with no store in between.
+func rewriteRecord(dev *Device) {
+	dev.Store64(0x300, 1)
+	fl := dev.CLWB
+	fl(0x300, 8)
+	dev.CLWB(0x300, 8)
+	dev.SFence()
+}
+
+// txnolog: the helper mutates a range inside the caller's transaction
+// with no undo-log backup for that range.
+func txUpdate(th *Thread) {
+	th.TxBegin()
+	th.TxAdd(0x400, 8)
+	th.Write(0x400, 8)
+	putField(th, 0x440)
+	th.TxEnd()
+}
+
+// checkermisuse: the checker region opened through the helper is never
+// closed on any path.
+func traceUpdate(th *Thread) {
+	beginChecker(th)
+	th.TxAdd(0x500, 8)
+	th.Write(0x500, 8)
+	th.Flush(0x500, 8)
+	th.Fence()
+}

@@ -1,0 +1,21 @@
+package p
+
+// Helpers: each owns half of a persistency protocol; the caller owns the
+// other half. Every bug in callers.go lives in the seam between the two
+// files — none is visible to a single-function or single-file analysis.
+
+func setRecord(dev *Device, addr uint64) {
+	dev.Store64(addr, 1)
+}
+
+func flushRecord(dev *Device, addr uint64) {
+	dev.CLWB(addr, 8)
+}
+
+func putField(th *Thread, addr uint64) {
+	th.Write(addr, 8)
+}
+
+func beginChecker(th *Thread) {
+	th.TxCheckerStart()
+}

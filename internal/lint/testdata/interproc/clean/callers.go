@@ -1,0 +1,41 @@
+package p
+
+// The same five protocols as the bad package, each discharged across the
+// call boundary on every path.
+
+func commitRecord(dev *Device) {
+	setRecord(dev, 0x100)
+	dev.CLWB(0x100, 8)
+	dev.SFence()
+}
+
+func publishRecord(dev *Device) {
+	dev.Store64(0x200, 1)
+	flushRecord(dev, 0x200)
+	dev.SFence()
+}
+
+func rewriteRecord(dev *Device) {
+	dev.Store64(0x300, 1)
+	fl := dev.CLWB
+	fl(0x300, 8)
+	dev.SFence()
+}
+
+func txUpdate(th *Thread) {
+	th.TxBegin()
+	th.TxAdd(0x400, 8)
+	th.Write(0x400, 8)
+	th.TxAdd(0x440, 8)
+	putField(th, 0x440)
+	th.TxEnd()
+}
+
+func traceUpdate(th *Thread) {
+	beginChecker(th)
+	th.TxAdd(0x500, 8)
+	th.Write(0x500, 8)
+	th.Flush(0x500, 8)
+	th.Fence()
+	th.TxCheckerEnd()
+}

@@ -1,0 +1,20 @@
+package p
+
+// Same helpers as the bad package: each owns half of a persistency
+// protocol. The callers in callers.go discharge every obligation.
+
+func setRecord(dev *Device, addr uint64) {
+	dev.Store64(addr, 1)
+}
+
+func flushRecord(dev *Device, addr uint64) {
+	dev.CLWB(addr, 8)
+}
+
+func putField(th *Thread, addr uint64) {
+	th.Write(addr, 8)
+}
+
+func beginChecker(th *Thread) {
+	th.TxCheckerStart()
+}

@@ -1,0 +1,22 @@
+package p
+
+// The mutation path stores the metadata word but no interprocedural path
+// ever writes it back, and the recovery entry point reads it — after a
+// crash OpenMeta observes whatever the cache evicted. The store itself is
+// also a crossflush finding; this fixture suppresses it to isolate the
+// recovery-read coupling.
+
+const metaOff = 0x40
+
+func writeMeta(dev *Device) {
+	dev.Store64(metaOff, 1) //pmlint:ignore crossflush the recovery-read coupling is what this fixture pins
+}
+
+func updateMeta(dev *Device) {
+	writeMeta(dev)
+	dev.SFence() // fences, but nothing was ever written back
+}
+
+func OpenMeta(dev *Device) uint64 {
+	return dev.Load64(metaOff)
+}

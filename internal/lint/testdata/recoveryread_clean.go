@@ -1,0 +1,20 @@
+package p
+
+// Same shape, but the caller persists the metadata word before fencing:
+// the recovery read observes durable state on every path.
+
+const metaOff2 = 0x40
+
+func writeMeta2(dev *Device) {
+	dev.Store64(metaOff2, 1)
+}
+
+func updateMeta2(dev *Device) {
+	writeMeta2(dev)
+	dev.CLWB(metaOff2, 8)
+	dev.SFence()
+}
+
+func OpenMeta2(dev *Device) uint64 {
+	return dev.Load64(metaOff2)
+}

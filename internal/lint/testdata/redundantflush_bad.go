@@ -1,0 +1,17 @@
+package p
+
+// The caller writes the header back and fences, then calls a helper whose
+// whole job is writing back the same header again — the second writeback
+// is provably wasted work, visible only across the call boundary.
+
+func persistHdr(dev *Device) {
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+}
+
+func redundantFlushBad(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+	persistHdr(dev) // flushes 0x40 again; nothing stored in between
+}

@@ -1,0 +1,17 @@
+package p
+
+// Same call shape as the bad fixture, but a fresh store to the header
+// between the two writebacks makes the helper's flush necessary.
+
+func persistHdr2(dev *Device) {
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+}
+
+func redundantFlushClean(dev *Device) {
+	dev.Store64(0x40, 1)
+	dev.CLWB(0x40, 8)
+	dev.SFence()
+	dev.Store64(0x40, 2) // fresh dirty data: the helper's writeback is real work
+	persistHdr2(dev)
+}

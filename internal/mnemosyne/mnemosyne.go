@@ -202,7 +202,7 @@ func (r *Region) Begin() error {
 // goes to the redo log now and in place at commit (Fig. 2a's
 // log_append).
 //
-//pmlint:ignore missedflush,missedfence the fence is LogFlush/Commit's job (split-phase protocol); SkipLogFlush is an injected bug
+//pmlint:ignore crossflush the fence is LogFlush/Commit's job (split-phase protocol); SkipLogFlush is an injected bug
 func (r *Region) LogAppend(off uint64, data []byte) error {
 	if !r.inTx {
 		return errors.New("mnemosyne: LogAppend outside transaction")

@@ -5,14 +5,19 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"pmtest/internal/core"
 	"pmtest/internal/faultinject"
 	"pmtest/internal/flight"
 	"pmtest/internal/harness"
+	"pmtest/internal/lint"
 	"pmtest/internal/obs"
 	"pmtest/internal/obs/collect"
 	"pmtest/internal/obsserve"
@@ -103,7 +108,92 @@ func runOnce(b Budget, seed int64, res *Result, logf func(string, ...any)) error
 	if err := runObsPlane(b, res, logf); err != nil {
 		return err
 	}
+	if err := runLint(res, logf); err != nil {
+		return err
+	}
 	return runCampaign(b, seed, res, logf)
+}
+
+// runLint measures the interprocedural analyzer over the repo's own
+// source tree — the same packages CI lints — so a slowdown in parsing,
+// call-graph construction, or the summary fixpoint gates like any other
+// perf regression. The tree is a fixed workload independent of the
+// budget, so a single wall-time metric with timing tolerance suffices.
+func runLint(res *Result, logf func(string, ...any)) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return fmt.Errorf("pmlint_tree: %w", err)
+	}
+	dirs, err := goDirs(root)
+	if err != nil {
+		return fmt.Errorf("pmlint_tree: %w", err)
+	}
+	findings := 0
+	s := measure(3, func() {
+		findings = 0
+		for _, d := range dirs {
+			found, err := lint.LintDirOpt(d, false, lint.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("pmlint_tree: %s: %v", d, err))
+			}
+			findings += len(found)
+		}
+	})
+	res.add(Metric{Name: "pmlint_tree/ms_per_pass", Value: s.NsPerOp / 1e6, Unit: "ms/pass",
+		Better: LowerIsBetter, Tolerance: TolTiming})
+	logf("  pmlint_tree: %d dirs, %d findings, %.0f ms/pass", len(dirs), findings, s.NsPerOp/1e6)
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so the suite lints the same tree no matter which subdirectory
+// pmbench runs from.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// goDirs collects every directory under root holding non-test Go files,
+// skipping testdata, hidden and underscore-prefixed directories — the
+// same set `pmlint ./...` lints.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
 }
 
 // runObsPlane measures the observability plane itself: building one

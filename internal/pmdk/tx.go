@@ -195,7 +195,7 @@ func (p *Pool) txCommit() {
 		// is exactly what must persist.
 		flushRange := func(r logRng) {
 			p.written.Visit(r.off, r.off+r.size, func(seg interval.Seg[struct{}]) bool {
-				p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3) //pmlint:ignore missedfence the commit fence follows outside this visit closure
+				p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3) // the commit fence follows outside this visit closure
 				if p.bugs.DoubleCommitFlush {
 					p.dev.CLWBSkip(seg.Lo, seg.Hi-seg.Lo, 3) //pmlint:ignore missedfence,doubleflush DoubleCommitFlush is an injected bug
 				}

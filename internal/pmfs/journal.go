@@ -93,9 +93,9 @@ func (tx *journalTx) publish() {
 	}
 }
 
-// modify performs an in-place journaled update and writes it back.
-//
-//pmlint:ignore missedflush,missedfence commit() fences the in-place updates (split-phase); SkipInodeFlush is an injected bug
+// modify performs an in-place journaled update and writes it back;
+// commit() fences the in-place updates (split-phase protocol).
+// SkipInodeFlush is an injected bug.
 func (tx *journalTx) modify(addr uint64, data []byte) {
 	fs := tx.fs
 	fs.dev.StoreSkip(addr, data, 1)

@@ -109,7 +109,7 @@ func Run(initial []byte, ops []trace.Op, validate func(img []byte) error, lim Li
 
 // applyOp executes one traced PM operation against the replay device.
 //
-//pmlint:ignore missedflush,missedfence the interpreter replays one traced op per call; pairing lives in the trace, not here
+//pmlint:ignore crossflush the interpreter replays one traced op per call; pairing lives in the trace, not here
 func applyOp(dev *pmem.Device, op trace.Op) {
 	switch op.Kind {
 	case trace.KindWrite:
