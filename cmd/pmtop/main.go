@@ -135,17 +135,26 @@ func render(m obs.MergedSnapshot, nodes []string) string {
 		fmt.Fprintf(&b, "checker  state pool %.1f%% hit (%d gets), shadow intervals live %d / max %d\n",
 			100*r.StatePoolHitRate, r.StatePoolGets, r.ShadowIntervalsLive, r.ShadowIntervalsMax)
 	}
+	if s.DistSectionsSent > 0 || s.DistRetries > 0 || s.DistFailovers > 0 || s.DistFallbacks > 0 {
+		fmt.Fprintf(&b, "dist     %d sections sent, %d retries, %d failovers, %d fallbacks, %d dropped, rtt p50 %v p99 %v\n",
+			s.DistSectionsSent, s.DistRetries, s.DistFailovers, s.DistFallbacks,
+			s.DistSectionsDropped, s.DistRTT.P50, s.DistRTT.P99)
+	}
 
-	fmt.Fprintf(&b, "\n%-28s %-10s %12s %10s %8s %10s  %s\n",
-		"SOURCE", "UPTIME", "TRACES", "OPS/S", "FAILS", "HEAP", "STATUS")
+	fmt.Fprintf(&b, "\n%-28s %-9s %-10s %12s %10s %8s %10s  %s\n",
+		"SOURCE", "ROLE", "UPTIME", "TRACES", "OPS/S", "FAILS", "HEAP", "STATUS")
 	for _, src := range m.Sources {
+		role := src.Role
+		if role == "" {
+			role = "-"
+		}
 		if src.Err != "" {
-			fmt.Fprintf(&b, "%-28s %-10s %12s %10s %8s %10s  DOWN: %s\n",
-				clip(src.Source, 28), "-", "-", "-", "-", "-", src.Err)
+			fmt.Fprintf(&b, "%-28s %-9s %-10s %12s %10s %8s %10s  DOWN: %s\n",
+				clip(src.Source, 28), clip(role, 9), "-", "-", "-", "-", "-", src.Err)
 			continue
 		}
-		fmt.Fprintf(&b, "%-28s %-10s %12d %10.0f %8d %10s  ok\n",
-			clip(src.Source, 28), src.Uptime.Round(time.Second),
+		fmt.Fprintf(&b, "%-28s %-9s %-10s %12d %10.0f %8d %10s  ok\n",
+			clip(src.Source, 28), clip(role, 9), src.Uptime.Round(time.Second),
 			src.TracesChecked, src.OpsPerSec, src.Fails, fmtBytes(src.HeapBytes))
 	}
 

@@ -1,0 +1,52 @@
+package dist
+
+import "time"
+
+// Backoff computes capped exponential retry delays with jitter. The
+// zero value uses the defaults below. Delay is pure — the caller
+// supplies the random source — so tests are deterministic.
+type Backoff struct {
+	// Base is the delay before the first retry (default 25ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 1s).
+	Max time.Duration
+	// Jitter is the fraction of the computed delay randomized away,
+	// in [0, 1] (default 0.5): the returned delay is uniform in
+	// [d*(1-Jitter), d]. Jitter desynchronizes clients hammering a
+	// recovering node.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 25 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Jitter <= 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// Delay returns the wait before retry number attempt (0-based: the
+// delay between the first failure and the second try). rnd supplies a
+// uniform value in [0, 1).
+func (b Backoff) Delay(attempt int, rnd func() float64) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if rnd != nil {
+		d = d - time.Duration(b.Jitter*rnd()*float64(d))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelay: the exponential schedule doubles from Base, caps at
+// Max, and jitter only ever shortens a delay (never lengthens past the
+// deterministic envelope).
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5}
+	noJitter := func() float64 { return 0 }
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 10 * time.Millisecond},
+		{1, 20 * time.Millisecond},
+		{2, 40 * time.Millisecond},
+		{3, 80 * time.Millisecond},
+		{4, 80 * time.Millisecond}, // capped
+		{9, 80 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := b.Delay(c.attempt, noJitter); got != c.want {
+			t.Errorf("Delay(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestBackoffJitterBounds: for any rnd in [0,1), the delay stays within
+// [d*(1-Jitter), d] and never collapses below the 1ms floor.
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 40 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	for _, r := range []float64{0, 0.25, 0.5, 0.9999} {
+		rnd := func() float64 { return r }
+		got := b.Delay(0, rnd)
+		if got > 40*time.Millisecond || got < 20*time.Millisecond {
+			t.Errorf("Delay(0) with rnd=%v = %v, want within [20ms, 40ms]", r, got)
+		}
+	}
+	tiny := Backoff{Base: time.Microsecond, Max: time.Microsecond, Jitter: 0.5}
+	if got := tiny.Delay(0, func() float64 { return 0.9 }); got < time.Millisecond {
+		t.Errorf("delay floor violated: %v", got)
+	}
+}
+
+// TestBackoffDefaults: the zero value is usable.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Delay(0, nil); got != 25*time.Millisecond {
+		t.Errorf("zero-value Delay(0) = %v, want 25ms", got)
+	}
+	if got := b.Delay(20, nil); got != time.Second {
+		t.Errorf("zero-value Delay(20) = %v, want the 1s cap", got)
+	}
+}

@@ -1,0 +1,318 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pmtest/internal/core"
+	"pmtest/internal/flight"
+	"pmtest/internal/obs"
+	"pmtest/internal/trace"
+)
+
+// NodeConfig configures a checker node.
+type NodeConfig struct {
+	// Metrics receives engine lifecycle events for every hosted session
+	// (scraped via the node's -obs-listen endpoint). Optional.
+	Metrics *obs.Metrics
+	// Flight records engine check spans for hosted sessions. Optional.
+	Flight *flight.Recorder
+	// Logger receives session lifecycle records. Optional.
+	Logger *slog.Logger
+	// Limits bounds each decoded section (trace.DefaultLimits when
+	// zero) — a corrupt or hostile length prefix is refused, not
+	// allocated.
+	Limits trace.Limits
+	// MaxSessions bounds concurrently hosted sessions (default 256);
+	// opens beyond it are refused with 503 (retryable client-side).
+	MaxSessions int
+	// SessionTTL reaps sessions idle longer than this (default 5m), so
+	// clients that failed over away do not pin engines forever.
+	SessionTTL time.Duration
+	// Workers is the per-session engine worker count (default 1).
+	Workers int
+
+	now func() time.Time // test hook
+}
+
+// Node hosts core-engine checking sessions behind the HTTP section
+// protocol. One Node serves many sessions; cmd/pmtestd runs one Node
+// per process.
+type Node struct {
+	cfg NodeConfig
+
+	mu        sync.Mutex
+	sessions  map[string]*nodeSession
+	lastSweep time.Time
+	closed    bool
+}
+
+// nodeSession is one hosted checking session: a dedicated engine plus
+// the sequence bookkeeping that makes section delivery idempotent.
+type nodeSession struct {
+	mu     sync.Mutex
+	engine *core.Engine
+	// base is the seq of the first section this engine saw; the
+	// engine's trace IDs are seq-base.
+	base uint64
+	// applied is the next seq expected. seq < applied replays the
+	// cached report; seq > applied is a gap (409).
+	applied  uint64
+	reports  []core.Report // engine reports, refreshed after each check
+	lastUsed time.Time
+}
+
+// NewNode returns a node ready to mount: its ServeHTTP handles the
+// /v1/* section protocol and /healthz.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 256
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 5 * time.Minute
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &Node{cfg: cfg, sessions: make(map[string]*nodeSession), lastSweep: cfg.now()}
+}
+
+// Sessions returns the number of currently hosted sessions.
+func (n *Node) Sessions() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.sessions)
+}
+
+// Close tears down every hosted session and stops accepting new ones.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	sessions := n.sessions
+	n.sessions = make(map[string]*nodeSession)
+	n.mu.Unlock()
+	for _, s := range sessions {
+		s.engine.Close()
+	}
+}
+
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == PathHealth:
+		io.WriteString(w, "ok\n")
+	case r.URL.Path == PathOpen && r.Method == http.MethodPost:
+		n.handleOpen(w, r)
+	case r.URL.Path == PathSection && r.Method == http.MethodPost:
+		n.handleSection(w, r)
+	case r.URL.Path == PathClose && r.Method == http.MethodPost:
+		n.handleClose(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+func (n *Node) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req OpenRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad open request: %v", err)
+		return
+	}
+	if req.Version != ProtocolVersion {
+		httpError(w, http.StatusBadRequest, "protocol version %d, node speaks %d", req.Version, ProtocolVersion)
+		return
+	}
+	if req.Session == "" {
+		httpError(w, http.StatusBadRequest, "empty session id")
+		return
+	}
+	rules, ok := rulesByName(req.Model)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown model %q", req.Model)
+		return
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "node shutting down")
+		return
+	}
+	n.sweepLocked()
+	sess := n.sessions[req.Session]
+	if sess != nil && sess.base != req.StartSeq {
+		// A re-open at a different start point supersedes the old
+		// incarnation (the client failed over away and came back with a
+		// new replay window); the old engine's reports are already held
+		// client-side or will be re-checked.
+		delete(n.sessions, req.Session)
+		go sess.engine.Close()
+		sess = nil
+	}
+	if sess == nil {
+		if len(n.sessions) >= n.cfg.MaxSessions {
+			n.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "session limit %d reached", n.cfg.MaxSessions)
+			return
+		}
+		excludes := append([]core.Range(nil), req.Excludes...)
+		var observers []obs.Observer
+		if n.cfg.Metrics != nil {
+			observers = append(observers, n.cfg.Metrics)
+		}
+		if n.cfg.Flight != nil {
+			observers = append(observers, flight.EngineObserver(n.cfg.Flight))
+		}
+		sess = &nodeSession{
+			engine: core.NewEngine(core.Options{
+				Rules:          rules,
+				Workers:        n.cfg.Workers,
+				TrackOnly:      req.TrackOnly,
+				StaticExcludes: excludes,
+				Observer:       obs.Multi(observers...),
+				Logger:         n.cfg.Logger,
+			}),
+			base:    req.StartSeq,
+			applied: req.StartSeq,
+		}
+		n.sessions[req.Session] = sess
+		if lg := n.cfg.Logger; lg != nil {
+			lg.Info("dist session opened", "session", req.Session,
+				"model", req.Model, "start_seq", req.StartSeq)
+		}
+	}
+	sess.mu.Lock()
+	sess.lastUsed = n.cfg.now()
+	next := sess.applied
+	sess.mu.Unlock()
+	n.mu.Unlock()
+
+	writeJSON(w, OpenResponse{Session: req.Session, NextSeq: next})
+}
+
+func (n *Node) handleSection(w http.ResponseWriter, r *http.Request) {
+	sid := r.URL.Query().Get("session")
+	seq, err := strconv.ParseUint(r.Header.Get(headerSeq), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad %s: %v", headerSeq, err)
+		return
+	}
+	wantCRC, err := strconv.ParseUint(r.Header.Get(headerCRC), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad %s: %v", headerCRC, err)
+		return
+	}
+	lim := n.cfg.Limits.WithDefaults()
+	body, err := io.ReadAll(io.LimitReader(r.Body, lim.MaxBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading section: %v", err)
+		return
+	}
+	if int64(len(body)) > lim.MaxBytes {
+		httpError(w, http.StatusBadRequest, "section exceeds %d-byte limit", lim.MaxBytes)
+		return
+	}
+	if got := crc32.ChecksumIEEE(body); got != uint32(wantCRC) {
+		// The frame was damaged in flight; the client still holds the
+		// original bytes, so this is retryable (422), not refused.
+		httpError(w, http.StatusUnprocessableEntity, "section crc %08x, frame claims %08x", got, wantCRC)
+		return
+	}
+
+	n.mu.Lock()
+	sess := n.sessions[sid]
+	n.mu.Unlock()
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "unknown session %q", sid)
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.lastUsed = n.cfg.now()
+	switch {
+	case seq < sess.base:
+		// Acknowledged before this engine's replay window — the client
+		// already holds that report and never legitimately re-asks.
+		httpError(w, http.StatusConflict, "seq %d precedes session base %d", seq, sess.base)
+		return
+	case seq > sess.applied:
+		httpError(w, http.StatusConflict, "seq %d leaves a gap (next expected %d)", seq, sess.applied)
+		return
+	case seq == sess.applied:
+		tr, err := trace.DecodeLimited(bytes.NewReader(body), n.cfg.Limits)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "undecodable section: %v", err)
+			return
+		}
+		sess.engine.Submit(tr)
+		sess.reports = sess.engine.Wait()
+		sess.applied++
+	}
+	// Duplicate delivery (seq < applied) falls through to the cached
+	// report: idempotent replay after a lost ack.
+	rep := sess.reports[seq-sess.base]
+	rep.TraceID = int(seq)
+	writeJSON(w, rep)
+}
+
+func (n *Node) handleClose(w http.ResponseWriter, r *http.Request) {
+	sid := r.URL.Query().Get("session")
+	n.mu.Lock()
+	sess := n.sessions[sid]
+	delete(n.sessions, sid)
+	n.mu.Unlock()
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "unknown session %q", sid)
+		return
+	}
+	sess.mu.Lock()
+	count := sess.applied - sess.base
+	sess.mu.Unlock()
+	sess.engine.Close()
+	if lg := n.cfg.Logger; lg != nil {
+		lg.Info("dist session closed", "session", sid, "sections", count)
+	}
+	writeJSON(w, CloseResponse{Session: sid, Sections: count})
+}
+
+// sweepLocked reaps idle sessions; callers hold n.mu. Sweeps run at
+// most every SessionTTL/2 so the common path stays O(1).
+func (n *Node) sweepLocked() {
+	now := n.cfg.now()
+	if now.Sub(n.lastSweep) < n.cfg.SessionTTL/2 {
+		return
+	}
+	n.lastSweep = now
+	for sid, s := range n.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > n.cfg.SessionTTL {
+			delete(n.sessions, sid)
+			go s.engine.Close()
+			if lg := n.cfg.Logger; lg != nil {
+				lg.Warn("dist session reaped", "session", sid, "idle", idle)
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

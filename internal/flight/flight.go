@@ -45,11 +45,14 @@ const (
 	CatEngine
 	// CatCampaign: one span per fault-injection schedule.
 	CatCampaign
+	// CatRPC: one span per distributed-checking RPC attempt, retry
+	// burst, or failover (internal/dist).
+	CatRPC
 
 	numCategories
 )
 
-var categoryNames = [numCategories]string{"session", "tx", "checker", "engine", "campaign"}
+var categoryNames = [numCategories]string{"session", "tx", "checker", "engine", "campaign", "rpc"}
 
 // String names the category as used in filters and exports.
 func (c Category) String() string {

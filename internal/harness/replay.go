@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"pmtest/internal/core"
+	"pmtest/internal/trace"
+)
+
+// SectionSink is the submit/close surface shared by core.Engine and
+// dist.Session, so the same recorded workload can drive a local engine
+// or the distributed checking tier.
+type SectionSink interface {
+	Submit(*trace.Trace)
+	Close() []core.Report
+}
+
+// ReplaySections submits recorded sections (RecordMicroSections output)
+// into a sink and returns the final reports. Each section gets its own
+// copy of the ops, so a sink that retains traces cannot alias the
+// caller's slices.
+func ReplaySections(sink SectionSink, sections [][]trace.Op, thread int) []core.Report {
+	for _, ops := range sections {
+		sink.Submit(&trace.Trace{Thread: thread, Ops: append([]trace.Op(nil), ops...)})
+	}
+	return sink.Close()
+}
+
+// DumpReports renders reports field-complete — diagnostics included —
+// so two report slices compare byte-identical. This is the equivalence
+// oracle of the golden tests and the pmtestd smoke job: local and
+// remote checking must produce the same dump.
+func DumpReports(reports []core.Report) string {
+	var b strings.Builder
+	for _, r := range reports {
+		fmt.Fprintf(&b, "trace=%d thread=%d ops=%d tracked=%d ndiags=%d\n",
+			r.TraceID, r.Thread, r.Ops, r.TrackedOps, len(r.Diags))
+		for _, d := range r.Diags {
+			fmt.Fprintf(&b, "%d|%s|%s\n", d.OpIndex, d.Severity, d.String())
+		}
+	}
+	return b.String()
+}

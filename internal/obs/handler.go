@@ -62,6 +62,16 @@ func writeProm(w http.ResponseWriter, s Snapshot) {
 	counter("pmtest_crash_states_possible_total", "Crash states the explored dirty sets could produce (clamped per probe).", s.CrashStatesPossible)
 	counter("pmtest_recovery_failures_total", "Crash states whose recovery failed (demonstrated bugs).", s.RecoveryFailures)
 	counter("pmtest_campaign_deadline_hits_total", "Campaigns cut short by their deadline.", s.CampaignDeadlineHits)
+	counter("pmtest_dist_sections_sent_total", "Sections acknowledged by remote checker nodes.", s.DistSectionsSent)
+	counter("pmtest_dist_retries_total", "Distributed-checking RPC attempts beyond the first.", s.DistRetries)
+	counter("pmtest_dist_failovers_total", "Checking sessions re-established on another node.", s.DistFailovers)
+	counter("pmtest_dist_breaker_opens_total", "Per-node circuit breaker closed-to-open transitions.", s.DistBreakerOpens)
+	counter("pmtest_dist_sections_dropped_total", "Sections dropped on client buffer overflow.", s.DistSectionsDropped)
+	counter("pmtest_dist_fallbacks_total", "Sessions degraded to a local in-process engine.", s.DistFallbacks)
+	counter("pmtest_dist_rpc_errors_total", "Failed distributed-checking RPC attempts.", s.DistRPCErrors)
+	fmt.Fprintf(w, "# HELP pmtest_dist_buffered_bytes Encoded section bytes currently buffered unacknowledged.\n")
+	fmt.Fprintf(w, "# TYPE pmtest_dist_buffered_bytes gauge\n")
+	fmt.Fprintf(w, "pmtest_dist_buffered_bytes %d\n", s.DistBufferedBytes)
 
 	if len(s.DiagsBySeverity) > 0 {
 		fmt.Fprintf(w, "# HELP pmtest_diagnostics_total Diagnostics reported, by severity.\n# TYPE pmtest_diagnostics_total counter\n")
@@ -78,6 +88,9 @@ func writeProm(w http.ResponseWriter, s Snapshot) {
 
 	writePromHist(w, "pmtest_queue_wait_seconds", "Time from Submit to worker dequeue.", s.QueueWait)
 	writePromHist(w, "pmtest_check_duration_seconds", "Time a worker spent checking one trace.", s.CheckDur)
+	if s.DistRTT.Count > 0 {
+		writePromHist(w, "pmtest_dist_rtt_seconds", "End-to-end remote check latency per section (submit to report ack).", s.DistRTT)
+	}
 
 	if len(s.PerWorkerChecked) > 0 {
 		fmt.Fprintf(w, "# HELP pmtest_worker_traces_checked_total Traces checked, by worker.\n# TYPE pmtest_worker_traces_checked_total counter\n")

@@ -34,6 +34,26 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge is an atomic signed level — a quantity that rises and falls,
+// like the bytes currently buffered by a distributed checking session.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// SetMax raises the gauge to v if v is higher — a high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
 // --- Latency histogram -----------------------------------------------------
 
 // histBuckets is the number of fixed exponential buckets. Bucket i
@@ -319,6 +339,25 @@ type Metrics struct {
 	RecoveryFailures     Counter
 	CampaignDeadlineHits Counter
 
+	// Distributed checking tier (filled by internal/dist). Every
+	// degradation the client tier performs is counted here so "the tier
+	// silently dropped work" is impossible by construction: retries,
+	// failovers, breaker trips, overflow drops and local-engine
+	// fallbacks each have their own counter, and the live buffer level
+	// is a gauge with a high-water mark.
+	DistSectionsSent    Counter // sections acknowledged (report received)
+	DistRetries         Counter // RPC attempts beyond the first
+	DistFailovers       Counter // sessions re-established on another node
+	DistBreakerOpens    Counter // circuit-breaker closed→open transitions
+	DistSectionsDropped Counter // sections dropped on buffer overflow
+	DistFallbacks       Counter // sessions degraded to a local engine
+	DistRPCErrors       Counter // failed RPC attempts (any cause)
+	DistBufferedBytes   Gauge   // encoded bytes currently buffered unacked
+	DistBufferedPeak    Gauge   // high-water mark of DistBufferedBytes
+	// DistRTT observes end-to-end check latency per section: from
+	// Submit on the program side to the report-carrying ack.
+	DistRTT Histogram
+
 	mu           sync.Mutex
 	codes        map[string]uint64
 	perWorker    []uint64
@@ -458,6 +497,17 @@ type Snapshot struct {
 	RecoveryFailures     uint64 `json:"recovery_failures,omitempty"`
 	CampaignDeadlineHits uint64 `json:"campaign_deadline_hits,omitempty"`
 
+	DistSectionsSent    uint64       `json:"dist_sections_sent,omitempty"`
+	DistRetries         uint64       `json:"dist_retries,omitempty"`
+	DistFailovers       uint64       `json:"dist_failovers,omitempty"`
+	DistBreakerOpens    uint64       `json:"dist_breaker_opens,omitempty"`
+	DistSectionsDropped uint64       `json:"dist_sections_dropped,omitempty"`
+	DistFallbacks       uint64       `json:"dist_fallbacks,omitempty"`
+	DistRPCErrors       uint64       `json:"dist_rpc_errors,omitempty"`
+	DistBufferedBytes   int64        `json:"dist_buffered_bytes,omitempty"`
+	DistBufferedPeak    int64        `json:"dist_buffered_peak,omitempty"`
+	DistRTT             HistSnapshot `json:"dist_rtt"`
+
 	PerWorkerChecked []uint64 `json:"per_worker_checked,omitempty"`
 	QueueDepths      []int    `json:"queue_depths,omitempty"`
 
@@ -502,6 +552,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		CrashStatesPossible:  m.CrashStatesPossible.Load(),
 		RecoveryFailures:     m.RecoveryFailures.Load(),
 		CampaignDeadlineHits: m.CampaignDeadlineHits.Load(),
+		DistSectionsSent:     m.DistSectionsSent.Load(),
+		DistRetries:          m.DistRetries.Load(),
+		DistFailovers:        m.DistFailovers.Load(),
+		DistBreakerOpens:     m.DistBreakerOpens.Load(),
+		DistSectionsDropped:  m.DistSectionsDropped.Load(),
+		DistFallbacks:        m.DistFallbacks.Load(),
+		DistRPCErrors:        m.DistRPCErrors.Load(),
+		DistBufferedBytes:    m.DistBufferedBytes.Load(),
+		DistBufferedPeak:     m.DistBufferedPeak.Load(),
+		DistRTT:              m.DistRTT.Snapshot(),
 	}
 	if secs := s.Uptime.Seconds(); secs > 0 {
 		s.OpsPerSec = float64(s.OpsChecked) / secs
@@ -604,6 +664,16 @@ func (s Snapshot) Format() string {
 			fmt.Fprintf(&b, ", %d deadline expiries", s.CampaignDeadlineHits)
 		}
 		b.WriteByte('\n')
+	}
+	if s.DistSectionsSent > 0 || s.DistRetries > 0 || s.DistFailovers > 0 || s.DistFallbacks > 0 {
+		fmt.Fprintf(&b, "dist     sent %d (retries %d, failovers %d, breaker opens %d), buffered %dB (peak %dB)",
+			s.DistSectionsSent, s.DistRetries, s.DistFailovers, s.DistBreakerOpens,
+			s.DistBufferedBytes, s.DistBufferedPeak)
+		if s.DistSectionsDropped > 0 || s.DistFallbacks > 0 {
+			fmt.Fprintf(&b, ", dropped %d, local fallbacks %d", s.DistSectionsDropped, s.DistFallbacks)
+		}
+		fmt.Fprintf(&b, "\n         rtt p50 %v / p99 %v over %d sections\n",
+			s.DistRTT.P50, s.DistRTT.P99, s.DistRTT.Count)
 	}
 	if s.EncodeErrors > 0 || s.Err != "" {
 		fmt.Fprintf(&b, "errors   encode failures %d: %s\n", s.EncodeErrors, s.Err)

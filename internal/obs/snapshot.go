@@ -23,6 +23,7 @@ const SnapshotSchemaVersion = 1
 type NodeSnapshot struct {
 	SchemaVersion int       `json:"schema_version"`
 	Source        string    `json:"source"`
+	Role          string    `json:"role,omitempty"`
 	CapturedAt    time.Time `json:"captured_at"`
 	GoVersion     string    `json:"go_version,omitempty"`
 
@@ -55,6 +56,7 @@ type FlightCategorySummary struct {
 // can always answer "which node is missing and why".
 type SourceStatus struct {
 	Source     string    `json:"source"`
+	Role       string    `json:"role,omitempty"`
 	Err        string    `json:"err,omitempty"`
 	CapturedAt time.Time `json:"captured_at"`
 
@@ -183,7 +185,11 @@ func mergeMetrics(acc *Snapshot, s Snapshot) error {
 	if err != nil {
 		return err
 	}
-	acc.QueueWait, acc.CheckDur = qw, cd
+	rtt, err := MergeHist(acc.DistRTT, s.DistRTT)
+	if err != nil {
+		return err
+	}
+	acc.QueueWait, acc.CheckDur, acc.DistRTT = qw, cd, rtt
 
 	if s.Uptime > acc.Uptime {
 		acc.Uptime = s.Uptime
@@ -208,6 +214,17 @@ func mergeMetrics(acc *Snapshot, s Snapshot) error {
 	acc.CrashStatesPossible += s.CrashStatesPossible
 	acc.RecoveryFailures += s.RecoveryFailures
 	acc.CampaignDeadlineHits += s.CampaignDeadlineHits
+	acc.DistSectionsSent += s.DistSectionsSent
+	acc.DistRetries += s.DistRetries
+	acc.DistFailovers += s.DistFailovers
+	acc.DistBreakerOpens += s.DistBreakerOpens
+	acc.DistSectionsDropped += s.DistSectionsDropped
+	acc.DistFallbacks += s.DistFallbacks
+	acc.DistRPCErrors += s.DistRPCErrors
+	acc.DistBufferedBytes += s.DistBufferedBytes
+	if s.DistBufferedPeak > acc.DistBufferedPeak {
+		acc.DistBufferedPeak = s.DistBufferedPeak
+	}
 	acc.DiagsBySeverity = mergeCodeMaps(acc.DiagsBySeverity, s.DiagsBySeverity)
 	acc.DiagsByCode = mergeCodeMaps(acc.DiagsByCode, s.DiagsByCode)
 
@@ -263,6 +280,7 @@ func mergeFlight(acc *FlightSummary, f *FlightSummary) *FlightSummary {
 func sourceStatus(n NodeSnapshot) SourceStatus {
 	st := SourceStatus{
 		Source:        n.Source,
+		Role:          n.Role,
 		CapturedAt:    n.CapturedAt,
 		Uptime:        n.Metrics.Uptime,
 		TracesChecked: n.Metrics.TracesChecked,
@@ -311,7 +329,10 @@ func Merge(snaps ...NodeSnapshot) (MergedSnapshot, error) {
 type SnapshotSource struct {
 	// Source is the node's self-reported identity (host:port or a
 	// label); collectors fall back to the polled address when empty.
-	Source  string
+	Source string
+	// Role labels what kind of process this node is ("pmtestd",
+	// "workload", ...); fleet views use it to group nodes.
+	Role    string
 	Metrics *Metrics
 	// StatsFn overrides Metrics.Snapshot when set — the session wires
 	// (*pmtest.Session).Stats here so the document includes live queue
@@ -326,6 +347,7 @@ func (s *SnapshotSource) Capture() NodeSnapshot {
 	n := NodeSnapshot{
 		SchemaVersion: SnapshotSchemaVersion,
 		Source:        s.Source,
+		Role:          s.Role,
 		CapturedAt:    time.Now().UTC(),
 		GoVersion:     runtime.Version(),
 		Runtime:       CaptureRuntime(),

@@ -34,6 +34,9 @@ type Config struct {
 	// Source is the node identity stamped into served snapshots;
 	// defaults to the bound listen address.
 	Source string
+	// Role labels the process kind ("pmtestd", "workload") in served
+	// snapshots; fleet views group nodes by it. Optional.
+	Role string
 	// Metrics backs / and /obs/v1/snapshot. May be nil (zero snapshot).
 	Metrics *obs.Metrics
 	// StatsFn, when set, overrides Metrics.Snapshot for the snapshot
@@ -74,7 +77,7 @@ func Start(cfg Config) (*Server, error) {
 	if source == "" {
 		source = addr
 	}
-	src := &obs.SnapshotSource{Source: source, Metrics: cfg.Metrics, StatsFn: cfg.StatsFn}
+	src := &obs.SnapshotSource{Source: source, Role: cfg.Role, Metrics: cfg.Metrics, StatsFn: cfg.StatsFn}
 	if cfg.Flight != nil {
 		rec := cfg.Flight
 		src.FlightFn = func() *obs.FlightSummary { return flight.Summarize(rec) }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"pmtest/internal/core"
+	"pmtest/internal/dist"
 	"pmtest/internal/faultinject"
 	"pmtest/internal/flight"
 	"pmtest/internal/harness"
@@ -44,6 +46,9 @@ type Budget struct {
 	CampaignTargets int
 	CampaignBudget  int
 	CampaignOps     int
+	// DistSections is how many recorded sections stream through the
+	// loopback distributed-checking entries (healthy and degraded).
+	DistSections int
 }
 
 // Budgets returns the named budget, or false.
@@ -52,20 +57,24 @@ func Budgets(name string) (Budget, bool) {
 	case "tiny": // test-sized; not meant for checked-in baselines
 		return Budget{Name: "tiny", Stores: []string{"ctree"}, TxSizes: []uint64{64},
 			Inserts: 60, CheckSections: 40, CheckIters: 5,
-			CampaignTargets: 1, CampaignBudget: 1, CampaignOps: 2}, true
+			CampaignTargets: 1, CampaignBudget: 1, CampaignOps: 2,
+			DistSections: 12}, true
 	case "small": // the CI gate: ~seconds per pass
 		return Budget{Name: "small", Stores: []string{"ctree", "hashmap-ll"}, TxSizes: []uint64{64, 256},
 			Inserts: 400, CheckSections: 300, CheckIters: 20,
-			CampaignTargets: 2, CampaignBudget: 2, CampaignOps: 2}, true
+			CampaignTargets: 2, CampaignBudget: 2, CampaignOps: 2,
+			DistSections: 80}, true
 	case "medium":
 		return Budget{Name: "medium", Stores: []string{"ctree", "btree", "hashmap-ll"},
 			TxSizes: []uint64{64, 256, 1024},
 			Inserts: 2000, CheckSections: 1000, CheckIters: 50,
-			CampaignTargets: 3, CampaignBudget: 4, CampaignOps: 3}, true
+			CampaignTargets: 3, CampaignBudget: 4, CampaignOps: 3,
+			DistSections: 300}, true
 	case "large":
 		return Budget{Name: "large", Stores: harness.MicroStores, TxSizes: []uint64{64, 256, 1024, 4096},
 			Inserts: 8000, CheckSections: 4000, CheckIters: 100,
-			CampaignTargets: 5, CampaignBudget: 8, CampaignOps: 3}, true
+			CampaignTargets: 5, CampaignBudget: 8, CampaignOps: 3,
+			DistSections: 800}, true
 	}
 	return Budget{}, false
 }
@@ -111,7 +120,136 @@ func runOnce(b Budget, seed int64, res *Result, logf func(string, ...any)) error
 	if err := runLint(res, logf); err != nil {
 		return err
 	}
+	if err := runDist(b, res, logf); err != nil {
+		return err
+	}
 	return runCampaign(b, seed, res, logf)
+}
+
+// startDistNode hosts one checker node on a loopback listener, exactly
+// as `pmtestd serve` does, and returns its dialable address.
+func startDistNode() (string, func(), error) {
+	node := dist.NewNode(dist.NodeConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: node}
+	go srv.Serve(ln)
+	shutdown := func() {
+		srv.Close()
+		node.Close()
+	}
+	return ln.Addr().String(), shutdown, nil
+}
+
+// runDist measures the distributed checking tier over loopback HTTP:
+// section throughput and RTT against a healthy node, then the same
+// stream with the active node killed mid-run — so the price of a
+// failover (re-open, backlog replay, breaker bookkeeping) is gated like
+// any other perf number.
+func runDist(b Budget, res *Result, logf func(string, ...any)) error {
+	if b.DistSections == 0 {
+		return nil
+	}
+	sections, err := harness.RecordMicroSections(b.Stores[0], 256, b.DistSections)
+	if err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	n := float64(len(sections))
+	stream := func(s *dist.Session, secs [][]trace.Op) {
+		for _, ops := range secs {
+			s.Submit(&trace.Trace{Ops: ops})
+		}
+	}
+	opts := func(m *obs.Metrics, nodes ...string) dist.Options {
+		return dist.Options{Nodes: nodes, Metrics: m,
+			Backoff: dist.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond}}
+	}
+
+	// Healthy: one node absorbs the whole stream.
+	addr, shutdown, err := startDistNode()
+	if err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	m := obs.NewMetrics(0)
+	c, err := dist.NewCoordinator(opts(m, addr))
+	if err != nil {
+		shutdown()
+		return fmt.Errorf("dist: %w", err)
+	}
+	var elapsed time.Duration
+	measure(1, func() {
+		sess := c.OpenSession("pmbench-healthy", core.X86{})
+		start := time.Now()
+		stream(sess, sections)
+		reports := sess.Close()
+		elapsed = time.Since(start)
+		if len(reports) != len(sections) {
+			panic(fmt.Sprintf("dist healthy: %d reports for %d sections", len(reports), len(sections)))
+		}
+	})
+	c.Close()
+	shutdown()
+	snap := m.Snapshot()
+	res.add(Metric{Name: "dist/healthy_sections_per_sec",
+		Value: n / elapsed.Seconds(), Unit: "sections/s",
+		Better: HigherIsBetter, Tolerance: TolTiming})
+	res.add(Metric{Name: "dist/healthy_rtt_p50_ns",
+		Value: float64(snap.DistRTT.P50), Unit: "ns",
+		Better: LowerIsBetter, Tolerance: TolLatency})
+	logf("  dist healthy: %.0f sections/s, rtt p50 %v p99 %v",
+		n/elapsed.Seconds(), snap.DistRTT.P50, snap.DistRTT.P99)
+
+	// Degraded: two nodes, the active one killed a quarter through.
+	addrA, downA, err := startDistNode()
+	if err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	addrB, downB, err := startDistNode()
+	if err != nil {
+		downA()
+		return fmt.Errorf("dist: %w", err)
+	}
+	dm := obs.NewMetrics(0)
+	dc, err := dist.NewCoordinator(opts(dm, addrA, addrB))
+	if err != nil {
+		downA()
+		downB()
+		return fmt.Errorf("dist: %w", err)
+	}
+	cut := len(sections) / 4
+	var degElapsed time.Duration
+	measure(1, func() {
+		sess := dc.OpenSession("pmbench-degraded", core.X86{})
+		start := time.Now()
+		stream(sess, sections[:cut])
+		sess.Wait()
+		if sess.Node() == addrA {
+			downA()
+		} else {
+			downB()
+		}
+		stream(sess, sections[cut:])
+		reports := sess.Close()
+		degElapsed = time.Since(start)
+		if len(reports) != len(sections) {
+			panic(fmt.Sprintf("dist degraded: %d reports for %d sections", len(reports), len(sections)))
+		}
+	})
+	dc.Close()
+	downA()
+	downB()
+	dsnap := dm.Snapshot()
+	if dsnap.DistFailovers < 1 {
+		return fmt.Errorf("dist degraded: killed the active node but recorded no failover")
+	}
+	res.add(Metric{Name: "dist/degraded_sections_per_sec",
+		Value: n / degElapsed.Seconds(), Unit: "sections/s",
+		Better: HigherIsBetter, Tolerance: TolLatency})
+	logf("  dist degraded: %.0f sections/s (%d retries, %d failovers)",
+		n/degElapsed.Seconds(), dsnap.DistRetries, dsnap.DistFailovers)
+	return nil
 }
 
 // runLint measures the interprocedural analyzer over the repo's own

@@ -23,9 +23,54 @@ const encMagic = 0x504D5401
 // ErrBadTrace is returned when decoding malformed data.
 var ErrBadTrace = errors.New("trace: malformed serialized trace")
 
-// maxDecodeOps bounds decoding so corrupt headers cannot trigger huge
-// allocations.
-const maxDecodeOps = 64 << 20
+// Limits bounds what one decoded trace section may cost. A network-facing
+// decoder (the pmtestd checking service) must not be OOM-able by a single
+// corrupt or hostile length prefix, so both the op count and the total
+// wire bytes a section may occupy are capped. The zero value of either
+// field means "use the default".
+type Limits struct {
+	// MaxOps caps the number of operations in one section.
+	MaxOps int
+	// MaxBytes caps the total wire size of one section (fixed-width op
+	// fields plus file-name strings).
+	MaxBytes int64
+}
+
+// DefaultLimits is what Decode/DecodeAll enforce: generous enough for
+// any section the harness produces (the monolithic-trace ablation ships
+// hundreds of thousands of ops), far below "allocate the machine away".
+var DefaultLimits = Limits{MaxOps: 16 << 20, MaxBytes: 1 << 30}
+
+// WithDefaults fills zero fields from DefaultLimits.
+func (l Limits) WithDefaults() Limits {
+	if l.MaxOps <= 0 {
+		l.MaxOps = DefaultLimits.MaxOps
+	}
+	if l.MaxBytes <= 0 {
+		l.MaxBytes = DefaultLimits.MaxBytes
+	}
+	return l
+}
+
+// LimitError reports a section that exceeds a decode limit. It is a
+// typed refusal — the input may be well-formed, merely bigger than the
+// receiver is willing to materialize — so servers can map it to a
+// permanent "refused" response instead of a retryable decode failure.
+type LimitError struct {
+	What string // "ops" or "bytes"
+	Got  uint64 // claimed or accumulated size
+	Max  uint64 // the configured cap
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("trace: section %s %d exceeds limit %d", e.What, e.Got, e.Max)
+}
+
+// allocChunkOps caps the op capacity reserved up front from a wire
+// length prefix. Anything the prefix claims beyond this must be backed
+// by actual input bytes before more memory is committed, so a corrupt
+// prefix costs at most one chunk, not prefix*sizeof(Op).
+const allocChunkOps = 4096
 
 // opWireSize is the fixed per-op wire size: kind byte, four 64-bit
 // fields, the 32-bit line and the 16-bit file-length prefix.
@@ -67,8 +112,18 @@ func Encode(w io.Writer, t *Trace) error {
 	return err
 }
 
-// Decode reads one trace in the Encode format.
+// Decode reads one trace in the Encode format under DefaultLimits.
 func Decode(r io.Reader) (*Trace, error) {
+	return DecodeLimited(r, DefaultLimits)
+}
+
+// DecodeLimited reads one trace in the Encode format, refusing sections
+// that exceed the given limits with a *LimitError. Allocation is capped
+// independently of the wire length prefix: capacity is committed in
+// chunks as real input bytes arrive, so a corrupt or hostile prefix
+// cannot trigger a huge up-front allocation.
+func DecodeLimited(r io.Reader, lim Limits) (*Trace, error) {
+	lim = lim.WithDefaults()
 	br := bufio.NewReader(r)
 	var scratch [8]byte
 	get32 := func() (uint32, error) {
@@ -102,10 +157,20 @@ func Decode(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, ErrBadTrace
 	}
-	if n > maxDecodeOps {
-		return nil, fmt.Errorf("trace: op count %d exceeds limit", n)
+	if n > uint64(lim.MaxOps) {
+		return nil, &LimitError{What: "ops", Got: n, Max: uint64(lim.MaxOps)}
 	}
-	t := &Trace{ID: int(id), Thread: int(thread), Ops: make([]Op, 0, n)}
+	if wire := n * opWireSize; wire > uint64(lim.MaxBytes) {
+		return nil, &LimitError{What: "bytes", Got: wire, Max: uint64(lim.MaxBytes)}
+	}
+	// Reserve at most one chunk up front; beyond that, append grows the
+	// slice only as decoded ops are actually backed by input bytes.
+	cap0 := n
+	if cap0 > allocChunkOps {
+		cap0 = allocChunkOps
+	}
+	wireBytes := int64(4 + 3*8)
+	t := &Trace{ID: int(id), Thread: int(thread), Ops: make([]Op, 0, cap0)}
 	for i := uint64(0); i < n; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
@@ -128,6 +193,9 @@ func Decode(r io.Reader) (*Trace, error) {
 			return nil, ErrBadTrace
 		}
 		fileLen := binary.LittleEndian.Uint16(scratch[:2])
+		if wireBytes += opWireSize + int64(fileLen); wireBytes > lim.MaxBytes {
+			return nil, &LimitError{What: "bytes", Got: uint64(wireBytes), Max: uint64(lim.MaxBytes)}
+		}
 		var file string
 		if fileLen > 0 {
 			buf := make([]byte, fileLen)
@@ -155,15 +223,21 @@ func EncodeAll(w io.Writer, traces []*Trace) error {
 	return nil
 }
 
-// DecodeAll reads traces until EOF.
+// DecodeAll reads traces until EOF under DefaultLimits.
 func DecodeAll(r io.Reader) ([]*Trace, error) {
+	return DecodeAllLimited(r, DefaultLimits)
+}
+
+// DecodeAllLimited reads traces until EOF, enforcing the per-section
+// limits on every section.
+func DecodeAllLimited(r io.Reader, lim Limits) ([]*Trace, error) {
 	br := bufio.NewReader(r)
 	var out []*Trace
 	for {
 		if _, err := br.Peek(1); err == io.EOF {
 			return out, nil
 		}
-		t, err := Decode(br)
+		t, err := DecodeLimited(br, lim)
 		if err != nil {
 			return out, err
 		}

@@ -2,11 +2,16 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 )
 
 // FuzzDecode: arbitrary bytes must never panic the decoder, and anything
-// it accepts must re-encode and re-decode to the same trace.
+// it accepts must re-encode and re-decode to the same trace. The
+// tight-limit pass additionally proves hostile input cannot buy a large
+// allocation: whatever the length prefix claims, decoding under small
+// limits either succeeds within them or returns a typed *LimitError.
 func FuzzDecode(f *testing.F) {
 	var seed bytes.Buffer
 	Encode(&seed, &Trace{ID: 1, Thread: 2, Ops: []Op{
@@ -16,7 +21,27 @@ func FuzzDecode(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{1, 84, 77, 80})
+	// A well-formed header whose op count claims 2^40 ops: the classic
+	// corrupt-length-prefix OOM attempt.
+	var huge bytes.Buffer
+	binary.Write(&huge, binary.LittleEndian, uint32(encMagic))
+	binary.Write(&huge, binary.LittleEndian, uint64(7)) // id
+	binary.Write(&huge, binary.LittleEndian, uint64(0)) // thread
+	binary.Write(&huge, binary.LittleEndian, uint64(1)<<40)
+	f.Add(huge.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Hostile-input pass: tiny limits must hold whatever the bytes say.
+		lim := Limits{MaxOps: 8, MaxBytes: 1024}
+		if tr, err := DecodeLimited(bytes.NewReader(data), lim); err == nil {
+			if len(tr.Ops) > lim.MaxOps {
+				t.Fatalf("decode under MaxOps=%d returned %d ops", lim.MaxOps, len(tr.Ops))
+			}
+		} else {
+			var le *LimitError
+			if errors.As(err, &le) && le.What == "ops" && le.Got <= uint64(lim.MaxOps) {
+				t.Fatalf("limit error for %d ops under MaxOps=%d", le.Got, lim.MaxOps)
+			}
+		}
 		tr, err := Decode(bytes.NewReader(data))
 		if err != nil {
 			return

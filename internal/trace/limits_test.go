@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// header builds a valid stream header claiming n ops.
+func header(n uint64) []byte {
+	var b bytes.Buffer
+	binary.Write(&b, binary.LittleEndian, uint32(encMagic))
+	binary.Write(&b, binary.LittleEndian, uint64(1)) // id
+	binary.Write(&b, binary.LittleEndian, uint64(0)) // thread
+	binary.Write(&b, binary.LittleEndian, n)
+	return b.Bytes()
+}
+
+// TestDecodeRefusesHugeOpCount: a corrupt length prefix claiming more
+// ops than the limit is refused with a typed *LimitError before any
+// per-op allocation happens.
+func TestDecodeRefusesHugeOpCount(t *testing.T) {
+	_, err := DecodeLimited(bytes.NewReader(header(1<<40)), Limits{MaxOps: 1 << 10})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.What != "ops" || le.Got != 1<<40 || le.Max != 1<<10 {
+		t.Fatalf("unexpected limit error: %+v", le)
+	}
+	if le.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// TestDecodeRefusesHugeByteBudget: even under the default op cap, a
+// section whose fixed-width wire size alone exceeds MaxBytes is refused
+// from the header.
+func TestDecodeRefusesHugeByteBudget(t *testing.T) {
+	_, err := DecodeLimited(bytes.NewReader(header(1<<20)), Limits{MaxBytes: 1 << 16})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "bytes" {
+		t.Fatalf("want bytes *LimitError, got %v", err)
+	}
+}
+
+// TestDecodeByteLimitCountsFileStrings: the byte budget covers the
+// variable-length site strings, not just the fixed op fields.
+func TestDecodeByteLimitCountsFileStrings(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'f'}, 60000))
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Trace{Ops: []Op{
+		{Kind: KindWrite, Addr: 1, Size: 8, File: long, Line: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeLimited(bytes.NewReader(buf.Bytes()), Limits{MaxBytes: 4096}); err == nil {
+		t.Fatal("60000-byte site string decoded under a 4096-byte budget")
+	} else {
+		var le *LimitError
+		if !errors.As(err, &le) || le.What != "bytes" {
+			t.Fatalf("want bytes *LimitError, got %v", err)
+		}
+	}
+	// The same section decodes fine under the defaults.
+	tr, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ops[0].File != long {
+		t.Fatal("site string corrupted by limited decode path")
+	}
+}
+
+// TestDecodeHostilePrefixAllocation: a stream that claims 2^40 ops but
+// carries none must not cost anywhere near 2^40 op slots — the decoder
+// commits capacity chunk-wise as real bytes arrive.
+func TestDecodeHostilePrefixAllocation(t *testing.T) {
+	data := header(1 << 40)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := Decode(bytes.NewReader(data))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated hostile stream decoded successfully")
+	}
+	// 2^40 claimed ops would need tens of TB; a chunk is ~4096*56 bytes.
+	// Allow generous slack for test-harness noise.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Fatalf("hostile prefix cost %d bytes of allocation", grew)
+	}
+}
+
+// TestDecodeAllLimited: the streaming variant enforces the same caps on
+// every section.
+func TestDecodeAllLimited(t *testing.T) {
+	var buf bytes.Buffer
+	ok := &Trace{Ops: []Op{{Kind: KindFence}}}
+	if err := EncodeAll(&buf, []*Trace{ok, ok}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(header(1 << 30)) // third section: hostile
+	out, err := DecodeAllLimited(&buf, Limits{MaxOps: 16})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want the 2 good sections back, got %d", len(out))
+	}
+}
+
+// TestDecodeLimitedRoundTrip: limits that fit the data are invisible.
+func TestDecodeLimitedRoundTrip(t *testing.T) {
+	in := &Trace{ID: 9, Thread: 3, Ops: []Op{
+		{Kind: KindWrite, Addr: 0x40, Size: 64, File: "x.go", Line: 12},
+		{Kind: KindFlush, Addr: 0x40, Size: 64},
+		{Kind: KindFence},
+	}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeLimited(&buf, Limits{MaxOps: 3, MaxBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ops) != 3 || out.Ops[0].File != "x.go" || out.ID != 9 {
+		t.Fatalf("round trip mangled: %+v", out)
+	}
+}

@@ -40,8 +40,10 @@ import (
 	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pmtest/internal/core"
+	"pmtest/internal/dist"
 	"pmtest/internal/flight"
 	"pmtest/internal/obs"
 	"pmtest/internal/trace"
@@ -143,6 +145,39 @@ type Config struct {
 	// engine records add trace_id/span_id, correlating log lines with
 	// flight spans. When nil nothing is logged and nothing is paid.
 	Logger *slog.Logger
+	// Remote, when non-nil, streams trace sections to pmtestd checker
+	// nodes instead of a local engine. Decoupled checking makes the two
+	// paths equivalent: a section is a self-contained unit of work, so
+	// the reports are byte-identical to a local run — including across
+	// node failures, which the client absorbs with retries, failover and
+	// (by default) local fallback. Degradation is visible in Stats as
+	// the dist_* counters.
+	Remote *RemoteConfig
+}
+
+// RemoteConfig selects and tunes the distributed checking tier.
+type RemoteConfig struct {
+	// Nodes are the pmtestd node addresses (host:port). Sessions shard
+	// across them by session-id hash and fail over around the ring.
+	Nodes []string
+	// RPCTimeout is the per-RPC deadline (default 5s).
+	RPCTimeout time.Duration
+	// Attempts bounds tries of one RPC against one node before failing
+	// over (default 3).
+	Attempts int
+	// BufferLimit caps the bytes of unacknowledged sections buffered
+	// client-side (default 16MB). At the cap SendTrace blocks
+	// (backpressure) unless DropOnOverflow is set.
+	BufferLimit int64
+	// DropOnOverflow drops sections instead of blocking at the buffer
+	// cap; drops are counted in Stats (dist_sections_dropped).
+	DropOnOverflow bool
+	// HealthInterval enables background node health probing (0 = off).
+	HealthInterval time.Duration
+	// DisableFallback turns off the local in-process check of sections
+	// no node accepts; such sections are then dropped with a deferred
+	// session error.
+	DisableFallback bool
 }
 
 // Stats is the observability snapshot returned by (*Session).Stats.
@@ -152,12 +187,24 @@ type Stats = obs.Snapshot
 // from the engine.
 type SharedRange = core.SharedRange
 
+// backend is the checking surface a session drives: the local
+// core.Engine or a dist.Session streaming to pmtestd nodes. Both assign
+// trace IDs in submit order and return reports sorted by them, which is
+// what keeps the two paths report-identical.
+type backend interface {
+	Submit(*trace.Trace)
+	Wait() []core.Report
+	Close() []core.Report
+	QueueDepths() []int
+}
+
 // Session owns a checking engine and the variable-name registry. Create
 // one per program under test with Init; release it with Exit.
 type Session struct {
 	cfg     Config
 	id      uint64
-	engine  *core.Engine
+	engine  backend
+	coord   *dist.Coordinator // non-nil only for remote sessions
 	sharing *core.SharingAnalyzer
 	metrics *obs.Metrics // nil when observability is off
 	logger  *slog.Logger // nil when logging is off; carries the session ID
@@ -221,15 +268,45 @@ func Init(cfg Config) *Session {
 		id:      id,
 		metrics: cfg.Metrics,
 		logger:  logger,
-		engine: core.NewEngine(core.Options{
+		vars:    make(map[string]Var),
+	}
+	if r := cfg.Remote; r != nil {
+		coord, err := dist.NewCoordinator(dist.Options{
+			Nodes:           r.Nodes,
+			RPCTimeout:      r.RPCTimeout,
+			Attempts:        r.Attempts,
+			BufferLimit:     r.BufferLimit,
+			DropOnOverflow:  r.DropOnOverflow,
+			HealthInterval:  r.HealthInterval,
+			DisableFallback: r.DisableFallback,
+			TrackOnly:       cfg.TrackOnly,
+			Excludes:        excludes,
+			Metrics:         cfg.Metrics,
+			Flight:          cfg.Flight,
+			Logger:          logger,
+		})
+		if err != nil {
+			// A misconfigured remote tier must not kill the program under
+			// test: fall back to a local engine and surface the problem as
+			// a deferred error (Err/Stats).
+			s.err = fmt.Errorf("pmtest: remote checking unavailable: %w", err)
+			if logger != nil {
+				logger.Error("remote checking unavailable; using local engine", "err", err)
+			}
+		} else {
+			s.coord = coord
+			s.engine = coord.OpenSession(fmt.Sprintf("pmtest-%d", id), cfg.Model)
+		}
+	}
+	if s.engine == nil {
+		s.engine = core.NewEngine(core.Options{
 			Rules:          cfg.Model,
 			Workers:        cfg.Workers,
 			TrackOnly:      cfg.TrackOnly,
 			StaticExcludes: excludes,
 			Observer:       obs.Multi(observers...),
 			Logger:         logger,
-		}),
-		vars: make(map[string]Var),
+		})
 	}
 	s.recording.Store(cfg.RecordTo != nil)
 	if cfg.Metrics != nil {
@@ -270,6 +347,9 @@ func (s *Session) ID() uint64 { return s.id }
 // Err or from the Stats snapshot.
 func (s *Session) Exit() []Report {
 	reports := s.engine.Close()
+	if s.coord != nil {
+		s.coord.Close()
+	}
 	if s.logger != nil {
 		fails, warns := 0, 0
 		for _, r := range reports {
@@ -286,13 +366,30 @@ func (s *Session) Exit() []Report {
 // returns the reports accumulated so far (PMTest_GET_RESULT).
 func (s *Session) GetResult() []Report { return s.engine.Wait() }
 
-// Err returns the first deferred session error (currently: a failure
-// serializing a trace to Config.RecordTo), or nil. Such errors disable
-// the failing feature but never crash the program under test.
+// Err returns the first deferred session error — a failure serializing
+// a trace to Config.RecordTo, or a remote-checking degradation (refused
+// or dropped section) — or nil. Such errors disable or degrade the
+// failing feature but never crash the program under test.
 func (s *Session) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.err == nil {
+		if de, ok := s.engine.(interface{ Err() error }); ok {
+			s.err = de.Err()
+		}
+	}
 	return s.err
+}
+
+// RemoteNode returns the address of the pmtestd node currently holding
+// this session's checking engine. It is "" for local sessions, before
+// the first remote section lands, and after a full degradation to
+// local fallback.
+func (s *Session) RemoteNode() string {
+	if d, ok := s.engine.(*dist.Session); ok {
+		return d.Node()
+	}
+	return ""
 }
 
 // Stats returns a point-in-time observability snapshot: trace/op

@@ -1,0 +1,112 @@
+package pmtest
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pmtest/internal/dist"
+	"pmtest/internal/obs"
+)
+
+// remoteNodeAddr hosts one checker node over loopback HTTP.
+func remoteNodeAddr(t *testing.T) string {
+	t.Helper()
+	node := dist.NewNode(dist.NodeConfig{Metrics: obs.NewMetrics(8)})
+	srv := httptest.NewServer(node)
+	t.Cleanup(func() {
+		srv.Close()
+		node.Close()
+	})
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// recordTwoSections drives the same workload as TestSessionEndToEndX86
+// through an already-initialized session.
+func recordTwoSections(sess *Session) []Report {
+	th := sess.ThreadInit()
+	th.Start()
+	th.Write(0x10, 64)
+	th.Flush(0x10, 64)
+	th.Fence()
+	th.IsPersist(0x10, 64)
+	th.SendTrace()
+	th.Write(0x90, 64)
+	th.IsPersist(0x90, 64)
+	th.SendTrace()
+	return sess.Exit()
+}
+
+// TestRemoteConfigEndToEnd: the same instrumentation calls produce the
+// same reports whether Config.Remote routes checking to a node or the
+// default in-process engine runs.
+func TestRemoteConfigEndToEnd(t *testing.T) {
+	local := recordTwoSections(Init(Config{}))
+
+	m := obs.NewMetrics(8)
+	sess := Init(Config{
+		Remote:  &RemoteConfig{Nodes: []string{remoteNodeAddr(t)}},
+		Metrics: m,
+	})
+	remote := recordTwoSections(sess)
+
+	if len(remote) != len(local) {
+		t.Fatalf("remote run: %d reports, local: %d", len(remote), len(local))
+	}
+	for i := range local {
+		if remote[i].Summary() != local[i].Summary() {
+			t.Fatalf("report %d diverged:\nlocal:  %s\nremote: %s", i, local[i].Summary(), remote[i].Summary())
+		}
+	}
+	if !remote[0].Clean() || remote[1].Fails() != 1 || !remote[1].HasCode(CodeNotPersisted) {
+		t.Fatalf("remote reports lost the diagnostic: %s / %s", remote[0].Summary(), remote[1].Summary())
+	}
+	snap := m.Snapshot()
+	if snap.DistSectionsSent != 2 {
+		t.Fatalf("dist sections sent = %d, want 2", snap.DistSectionsSent)
+	}
+}
+
+// TestRemoteConfigUnreachableDegrades: a fleet that never answers still
+// yields complete reports via the local fallback, and the degradation
+// is visible in both the deferred error-free path (fallback counters)
+// and the session's metrics.
+func TestRemoteConfigUnreachableDegrades(t *testing.T) {
+	m := obs.NewMetrics(8)
+	sess := Init(Config{
+		Remote: &RemoteConfig{
+			Nodes:      []string{"127.0.0.1:1"}, // reserved port: connection refused
+			RPCTimeout: 200 * time.Millisecond,
+			Attempts:   1,
+		},
+		Metrics: m,
+	})
+	reports := recordTwoSections(sess)
+
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports from a dead fleet, want 2 via local fallback", len(reports))
+	}
+	if !reports[0].Clean() || reports[1].Fails() != 1 {
+		t.Fatalf("fallback reports wrong: %s / %s", reports[0].Summary(), reports[1].Summary())
+	}
+	snap := m.Snapshot()
+	if snap.DistFallbacks != 2 {
+		t.Fatalf("fallbacks = %d, want 2", snap.DistFallbacks)
+	}
+}
+
+// TestRemoteConfigInvalidFallsBackLocal: a Remote config that cannot
+// even build a coordinator (no nodes) falls back to the in-process
+// engine and surfaces a deferred error instead of panicking or
+// silently dropping work.
+func TestRemoteConfigInvalidFallsBackLocal(t *testing.T) {
+	sess := Init(Config{Remote: &RemoteConfig{}})
+	reports := recordTwoSections(sess)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2 from the local fallback engine", len(reports))
+	}
+	if sess.Err() == nil {
+		t.Fatal("invalid remote config left no deferred error")
+	}
+}
