@@ -65,6 +65,8 @@ func serve(args []string) {
 	listen := fs.String("listen", ":9321", "section protocol listen address")
 	obsListen := fs.String("obs-listen", "", "observability endpoint address (/metrics, /obs/v1/snapshot, /flight)")
 	workers := fs.Int("workers", 1, "checking workers per hosted session")
+	shards := fs.Int("shards", 1, "address stripes per checking worker (sharded checking; 1 = serial)")
+	epochGC := fs.Bool("epoch-gc", false, "retire long-closed shadow segments (bounds memory on streaming runs)")
 	maxSessions := fs.Int("max-sessions", 256, "max concurrently hosted sessions")
 	sessionTTL := fs.Duration("session-ttl", 5*time.Minute, "reap sessions idle longer than this")
 	pprof := fs.Bool("pprof", false, "mount net/http/pprof on the -obs-listen address")
@@ -100,6 +102,7 @@ func serve(args []string) {
 	node := dist.NewNode(dist.NodeConfig{
 		Metrics: metrics, Flight: rec, Logger: logger,
 		MaxSessions: *maxSessions, SessionTTL: *sessionTTL, Workers: *workers,
+		Shards: *shards, EpochGC: *epochGC,
 	})
 	httpSrv := &http.Server{Handler: node}
 	fmt.Printf("pmtestd serving on %s (pid %d)\n", addr, os.Getpid())

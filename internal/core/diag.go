@@ -94,6 +94,13 @@ type Diagnostic struct {
 	Related string
 	// OpIndex is the position in the trace of the triggering operation.
 	OpIndex int
+
+	// sortKey orders multiple diagnostics emitted by a single operation
+	// (today only TX_CHECKER_END, which walks the written set in address
+	// order). The sharded checker merges per-stripe diagnostics by
+	// (OpIndex, sortKey), reproducing the serial emission order exactly.
+	// Unexported: it never appears in String(), JSON, or golden output.
+	sortKey uint64
 }
 
 // String formats the diagnostic the way the paper's engine prints results:

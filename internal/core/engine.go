@@ -62,6 +62,7 @@ func ResourceStats() obs.Resources {
 		StatePoolMisses:     misses,
 		ShadowIntervalsLive: shadowIntervalsLast.Load(),
 		ShadowIntervalsMax:  shadowIntervalsMax.Load(),
+		GCRetiredIntervals:  gcRetiredTotal.Load(),
 	}
 	if gets > 0 {
 		r.StatePoolHitRate = float64(gets-misses) / float64(gets)
@@ -73,6 +74,12 @@ func ResourceStats() obs.Resources {
 // state before it is Reset for the pool.
 func recordShadowStats(s *State) {
 	n := uint64(s.Mem.Len() + s.Log.Len() + s.Written.Len() + s.Excluded.Len())
+	recordShadowPeak(n)
+}
+
+// recordShadowPeak publishes a shadow-memory interval population sample
+// (the sharded path reports its summed per-stripe peak here).
+func recordShadowPeak(n uint64) {
 	shadowIntervalsLast.Store(n)
 	for {
 		old := shadowIntervalsMax.Load()
@@ -185,6 +192,10 @@ type Options struct {
 	QueueDepth int
 	// StaticExcludes are ranges excluded from checking in every trace.
 	StaticExcludes []Range
+	// Check configures the sharded streaming checker and its epoch GC.
+	// The zero value keeps the pooled single-state path; Shards > 1 gives
+	// each worker its own ShardedChecker with byte-identical reports.
+	Check Config
 	// Observer, when non-nil, receives per-trace lifecycle events
 	// (submit, dequeue, checked) plus backpressure stalls. When nil the
 	// engine takes no timestamps and the hot path is identical to the
@@ -208,6 +219,7 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
+	o.Check = o.Check.withDefaults()
 	return o
 }
 
@@ -228,6 +240,9 @@ type Engine struct {
 	opts   Options
 	queues []chan task
 	done   sync.WaitGroup
+	// checkers holds one ShardedChecker per worker when Options.Check is
+	// active (striping and/or epoch GC); nil otherwise.
+	checkers []*ShardedChecker
 
 	mu        sync.Mutex
 	idle      sync.Cond // signaled when completed catches up to submitted
@@ -244,6 +259,13 @@ func NewEngine(opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{opts: opts}
 	e.idle.L = &e.mu
+	if opts.Check.active() && !opts.TrackOnly {
+		e.checkers = make([]*ShardedChecker, opts.Workers)
+		for i := range e.checkers {
+			e.checkers[i] = NewShardedChecker(opts.Rules, opts.Check)
+			e.checkers[i].Timed = opts.Observer != nil
+		}
+	}
 	e.queues = make([]chan task, opts.Workers)
 	for i := range e.queues {
 		q := make(chan task, opts.QueueDepth)
@@ -266,13 +288,24 @@ func (e *Engine) worker(id int, q <-chan task) {
 			ob.TraceDequeued(t.ID, id, start.Sub(tk.enq))
 		}
 		var r Report
-		if e.opts.TrackOnly {
+		var stats CheckStats
+		switch {
+		case e.opts.TrackOnly:
 			r = trackOnly(t)
-		} else {
+		case e.checkers != nil:
+			r, stats = e.checkers[id].Check(t, e.opts.StaticExcludes)
+			recordShadowPeak(uint64(stats.PeakIntervals))
+		default:
 			r = CheckTraceExcluding(e.opts.Rules, t, e.opts.StaticExcludes)
 		}
 		if ob != nil {
-			ob.TraceChecked(ReportEvent(t, r, id, start.Sub(tk.enq), time.Since(start)))
+			ev := ReportEvent(t, r, id, start.Sub(tk.enq), time.Since(start))
+			if stats.StripeDurs != nil {
+				// Copy: the checker reuses the slice on its next trace,
+				// and the event outlives this iteration in the recent ring.
+				ev.StripeDurs = append([]time.Duration(nil), stats.StripeDurs...)
+			}
+			ob.TraceChecked(ev)
 		}
 		if lg != nil {
 			e.logTrace(lg, t, r, id)
@@ -408,6 +441,20 @@ func (e *Engine) QueueDepths() []int {
 	return depths
 }
 
+// StripeDepths returns the live number of ops assigned to each address
+// stripe, summed across the engine's workers — the sharded counterpart
+// of QueueDepths. Nil when the engine checks serially.
+func (e *Engine) StripeDepths() []int64 {
+	if e.checkers == nil || !e.opts.Check.Sharded() {
+		return nil
+	}
+	out := make([]int64, e.opts.Check.Shards)
+	for _, ck := range e.checkers {
+		ck.AddStripeDepths(out)
+	}
+	return out
+}
+
 // Wait blocks until every submitted trace has been checked
 // (PMTest_GET_RESULT) and returns all reports so far in trace order.
 // It is safe to call concurrently with Submit; it waits for the traces
@@ -439,6 +486,9 @@ func (e *Engine) Close() []Report {
 	}
 	e.mu.Unlock()
 	e.done.Wait()
+	for _, ck := range e.checkers {
+		ck.Close()
+	}
 	return reports
 }
 

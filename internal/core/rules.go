@@ -141,6 +141,7 @@ func x86Fence(s *State) {
 			}
 		}
 	})
+	s.fenceEpilogue()
 }
 
 // HOPS implements the relaxed model of §5.2 (hands-off persistence
@@ -187,6 +188,7 @@ func hopsDrain(s *State) {
 			st.PI.End = s.T
 		}
 	})
+	s.fenceEpilogue()
 }
 
 // Epoch implements a third, illustrative model in the spirit of epoch

@@ -88,6 +88,27 @@ type State struct {
 
 	diags   []Diagnostic
 	opIndex int
+	// diagKey is stamped into the sortKey of every diagnostic reported
+	// while it is set; applyTxCheckerEnd sets it to the written segment's
+	// address so the sharded merge can reconstruct emission order.
+	diagKey uint64
+	// muted suppresses warnings about trace-global structure (unbalanced
+	// tx/checker scopes). In a sharded check every stripe replays those
+	// broadcast ops; only stripe 0 may report them, or the merged report
+	// would repeat each warning once per stripe.
+	muted bool
+
+	// Epoch GC (sharded streaming mode): when gcOn, each fence retires
+	// shadow-memory segments whose persist and flush intervals both closed
+	// at least gcLag epochs ago — no future op or checker can change or
+	// observe anything about them except via warnings on re-flush, which
+	// gcLag epochs of slack make vanishingly unlikely in real traces.
+	gcOn      bool
+	gcLag     uint64
+	gcRetired uint64
+	gcScratch []gcRange
+	// peakIntervals is the high-water mark of Mem.Len() sampled at fences.
+	peakIntervals int
 
 	// Scratch buffers reused across operations (and, via the state pool,
 	// across traces) so the checking hot path performs no per-op slice
@@ -96,6 +117,9 @@ type State struct {
 	segScratch  []interval.Seg[status]
 	segScratch2 []interval.Seg[status]
 }
+
+// gcRange is a retirable address range collected during the fence scan.
+type gcRange struct{ lo, hi uint64 }
 
 // NewState returns the empty checking state for a fresh trace.
 func NewState() *State {
@@ -122,6 +146,45 @@ func (s *State) Reset() {
 	s.TxCheckActive = false
 	s.diags = nil
 	s.opIndex = 0
+	s.diagKey = 0
+	s.muted = false
+	s.gcOn = false
+	s.gcLag = 0
+	s.gcRetired = 0
+	s.peakIntervals = 0
+}
+
+// fenceEpilogue runs at the end of every epoch-advancing fence: sample the
+// shadow-memory high-water mark and, when epoch GC is enabled, retire
+// segments whose intervals are fully closed and older than the GC lag.
+func (s *State) fenceEpilogue() {
+	if n := s.Mem.Len(); n > s.peakIntervals {
+		s.peakIntervals = n
+	}
+	if !s.gcOn {
+		return
+	}
+	// A segment is dead once every interval it carries ended at least
+	// gcLag epochs before the current one: no later fence will move it,
+	// and checkers only fail on open intervals.
+	if s.T < s.gcLag {
+		return
+	}
+	horizon := s.T - s.gcLag
+	s.gcScratch = s.gcScratch[:0]
+	s.Mem.ForEachPtr(func(lo, hi uint64, st *status) {
+		if st.HasPI && (st.PI.Open() || st.PI.End > horizon) {
+			return
+		}
+		if st.HasFI && (st.FI.Open() || st.FI.End > horizon) {
+			return
+		}
+		s.gcScratch = append(s.gcScratch, gcRange{lo, hi})
+	})
+	for _, g := range s.gcScratch {
+		s.Mem.Delete(g.lo, g.hi)
+	}
+	s.gcRetired += uint64(len(s.gcScratch))
 }
 
 // report appends a diagnostic anchored at the current operation.
@@ -138,6 +201,7 @@ func (s *State) report(sev Severity, code Code, site, related, format string, ar
 		Site:     site,
 		Related:  related,
 		OpIndex:  s.opIndex,
+		sortKey:  s.diagKey,
 	})
 }
 
@@ -197,8 +261,10 @@ func (s *State) applyTxBegin(op trace.Op) {
 
 func (s *State) applyTxEnd(op trace.Op) {
 	if s.TxDepth == 0 {
-		s.report(SeverityWarn, CodeUnbalancedTx, opSite(op), "",
-			"transaction end without matching begin")
+		if !s.muted {
+			s.report(SeverityWarn, CodeUnbalancedTx, opSite(op), "",
+				"transaction end without matching begin")
+		}
 		return
 	}
 	s.TxDepth--
@@ -229,7 +295,7 @@ func (s *State) applyTxAdd(op trace.Op) {
 
 // applyTxCheckerStart opens a transaction-checker scope (§5.1.1).
 func (s *State) applyTxCheckerStart(op trace.Op) {
-	if s.TxCheckActive {
+	if s.TxCheckActive && !s.muted {
 		s.report(SeverityWarn, CodeUnbalancedTx, opSite(op), "",
 			"TX_CHECKER_START while a checker scope is already active")
 	}
@@ -241,16 +307,23 @@ func (s *State) applyTxCheckerStart(op trace.Op) {
 // the scope (§5.1.1: "Check Incomplete Transactions") and closes the scope.
 func (s *State) applyTxCheckerEnd(op trace.Op) {
 	if !s.TxCheckActive {
-		s.report(SeverityWarn, CodeUnbalancedTx, opSite(op), "",
-			"TX_CHECKER_END without matching TX_CHECKER_START")
+		if !s.muted {
+			s.report(SeverityWarn, CodeUnbalancedTx, opSite(op), "",
+				"TX_CHECKER_END without matching TX_CHECKER_START")
+		}
 		return
 	}
 	s.Written.Visit(0, ^uint64(0), func(seg interval.Seg[writeInfo]) bool {
 		if !s.excluded(seg.Lo, seg.Hi) {
+			// Key each injected check by the written segment's address:
+			// the merge of per-stripe diagnostics sorts by this key,
+			// reproducing the serial address-order walk.
+			s.diagKey = seg.Lo
 			s.checkPersistRange(seg.Lo, seg.Hi, op, CodeIncompleteTx)
 		}
 		return true
 	})
+	s.diagKey = 0
 	s.TxCheckActive = false
 	s.Written.Clear()
 }
@@ -304,7 +377,15 @@ func (s *State) persistIntervals(dst []interval.Seg[status], lo, hi uint64) []in
 func (s *State) applyIsOrderedBefore(op trace.Op, byStart bool) {
 	s.segScratch = s.persistIntervals(s.segScratch[:0], op.Addr, op.Addr+op.Size)
 	s.segScratch2 = s.persistIntervals(s.segScratch2[:0], op.Addr2, op.Addr2+op.Size2)
-	as, bs := s.segScratch, s.segScratch2
+	s.orderedBeforeSegs(op, byStart, s.segScratch, s.segScratch2)
+}
+
+// orderedBeforeSegs is the comparison core of applyIsOrderedBefore,
+// operating on pre-gathered persist intervals. The sharded coordinator
+// calls it directly when the two operand ranges live on different
+// stripes: the segments come from two stripes' shadow memories while the
+// diagnostic lands on the coordinator's own state.
+func (s *State) orderedBeforeSegs(op trace.Op, byStart bool, as, bs []interval.Seg[status]) {
 	for _, a := range as {
 		for _, b := range bs {
 			if byStart {

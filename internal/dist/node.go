@@ -39,6 +39,14 @@ type NodeConfig struct {
 	SessionTTL time.Duration
 	// Workers is the per-session engine worker count (default 1).
 	Workers int
+	// Shards enables sharded (address-striped) checking inside each
+	// hosted session's engine workers; <= 1 keeps the serial path.
+	// Reports stay byte-identical either way.
+	Shards int
+	// EpochGC enables epoch-based retirement of closed shadow-memory
+	// segments in hosted engines, bounding node memory when clients
+	// stream very long runs.
+	EpochGC bool
 
 	now func() time.Time // test hook
 }
@@ -181,6 +189,7 @@ func (n *Node) handleOpen(w http.ResponseWriter, r *http.Request) {
 			engine: core.NewEngine(core.Options{
 				Rules:          rules,
 				Workers:        n.cfg.Workers,
+				Check:          core.Config{Shards: n.cfg.Shards, EpochGC: n.cfg.EpochGC},
 				TrackOnly:      req.TrackOnly,
 				StaticExcludes: excludes,
 				Observer:       obs.Multi(observers...),

@@ -57,6 +57,19 @@ func (o engineObserver) TraceChecked(ev obs.TraceEvent) {
 	engineID := es.ID
 	es.FinishAt(end)
 
+	// Per-stripe check spans: when the sharded checker timed its stripes,
+	// each stripe's apply time becomes a child span under the check span.
+	// The stripes ran concurrently, so each span is drawn from the check's
+	// start for its own duration — the visual answer to "which stripe was
+	// the straggler".
+	for i, d := range ev.StripeDurs {
+		ss := o.rec.StartAt(CatEngine, "stripe", engineID, start).
+			SetTID(ev.Thread).
+			SetInt("trace_id", int64(ev.TraceID)).
+			SetInt("stripe", int64(i))
+		ss.FinishAt(start.Add(d))
+	}
+
 	for _, d := range ev.Diags {
 		// Parent under the innermost transaction covering the finding's
 		// op index; ranges can nest after a section cut resets an open

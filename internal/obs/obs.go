@@ -210,6 +210,9 @@ type TraceEvent struct {
 	// Diags details each diagnostic of a non-clean trace (nil for clean
 	// traces, keeping the common path allocation-free).
 	Diags []DiagInfo `json:"diags,omitempty"`
+	// StripeDurs is the per-stripe checking time when the trace went
+	// through the sharded checker with timing enabled (nil otherwise).
+	StripeDurs []time.Duration `json:"stripe_durs_ns,omitempty"`
 }
 
 // DiagInfo is the observer-facing view of one engine diagnostic: enough
@@ -358,12 +361,13 @@ type Metrics struct {
 	// Submit on the program side to the report-carrying ack.
 	DistRTT Histogram
 
-	mu           sync.Mutex
-	codes        map[string]uint64
-	perWorker    []uint64
-	recent       *Ring[TraceEvent]
-	queueDepthFn func() []int
-	resourceFn   func() Resources
+	mu            sync.Mutex
+	codes         map[string]uint64
+	perWorker     []uint64
+	recent        *Ring[TraceEvent]
+	queueDepthFn  func() []int
+	resourceFn    func() Resources
+	stripeDepthFn func() []int64
 }
 
 // Resources is per-process resource accounting for the checking tier:
@@ -382,6 +386,9 @@ type Resources struct {
 	// water mark — the "is this session's shadow memory growing?" gauge.
 	ShadowIntervalsLive uint64 `json:"shadow_intervals_live"`
 	ShadowIntervalsMax  uint64 `json:"shadow_intervals_max"`
+	// GCRetiredIntervals counts shadow-memory segments retired by the
+	// sharded checker's epoch GC (0 unless Config.EpochGC is on).
+	GCRetiredIntervals uint64 `json:"gc_retired_intervals"`
 }
 
 // NewMetrics returns an empty registry keeping the last recentN trace
@@ -405,6 +412,17 @@ func (m *Metrics) SetQueueDepthFn(fn func() []int) {
 	}
 	m.mu.Lock()
 	m.queueDepthFn = fn
+	m.mu.Unlock()
+}
+
+// SetStripeDepthFn installs a callback reporting the engine's live
+// per-address-stripe op depths (sharded checking only).
+func (m *Metrics) SetStripeDepthFn(fn func() []int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stripeDepthFn = fn
 	m.mu.Unlock()
 }
 
@@ -510,6 +528,9 @@ type Snapshot struct {
 
 	PerWorkerChecked []uint64 `json:"per_worker_checked,omitempty"`
 	QueueDepths      []int    `json:"queue_depths,omitempty"`
+	// StripeDepths is the live per-address-stripe op assignment of the
+	// sharded checker (empty when checking serially).
+	StripeDepths []int64 `json:"stripe_depths,omitempty"`
 
 	// Resources carries state-pool and shadow-memory accounting (zero
 	// unless SetResourceFn was wired, as (*pmtest.Session).Stats does).
@@ -586,9 +607,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.PerWorkerChecked = append([]uint64(nil), m.perWorker...)
 	fn := m.queueDepthFn
 	rfn := m.resourceFn
+	sfn := m.stripeDepthFn
 	m.mu.Unlock()
 	if fn != nil {
 		s.QueueDepths = fn()
+	}
+	if sfn != nil {
+		s.StripeDepths = sfn()
 	}
 	if rfn != nil {
 		s.Resources = rfn()

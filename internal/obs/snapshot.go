@@ -234,6 +234,7 @@ func mergeMetrics(acc *Snapshot, s Snapshot) error {
 	if s.Resources.ShadowIntervalsMax > acc.Resources.ShadowIntervalsMax {
 		acc.Resources.ShadowIntervalsMax = s.Resources.ShadowIntervalsMax
 	}
+	acc.Resources.GCRetiredIntervals += s.Resources.GCRetiredIntervals
 	if g := acc.Resources.StatePoolGets; g > 0 {
 		acc.Resources.StatePoolHitRate = float64(g-acc.Resources.StatePoolMisses) / float64(g)
 	}

@@ -49,6 +49,12 @@ type Budget struct {
 	// DistSections is how many recorded sections stream through the
 	// loopback distributed-checking entries (healthy and degraded).
 	DistSections int
+	// Huge-trace shape: HugeOps total ops streamed through the sharded
+	// checker in HugeSection-op sections, over a rotating window of
+	// HugeWindow objects (0 skips the entry).
+	HugeOps     int
+	HugeWindow  int
+	HugeSection int
 }
 
 // Budgets returns the named budget, or false.
@@ -58,23 +64,27 @@ func Budgets(name string) (Budget, bool) {
 		return Budget{Name: "tiny", Stores: []string{"ctree"}, TxSizes: []uint64{64},
 			Inserts: 60, CheckSections: 40, CheckIters: 5,
 			CampaignTargets: 1, CampaignBudget: 1, CampaignOps: 2,
-			DistSections: 12}, true
+			DistSections: 12,
+			HugeOps:      20_000, HugeWindow: 64, HugeSection: 4_000}, true
 	case "small": // the CI gate: ~seconds per pass
 		return Budget{Name: "small", Stores: []string{"ctree", "hashmap-ll"}, TxSizes: []uint64{64, 256},
 			Inserts: 400, CheckSections: 300, CheckIters: 20,
 			CampaignTargets: 2, CampaignBudget: 2, CampaignOps: 2,
-			DistSections: 80}, true
+			DistSections: 80,
+			HugeOps:      2_000_000, HugeWindow: 256, HugeSection: 65_536}, true
 	case "medium":
 		return Budget{Name: "medium", Stores: []string{"ctree", "btree", "hashmap-ll"},
 			TxSizes: []uint64{64, 256, 1024},
 			Inserts: 2000, CheckSections: 1000, CheckIters: 50,
 			CampaignTargets: 3, CampaignBudget: 4, CampaignOps: 3,
-			DistSections: 300}, true
+			DistSections: 300,
+			HugeOps:      4_000_000, HugeWindow: 256, HugeSection: 65_536}, true
 	case "large":
 		return Budget{Name: "large", Stores: harness.MicroStores, TxSizes: []uint64{64, 256, 1024, 4096},
 			Inserts: 8000, CheckSections: 4000, CheckIters: 100,
 			CampaignTargets: 5, CampaignBudget: 8, CampaignOps: 3,
-			DistSections: 800}, true
+			DistSections: 800,
+			HugeOps:      10_000_000, HugeWindow: 512, HugeSection: 131_072}, true
 	}
 	return Budget{}, false
 }
@@ -109,6 +119,9 @@ func runOnce(b Budget, seed int64, res *Result, logf func(string, ...any)) error
 		return err
 	}
 	if err := runCheckAndEngine(b, res, logf); err != nil {
+		return err
+	}
+	if err := runHugeTrace(b, res, logf); err != nil {
 		return err
 	}
 	if err := runCodec(b, res, logf); err != nil {

@@ -100,6 +100,15 @@ type Config struct {
 	// Workers sets the number of checking worker goroutines; defaults
 	// to 1, the paper's default (§6.1).
 	Workers int
+	// Shards partitions each worker's shadow memory into address stripes
+	// checked concurrently, with fences broadcast as epoch barriers.
+	// Reports are byte-identical to the serial checker. <= 1 (the
+	// default) keeps the single-state path.
+	Shards int
+	// EpochGC retires shadow-memory segments whose intervals closed more
+	// than a lag of epochs ago, bounding checker memory over long
+	// streaming runs. Composes with Shards; works on the serial path too.
+	EpochGC bool
 	// TrackOnly records and ships traces but skips checker validation;
 	// used to measure framework overhead in isolation (Fig. 10b).
 	TrackOnly bool
@@ -299,14 +308,19 @@ func Init(cfg Config) *Session {
 		}
 	}
 	if s.engine == nil {
-		s.engine = core.NewEngine(core.Options{
+		eng := core.NewEngine(core.Options{
 			Rules:          cfg.Model,
 			Workers:        cfg.Workers,
+			Check:          core.Config{Shards: cfg.Shards, EpochGC: cfg.EpochGC},
 			TrackOnly:      cfg.TrackOnly,
 			StaticExcludes: excludes,
 			Observer:       obs.Multi(observers...),
 			Logger:         logger,
 		})
+		s.engine = eng
+		if cfg.Metrics != nil {
+			cfg.Metrics.SetStripeDepthFn(eng.StripeDepths)
+		}
 	}
 	s.recording.Store(cfg.RecordTo != nil)
 	if cfg.Metrics != nil {
@@ -316,6 +330,7 @@ func Init(cfg Config) *Session {
 	if logger != nil {
 		logger.Info("pmtest session started",
 			"model", fmt.Sprintf("%T", cfg.Model), "workers", cfg.Workers,
+			"shards", cfg.Shards, "epoch_gc", cfg.EpochGC,
 			"track_only", cfg.TrackOnly, "recording", cfg.RecordTo != nil)
 	}
 	if cfg.DetectSharing {
