@@ -137,6 +137,7 @@ func stream(args []string) {
 	out := fs.String("out", "", "write the normalized report dump here (for diffing remote vs local)")
 	snapshot := fs.String("snapshot", "", "write the final client obs snapshot JSON here")
 	activeNodeFile := fs.String("active-node-file", "", "after the first ack, write the session's active node address here")
+	sessionFile := fs.String("session-file", "", "write the session id here before streaming (feeds pmtop spans / pmtrace -remote)")
 	expectFailovers := fs.Uint64("expect-failovers", 0, "exit 1 unless the run recorded at least this many failovers")
 	rpcTimeout := fs.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline")
 	obsListen := fs.String("obs-listen", "", "observability endpoint for the streaming client itself")
@@ -174,6 +175,11 @@ func stream(args []string) {
 		}
 	}
 	sess := pmtest.Init(cfg)
+	if *sessionFile != "" {
+		if err := os.WriteFile(*sessionFile, []byte(sess.SID()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	th := sess.ThreadInit()
 	th.Start()
 	for i, ops := range recorded {

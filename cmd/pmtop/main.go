@@ -6,11 +6,16 @@
 // Usage:
 //
 //	pmtop [flags] node [node...]
+//	pmtop spans [flags] node [node...]
 //
 // Each node is a host:port (the -obs-listen address of a repro, crashmc
 // or bughunt run) or a full http(s) URL. Nodes that are down or slow
 // only mark the merged snapshot partial; the dashboard keeps rendering
 // from whoever answered.
+//
+// The spans subcommand searches the fleet's flight recorders instead of
+// its metrics: the same node list, fanned out to /flight/v1/search with
+// the filters given as flags, merged newest-first (see runSpans).
 //
 // Exit status in -once mode: 0 when at least one node responded, 1 when
 // every node failed (or on usage errors).
@@ -37,19 +42,31 @@ func main() {
 }
 
 func run() int {
+	if len(os.Args) > 1 && os.Args[1] == "spans" {
+		return runSpans(os.Args[2:])
+	}
 	fs := flag.NewFlagSet("pmtop", flag.ExitOnError)
 	once := fs.Bool("once", false, "collect one merged snapshot, print it as JSON, exit")
 	interval := fs.Duration("interval", 2*time.Second, "refresh period of the live view")
 	timeout := fs.Duration("timeout", collect.DefaultTimeout, "per-node poll timeout")
+	var lo obs.LogOptions
+	lo.RegisterFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: pmtop [flags] node [node...]\n\n"+
-			"Polls each node's /obs/v1/snapshot and renders the merged fleet view.\n\n")
+		fmt.Fprintf(fs.Output(), "usage: pmtop [flags] node [node...]\n"+
+			"       pmtop spans [flags] node [node...]\n\n"+
+			"Polls each node's /obs/v1/snapshot and renders the merged fleet view;\n"+
+			"the spans subcommand searches the fleet's flight recorders instead.\n\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
 	nodes := fs.Args()
 	if len(nodes) == 0 {
 		fs.Usage()
+		return 1
+	}
+	logger, err := lo.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmtop: %v\n", err)
 		return 1
 	}
 
@@ -62,6 +79,11 @@ func run() int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmtop: %v\n", err)
 			return 1
+		}
+		for _, s := range merged.Sources {
+			if s.Err != "" {
+				logger.Warn("snapshot poll failed", "node", s.Source, "err", s.Err)
+			}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -166,7 +188,13 @@ func render(m obs.MergedSnapshot, nodes []string) string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%s %d spans (%d err, max %v)", c.Category, c.Spans, c.Errs, c.MaxDur.Round(time.Microsecond))
+			fmt.Fprintf(&b, "%s %d spans (%d err, max %v", c.Category, c.Spans, c.Errs, c.MaxDur.Round(time.Microsecond))
+			// Nodes that predate the duration histogram contribute a zero
+			// Dur; only a populated merge has quantiles worth printing.
+			if c.Dur.Count > 0 {
+				fmt.Fprintf(&b, ", p99 %v", c.Dur.P99.Round(time.Microsecond))
+			}
+			b.WriteByte(')')
 		}
 		b.WriteByte('\n')
 	}

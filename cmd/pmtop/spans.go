@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"pmtest/internal/flight/search"
+	"pmtest/internal/obs"
+)
+
+// runSpans is the `pmtop spans` subcommand: a live fleet-wide span
+// search. Every refresh fans the query out to each node's
+// /flight/v1/search endpoint and renders the merged newest-first view;
+// -once prints the merged result as JSON for scripts and CI.
+func runSpans(args []string) int {
+	fs := flag.NewFlagSet("pmtop spans", flag.ExitOnError)
+	once := fs.Bool("once", false, "run one merged query, print it as JSON, exit")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period of the live view")
+	timeout := fs.Duration("timeout", search.DefaultTimeout, "per-node query timeout")
+	category := fs.String("category", "", "only spans of one category (session|tx|checker|engine|campaign|rpc)")
+	name := fs.String("name", "", "only spans whose name contains this substring")
+	errOnly := fs.Bool("err", false, "only failed spans")
+	minDur := fs.Duration("min-dur", 0, "only spans at least this long")
+	last := fs.Duration("last", 0, "only spans started within this window before now")
+	attr := fs.String("attr", "", "only spans carrying attribute key=value (empty value: any value of key)")
+	limit := fs.Int("limit", 40, "merged result size cap")
+	var lo obs.LogOptions
+	lo.RegisterFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pmtop spans [flags] node [node...]\n\n"+
+			"Fans a span query out to each node's /flight/v1/search and renders\n"+
+			"the merged newest-first view. Down nodes mark the result partial.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	nodes := fs.Args()
+	if len(nodes) == 0 {
+		fs.Usage()
+		return 1
+	}
+	logger, err := lo.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmtop: %v\n", err)
+		return 1
+	}
+	p := search.Params{
+		Category: *category,
+		Name:     *name,
+		ErrOnly:  *errOnly,
+		MinDur:   *minDur,
+		Limit:    *limit,
+	}
+	if *attr != "" {
+		k, v, _ := strings.Cut(*attr, "=")
+		if k == "" {
+			fmt.Fprintf(os.Stderr, "pmtop: -attr wants key=value, got %q\n", *attr)
+			return 1
+		}
+		p.AttrKey, p.AttrVal = k, v
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opt := search.Options{Timeout: *timeout}
+
+	query := func() (search.Result, error) {
+		q := p
+		if *last > 0 {
+			q.Since = time.Now().Add(-*last)
+		}
+		return search.Search(ctx, nodes, q, opt)
+	}
+
+	if *once {
+		res, err := query()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmtop: %v\n", err)
+			return 1
+		}
+		for _, s := range res.Sources {
+			if s.Err != "" {
+				logger.Warn("span search node failed", "node", s.Source, "err", s.Err)
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+		if allFailed(res.Sources) {
+			fmt.Fprintf(os.Stderr, "pmtop: no node responded\n")
+			return 1
+		}
+		return 0
+	}
+
+	for {
+		res, err := query()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmtop: %v\n", err)
+			return 1
+		}
+		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Print(renderSpans(res, nodes))
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return 0
+		case <-time.After(*interval):
+		}
+	}
+}
+
+func allFailed(sources []search.SourceStatus) bool {
+	for _, s := range sources {
+		if s.Err == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// renderSpans draws the merged span table, newest first, with the
+// per-node provenance footer.
+func renderSpans(res search.Result, nodes []string) string {
+	var b strings.Builder
+	up := 0
+	for _, s := range res.Sources {
+		if s.Err == "" {
+			up++
+		}
+	}
+	status := "complete"
+	if res.Partial {
+		status = "PARTIAL"
+	}
+	fmt.Fprintf(&b, "pmtop spans — %d/%d nodes up — %s — %d spans — %s\n\n",
+		up, len(nodes), status, len(res.Spans), time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "%-15s %10s %-8s %-16s %-22s %s\n",
+		"START", "DUR", "CAT", "NAME", "SOURCE", "ATTRS")
+	for _, s := range res.Spans {
+		mark := " "
+		if s.Err {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "%-15s %10s %-8s %-16s %-22s%s %s\n",
+			s.Start.Format("15:04:05.000"), time.Duration(s.DurNS).Round(time.Microsecond),
+			clip(s.Category, 8), clip(s.Name, 16), clip(s.Source, 22), mark, clip(attrLine(s.Attrs), 60))
+	}
+	for _, src := range res.Sources {
+		if src.Err != "" {
+			fmt.Fprintf(&b, "\n%-22s DOWN: %s", clip(src.Source, 22), src.Err)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// attrLine renders a span's attribute map compactly and stably.
+func attrLine(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, attrs[k])
+	}
+	return b.String()
+}

@@ -10,16 +10,25 @@
 //	go run ./cmd/pmtrace -fig4      # the paper's Fig. 4 trace
 //	go run ./cmd/pmtrace -store btree
 //	go run ./cmd/pmtrace timeline flight.json   # text gantt of a -flight-out export
+//	go run ./cmd/pmtrace -remote -session pmtest-1 -nodes host:8081,host:8082
+//
+// -remote stitches a cross-node session timeline: it fetches the
+// client's spans and every node-side span the session caused (joined by
+// the correlation IDs the wire protocol propagates) from the listed
+// -obs-listen endpoints and prints one causally-ordered timeline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"pmtest/internal/core"
 	"pmtest/internal/flight"
+	"pmtest/internal/flight/search"
 	"pmtest/internal/obs"
 	"pmtest/internal/pmem"
 	"pmtest/internal/trace"
@@ -39,6 +48,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "timeline" {
 		runTimeline(os.Args[2:])
 		return
+	}
+	if hasFlag(os.Args[1:], "remote") {
+		os.Exit(runRemote(os.Args[1:]))
 	}
 	flag.Parse()
 	rules, ok := core.Models()[*flagModel]
@@ -93,6 +105,101 @@ func main() {
 	if *flagStats {
 		printStats(rules, []*trace.Trace{{Ops: ops}})
 	}
+}
+
+// hasFlag reports whether args carries the named flag (with or without
+// a value), so -remote can switch to its own flag set before the global
+// one parses.
+func hasFlag(args []string, name string) bool {
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			continue
+		}
+		a = strings.TrimLeft(a, "-")
+		if a == name || strings.HasPrefix(a, name+"=") {
+			return true
+		}
+	}
+	return false
+}
+
+// runRemote is the cross-node session timeline: fetch the client's
+// spans and the node-side spans its sections caused from every listed
+// obs endpoint, stitch them by the propagated correlation IDs, and
+// print one causally-ordered timeline. Optionally it also fans a
+// report lookup out to the checker nodes' section-protocol addresses.
+func runRemote(args []string) int {
+	fs := flag.NewFlagSet("pmtrace -remote", flag.ExitOnError)
+	fs.Bool("remote", true, "stitch a cross-node session timeline (this mode)")
+	session := fs.String("session", "", "session id to stitch (see pmtest SID / pmtestd stream -session-file)")
+	nodes := fs.String("nodes", "", "comma-separated -obs-listen endpoints to search (client and checker nodes)")
+	reportNodes := fs.String("report-nodes", "", "comma-separated checker section-protocol addresses for a merged report lookup (optional)")
+	timeout := fs.Duration("timeout", search.DefaultTimeout, "per-node query timeout")
+	normalize := fs.Bool("normalize", false, "stable labels instead of addresses/durations (golden-comparable output)")
+	var lo obs.LogOptions
+	lo.RegisterFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pmtrace -remote -session SID -nodes host:port,host:port [-report-nodes host:port,...]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *session == "" || *nodes == "" {
+		fs.Usage()
+		return 2
+	}
+	logger, err := lo.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		return 1
+	}
+	ctx := context.Background()
+	opt := search.Options{Timeout: *timeout}
+	nodeList := splitList(*nodes)
+
+	res, err := search.SessionSpans(ctx, nodeList, *session, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		return 1
+	}
+	for _, s := range res.Sources {
+		if s.Err != "" {
+			logger.Warn("span fetch failed", "node", s.Source, "err", s.Err)
+		}
+	}
+	if res.Partial {
+		fmt.Fprintln(os.Stderr, "pmtrace: warning: partial result (some nodes unreachable); timeline may have gaps")
+	}
+	tl := search.Stitch(*session, res.Spans)
+	search.WriteTimeline(os.Stdout, tl, *normalize)
+
+	if *reportNodes != "" {
+		reps, err := search.Reports(ctx, splitList(*reportNodes), *session, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err)
+			return 1
+		}
+		fmt.Printf("\nreports: %d held by fleet", len(reps.Reports))
+		if reps.Partial {
+			fmt.Print(" (partial)")
+		}
+		fmt.Println()
+		for _, r := range reps.Reports {
+			fmt.Printf("  section %d: ops=%d tracked=%d fails=%d warns=%d\n",
+				r.TraceID, r.Ops, r.TrackedOps, r.Fails(), r.Warns())
+		}
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runTimeline renders a flight-recorder export (Chrome trace-event JSON

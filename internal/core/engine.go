@@ -341,6 +341,11 @@ func (e *Engine) logTrace(lg *slog.Logger, t *trace.Trace, r Report, worker int)
 	if t.SpanID != 0 {
 		attrs = append(attrs, "span_id", t.SpanID)
 	}
+	if t.RemoteSession != "" {
+		// Node-side check of a remotely recorded section: carry the
+		// client's identity so one grep joins client and node logs.
+		attrs = append(attrs, "remote_session_id", t.RemoteSession, "remote_span_id", t.RemoteSpan)
+	}
 	if fails > 0 {
 		for _, d := range r.Diags {
 			if d.Severity == SeverityFail {
@@ -368,6 +373,9 @@ func ReportEvent(t *trace.Trace, r Report, worker int, queueWait, checkDur time.
 		CheckDur:   checkDur,
 		SpanID:     t.SpanID,
 		TxSpans:    t.TxSpans,
+
+		RemoteSession: t.RemoteSession,
+		RemoteSpan:    t.RemoteSpan,
 	}
 	if len(r.Diags) == 0 {
 		return ev

@@ -30,8 +30,10 @@ type Transport interface {
 	Open(ctx context.Context, node string, req OpenRequest) (OpenResponse, error)
 	// Section delivers one encoded section and returns its report — the
 	// acknowledgement carries the result, so "acked" and "checked" are
-	// the same event.
-	Section(ctx context.Context, node, session string, seq uint64, payload []byte, crc uint32) (core.Report, error)
+	// the same event. span is the client's originating section span ID
+	// for cross-node correlation (0 when no flight recorder is
+	// attached); transports propagate it as an optional header.
+	Section(ctx context.Context, node, session string, seq uint64, payload []byte, crc uint32, span uint64) (core.Report, error)
 	CloseSession(ctx context.Context, node, session string) error
 	Health(ctx context.Context, node string) error
 }
@@ -83,7 +85,7 @@ func (t *HTTPTransport) Open(ctx context.Context, node string, req OpenRequest) 
 	return out, t.do(hr, &out)
 }
 
-func (t *HTTPTransport) Section(ctx context.Context, node, session string, seq uint64, payload []byte, crc uint32) (core.Report, error) {
+func (t *HTTPTransport) Section(ctx context.Context, node, session string, seq uint64, payload []byte, crc uint32, span uint64) (core.Report, error) {
 	u := "http://" + node + PathSection + "?session=" + url.QueryEscape(session)
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(payload))
 	if err != nil {
@@ -91,6 +93,9 @@ func (t *HTTPTransport) Section(ctx context.Context, node, session string, seq u
 	}
 	hr.Header.Set(headerSeq, strconv.FormatUint(seq, 10))
 	hr.Header.Set(headerCRC, strconv.FormatUint(uint64(crc), 10))
+	if span != 0 {
+		hr.Header.Set(headerSpan, strconv.FormatUint(span, 10))
+	}
 	hr.Header.Set("Content-Type", "application/octet-stream")
 	var rep core.Report
 	return rep, t.do(hr, &rep)
@@ -263,11 +268,14 @@ func (c *Coordinator) homeNode(sid string) int {
 }
 
 // pendingSection is one buffered, unacknowledged section: the wire
-// payload for delivery and the decoded trace for local fallback.
+// payload for delivery, the decoded trace for local fallback, and the
+// client section span ID (captured at Submit, since the trace may be
+// mutated concurrently) propagated for cross-node correlation.
 type pendingSection struct {
 	seq     uint64
 	payload []byte
 	crc     uint32
+	spanID  uint64
 	tr      *trace.Trace
 }
 
@@ -391,7 +399,7 @@ func (s *Session) Submit(t *trace.Trace) {
 		}
 		s.cond.Wait()
 	}
-	p := &pendingSection{seq: s.nextSeq, payload: payload, crc: crc32.ChecksumIEEE(payload), tr: t}
+	p := &pendingSection{seq: s.nextSeq, payload: payload, crc: crc32.ChecksumIEEE(payload), spanID: t.SpanID, tr: t}
 	s.nextSeq++
 	s.pending = append(s.pending, p)
 	s.pendingBytes += sz
@@ -501,8 +509,14 @@ func (s *Session) deliver(p *pendingSection) (core.Report, bool) {
 	c := s.c
 	var span *flight.Span
 	if fl := c.opts.Flight; fl != nil {
-		span = fl.Start(flight.CatRPC, "section", 0).
+		// Parent under the client's section span and carry its ID as an
+		// attribute, so a timeline stitcher can join this delivery
+		// attempt to the section it shipped.
+		span = fl.Start(flight.CatRPC, "section", p.spanID).
 			SetInt("seq", int64(p.seq)).SetStr("session", s.sid)
+		if p.spanID != 0 {
+			span.SetInt("span", int64(p.spanID))
+		}
 	}
 	finish := func(route string, err error) {
 		if span != nil {
@@ -638,7 +652,7 @@ func (s *Session) sendSection(idx int, p *pendingSection, br *breaker) (core.Rep
 		}
 		start := c.opts.now()
 		ctx, cancel := context.WithTimeout(context.Background(), c.opts.RPCTimeout)
-		rep, err := c.tr.Section(ctx, node, s.sid, p.seq, p.payload, p.crc)
+		rep, err := c.tr.Section(ctx, node, s.sid, p.seq, p.payload, p.crc, p.spanID)
 		cancel()
 		if err == nil {
 			br.Success()

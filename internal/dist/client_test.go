@@ -31,7 +31,10 @@ func (f *funcTransport) Open(_ context.Context, node string, req OpenRequest) (O
 	return f.openFn(node, req)
 }
 
-func (f *funcTransport) Section(_ context.Context, node, sid string, seq uint64, payload []byte, crc uint32) (core.Report, error) {
+// Section drops the correlation span ID: these tests script delivery
+// and failure behavior, which is independent of span propagation (the
+// loopback correlation test covers the header end-to-end).
+func (f *funcTransport) Section(_ context.Context, node, sid string, seq uint64, payload []byte, crc uint32, _ uint64) (core.Report, error) {
 	return f.sectionFn(node, sid, seq, payload, crc)
 }
 

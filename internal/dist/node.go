@@ -125,6 +125,8 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.handleSection(w, r)
 	case r.URL.Path == PathClose && r.Method == http.MethodPost:
 		n.handleClose(w, r)
+	case r.URL.Path == PathReports && r.Method == http.MethodGet:
+		n.handleReports(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -220,6 +222,20 @@ func (n *Node) handleSection(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad %s: %v", headerSeq, err)
 		return
 	}
+	// The originating client section span, for cross-node correlation.
+	// The header is optional (old clients omit it) and advisory — a
+	// malformed value degrades to "uncorrelated", never an error.
+	remoteSpan, _ := strconv.ParseUint(r.Header.Get(headerSpan), 10, 64)
+	var rpcSpan *flight.Span
+	if fl := n.cfg.Flight; fl != nil {
+		rpcSpan = fl.Start(flight.CatRPC, "handle-section", 0).
+			SetStr("remote_session_id", sid).
+			SetInt("seq", int64(seq))
+		if remoteSpan != 0 {
+			rpcSpan.SetInt("remote_span_id", int64(remoteSpan))
+		}
+		defer rpcSpan.Finish()
+	}
 	wantCRC, err := strconv.ParseUint(r.Header.Get(headerCRC), 10, 32)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad %s: %v", headerCRC, err)
@@ -246,6 +262,7 @@ func (n *Node) handleSection(w http.ResponseWriter, r *http.Request) {
 	sess := n.sessions[sid]
 	n.mu.Unlock()
 	if sess == nil {
+		rpcSpan.SetErr(true)
 		httpError(w, http.StatusNotFound, "unknown session %q", sid)
 		return
 	}
@@ -257,26 +274,75 @@ func (n *Node) handleSection(w http.ResponseWriter, r *http.Request) {
 	case seq < sess.base:
 		// Acknowledged before this engine's replay window — the client
 		// already holds that report and never legitimately re-asks.
+		rpcSpan.SetErr(true)
 		httpError(w, http.StatusConflict, "seq %d precedes session base %d", seq, sess.base)
 		return
 	case seq > sess.applied:
+		rpcSpan.SetErr(true)
 		httpError(w, http.StatusConflict, "seq %d leaves a gap (next expected %d)", seq, sess.applied)
 		return
 	case seq == sess.applied:
 		tr, err := trace.DecodeLimited(bytes.NewReader(body), n.cfg.Limits)
 		if err != nil {
+			rpcSpan.SetErr(true)
 			httpError(w, http.StatusBadRequest, "undecodable section: %v", err)
 			return
+		}
+		// Stamp the client's correlation identity on the trace before it
+		// reaches the engine: the observer seam copies it onto the
+		// node-side engine/stripe/checker spans and log records. The
+		// node's own rpc span becomes the section's local parent, so the
+		// node timeline stays a well-formed tree (rpc → check → stripes)
+		// while remote_span_id points back across the process boundary.
+		tr.RemoteSession = sid
+		tr.RemoteSpan = remoteSpan
+		if rpcSpan != nil {
+			tr.SpanID = rpcSpan.ID
+		}
+		if lg := n.cfg.Logger; lg != nil {
+			lg.Debug("dist section received", "session", sid, "seq", seq,
+				"remote_session_id", sid, "remote_span_id", remoteSpan, "bytes", len(body))
 		}
 		sess.engine.Submit(tr)
 		sess.reports = sess.engine.Wait()
 		sess.applied++
+	default:
+		// Duplicate delivery (seq < applied) replays the cached report:
+		// idempotent after a lost ack. Tagged so a span search can count
+		// redeliveries per session.
+		rpcSpan.SetInt("replay", 1)
 	}
-	// Duplicate delivery (seq < applied) falls through to the cached
-	// report: idempotent replay after a lost ack.
 	rep := sess.reports[seq-sess.base]
 	rep.TraceID = int(seq)
 	writeJSON(w, rep)
+}
+
+// handleReports serves the coordinator read path: every report this
+// node holds for one session. A session this node never hosted (or
+// already reaped) answers an empty list, not an error — the fan-out
+// querier treats "no data here" as a normal outcome, reserving error
+// rows for nodes that are actually unreachable.
+func (n *Node) handleReports(w http.ResponseWriter, r *http.Request) {
+	sid := r.URL.Query().Get("session")
+	if sid == "" {
+		httpError(w, http.StatusBadRequest, "missing session parameter")
+		return
+	}
+	n.mu.Lock()
+	sess := n.sessions[sid]
+	n.mu.Unlock()
+	out := ReportsResponse{Session: sid, Reports: []core.Report{}}
+	if sess != nil {
+		sess.mu.Lock()
+		out.StartSeq = sess.base
+		out.Reports = make([]core.Report, len(sess.reports))
+		for i, rep := range sess.reports {
+			rep.TraceID = int(sess.base) + i
+			out.Reports[i] = rep
+		}
+		sess.mu.Unlock()
+	}
+	writeJSON(w, out)
 }
 
 func (n *Node) handleClose(w http.ResponseWriter, r *http.Request) {

@@ -31,13 +31,23 @@ const (
 	PathSection = "/v1/section"
 	PathClose   = "/v1/close"
 	PathHealth  = "/healthz"
+	// PathReports is the coordinator read path: GET ?session=<sid>
+	// returns every report the node holds for that session (empty list
+	// for sessions it never hosted), so a fan-out query across the fleet
+	// reassembles a session's reports wherever failovers scattered them.
+	PathReports = "/reports/v1/query"
 )
 
 // Section request headers. The section body is one trace.Encode'd
 // section; the CRC is crc32.ChecksumIEEE over exactly those bytes.
+// headerSpan carries the client's originating section span ID for
+// cross-node timeline correlation; it is optional in both directions —
+// old clients omit it, old nodes ignore it — so the protocol version
+// does not bump.
 const (
-	headerSeq = "X-Pmtest-Seq"
-	headerCRC = "X-Pmtest-Crc32"
+	headerSeq  = "X-Pmtest-Seq"
+	headerCRC  = "X-Pmtest-Crc32"
+	headerSpan = "X-Pmtest-Span"
 )
 
 // OpenRequest establishes (or idempotently re-establishes) a checking
@@ -66,6 +76,17 @@ type OpenResponse struct {
 type CloseResponse struct {
 	Session  string `json:"session"`
 	Sections uint64 `json:"sections"`
+}
+
+// ReportsResponse is the PathReports document: the reports a node holds
+// for one session, in section order. StartSeq is the seq of the first
+// report (the node's replay-window base), so a coordinator merging
+// responses from several nodes can place each slice on the session's
+// global sequence axis.
+type ReportsResponse struct {
+	Session  string        `json:"session"`
+	StartSeq uint64        `json:"start_seq"`
+	Reports  []core.Report `json:"reports"`
 }
 
 // RPCError is a non-2xx response from a node, preserving the status so

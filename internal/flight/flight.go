@@ -20,6 +20,7 @@ package flight
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -297,8 +298,11 @@ func (r *Recorder) Len(cat Category) int {
 	return r.rings[cat].Len()
 }
 
-// Filter selects spans for Search. The zero value matches everything.
-type Filter struct {
+// Query selects spans for Search. The zero value matches everything.
+// It is the one filter vocabulary of the span query plane: the local
+// /flight browse, the /flight/v1/search endpoint and the fleet-wide
+// fan-out searcher (internal/flight/search) all speak it.
+type Query struct {
 	// Category restricts to one category when HasCategory is set.
 	Category    Category
 	HasCategory bool
@@ -308,11 +312,24 @@ type Filter struct {
 	ErrOnly bool
 	// Name keeps spans whose name contains this substring.
 	Name string
+	// Since/Until bound the span start time (zero = unbounded). Since is
+	// inclusive, Until exclusive.
+	Since time.Time
+	Until time.Time
+	// AttrKey/AttrVal keep spans carrying an annotation with this exact
+	// key whose formatted value equals AttrVal (integer attributes
+	// compare against their decimal rendering). AttrVal "" with a
+	// non-empty AttrKey matches any span carrying the key.
+	AttrKey string
+	AttrVal string
 	// Limit caps the result (0 = 100).
 	Limit int
 }
 
-func (f Filter) match(s *Span) bool {
+// Filter is the historical name of Query, kept as an alias.
+type Filter = Query
+
+func (f *Query) match(s *Span) bool {
 	if f.MinDur > 0 && s.Dur() < f.MinDur {
 		return false
 	}
@@ -322,12 +339,47 @@ func (f Filter) match(s *Span) bool {
 	if f.Name != "" && !strings.Contains(s.Name, f.Name) {
 		return false
 	}
+	if !f.Since.IsZero() && s.Start.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && !s.Start.Before(f.Until) {
+		return false
+	}
+	if f.AttrKey != "" && !matchAttr(s, f.AttrKey, f.AttrVal) {
+		return false
+	}
 	return true
 }
 
-// Search returns the newest matching spans, newest first, walking the
-// selected category rings in place (no ring snapshot copy).
-func (r *Recorder) Search(f Filter) []Span {
+// matchAttr reports whether the span carries attribute key with the
+// given formatted value ("" matches any value).
+func matchAttr(s *Span, key, val string) bool {
+	for i := uint8(0); i < s.nAttrs; i++ {
+		a := &s.attrs[i]
+		if a.Key != key {
+			continue
+		}
+		if val == "" {
+			return true
+		}
+		if a.IsInt {
+			if strconv.FormatInt(a.Int, 10) == val {
+				return true
+			}
+		} else if a.Str == val {
+			return true
+		}
+	}
+	return false
+}
+
+// Search returns the newest matching spans in one total order (newest
+// start first), walking the selected category rings in place (no ring
+// snapshot copy). Each ring already iterates newest-first, so per-ring
+// collection stops at the limit and the rings are then merged by start
+// time — the result is the same total order a single ring holding every
+// span would produce.
+func (r *Recorder) Search(f Query) []Span {
 	if r == nil {
 		return nil
 	}
@@ -335,12 +387,12 @@ func (r *Recorder) Search(f Filter) []Span {
 	if limit <= 0 {
 		limit = 100
 	}
-	var out []Span
-	scan := func(ring *obs.Ring[Span]) {
+	var perRing [numCategories][]Span
+	scan := func(cat Category) {
 		n := 0
-		ring.Do(func(s Span) bool {
+		r.rings[cat].Do(func(s Span) bool {
 			if f.match(&s) {
-				out = append(out, s)
+				perRing[cat] = append(perRing[cat], s)
 				n++
 			}
 			return n < limit
@@ -348,18 +400,48 @@ func (r *Recorder) Search(f Filter) []Span {
 	}
 	if f.HasCategory {
 		if f.Category < numCategories {
-			scan(r.rings[f.Category])
+			scan(f.Category)
 		}
 	} else {
-		for _, ring := range r.rings {
-			scan(ring)
+		for cat := Category(0); cat < numCategories; cat++ {
+			scan(cat)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
-	if len(out) > limit {
-		out = out[:limit]
+	return mergeNewest(perRing[:], limit)
+}
+
+// mergeNewest k-way merges per-ring newest-first slices into one
+// newest-first result capped at limit. Ties on start time break by
+// span ID (higher = newer), keeping the order deterministic even for
+// spans stamped in the same clock tick.
+func mergeNewest(rings [][]Span, limit int) []Span {
+	var out []Span
+	for len(out) < limit {
+		best := -1
+		for i, r := range rings {
+			if len(r) == 0 {
+				continue
+			}
+			if best < 0 || newerSpan(&r[0], &rings[best][0]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, rings[best][0])
+		rings[best] = rings[best][1:]
 	}
 	return out
+}
+
+// newerSpan orders spans newest-first: later start wins, span ID breaks
+// ties.
+func newerSpan(a, b *Span) bool {
+	if !a.Start.Equal(b.Start) {
+		return a.Start.After(b.Start)
+	}
+	return a.ID > b.ID
 }
 
 // Export returns every recorded span across all categories, ordered by

@@ -216,7 +216,7 @@ func TestHandler(t *testing.T) {
 		t.Fatalf("GET /flight = %d: %s", code, body)
 	}
 	var out struct {
-		Spans []spanJSON `json:"spans"`
+		Spans []SpanRecord `json:"spans"`
 	}
 	if err := json.Unmarshal([]byte(body), &out); err != nil {
 		t.Fatalf("bad JSON: %v", err)

@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 )
 
-// spanJSON is the browse representation of a recorded span.
-type spanJSON struct {
+// SpanRecord is the wire representation of a recorded span, served by
+// the browse and search endpoints and decoded by the fleet-wide
+// fan-out searcher (internal/flight/search).
+type SpanRecord struct {
 	ID       uint64         `json:"id"`
 	Parent   uint64         `json:"parent,omitempty"`
 	Category string         `json:"category"`
@@ -20,16 +24,18 @@ type spanJSON struct {
 	Err      bool           `json:"err,omitempty"`
 	Dropped  uint8          `json:"dropped_attrs,omitempty"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
-	Events   []eventJSON    `json:"events,omitempty"`
+	Events   []EventRecord  `json:"events,omitempty"`
 }
 
-type eventJSON struct {
+// EventRecord is the wire representation of one span point annotation.
+type EventRecord struct {
 	At  time.Time `json:"at"`
 	Msg string    `json:"msg"`
 }
 
-func toJSON(s *Span) spanJSON {
-	out := spanJSON{
+// Record converts a span into its wire representation.
+func Record(s *Span) SpanRecord {
+	out := SpanRecord{
 		ID:       s.ID,
 		Parent:   s.Parent,
 		Category: s.Category.String(),
@@ -47,9 +53,36 @@ func toJSON(s *Span) spanJSON {
 		}
 	}
 	for _, e := range s.Events() {
-		out.Events = append(out.Events, eventJSON{At: e.At, Msg: e.Msg})
+		out.Events = append(out.Events, EventRecord{At: e.At, Msg: e.Msg})
 	}
 	return out
+}
+
+// AttrString returns the record's attribute rendered the way Query
+// matching renders it: integers in decimal, strings as-is, "" when the
+// key is absent. JSON decoding turns integer attributes into float64s;
+// this hides that asymmetry from consumers.
+func (r SpanRecord) AttrString(key string) string {
+	v, ok := r.Attrs[key]
+	if !ok {
+		return ""
+	}
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return strconv.FormatInt(int64(x), 10)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// SearchResponse is the JSON document the browse and search endpoints
+// serve: matching spans, newest first.
+type SearchResponse struct {
+	Spans []SpanRecord `json:"spans"`
 }
 
 // maxBrowseLimit caps the limit query parameter: the rings hold at most
@@ -68,13 +101,98 @@ func badRequest(w http.ResponseWriter, format string, args ...any) {
 	}{Error: fmt.Sprintf(format, args...)})
 }
 
+// ParseQuery builds a Query from URL query parameters, shared by the
+// browse and search handlers so the two stay filter-identical. With
+// timeWindow set it additionally accepts the search endpoint's
+// since/until bounds. Errors are phrased for badRequest.
+func ParseQuery(q url.Values, timeWindow bool) (Query, error) {
+	var f Query
+	if c := q.Get("category"); c != "" {
+		cat, ok := ParseCategory(c)
+		if !ok {
+			return f, fmt.Errorf("unknown category %q", c)
+		}
+		f.Category, f.HasCategory = cat, true
+	}
+	if d := q.Get("min_dur"); d != "" {
+		dur, err := time.ParseDuration(d)
+		if err != nil {
+			return f, fmt.Errorf("bad min_dur %q: %v", d, err)
+		}
+		if dur < 0 {
+			return f, fmt.Errorf("bad min_dur %q: must not be negative", d)
+		}
+		f.MinDur = dur
+	}
+	if e := q.Get("err"); e == "1" || e == "true" {
+		f.ErrOnly = true
+	}
+	f.Name = q.Get("name")
+	if a := q.Get("attr"); a != "" {
+		key, val, _ := strings.Cut(a, "=")
+		if key == "" {
+			return f, fmt.Errorf("bad attr %q: want key=value", a)
+		}
+		f.AttrKey, f.AttrVal = key, val
+	}
+	if timeWindow {
+		for _, p := range []struct {
+			name string
+			dst  *time.Time
+		}{{"since", &f.Since}, {"until", &f.Until}} {
+			if v := q.Get(p.name); v != "" {
+				t, err := time.Parse(time.RFC3339Nano, v)
+				if err != nil {
+					return f, fmt.Errorf("bad %s %q: want RFC 3339", p.name, v)
+				}
+				*p.dst = t
+			}
+		}
+		if l := q.Get("last"); l != "" {
+			d, err := time.ParseDuration(l)
+			if err != nil || d <= 0 {
+				return f, fmt.Errorf("bad last %q: want a positive duration", l)
+			}
+			f.Since = time.Now().Add(-d)
+		}
+	}
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil {
+			return f, fmt.Errorf("bad limit %q: %v", l, err)
+		}
+		if n <= 0 || n > maxBrowseLimit {
+			return f, fmt.Errorf("bad limit %q: want 1..%d", l, maxBrowseLimit)
+		}
+		f.Limit = n
+	}
+	return f, nil
+}
+
+// serveSearch runs the query against the recorder and writes the
+// response document.
+func serveSearch(w http.ResponseWriter, rec *Recorder, f Query) {
+	spans := rec.Search(f)
+	out := SearchResponse{Spans: make([]SpanRecord, len(spans))}
+	for i := range spans {
+		out.Spans[i] = Record(&spans[i])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
 // Handler serves the live span browse as JSON: the newest spans first,
 // filtered by query parameters:
 //
-//	category  session|tx|checker|engine|campaign (default: all)
+//	category  session|tx|checker|engine|campaign|rpc (default: all)
 //	min_dur   Go duration, e.g. 1ms — drop shorter spans
 //	err       1/true — only failed spans
 //	name      substring match on the span name
+//	attr      key=value — only spans carrying that annotation (integer
+//	          values compare against their decimal rendering; a bare
+//	          key matches any value)
 //	limit     max spans returned (default 100, max 100000)
 //
 // Malformed parameters — an unknown category, a negative or unparseable
@@ -85,54 +203,35 @@ func badRequest(w http.ResponseWriter, format string, args ...any) {
 // Mount it beside obs.Handler on the -obs-listen address.
 func Handler(rec *Recorder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var f Filter
-		q := r.URL.Query()
-		if c := q.Get("category"); c != "" {
-			cat, ok := ParseCategory(c)
-			if !ok {
-				badRequest(w, "unknown category %q", c)
-				return
-			}
-			f.Category, f.HasCategory = cat, true
+		f, err := ParseQuery(r.URL.Query(), false)
+		if err != nil {
+			badRequest(w, "%v", err)
+			return
 		}
-		if d := q.Get("min_dur"); d != "" {
-			dur, err := time.ParseDuration(d)
-			if err != nil {
-				badRequest(w, "bad min_dur %q: %v", d, err)
-				return
-			}
-			if dur < 0 {
-				badRequest(w, "bad min_dur %q: must not be negative", d)
-				return
-			}
-			f.MinDur = dur
+		serveSearch(w, rec, f)
+	})
+}
+
+// SearchPath is the span search route, mounted beside the /flight
+// browse on every -obs-listen endpoint.
+const SearchPath = "/flight/v1/search"
+
+// SearchHandler serves GET /flight/v1/search: the browse filters plus a
+// time window —
+//
+//	since  RFC 3339 timestamp — only spans starting at/after it
+//	until  RFC 3339 timestamp — only spans starting before it
+//	last   Go duration — shorthand for since=now-last
+//
+// Responses and error bodies are shaped exactly like the browse
+// endpoint's, so fan-out clients need one decoder for both.
+func SearchHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, err := ParseQuery(r.URL.Query(), true)
+		if err != nil {
+			badRequest(w, "%v", err)
+			return
 		}
-		if e := q.Get("err"); e == "1" || e == "true" {
-			f.ErrOnly = true
-		}
-		f.Name = q.Get("name")
-		if l := q.Get("limit"); l != "" {
-			n, err := strconv.Atoi(l)
-			if err != nil {
-				badRequest(w, "bad limit %q: %v", l, err)
-				return
-			}
-			if n <= 0 || n > maxBrowseLimit {
-				badRequest(w, "bad limit %q: want 1..%d", l, maxBrowseLimit)
-				return
-			}
-			f.Limit = n
-		}
-		spans := rec.Search(f)
-		out := struct {
-			Spans []spanJSON `json:"spans"`
-		}{Spans: make([]spanJSON, len(spans))}
-		for i := range spans {
-			out.Spans[i] = toJSON(&spans[i])
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(out)
+		serveSearch(w, rec, f)
 	})
 }

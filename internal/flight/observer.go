@@ -40,7 +40,18 @@ func (engineObserver) TraceDequeued(id, worker int, wait time.Duration) {}
 func (o engineObserver) TraceChecked(ev obs.TraceEvent) {
 	end := time.Now()
 	start := end.Add(-ev.CheckDur)
-	es := o.rec.StartAt(CatEngine, "check", ev.SpanID, start).
+	// remote tags a node-side span with the originating client's
+	// correlation identity (no-op for in-process traces), so a fleet
+	// span search by remote_session_id finds every node-side span a
+	// client session caused.
+	remote := func(s *Span) *Span {
+		if ev.RemoteSession != "" {
+			s.SetStr("remote_session_id", ev.RemoteSession).
+				SetInt("remote_span_id", int64(ev.RemoteSpan))
+		}
+		return s
+	}
+	es := remote(o.rec.StartAt(CatEngine, "check", ev.SpanID, start)).
 		SetTID(ev.Thread).
 		SetInt("trace_id", int64(ev.TraceID)).
 		SetInt("worker", int64(ev.Worker)).
@@ -63,7 +74,7 @@ func (o engineObserver) TraceChecked(ev obs.TraceEvent) {
 	// start for its own duration — the visual answer to "which stripe was
 	// the straggler".
 	for i, d := range ev.StripeDurs {
-		ss := o.rec.StartAt(CatEngine, "stripe", engineID, start).
+		ss := remote(o.rec.StartAt(CatEngine, "stripe", engineID, start)).
 			SetTID(ev.Thread).
 			SetInt("trace_id", int64(ev.TraceID)).
 			SetInt("stripe", int64(i))
@@ -82,7 +93,7 @@ func (o engineObserver) TraceChecked(ev obs.TraceEvent) {
 				parent = r.SpanID
 			}
 		}
-		cs := o.rec.StartAt(CatChecker, d.Code, parent, start).
+		cs := remote(o.rec.StartAt(CatChecker, d.Code, parent, start)).
 			SetTID(ev.Thread).
 			SetInt("trace_id", int64(ev.TraceID)).
 			SetInt("op_index", int64(d.OpIndex)).

@@ -1,0 +1,307 @@
+// Package search is the fleet-wide query plane for flight-recorder
+// data: it fans a span query (or a per-session report lookup) out to N
+// nodes concurrently, tolerates slow and dead nodes, and merges what
+// arrived into one newest-first result with per-node provenance — the
+// distributed-trace-search pattern (fan out, capture errors per node,
+// merge partial results) applied to the /flight/v1/search and
+// /reports/v1/query endpoints.
+//
+// cmd/pmtop's `spans` subcommand is the interactive consumer; `pmtrace
+// -remote` uses SessionSpans plus Stitch to join a client session's
+// spans with the node-side spans its sections caused.
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pmtest/internal/flight"
+)
+
+// DefaultTimeout bounds each node query when Options.Timeout is zero.
+const DefaultTimeout = 2 * time.Second
+
+// maxResponseBytes bounds one node's response; a document beyond it is
+// a misbehaving node, reported as a per-node error.
+const maxResponseBytes = 64 << 20
+
+// defaultLimit caps the merged result when Params.Limit is zero,
+// mirroring the node-side default.
+const defaultLimit = 100
+
+// Options configures a fan-out pass.
+type Options struct {
+	// Timeout bounds each node's query independently — one slow node
+	// costs its own slot, never the whole pass (default DefaultTimeout).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject one); the default
+	// is a plain &http.Client{} with per-request context deadlines.
+	Client *http.Client
+}
+
+// Params mirrors the /flight/v1/search query parameters — the same
+// filter vocabulary flight.Query speaks, in wire-friendly form.
+type Params struct {
+	Category string
+	MinDur   time.Duration
+	ErrOnly  bool
+	Name     string
+	Since    time.Time
+	Until    time.Time
+	AttrKey  string
+	AttrVal  string
+	// Limit caps the merged result (0 = 100); each node is asked for
+	// the same limit, so the merge sees enough from every node to fill
+	// the newest-first window regardless of how spans are distributed.
+	Limit int
+}
+
+// Values renders the parameters as URL query values.
+func (p Params) Values() url.Values {
+	v := url.Values{}
+	if p.Category != "" {
+		v.Set("category", p.Category)
+	}
+	if p.MinDur > 0 {
+		v.Set("min_dur", p.MinDur.String())
+	}
+	if p.ErrOnly {
+		v.Set("err", "1")
+	}
+	if p.Name != "" {
+		v.Set("name", p.Name)
+	}
+	if !p.Since.IsZero() {
+		v.Set("since", p.Since.UTC().Format(time.RFC3339Nano))
+	}
+	if !p.Until.IsZero() {
+		v.Set("until", p.Until.UTC().Format(time.RFC3339Nano))
+	}
+	if p.AttrKey != "" {
+		v.Set("attr", p.AttrKey+"="+p.AttrVal)
+	}
+	if p.Limit > 0 {
+		v.Set("limit", strconv.Itoa(p.Limit))
+	}
+	return v
+}
+
+// baseURL normalizes a node spec: "host:8081" → "http://host:8081";
+// explicit http(s) URLs keep their scheme (and any path they carry is
+// dropped — the well-known route is appended by the caller).
+func baseURL(node string) string {
+	u := node
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	rest := u[strings.Index(u, "://")+3:]
+	if i := strings.Index(rest, "/"); i >= 0 {
+		u = u[:len(u)-len(rest)+i]
+	}
+	return u
+}
+
+// SearchURL builds the full search endpoint URL for one node.
+func SearchURL(node string, p Params) string {
+	u := baseURL(node) + flight.SearchPath
+	if q := p.Values().Encode(); q != "" {
+		u += "?" + q
+	}
+	return u
+}
+
+// RemoteSpan is one span annotated with the node it came from.
+type RemoteSpan struct {
+	Source string `json:"source"`
+	flight.SpanRecord
+}
+
+// SourceStatus is the per-node provenance row of a merged query: one
+// entry per queried node, including the ones that failed, so a caller
+// can always answer "which node is missing and why".
+type SourceStatus struct {
+	Source string `json:"source"`
+	Err    string `json:"err,omitempty"`
+	// Spans is how many items (spans, or reports for a report lookup)
+	// this node contributed before the global limit was applied.
+	Spans int `json:"spans"`
+}
+
+// Result is a merged fleet span query: newest-first spans from every
+// node that answered, provenance for all of them, and Partial set when
+// any node failed.
+type Result struct {
+	Partial bool           `json:"partial"`
+	Sources []SourceStatus `json:"sources"`
+	Spans   []RemoteSpan   `json:"spans"`
+}
+
+// fetchSpans retrieves and decodes one node's matching spans.
+func fetchSpans(ctx context.Context, client *http.Client, node string, p Params) ([]flight.SpanRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, SearchURL(node, p), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Error bodies speak JSON ({"error": ...}); surface the message.
+		var e struct {
+			Error string `json:"error"`
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("status %s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out flight.SearchResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode spans: %w", err)
+	}
+	return out.Spans, nil
+}
+
+// outcome carries one node's result back from its fan-out goroutine.
+type outcome[T any] struct {
+	idx  int
+	node string
+	val  T
+	err  error
+}
+
+// Search fans the query out to every node concurrently and merges the
+// results newest-first under the global limit. Nodes that are down or
+// slow past the per-node timeout become error rows in Sources and set
+// Partial; they never fail the pass. Search only errors when nodes is
+// empty.
+func Search(ctx context.Context, nodes []string, p Params, opt Options) (Result, error) {
+	fetched, err := fanOut(ctx, nodes, opt, func(ctx context.Context, client *http.Client, node string) ([]flight.SpanRecord, error) {
+		return fetchSpans(ctx, client, node, p)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	limit := p.Limit
+	if limit <= 0 {
+		limit = defaultLimit
+	}
+	return mergeResults(fetched, limit), nil
+}
+
+// fanOut runs fetch against every node concurrently with per-node
+// timeouts and returns the outcomes in the caller's node order.
+func fanOut[T any](ctx context.Context, nodes []string, opt Options,
+	fetch func(context.Context, *http.Client, string) (T, error)) ([]outcome[T], error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("search: no nodes to query")
+	}
+	timeout := opt.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	results := make(chan outcome[T], len(nodes))
+	for i, node := range nodes {
+		go func(i int, node string) {
+			nodeCtx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			val, err := fetch(nodeCtx, client, node)
+			results <- outcome[T]{idx: i, node: node, val: val, err: err}
+		}(i, node)
+	}
+	fetched := make([]outcome[T], 0, len(nodes))
+	for range nodes {
+		fetched = append(fetched, <-results)
+	}
+	// Stable output: provenance rows follow the caller's node order, not
+	// goroutine completion order.
+	sort.Slice(fetched, func(i, j int) bool { return fetched[i].idx < fetched[j].idx })
+	return fetched, nil
+}
+
+// mergeResults folds per-node outcomes into one Result: spans in one
+// newest-first total order (start time, span ID, then node order break
+// ties deterministically), capped at limit.
+func mergeResults(fetched []outcome[[]flight.SpanRecord], limit int) Result {
+	var out Result
+	for _, r := range fetched {
+		if r.err != nil {
+			out.Partial = true
+			out.Sources = append(out.Sources, SourceStatus{Source: r.node, Err: r.err.Error()})
+			continue
+		}
+		out.Sources = append(out.Sources, SourceStatus{Source: r.node, Spans: len(r.val)})
+		for _, s := range r.val {
+			out.Spans = append(out.Spans, RemoteSpan{Source: r.node, SpanRecord: s})
+		}
+	}
+	order := make(map[string]int, len(fetched))
+	for i, r := range fetched {
+		order[r.node] = i
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		a, b := &out.Spans[i], &out.Spans[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.After(b.Start)
+		}
+		if a.ID != b.ID {
+			return a.ID > b.ID
+		}
+		return order[a.Source] < order[b.Source]
+	})
+	if len(out.Spans) > limit {
+		out.Spans = out.Spans[:limit]
+	}
+	return out
+}
+
+// sessionSpanLimit is the per-node span budget of a SessionSpans fetch:
+// stitching needs every span of one session, so the window is the ring
+// capacity order of magnitude, not a browse page.
+const sessionSpanLimit = 100_000
+
+// SessionSpans fetches everything correlated to one session from the
+// given nodes: client-side spans (attr session=<sid>) and node-side
+// spans (attr remote_session_id=<sid>). Both queries run inside each
+// node's fan-out slot, so one provenance row covers a node's whole
+// contribution. The result is newest-first like Search.
+func SessionSpans(ctx context.Context, nodes []string, sid string, opt Options) (Result, error) {
+	fetched, err := fanOut(ctx, nodes, opt, func(ctx context.Context, client *http.Client, node string) ([]flight.SpanRecord, error) {
+		var all []flight.SpanRecord
+		seen := make(map[uint64]bool)
+		for _, key := range []string{"session", "remote_session_id"} {
+			spans, err := fetchSpans(ctx, client, node, Params{
+				AttrKey: key, AttrVal: sid, Limit: sessionSpanLimit,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range spans {
+				if !seen[s.ID] {
+					seen[s.ID] = true
+					all = append(all, s)
+				}
+			}
+		}
+		return all, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return mergeResults(fetched, sessionSpanLimit*len(nodes)), nil
+}

@@ -4,8 +4,11 @@ import "pmtest/internal/obs"
 
 // Summarize condenses the recorder's rings into the mergeable
 // per-category tallies the /obs/v1/snapshot document carries: resident
-// span and error counts plus the longest resident span per category.
-// Wire it into obs.SnapshotSource.FlightFn. Nil recorder, nil summary.
+// span and error counts, the longest resident span, and a duration
+// histogram over the resident spans (the fixed obs.Histogram buckets,
+// so fleet-level merges are bucket-exact and pmtop can show fleet p99
+// span durations per category). Wire it into
+// obs.SnapshotSource.FlightFn. Nil recorder, nil summary.
 func Summarize(r *Recorder) *obs.FlightSummary {
 	if r == nil {
 		return nil
@@ -13,17 +16,21 @@ func Summarize(r *Recorder) *obs.FlightSummary {
 	out := &obs.FlightSummary{}
 	for cat := Category(0); cat < numCategories; cat++ {
 		cs := obs.FlightCategorySummary{Category: cat.String()}
+		var hist obs.Histogram
 		r.rings[cat].Do(func(s Span) bool {
 			cs.Spans++
 			if s.Err {
 				cs.Errs++
 			}
-			if d := s.Dur(); d > cs.MaxDur {
+			d := s.Dur()
+			if d > cs.MaxDur {
 				cs.MaxDur = d
 			}
+			hist.Observe(d)
 			return true
 		})
 		if cs.Spans > 0 {
+			cs.Dur = hist.Snapshot()
 			out.Categories = append(out.Categories, cs)
 		}
 	}

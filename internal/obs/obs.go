@@ -207,6 +207,15 @@ type TraceEvent struct {
 	// findings under the transaction that contains the guilty op.
 	SpanID  uint64            `json:"span_id,omitempty"`
 	TxSpans []trace.SpanRange `json:"tx_spans,omitempty"`
+	// RemoteSession/RemoteSpan carry the originating client's correlation
+	// identity when this trace arrived over the distributed checking
+	// tier: the client's session ID and the client-side section span ID
+	// propagated in the section request headers. Zero when the trace was
+	// recorded in-process. Span-building observers tag node-side spans
+	// with them, which is what lets a coordinator stitch client and node
+	// timelines together.
+	RemoteSession string `json:"remote_session,omitempty"`
+	RemoteSpan    uint64 `json:"remote_span,omitempty"`
 	// Diags details each diagnostic of a non-clean trace (nil for clean
 	// traces, keeping the common path allocation-free).
 	Diags []DiagInfo `json:"diags,omitempty"`

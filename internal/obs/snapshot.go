@@ -49,6 +49,11 @@ type FlightCategorySummary struct {
 	Errs int `json:"errs"`
 	// MaxDur is the longest resident span.
 	MaxDur time.Duration `json:"max_dur_ns"`
+	// Dur is the duration histogram over the resident spans (the fixed
+	// Histogram buckets, merged bucket-exactly across nodes). An
+	// all-zero value means the node predates the field — optional, so
+	// it rides on schema version 1.
+	Dur HistSnapshot `json:"dur,omitempty"`
 }
 
 // SourceStatus is the per-node provenance row of a merged snapshot: one
@@ -249,9 +254,13 @@ func mergeMetrics(acc *Snapshot, s Snapshot) error {
 }
 
 // mergeFlight folds per-category span tallies by category name.
-func mergeFlight(acc *FlightSummary, f *FlightSummary) *FlightSummary {
+// Counts sum, MaxDur keeps the fleet maximum, and the duration
+// histograms merge bucket-exactly — so the fleet's per-category span
+// p99 is computed over the union of resident spans, not averaged per
+// node. Errors only on a histogram outside the fixed bucket layout.
+func mergeFlight(acc *FlightSummary, f *FlightSummary) (*FlightSummary, error) {
 	if f == nil {
-		return acc
+		return acc, nil
 	}
 	if acc == nil {
 		acc = &FlightSummary{}
@@ -260,20 +269,28 @@ func mergeFlight(acc *FlightSummary, f *FlightSummary) *FlightSummary {
 		found := false
 		for i := range acc.Categories {
 			if acc.Categories[i].Category == c.Category {
+				dur, err := MergeHist(acc.Categories[i].Dur, c.Dur)
+				if err != nil {
+					return acc, fmt.Errorf("flight category %q: %w", c.Category, err)
+				}
 				acc.Categories[i].Spans += c.Spans
 				acc.Categories[i].Errs += c.Errs
 				if c.MaxDur > acc.Categories[i].MaxDur {
 					acc.Categories[i].MaxDur = c.MaxDur
 				}
+				acc.Categories[i].Dur = dur
 				found = true
 				break
 			}
 		}
 		if !found {
+			if _, err := c.Dur.bucketCounts(); err != nil {
+				return acc, fmt.Errorf("flight category %q: %w", c.Category, err)
+			}
 			acc.Categories = append(acc.Categories, c)
 		}
 	}
-	return acc
+	return acc, nil
 }
 
 // sourceStatus builds the provenance row for one successfully fetched
@@ -316,7 +333,11 @@ func Merge(snaps ...NodeSnapshot) (MergedSnapshot, error) {
 		if err := mergeRuntime(&out.Runtime, n.Runtime); err != nil {
 			return MergedSnapshot{}, fmt.Errorf("obs: snapshot %q: %w", n.Source, err)
 		}
-		out.Flight = mergeFlight(out.Flight, n.Flight)
+		fl, err := mergeFlight(out.Flight, n.Flight)
+		if err != nil {
+			return MergedSnapshot{}, fmt.Errorf("obs: snapshot %q: %w", n.Source, err)
+		}
+		out.Flight = fl
 		out.Sources = append(out.Sources, sourceStatus(snaps[i]))
 	}
 	return out, nil

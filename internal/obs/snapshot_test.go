@@ -165,8 +165,9 @@ func sampleNode(source string, seed int64) NodeSnapshot {
 	}
 	src := &SnapshotSource{Source: source, Metrics: m}
 	n := src.Capture()
+	dur, _ := randHist(rng, 40)
 	n.Flight = &FlightSummary{Categories: []FlightCategorySummary{
-		{Category: "engine", Spans: 10, Errs: int(seed), MaxDur: time.Duration(seed) * time.Millisecond},
+		{Category: "engine", Spans: 10, Errs: int(seed), MaxDur: time.Duration(seed) * time.Millisecond, Dur: dur},
 	}}
 	return n
 }
@@ -241,10 +242,59 @@ func TestMergeSumsAndProvenance(t *testing.T) {
 	if c := merged.Flight.Categories[0]; c.Spans != 20 || c.Errs != 8 || c.MaxDur != 5*time.Millisecond {
 		t.Errorf("flight category = %+v", c)
 	}
+	// The per-category duration histogram merges alongside the tallies.
+	if c := merged.Flight.Categories[0]; c.Dur.Count != a.Flight.Categories[0].Dur.Count+b.Flight.Categories[0].Dur.Count {
+		t.Errorf("flight Dur count = %d, want %d", c.Dur.Count,
+			a.Flight.Categories[0].Dur.Count+b.Flight.Categories[0].Dur.Count)
+	}
 	// GC pause histograms merge exactly too (runtime side).
 	if merged.Runtime.GCPause.Count != a.Runtime.GCPause.Count+b.Runtime.GCPause.Count {
 		t.Errorf("GC pause count = %d, want %d",
 			merged.Runtime.GCPause.Count, a.Runtime.GCPause.Count+b.Runtime.GCPause.Count)
+	}
+}
+
+// TestMergeFlightDurExact extends the central exactness property to
+// the per-category span duration histograms: a fleet merge of k nodes'
+// flight summaries carries the same Dur histogram as one node that
+// recorded every span itself — so pmtop's fleet p99 is a real quantile,
+// not an average of averages.
+func TestMergeFlightDurExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		var whole Histogram
+		nodes := make([]NodeSnapshot, 1+rng.Intn(3))
+		for i := range nodes {
+			snap, durs := randHist(rng, rng.Intn(150))
+			for _, d := range durs {
+				whole.Observe(d)
+			}
+			nodes[i] = sampleNode("n", int64(trial*10+i+1))
+			nodes[i].Flight.Categories[0].Dur = snap
+		}
+		merged, err := Merge(nodes...)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got, want := merged.Flight.Categories[0].Dur, whole.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: flight Dur merge not exact:\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+// TestMergeFlightDurOldNode pins compatibility: a snapshot from a node
+// built before the Dur field existed (zero-value histogram) merges
+// cleanly, contributing nothing to the fleet histogram.
+func TestMergeFlightDurOldNode(t *testing.T) {
+	newNode := sampleNode("new", 3)
+	oldNode := sampleNode("old", 5)
+	oldNode.Flight.Categories[0].Dur = HistSnapshot{}
+	merged, err := Merge(newNode, oldNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Flight.Categories[0].Dur, newNode.Flight.Categories[0].Dur; !reflect.DeepEqual(got, want) {
+		t.Fatalf("old-node merge changed the histogram:\n got %+v\nwant %+v", got, want)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	/                 Prometheus text (?format=json for the full snapshot)
 //	/obs/v1/snapshot  versioned NodeSnapshot document (pmtop's input)
 //	/flight           flight-recorder span browse
+//	/flight/v1/search span search with time window (fleet fan-out input)
 //	/debug/pprof/*    opt-in Go profiling (Config.PProf)
 //
 // Start returns immediately with the server listening; Close shuts it
@@ -97,6 +98,7 @@ func Start(cfg Config) (*Server, error) {
 	mux.Handle("/obs/v1/snapshot", obs.SnapshotHandler(src))
 	if cfg.Flight != nil {
 		mux.Handle("/flight", flight.Handler(cfg.Flight))
+		mux.Handle(flight.SearchPath, flight.SearchHandler(cfg.Flight))
 	}
 	if cfg.PProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -18,6 +18,7 @@ import (
 	"pmtest/internal/dist"
 	"pmtest/internal/faultinject"
 	"pmtest/internal/flight"
+	"pmtest/internal/flight/search"
 	"pmtest/internal/harness"
 	"pmtest/internal/lint"
 	"pmtest/internal/obs"
@@ -128,6 +129,9 @@ func runOnce(b Budget, seed int64, res *Result, logf func(string, ...any)) error
 		return err
 	}
 	if err := runObsPlane(b, res, logf); err != nil {
+		return err
+	}
+	if err := runSearchFanout(b, res, logf); err != nil {
 		return err
 	}
 	if err := runLint(res, logf); err != nil {
@@ -398,6 +402,63 @@ func runObsPlane(b Budget, res *Result, logf func(string, ...any)) error {
 		Better: LowerIsBetter, Tolerance: TolLatency})
 	logf("  obs: snapshot %.0f ns (%.1f allocs), collect(3 nodes) %.0f ns",
 		sb.NsPerOp, sb.AllocsPerOp, cf.NsPerOp)
+	return nil
+}
+
+// runSearchFanout measures the fleet span-search read path: one merged
+// two-node query through the fan-out searcher over live loopback
+// endpoints — HTTP round trips, span JSON decode, and the newest-first
+// cross-node merge. This is what every pmtop spans refresh costs, so
+// its p50/p99 gate like any other monitoring-path latency.
+func runSearchFanout(b Budget, res *Result, logf func(string, ...any)) error {
+	if b.CheckIters == 0 {
+		return nil
+	}
+	var servers []*obsserve.Server
+	var nodes []string
+	for i := 0; i < 2; i++ {
+		rec := flight.NewRecorder(1024)
+		for j := 0; j < 512; j++ {
+			rec.Start(flight.CatRPC, "handle-section", 0).
+				SetStr("remote_session_id", fmt.Sprintf("pmtest-%d", j%8)).
+				SetInt("seq", int64(j)).
+				Finish()
+		}
+		srv, err := obsserve.Start(obsserve.Config{Addr: "127.0.0.1:0",
+			Metrics: obs.NewMetrics(0), Flight: rec})
+		if err != nil {
+			return fmt.Errorf("search fanout: %w", err)
+		}
+		servers = append(servers, srv)
+		nodes = append(nodes, srv.Addr())
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	client := &http.Client{}
+	params := search.Params{Category: "rpc", AttrKey: "remote_session_id",
+		AttrVal: "pmtest-3", Limit: 200}
+	var h obs.Histogram
+	measure(b.CheckIters*5, func() {
+		start := time.Now()
+		r, err := search.Search(context.Background(), nodes, params,
+			search.Options{Client: client})
+		if err != nil {
+			panic(err)
+		}
+		if r.Partial {
+			panic("search fanout: local query came back partial")
+		}
+		h.Observe(time.Since(start))
+	})
+	snap := h.Snapshot()
+	res.add(Metric{Name: "search_fanout/p50_ns", Value: float64(snap.P50), Unit: "ns",
+		Better: LowerIsBetter, Tolerance: TolLatency})
+	res.add(Metric{Name: "search_fanout/p99_ns", Value: float64(snap.P99), Unit: "ns",
+		Better: LowerIsBetter, Tolerance: TolLatency})
+	logf("  search_fanout: merged query(2 nodes) p50 %v p99 %v", snap.P50, snap.P99)
 	return nil
 }
 

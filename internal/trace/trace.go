@@ -160,6 +160,15 @@ type Trace struct {
 	// when no recorder is attached.
 	SpanID  uint64
 	TxSpans []SpanRange
+
+	// RemoteSession and RemoteSpan are the originating client's
+	// correlation identity, set node-side by the distributed checking
+	// tier from the section request's session parameter and span header
+	// before the trace is submitted to the hosted engine. Like SpanID
+	// they are in-memory only — the wire codec never serializes them —
+	// and zero for traces recorded in-process.
+	RemoteSession string
+	RemoteSpan    uint64
 }
 
 // String renders a compact multi-line dump of the trace.

@@ -212,6 +212,7 @@ type backend interface {
 type Session struct {
 	cfg     Config
 	id      uint64
+	sid     string // "pmtest-<id>": the correlation name (see SID)
 	engine  backend
 	coord   *dist.Coordinator // non-nil only for remote sessions
 	sharing *core.SharingAnalyzer
@@ -275,6 +276,7 @@ func Init(cfg Config) *Session {
 	s := &Session{
 		cfg:     cfg,
 		id:      id,
+		sid:     fmt.Sprintf("pmtest-%d", id),
 		metrics: cfg.Metrics,
 		logger:  logger,
 		vars:    make(map[string]Var),
@@ -304,7 +306,7 @@ func Init(cfg Config) *Session {
 			}
 		} else {
 			s.coord = coord
-			s.engine = coord.OpenSession(fmt.Sprintf("pmtest-%d", id), cfg.Model)
+			s.engine = coord.OpenSession(s.sid, cfg.Model)
 		}
 	}
 	if s.engine == nil {
@@ -355,6 +357,15 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // ID returns the session's process-unique identifier — the "session"
 // attribute on every log record the session and its engine emit.
 func (s *Session) ID() uint64 { return s.id }
+
+// SID returns the session's correlation name, "pmtest-<id>": the
+// session ID a remote checking session registers on pmtestd nodes and
+// the "session" attribute stamped on the session's flight spans. A
+// fleet-wide span search for this name (attr session=<sid> on the
+// client, attr remote_session_id=<sid> on nodes) finds everything the
+// session caused; `pmtrace -remote -session <sid>` stitches it into
+// one timeline.
+func (s *Session) SID() string { return s.sid }
 
 // Exit drains outstanding traces, stops the engine and returns all
 // reports (PMTest_EXIT). Deferred session errors — such as a RecordTo
@@ -539,13 +550,18 @@ func (t *Thread) record(op trace.Op) {
 // it covered so checker findings can later be parented under it.
 func (t *Thread) flightOp(k trace.Kind) {
 	if t.secSpan == nil {
+		// The session attribute is the precomputed correlation name, so
+		// a fleet span search can find a session's client-side spans by
+		// the same key nodes index under remote_session_id.
 		t.secSpan = t.fl.Start(flight.CatSession, "section", 0).
-			SetTID(t.builder.Thread())
+			SetTID(t.builder.Thread()).
+			SetStr("session", t.sess.sid)
 	}
 	switch k {
 	case trace.KindTxBegin:
 		sp := t.fl.Start(flight.CatTx, "tx", t.secSpan.ID).
-			SetTID(t.builder.Thread())
+			SetTID(t.builder.Thread()).
+			SetStr("session", t.sess.sid)
 		t.openTx = append(t.openTx, openTx{span: sp, begin: t.builder.Len() - 1})
 	case trace.KindTxEnd:
 		if n := len(t.openTx); n > 0 {
